@@ -1,0 +1,1 @@
+bench/bench_util.ml: List Printf String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Bench_util Benchmark Hashtbl Ivm_data Ivm_engine Ivm_eps Ivm_lowerbound Ivm_query Ivm_workload List Measure Option Printf Random Seq Staged Sys Test Time Toolkit

@@ -1,0 +1,59 @@
+(** Shared machinery for the experiment harness: wall-clock timing,
+    table rendering, and log-log slope fitting for the complexity-shape
+    experiments. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(** Time [f] and return seconds only. *)
+let seconds f = snd (time f)
+
+(** Average seconds per call over [n] calls of [f]. *)
+let per_call n f =
+  let t0 = now () in
+  for i = 1 to n do
+    f i
+  done;
+  (now () -. t0) /. float_of_int n
+
+(** Fitted slope of log(time) against log(n): the measured complexity
+    exponent. *)
+let fitted_exponent (points : (float * float) list) : float =
+  let logs = List.map (fun (x, y) -> (log x, log (max y 1e-12))) points in
+  let n = float_of_int (List.length logs) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. logs in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. logs in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. logs in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. logs in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n";
+  flush stdout
+
+(** Render a table with left-aligned first column. *)
+let table ~header rows =
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells)
+  in
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Printf.printf "%s\n" (line row)) rows;
+  flush stdout
+
+let us t = Printf.sprintf "%.2f" (t *. 1e6)
+let ms t = Printf.sprintf "%.1f" (t *. 1e3)
+let rate n t = Printf.sprintf "%.0f" (float_of_int n /. max 1e-9 t)

@@ -1,0 +1,104 @@
+(* ivm-cli: classify queries along the paper's taxonomy and run the
+   headline workloads from the command line.
+
+   Examples:
+     ivm_cli classify "Q(A, B) = R(A, B), S(B, C)"
+     ivm_cli classify --fds "zip -> locn" \
+       "Q(locn, zip) = Inventory(locn, d, k), Weather(locn, d), \
+        Location(locn, zip), Census(zip), Demographics(zip)"
+     ivm_cli classify --adorn "T: static" "Q(A,B,C) = R(A,D), S(A,B), T(B,C)"
+     ivm_cli classify "Q(C | A, B) = E1(A,B), E2(B,C), E3(C,A)"
+     ivm_cli tpch
+     ivm_cli triangles --updates 50000 --nodes 500 *)
+
+open Cmdliner
+
+let classify_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query, e.g. \"Q(A | B) = S(A, B), T(B)\"; head variables \
+                 after | are input variables (access pattern).")
+  in
+  let fds_arg =
+    Arg.(value & opt string "" & info [ "fds" ] ~docv:"FDS"
+           ~doc:"Functional dependencies, e.g. \"A -> B; C, D -> E\".")
+  in
+  let adorn_arg =
+    Arg.(value & opt string "" & info [ "adorn" ] ~docv:"ADORNMENT"
+           ~doc:"Static/dynamic adornment, e.g. \"T: static; R: dynamic\".")
+  in
+  let run query fds_s adorn_s =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* parsed = Ivm_query.Parse.query query in
+    let* fds = Ivm_query.Parse.fds fds_s in
+    let* adorn = Ivm_query.Parse.adornment adorn_s in
+    let access = if parsed.Ivm_query.Parse.input = [] then None else Some parsed.Ivm_query.Parse.input in
+    let adornment = if adorn = [] then None else Some adorn in
+    let analysis = Core.Planner.analyze ~fds ?access ?adornment parsed.Ivm_query.Parse.cq in
+    Format.printf "%a@." Core.Planner.pp_analysis analysis;
+    (match Core.Planner.(analysis.verdict) with
+    | Core.Planner.Best_possible { order = Some o; _ } ->
+        Format.printf "view tree order: %a@." Ivm_query.Variable_order.pp o
+    | Core.Planner.Best_possible _ | Core.Planner.Amortized_best _
+    | Core.Planner.Worst_case_optimal _ | Core.Planner.Delta_only _ -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a query along the paper's taxonomy (Sec. 4-5)")
+    Term.(ret (const run $ query_arg $ fds_arg $ adorn_arg))
+
+let tpch_cmd =
+  let run () =
+    let cs = Ivm_workload.Tpch.study () in
+    List.iter
+      (fun (c : Ivm_workload.Tpch.classification) ->
+        Printf.printf "Q%-2d  boolean:%-5b +fds:%-5b  non-boolean:%-5b +fds:%-5b  q-hier+fds:%b\n"
+          c.Ivm_workload.Tpch.id c.boolean_hier c.boolean_hier_fd c.nonboolean_hier
+          c.nonboolean_hier_fd c.q_hier_fd)
+      cs;
+    let s = Ivm_workload.Tpch.summarize cs in
+    Printf.printf
+      "hierarchical: boolean %d/22 (paper: 8), non-boolean %d/22 (paper: 13)\n\
+       with FDs:     boolean %d/22 (paper: 12), non-boolean %d/22 (paper: 17)\n"
+      s.Ivm_workload.Tpch.boolean_total s.Ivm_workload.Tpch.nonboolean_total
+      s.Ivm_workload.Tpch.boolean_fd_total s.Ivm_workload.Tpch.nonboolean_fd_total
+  in
+  Cmd.v (Cmd.info "tpch" ~doc:"Run the TPC-H classification study (Sec. 4.4)")
+    Term.(const run $ const ())
+
+let triangles_cmd =
+  let updates_arg =
+    Arg.(value & opt int 50_000 & info [ "updates" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 500 & info [ "nodes" ] ~docv:"K" ~doc:"Graph node count.")
+  in
+  let run updates nodes =
+    let module G = Ivm_workload.Graph_gen in
+    let module T = Ivm_engine.Triangle in
+    let spec = { G.nodes; skew = 1.1; delete_ratio = 0.2 } in
+    let delta = T.Delta.create () in
+    let eps = Ivm_eps.Triangle_count.create ~epsilon:0.5 () in
+    let gen = G.create spec in
+    let t0 = Sys.time () in
+    G.prefill gen updates (fun e ->
+        let rel = match e.G.rel with 0 -> T.R | 1 -> T.S | _ -> T.T in
+        T.Delta.update delta rel ~a:e.G.src ~b:e.G.dst e.G.mult;
+        Ivm_eps.Triangle_count.update eps rel ~a:e.G.src ~b:e.G.dst e.G.mult);
+    let dt = Sys.time () -. t0 in
+    Printf.printf "streamed %d updates in %.2fs (%.0f/s)\n" updates dt
+      (float_of_int updates /. dt);
+    Printf.printf "triangle count: %d (delta) = %d (ivm-eps)\n" (T.Delta.count delta)
+      (Ivm_eps.Triangle_count.count eps);
+    if T.Delta.count delta <> Ivm_eps.Triangle_count.count eps then exit 1
+  in
+  Cmd.v
+    (Cmd.info "triangles" ~doc:"Maintain the triangle count over a random edge stream (Sec. 3)")
+    Term.(const run $ updates_arg $ nodes_arg)
+
+let () =
+  let doc = "incremental view maintenance toolbox (PODS 2024 survey reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
+          [ classify_cmd; tpch_cmd; triangles_cmd ]))

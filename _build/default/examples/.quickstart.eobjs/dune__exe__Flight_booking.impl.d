@@ -1,0 +1,1 @@
+examples/flight_booking.ml: Core Cq Cqap Format Ivm_engine List String

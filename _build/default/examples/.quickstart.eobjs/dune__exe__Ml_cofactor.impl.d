@@ -1,0 +1,1 @@
+examples/ml_cofactor.ml: Array Format Ivm_data Ivm_ring

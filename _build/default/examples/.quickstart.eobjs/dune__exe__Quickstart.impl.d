@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Cq Database Format Ivm_engine Ivm_eps Option Schema Seq Tuple Update Variable_order View_tree

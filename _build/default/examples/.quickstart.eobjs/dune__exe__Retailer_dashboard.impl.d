@@ -1,0 +1,1 @@
+examples/retailer_dashboard.ml: Core Cq Format Ivm_workload List Strategy Sys

@@ -1,0 +1,1 @@
+examples/retailer_dashboard.mli:

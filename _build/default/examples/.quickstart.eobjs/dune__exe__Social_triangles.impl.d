@@ -1,0 +1,1 @@
+examples/social_triangles.ml: Format Ivm_engine Ivm_eps Ivm_lowerbound Ivm_workload Random Sys

@@ -1,0 +1,1 @@
+lib/core/ivm.ml: Ivm_data Ivm_engine Ivm_eps Ivm_lowerbound Ivm_query Ivm_ring Ivm_workload

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Format Ivm_query List Option

@@ -1,0 +1,28 @@
+(** The library facade: one module aliasing every subsystem, so that
+    users can [open Core] (or reference [Core.Ivm]) and reach the whole
+    toolbox. See README.md for the map. *)
+
+module Ring = Ivm_ring
+module Data = Ivm_data
+module Query = Ivm_query
+module Engine = Ivm_engine
+module Eps = Ivm_eps
+module Lowerbound = Ivm_lowerbound
+module Workload = Ivm_workload
+
+(* Frequently used modules, re-exported flat. *)
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+module Cqap = Ivm_query.Cqap
+module Hierarchical = Ivm_query.Hierarchical
+module Variable_order = Ivm_query.Variable_order
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+module Update = Ivm_data.Update
+module Relation = Ivm_data.Relation
+module Database = Ivm_data.Database
+module View_tree = Ivm_engine.View_tree
+module Strategy = Ivm_engine.Strategy
+
+let version = "1.0.0"

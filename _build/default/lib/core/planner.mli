@@ -1,0 +1,41 @@
+(** The maintenance planner — the paper's Sec. 6 conclusion made
+    executable: classify a query along the taxonomy (query structure,
+    FDs, access patterns, static/dynamic adornments, update types) and
+    recommend the best maintenance strategy with its complexity
+    guarantee, or report the conditional lower bound that applies. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+module Sd = Ivm_query.Static_dynamic
+module Vo = Ivm_query.Variable_order
+
+type complexity = { preprocessing : string; update : string; delay : string }
+
+type verdict =
+  | Best_possible of { reason : string; order : Vo.forest option }
+      (** O(N) preprocessing, O(1) updates, O(1) delay. *)
+  | Amortized_best of { reason : string }
+      (** Amortized O(1) under stated conditions (valid batches,
+          insert-only streams). *)
+  | Worst_case_optimal of { reason : string; complexity : complexity }
+      (** Sublinear updates meeting the OuMv-conditional bound. *)
+  | Delta_only of { reason : string; complexity : complexity }
+
+type analysis = {
+  query : Cq.t;
+  hierarchical : bool;
+  q_hierarchical : bool;
+  alpha_acyclic : bool;
+  free_connex : bool;
+  hierarchical_under_fds : bool;
+  q_hierarchical_under_fds : bool;
+  cqap_tractable : bool option; (** [None] when no access pattern given. *)
+  sd_tractable : bool option; (** [None] when no adornment given. *)
+  verdict : verdict;
+}
+
+val analyze :
+  ?fds:Fd.t list -> ?access:string list -> ?adornment:Sd.adornment -> Cq.t -> analysis
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_analysis : Format.formatter -> analysis -> unit

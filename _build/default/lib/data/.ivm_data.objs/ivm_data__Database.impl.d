@@ -1,0 +1,1 @@
+lib/data/database.ml: Hashtbl Ivm_ring List Relation Update

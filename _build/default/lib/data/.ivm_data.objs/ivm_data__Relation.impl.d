@@ -1,0 +1,1 @@
+lib/data/relation.ml: Format Ivm_ring List Option Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/data/tuple.ml: Array Format Hashtbl Int List Value

@@ -1,0 +1,1 @@
+lib/data/update.ml: Array Format Random Tuple

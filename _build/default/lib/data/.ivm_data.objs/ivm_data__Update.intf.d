@@ -1,0 +1,1 @@
+lib/data/update.mli: Format Random Tuple

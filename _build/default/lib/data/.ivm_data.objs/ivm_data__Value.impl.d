@@ -1,0 +1,1 @@
+lib/data/value.ml: Float Format Hashtbl Int Stdlib String

@@ -1,0 +1,202 @@
+(** Relations over a ring (Sec. 2): finite maps from tuples over a schema
+    to non-zero ring payloads, implemented as hash maps with amortized
+    constant-time lookup, insert and delete, and constant-delay
+    enumeration of entries.
+
+    The functor is over {!Ivm_ring.Sigs.SEMIRING}: the relation structure
+    itself never needs additive inverses — a delete is an update whose
+    payload the caller has already negated (possible whenever the payload
+    domain is a ring). *)
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
+  type payload = R.t
+  type t = { schema : Schema.t; data : payload Tuple.Tbl.t }
+
+  let create ?(size = 16) schema = { schema; data = Tuple.Tbl.create size }
+  let schema r = r.schema
+  let size r = Tuple.Tbl.length r.data
+
+  let get r t = match Tuple.Tbl.find_opt r.data t with Some p -> p | None -> R.zero
+  let mem r t = Tuple.Tbl.mem r.data t
+
+  (* [add_entry r t p] merges payload [p] into the entry for [t],
+     evicting the entry if the merged payload is zero. This is the
+     single-tuple update of the paper: insert for positive [p], delete
+     for negative [p]. *)
+  let add_entry r t p =
+    if not (R.is_zero p) then
+      match Tuple.Tbl.find_opt r.data t with
+      | None -> Tuple.Tbl.replace r.data t p
+      | Some q ->
+          let s = R.add q p in
+          if R.is_zero s then Tuple.Tbl.remove r.data t else Tuple.Tbl.replace r.data t s
+
+  let set_entry r t p =
+    if R.is_zero p then Tuple.Tbl.remove r.data t else Tuple.Tbl.replace r.data t p
+
+  let clear r = Tuple.Tbl.reset r.data
+  let iter f r = Tuple.Tbl.iter f r.data
+  let fold f r acc = Tuple.Tbl.fold f r.data acc
+  let to_seq r = Tuple.Tbl.to_seq r.data
+
+  let of_list schema entries =
+    let r = create ~size:(2 * List.length entries + 1) schema in
+    List.iter (fun (t, p) -> add_entry r t p) entries;
+    r
+
+  let of_tuples schema tuples = of_list schema (List.map (fun t -> (t, R.one)) tuples)
+  let copy r = { schema = r.schema; data = Tuple.Tbl.copy r.data }
+
+  (* Extensional equality: same schema as sets is not required, only same
+     variable order, since tuples are positional. *)
+  let equal a b =
+    size a = size b && Tuple.Tbl.fold (fun t p ok -> ok && R.equal (get b t) p) a.data true
+
+  (** [union a b] is the paper's [⊎]: payload-wise addition. *)
+  let union a b =
+    let r = copy a in
+    iter (fun t p -> add_entry r t p) b;
+    r
+
+  (** [join a b] is the paper's [·] over the union schema: the payload of
+      an output tuple is the product of the payloads of its projections.
+      Implemented by hashing [b] on the shared variables. *)
+  let join a b =
+    let shared = Schema.inter a.schema b.schema in
+    let out_schema = Schema.union a.schema b.schema in
+    let a_shared = Schema.projection a.schema shared in
+    let b_shared = Schema.projection b.schema shared in
+    let b_rest_schema = Schema.diff b.schema a.schema in
+    let b_rest = Schema.projection b.schema b_rest_schema in
+    let index : (Tuple.t * payload) list Tuple.Tbl.t = Tuple.Tbl.create (size b) in
+    iter
+      (fun t p ->
+        let k = Tuple.project t b_shared in
+        let prev = Option.value (Tuple.Tbl.find_opt index k) ~default:[] in
+        Tuple.Tbl.replace index k ((Tuple.project t b_rest, p) :: prev))
+      b;
+    let out = create ~size:(size a) out_schema in
+    iter
+      (fun t p ->
+        let k = Tuple.project t a_shared in
+        match Tuple.Tbl.find_opt index k with
+        | None -> ()
+        | Some matches ->
+            List.iter
+              (fun (rest, q) -> add_entry out (Tuple.append t rest) (R.mul p q))
+              matches)
+      a;
+    out
+
+  (** [aggregate ?lift r x] is the paper's [Σ_X]: marginalizes variable
+      [x], multiplying each payload by the lifting [g_X] of the
+      marginalized value (default: the constant [one], i.e. counting). *)
+  let aggregate ?(lift = fun (_ : Value.t) -> R.one) r x =
+    let out_schema = Schema.diff r.schema (Schema.of_list [ x ]) in
+    let keep = Schema.projection r.schema out_schema in
+    let xpos = Schema.position r.schema x in
+    let out = create ~size:(size r) out_schema in
+    iter (fun t p -> add_entry out (Tuple.project t keep) (R.mul p (lift (Tuple.get t xpos)))) r;
+    out
+
+  (** [project_onto r s] marginalizes all variables of [r] not in [s]
+      (with trivial lifting), reordering the result to schema [s]. *)
+  let project_onto r s =
+    let keep = Schema.projection r.schema s in
+    let out = create ~size:(size r) s in
+    iter (fun t p -> add_entry out (Tuple.project t keep) p) r;
+    out
+
+  (** [map_payloads f r] applies [f] to every payload (zero results are
+      dropped). *)
+  let map_payloads f r =
+    let out = create ~size:(size r) r.schema in
+    iter (fun t p -> add_entry out t (f p)) r;
+    out
+
+  (* The total payload of a relation over the empty schema; used to read
+     off scalar aggregates such as the triangle count. *)
+  let scalar r = get r Tuple.unit
+
+  let sum_payloads r = fold (fun _ p acc -> R.add acc p) r R.zero
+
+  let pp ppf r =
+    let entries = fold (fun t p acc -> (t, p) :: acc) r [] in
+    let entries = List.sort (fun (a, _) (b, _) -> Tuple.compare a b) entries in
+    Format.fprintf ppf "@[<v>%a %d entries@,%a@]" Schema.pp r.schema (size r)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (t, p) ->
+           Format.fprintf ppf "%a -> %a" Tuple.pp t R.pp p))
+      entries
+
+  (** Secondary group index (Sec. 2): for a sub-schema [key] of the
+      relation schema, enumerate with constant delay all tuples that
+      agree on a given key projection, with amortized constant-time
+      entry insertion and deletion. *)
+  module Index = struct
+    type nonrec t = {
+      rel_schema : Schema.t;
+      key : Schema.t;
+      proj : int array;
+      groups : payload Tuple.Tbl.t Tuple.Tbl.t;
+    }
+
+    let create ~rel_schema ~key =
+      if not (Schema.subset key rel_schema) then invalid_arg "Index.create: key not in schema";
+      { rel_schema; key; proj = Schema.projection rel_schema key; groups = Tuple.Tbl.create 64 }
+
+    let key_schema ix = ix.key
+
+    (* [update ix t p] merges delta payload [p] for tuple [t]. *)
+    let update ix t p =
+      if not (R.is_zero p) then begin
+        let k = Tuple.project t ix.proj in
+        let group =
+          match Tuple.Tbl.find_opt ix.groups k with
+          | Some g -> g
+          | None ->
+              let g = Tuple.Tbl.create 4 in
+              Tuple.Tbl.replace ix.groups k g;
+              g
+        in
+        (match Tuple.Tbl.find_opt group t with
+        | None -> Tuple.Tbl.replace group t p
+        | Some q ->
+            let s = R.add q p in
+            if R.is_zero s then Tuple.Tbl.remove group t else Tuple.Tbl.replace group t s);
+        if Tuple.Tbl.length group = 0 then Tuple.Tbl.remove ix.groups k
+      end
+
+    let of_relation ~key r =
+      let ix = create ~rel_schema:r.schema ~key in
+      iter (fun t p -> update ix t p) r;
+      ix
+
+    let clear ix = Tuple.Tbl.reset ix.groups
+    let group_count ix = Tuple.Tbl.length ix.groups
+
+    let group_size ix k =
+      match Tuple.Tbl.find_opt ix.groups k with None -> 0 | Some g -> Tuple.Tbl.length g
+
+    let iter_group ix k f =
+      match Tuple.Tbl.find_opt ix.groups k with
+      | None -> ()
+      | Some g -> Tuple.Tbl.iter f g
+
+    let seq_group ix k =
+      match Tuple.Tbl.find_opt ix.groups k with
+      | None -> Seq.empty
+      | Some g -> Tuple.Tbl.to_seq g
+
+    let fold_group ix k f acc =
+      match Tuple.Tbl.find_opt ix.groups k with
+      | None -> acc
+      | Some g -> Tuple.Tbl.fold f g acc
+
+    let iter_keys ix f = Tuple.Tbl.iter (fun k _ -> f k) ix.groups
+    let seq_keys ix = Seq.map fst (Tuple.Tbl.to_seq ix.groups)
+    let mem_key ix k = Tuple.Tbl.mem ix.groups k
+  end
+end
+
+(** Relations over the default ring of integer multiplicities. *)
+module Z = Make (Ivm_ring.Int_ring)

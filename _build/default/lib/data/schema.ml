@@ -1,0 +1,55 @@
+(** A schema is an ordered tuple of distinct variable names (Sec. 2). We
+    keep the order, since tuples are positional, but most structural
+    operations treat a schema as a set. *)
+
+type var = string
+type t = var array
+
+let of_list (vs : var list) : t =
+  let t = Array.of_list vs in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg ("Schema.of_list: duplicate variable " ^ v);
+      Hashtbl.add seen v ())
+    t;
+  t
+
+let to_list = Array.to_list
+let arity = Array.length
+let empty : t = [||]
+let mem (v : var) (s : t) = Array.exists (String.equal v) s
+
+let position (s : t) (v : var) =
+  let rec go i =
+    if i >= Array.length s then raise Not_found
+    else if String.equal s.(i) v then i
+    else go (i + 1)
+  in
+  go 0
+
+let equal_as_sets (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all (fun v -> mem v b) a
+
+let subset (a : t) (b : t) = Array.for_all (fun v -> mem v b) a
+
+(* [union a b] is [a] followed by the variables of [b] not in [a]. *)
+let union (a : t) (b : t) : t =
+  Array.append a (Array.of_list (List.filter (fun v -> not (mem v a)) (to_list b)))
+
+let inter (a : t) (b : t) : t = Array.of_list (List.filter (fun v -> mem v b) (to_list a))
+let diff (a : t) (b : t) : t = Array.of_list (List.filter (fun v -> not (mem v b)) (to_list a))
+
+(* [projection src tgt] gives the positions in [src] of the variables of
+   [tgt], for use with {!Tuple.project}. Every variable of [tgt] must
+   occur in [src]. *)
+let projection (src : t) (tgt : t) : int array =
+  Array.map (fun v -> position src v) tgt
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

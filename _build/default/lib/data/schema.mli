@@ -1,0 +1,34 @@
+(** Schemas: ordered tuples of distinct variable names (Sec. 2). The
+    order matters because tuples are positional; structural operations
+    treat schemas as sets. *)
+
+type var = string
+type t = var array
+
+val of_list : var list -> t
+(** @raise Invalid_argument on duplicate variables. *)
+
+val to_list : t -> var list
+val arity : t -> int
+val empty : t
+val mem : var -> t -> bool
+
+val position : t -> var -> int
+(** @raise Not_found when the variable is absent. *)
+
+val equal_as_sets : t -> t -> bool
+val subset : t -> t -> bool
+
+val union : t -> t -> t
+(** [union a b] keeps [a]'s order, then appends [b]'s new variables. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val projection : t -> t -> int array
+(** [projection src tgt] gives the positions in [src] of the variables
+    of [tgt], for {!Tuple.project}. Every variable of [tgt] must occur
+    in [src]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,53 @@
+(** Tuples are immutable arrays of values, positionally aligned with a
+    {!Schema}. The empty tuple [unit] is the tuple over the empty schema,
+    the key of scalar (fully aggregated) views. *)
+
+type t = Value.t array
+
+let unit : t = [||]
+let of_list = Array.of_list
+let to_list = Array.to_list
+let of_ints is = Array.of_list (List.map Value.of_int is)
+let arity (t : t) = Array.length t
+let get (t : t) i = t.(i)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+let compare (a : t) (b : t) =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash (t : t) = Hashtbl.hash t
+
+(* [project t idxs] picks the fields of [t] at positions [idxs]. *)
+let project (t : t) (idxs : int array) : t =
+  Array.map (fun i -> t.(i)) idxs
+
+let append (a : t) (b : t) : t = Array.append a b
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
+    (to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Hashtables keyed by tuples. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

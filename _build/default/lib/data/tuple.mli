@@ -1,0 +1,31 @@
+(** Tuples: immutable arrays of values, positionally aligned with a
+    {!Schema}. The empty tuple is the tuple over the empty schema — the
+    key of fully aggregated (scalar) views. *)
+
+type t = Value.t array
+
+val unit : t
+(** The empty tuple [()]. *)
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val of_ints : int list -> t
+(** Convenience: a tuple of integer values. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val project : t -> int array -> t
+(** [project t idxs] picks the fields of [t] at positions [idxs]; used
+    with {!Schema.projection}. *)
+
+val append : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hash tables keyed by tuples. *)
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,28 @@
+(** Single-tuple updates and update batches (Sec. 2).
+
+    An update is a tuple together with a ring payload: positive payloads
+    are inserts, negative payloads deletes. Because payloads live in a
+    ring, a batch of updates can be executed in any order with the same
+    cumulative effect — the commutativity the paper highlights for
+    asynchronous and out-of-order execution. *)
+
+type 'p t = { rel : string; tuple : Tuple.t; payload : 'p }
+
+let make ~rel ~tuple ~payload = { rel; tuple; payload }
+let insert ~one ~rel tuple = { rel; tuple; payload = one }
+
+type 'p batch = 'p t list
+
+(* Deterministic shuffle, used to exercise out-of-order execution. *)
+let shuffle ~rng (batch : 'p batch) : 'p batch =
+  let a = Array.of_list batch in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let pp pp_payload ppf u =
+  Format.fprintf ppf "%s%a -> %a" u.rel Tuple.pp u.tuple pp_payload u.payload

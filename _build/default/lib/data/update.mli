@@ -1,0 +1,18 @@
+(** Single-tuple updates and update batches (Sec. 2): an update carries
+    a ring payload — positive for inserts, negative for deletes — so
+    batches commute and out-of-order execution is safe. *)
+
+type 'p t = { rel : string; tuple : Tuple.t; payload : 'p }
+
+val make : rel:string -> tuple:Tuple.t -> payload:'p -> 'p t
+
+val insert : one:'p -> rel:string -> Tuple.t -> 'p t
+(** An insert with payload [one] (the ring's multiplicative unit). *)
+
+type 'p batch = 'p t list
+
+val shuffle : rng:Random.State.t -> 'p batch -> 'p batch
+(** Deterministic permutation; used to exercise out-of-order
+    execution. *)
+
+val pp : (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p t -> unit

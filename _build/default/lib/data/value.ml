@@ -1,0 +1,38 @@
+(** Values stored in tuple fields. A small universe is enough for every
+    workload in the paper: integers (ids, graph nodes), strings
+    (categorical attributes) and floats (measures). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Real of float
+
+let of_int i = Int i
+let of_string s = Str s
+let of_float f = Real f
+
+let to_int = function
+  | Int i -> i
+  | Str _ | Real _ -> invalid_arg "Value.to_int"
+
+let to_string_exn = function
+  | Str s -> s
+  | Int _ | Real _ -> invalid_arg "Value.to_string_exn"
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Real x, Real y -> Float.equal x y
+  | (Int _ | Str _ | Real _), _ -> false
+
+let hash = Hashtbl.hash
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.pp_print_string ppf s
+  | Real f -> Format.fprintf ppf "%g" f
+
+let to_string v = Format.asprintf "%a" pp v

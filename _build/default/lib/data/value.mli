@@ -1,0 +1,20 @@
+(** Values stored in tuple fields: integers (ids, graph nodes), strings
+    (categorical attributes) and floats (measures). *)
+
+type t = Int of int | Str of string | Real of float
+
+val of_int : int -> t
+val of_string : string -> t
+val of_float : float -> t
+
+val to_int : t -> int
+(** @raise Invalid_argument when the value is not an [Int]. *)
+
+val to_string_exn : t -> string
+(** @raise Invalid_argument when the value is not a [Str]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

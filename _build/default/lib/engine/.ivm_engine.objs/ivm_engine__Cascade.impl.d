@@ -1,0 +1,1 @@
+lib/engine/cascade.ml: Edges Ivm_data Ivm_query Seq View View_tree

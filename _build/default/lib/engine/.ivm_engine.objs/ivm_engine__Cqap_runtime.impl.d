@@ -1,0 +1,1 @@
+lib/engine/cqap_runtime.ml: Edges Ivm_data Seq View

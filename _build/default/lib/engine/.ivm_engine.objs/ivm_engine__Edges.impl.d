@@ -1,0 +1,1 @@
+lib/engine/edges.ml: Ivm_data View

@@ -1,0 +1,1 @@
+lib/engine/edges.mli: Ivm_data View

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Ivm_data Ivm_query List String View

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Ivm_data Ivm_query View

@@ -1,0 +1,1 @@
+lib/engine/fd_reduct.ml: Ivm_query View_tree

@@ -1,0 +1,1 @@
+lib/engine/insert_only.ml: Edges Ivm_data List Seq View

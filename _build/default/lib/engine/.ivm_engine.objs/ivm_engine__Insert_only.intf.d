@@ -1,0 +1,1 @@
+lib/engine/insert_only.mli: Ivm_data Seq

@@ -1,0 +1,1 @@
+lib/engine/pkfk.ml: Edges Ivm_data View

@@ -1,0 +1,1 @@
+lib/engine/static_dynamic_engine.ml: Ivm_data Ivm_query List View_tree

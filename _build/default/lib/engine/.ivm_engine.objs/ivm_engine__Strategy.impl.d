@@ -1,0 +1,1 @@
+lib/engine/strategy.ml: Eval Ivm_data Ivm_query List Seq View View_tree

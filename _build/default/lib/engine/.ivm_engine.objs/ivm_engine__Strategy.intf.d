@@ -1,0 +1,1 @@
+lib/engine/strategy.mli: Ivm_data Ivm_query Seq View_tree

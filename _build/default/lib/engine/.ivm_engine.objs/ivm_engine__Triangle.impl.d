@@ -1,0 +1,1 @@
+lib/engine/triangle.ml: Edges Ivm_data View

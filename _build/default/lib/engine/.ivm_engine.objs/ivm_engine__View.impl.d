@@ -1,0 +1,1 @@
+lib/engine/view.ml: Ivm_data List String

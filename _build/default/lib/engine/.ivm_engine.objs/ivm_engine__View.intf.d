@@ -1,0 +1,1 @@
+lib/engine/view.mli: Format Ivm_data Seq

@@ -1,0 +1,1 @@
+lib/engine/view_tree.ml: Array Eval Hashtbl Ivm_data Ivm_query List Seq String View

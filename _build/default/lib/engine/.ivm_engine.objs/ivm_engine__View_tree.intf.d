@@ -1,0 +1,1 @@
+lib/engine/view_tree.mli: Ivm_data Ivm_query Seq View

@@ -1,0 +1,75 @@
+(** Runtimes for the paper's three CQAP examples (Ex. 4.6).
+
+    A CQAP answers access requests: given a tuple over the input
+    variables, enumerate the matching tuples over the output variables.
+    Maintenance keeps the supporting indexes up to date under updates. *)
+
+module Rel = Ivm_data.Relation.Z
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+
+(** Tractable: triangle detection with all-input access pattern
+    Q(·|A,B,C) = E(A,B)·E(B,C)·E(C,A) — O(1) updates (the relation is
+    just stored) and O(1) answers (three hash lookups). Note the
+    self-join: one stored copy of E serves all three atoms. *)
+module Triangle_detect = struct
+  type t = { e : Edges.t }
+
+  let create () = { e = Edges.create "X" "Y" }
+  let update t ~x ~y m = Edges.update t.e x y m
+
+  (** Do the three given nodes form a triangle? *)
+  let answer t ~a ~b ~c =
+    Edges.get t.e a b <> 0 && Edges.get t.e b c <> 0 && Edges.get t.e c a <> 0
+end
+
+(** Not tractable (but still maintainable optimally): edge triangle
+    listing Q(C|A,B) = E(A,B)·E(B,C)·E(C,A) — the answer intersects two
+    adjacency lists, so the delay grows with the degree; Thm. 4.8's
+    dichotomy says no algorithm brings both update time and delay to
+    O(N^{1/2-γ}). *)
+module Edge_triangles = struct
+  type t = { e : Edges.t }
+
+  let create () = { e = Edges.create "X" "Y" }
+  let update t ~x ~y m = Edges.update t.e x y m
+
+  (** All C such that (a,b,C) is a triangle, with multiplicities. *)
+  let answer t ~a ~b : (int * int) list =
+    if Edges.get t.e a b = 0 then []
+    else begin
+      let eab = Edges.get t.e a b in
+      let out = ref [] in
+      (* Iterate the smaller of E(b,·) and E(·,a). *)
+      if Edges.deg_fst t.e b <= Edges.deg_snd t.e a then
+        Edges.iter_fst t.e b (fun c p ->
+            let q = Edges.get t.e c a in
+            if q <> 0 then out := (c, eab * p * q) :: !out)
+      else
+        Edges.iter_snd t.e a (fun c q ->
+            let p = Edges.get t.e b c in
+            if p <> 0 then out := (c, eab * p * q) :: !out);
+      !out
+    end
+end
+
+(** Tractable: Q(A|B) = S(A,B)·T(B) — given b, enumerate the A-values
+    with constant delay from the index of S on B, guarded by one lookup
+    into T. *)
+module Lookup_join = struct
+  type t = { s : Edges.t; (* S(A,B) *) tvals : View.t (* T(B) *) }
+
+  let create () = { s = Edges.create "A" "B"; tvals = View.create (Schema.of_list [ "B" ]) }
+  let update_s t ~a ~b m = Edges.update t.s a b m
+  let update_t t ~b m = View.update t.tvals (Edges.key1 b) m
+
+  (** Enumerate the (A, payload) answers for input [b]. *)
+  let answer t ~b : (int * int) Seq.t =
+    let tb = View.get t.tvals (Edges.key1 b) in
+    if tb = 0 then Seq.empty
+    else
+      Seq.map
+        (fun ((tup : Tuple.t), p) -> (Value.to_int (Tuple.get tup 0), p * tb))
+        (Rel.Index.seq_group t.s.Edges.by_snd (Edges.key1 b))
+end

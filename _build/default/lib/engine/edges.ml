@@ -1,0 +1,51 @@
+(** Binary relations over integer keys with group indexes on both
+    columns — the storage shared by all triangle engines (Sec. 3) and by
+    the heavy/light partitions of IVM^ε (Sec. 3.3). *)
+
+module Rel = Ivm_data.Relation.Z
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+
+type t = { view : View.t; by_fst : Rel.Index.t; by_snd : Rel.Index.t }
+
+let create name_fst name_snd =
+  let view = View.create (Schema.of_list [ name_fst; name_snd ]) in
+  let by_fst = View.index_on view (Schema.of_list [ name_fst ]) in
+  let by_snd = View.index_on view (Schema.of_list [ name_snd ]) in
+  { view; by_fst; by_snd }
+
+let tup2 a b = Tuple.of_list [ Value.of_int a; Value.of_int b ]
+let key1 a = Tuple.of_list [ Value.of_int a ]
+let update e a b m = View.update e.view (tup2 a b) m
+let get e a b = View.get e.view (tup2 a b)
+let size e = View.size e.view
+let deg_fst e a = Rel.Index.group_size e.by_fst (key1 a)
+let deg_snd e b = Rel.Index.group_size e.by_snd (key1 b)
+
+(* Iterate the tuples with first column = a, as (a, b, payload). *)
+let iter_fst e a f =
+  Rel.Index.iter_group e.by_fst (key1 a) (fun t p ->
+      f (Value.to_int (Tuple.get t 1)) p)
+
+(* Iterate the tuples with second column = b, as their first column. *)
+let iter_snd e b f =
+  Rel.Index.iter_group e.by_snd (key1 b) (fun t p ->
+      f (Value.to_int (Tuple.get t 0)) p)
+
+let iter e f =
+  View.iter
+    (fun t p -> f (Value.to_int (Tuple.get t 0)) (Value.to_int (Tuple.get t 1)) p)
+    e.view
+
+let fst_keys e f = Rel.Index.iter_keys e.by_fst (fun k -> f (Value.to_int (Tuple.get k 0)))
+
+(* Σ_x e1(k1, x) * e2(x, k2): intersect the adjacency list of k1 in e1
+   (by first column) with that of k2 in e2 (by second column), iterating
+   the smaller list — the cost model of Sec. 3.1 and 3.3. *)
+let intersect (e1 : t) (k1 : int) (e2 : t) (k2 : int) =
+  let acc = ref 0 in
+  if deg_fst e1 k1 <= deg_snd e2 k2 then
+    iter_fst e1 k1 (fun x p -> acc := !acc + (p * get e2 x k2))
+  else iter_snd e2 k2 (fun x p -> acc := !acc + (p * get e1 k1 x));
+  !acc

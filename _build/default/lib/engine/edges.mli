@@ -1,0 +1,39 @@
+(** Binary relations over integer keys with group indexes on both
+    columns — the storage shared by the triangle engines (Sec. 3) and
+    the heavy/light partitions of IVM^ε (Sec. 3.3). *)
+
+module Rel = Ivm_data.Relation.Z
+module Tuple = Ivm_data.Tuple
+
+type t = { view : View.t; by_fst : Rel.Index.t; by_snd : Rel.Index.t }
+
+val create : string -> string -> t
+(** [create fst snd] is an empty binary relation with column names
+    [fst] and [snd]. *)
+
+val tup2 : int -> int -> Tuple.t
+val key1 : int -> Tuple.t
+
+val update : t -> int -> int -> int -> unit
+(** [update e a b m] merges multiplicity [m] for the tuple (a, b). *)
+
+val get : t -> int -> int -> int
+val size : t -> int
+
+val deg_fst : t -> int -> int
+(** Number of distinct tuples with first column [a] — the degree used by
+    heavy/light partitioning. *)
+
+val deg_snd : t -> int -> int
+
+val iter_fst : t -> int -> (int -> int -> unit) -> unit
+(** [iter_fst e a f] calls [f b payload] for every tuple (a, b). *)
+
+val iter_snd : t -> int -> (int -> int -> unit) -> unit
+val iter : t -> (int -> int -> int -> unit) -> unit
+val fst_keys : t -> (int -> unit) -> unit
+
+val intersect : t -> int -> t -> int -> int
+(** [intersect e1 k1 e2 k2] is [Σ_x e1(k1, x) · e2(x, k2)], iterating
+    the smaller adjacency list — the delta-query cost model of
+    Sec. 3.1/3.3. *)

@@ -1,0 +1,104 @@
+(** Classical query evaluation by index nested-loop joins, used for
+    from-scratch recomputation (the lazy-list strategy of Fig. 4) and for
+    first-order delta queries (Sec. 3.1): joining a delta relation with
+    the remaining atoms per Eq. (2).
+
+    The evaluator drives a relation through a sequence of parts (views),
+    extending tuples via constant-time lookups when a part's variables
+    are already bound and via group-index scans otherwise. *)
+
+module Rel = Ivm_data.Relation.Z
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Cq = Ivm_query.Cq
+
+(** [extend driver part] joins a driver relation with one part. *)
+let extend (driver : Rel.t) (part : View.t) : Rel.t =
+  let bound = Rel.schema driver in
+  let pschema = View.schema part in
+  let common = Schema.inter pschema bound in
+  let fresh = Schema.diff pschema bound in
+  if Schema.arity fresh = 0 then begin
+    (* Pure lookup: multiply payloads of fully bound part tuples. *)
+    let key_proj = Schema.projection bound pschema in
+    let out = Rel.create ~size:(Rel.size driver) bound in
+    Rel.iter
+      (fun t p ->
+        let q = View.get part (Tuple.project t key_proj) in
+        if q <> 0 then Rel.add_entry out t (p * q))
+      driver;
+    out
+  end
+  else begin
+    let ix = View.index_on part common in
+    let key_proj = Schema.projection bound common in
+    let fresh_proj = Schema.projection pschema fresh in
+    let out_schema = Schema.union bound fresh in
+    let out = Rel.create ~size:(Rel.size driver) out_schema in
+    Rel.iter
+      (fun t p ->
+        let k = Tuple.project t key_proj in
+        Rel.Index.iter_group ix k (fun pt q ->
+            Rel.add_entry out (Tuple.append t (Tuple.project pt fresh_proj)) (p * q)))
+      driver;
+    out
+  end
+
+(* Greedy connected atom order: repeatedly pick the atom sharing the most
+   variables with those already bound (ties: original order). *)
+let plan (q : Cq.t) : Cq.atom list =
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let score (a : Cq.atom) =
+          List.length (List.filter (fun v -> List.mem v bound) a.Cq.vars)
+        in
+        let best =
+          List.fold_left (fun b a -> if score a > score b then a else b) (List.hd remaining)
+            remaining
+        in
+        let remaining' = List.filter (fun a -> a != best) remaining in
+        go (bound @ best.Cq.vars) remaining' (best :: acc)
+  in
+  go [] q.Cq.atoms []
+
+(** [aggregate q ~lookup] recomputes the full group-by output of [q] from
+    scratch: the result is keyed by [q.free], payloads are the ring
+    aggregates. *)
+let aggregate (q : Cq.t) ~(lookup : string -> View.t) : Rel.t =
+  match plan q with
+  | [] -> Rel.create (Schema.of_list q.Cq.free)
+  | first :: rest ->
+      let driver = Rel.copy (View.relation (lookup first.Cq.rel)) in
+      let joined =
+        List.fold_left (fun acc (a : Cq.atom) -> extend acc (lookup a.Cq.rel)) driver rest
+      in
+      Rel.project_onto joined (Schema.of_list q.Cq.free)
+
+(** [delta q ~lookup ~changed ~delta:d] computes the change to the output
+    of [q] caused by the delta relation [d] on relation [changed]
+    (first-order delta query, Sec. 3.1). The base relations must not yet
+    include [d] — or must all include it consistently — per Eq. (2) with
+    a single changed atom. *)
+let delta (q : Cq.t) ~(lookup : string -> View.t) ~(changed : string) ~(delta : Rel.t) : Rel.t =
+  let others = List.filter (fun (a : Cq.atom) -> not (String.equal a.Cq.rel changed)) q.Cq.atoms in
+  (* Order others greedily against the delta's schema. *)
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let score (a : Cq.atom) =
+          List.length (List.filter (fun v -> List.mem v bound) a.Cq.vars)
+        in
+        let best =
+          List.fold_left (fun b a -> if score a > score b then a else b) (List.hd remaining)
+            remaining
+        in
+        go (bound @ best.Cq.vars) (List.filter (fun a -> a != best) remaining) (best :: acc)
+  in
+  let order = go (Schema.to_list (Rel.schema delta)) others [] in
+  let joined =
+    List.fold_left (fun acc (a : Cq.atom) -> extend acc (lookup a.Cq.rel)) delta order
+  in
+  Rel.project_onto joined (Schema.of_list q.Cq.free)

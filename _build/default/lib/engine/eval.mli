@@ -1,0 +1,20 @@
+(** Classical query evaluation by index nested-loop joins: from-scratch
+    recomputation (the lazy-list strategy of Fig. 4) and first-order
+    delta queries (Sec. 3.1, Eq. 2). *)
+
+module Rel = Ivm_data.Relation.Z
+module Cq = Ivm_query.Cq
+
+val extend : Rel.t -> View.t -> Rel.t
+(** Join a driver relation with one part: pure lookups when the part is
+    fully bound by the driver schema, group-index scans otherwise. *)
+
+val plan : Cq.t -> Cq.atom list
+(** Greedy connected atom order. *)
+
+val aggregate : Cq.t -> lookup:(string -> View.t) -> Rel.t
+(** The full group-by output, keyed by the free variables. *)
+
+val delta : Cq.t -> lookup:(string -> View.t) -> changed:string -> delta:Rel.t -> Rel.t
+(** The output change caused by a delta on one relation; the base
+    relations must not yet include the delta. *)

@@ -1,0 +1,27 @@
+(** Dynamic k-clique counting in a simple undirected graph — the
+    k-clique extension of the triangle techniques (Sec. 3.3). A
+    single-edge update changes the count by the number of (k−2)-cliques
+    in the common neighborhood of its endpoints. *)
+
+type t
+
+val create : k:int -> t
+(** @raise Invalid_argument when [k < 2]. *)
+
+val count : t -> int
+(** The maintained k-clique count — O(1). *)
+
+val edge_count : t -> int
+val has_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+
+val insert : t -> int -> int -> int
+(** Add the edge {u,v}; returns the number of k-cliques created.
+    @raise Invalid_argument on loops or duplicate edges. *)
+
+val delete : t -> int -> int -> int
+(** Remove the edge {u,v}; returns the number of k-cliques destroyed.
+    @raise Invalid_argument when the edge is absent. *)
+
+val recompute : t -> int
+(** From-scratch count, for cross-checking. *)

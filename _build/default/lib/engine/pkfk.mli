@@ -1,0 +1,24 @@
+(** Primary key – foreign key maintenance (Ex. 4.13): the JOB-style
+    chain join Σ Title(m)·Movie_Companies(m,c)·Company_Name(c). Not
+    q-hierarchical, yet amortized O(1) per update under *valid* batches,
+    regardless of execution order — inconsistent intermediate states
+    included. [work] counts lookups so benchmarks can report the
+    amortized cost exactly. *)
+
+type t
+
+val create : unit -> t
+val count : t -> int
+val work : t -> int
+
+val update_title : t -> m:int -> int -> unit
+(** O(|σ_m Movie_Companies|): amortized O(1) under valid batches. *)
+
+val update_companies : t -> m:int -> c:int -> int -> unit
+(** O(1). *)
+
+val update_names : t -> c:int -> int -> unit
+(** O(1). *)
+
+val recompute : t -> int
+(** From-scratch count, for cross-checking. *)

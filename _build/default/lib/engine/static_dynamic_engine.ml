@@ -1,0 +1,57 @@
+(** Maintenance over mixed static/dynamic relations (Sec. 4.5,
+    Ex. 4.14).
+
+    The non-q-hierarchical query
+
+    Q(A,B,C) = Σ_D R^d(A,D) · S^d(A,B) · T^s(B,C)
+
+    is maintained with O(1) updates to the dynamic relations R and S and
+    O(1) enumeration delay, using the view tree over the variable order
+    A(D, B(C)) — precisely the tree of Ex. 4.14, realized by the generic
+    {!View_tree}:
+
+      V_RST(A) = V_D(A)·V_B(A);  V_D(A) = Σ_D R;  V_B(A) = Σ_B V_S;
+      V_S(A,B) = S·V_C(B);       V_C(B) = Σ_C T.
+
+    Updates to the static relation T are rejected: one such update could
+    take linear time (the paper's point). *)
+
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+module Update = Ivm_data.Update
+module Sd = Ivm_query.Static_dynamic
+
+type t = { tree : View_tree.t; static : string list }
+
+let query =
+  Cq.make ~name:"Q" ~free:[ "A"; "B"; "C" ]
+    [ Cq.atom "R" [ "A"; "D" ]; Cq.atom "S" [ "A"; "B" ]; Cq.atom "T" [ "B"; "C" ] ]
+
+let order =
+  [ { Vo.var = "A";
+      children =
+        [ { Vo.var = "D"; children = [] };
+          { Vo.var = "B"; children = [ { Vo.var = "C"; children = [] } ] } ] } ]
+
+let adornment : Sd.adornment = [ ("R", Sd.Dynamic); ("S", Sd.Dynamic); ("T", Sd.Static) ]
+
+let create db = { tree = View_tree.build query order db; static = [ "T" ] }
+
+let apply_update t (u : int Update.t) =
+  if List.mem u.Update.rel t.static then
+    invalid_arg ("Static_dynamic_engine: relation " ^ u.Update.rel ^ " is static")
+  else View_tree.apply_update t.tree u
+
+let enumerate t = View_tree.enumerate t.tree
+let output t = View_tree.output_relation t.tree
+
+(** The all-dynamic comparison engine: same query, same order, but T is
+    allowed to change — a single update to T can touch linearly many
+    A-values (Ex. 4.14). *)
+module All_dynamic = struct
+  type nonrec t = View_tree.t
+
+  let create db = View_tree.build query order db
+  let apply_update t u = View_tree.apply_update t u
+  let output t = View_tree.output_relation t
+end

@@ -1,0 +1,50 @@
+(** Maintenance engines for the triangle count (Sec. 3):
+    Q = Σ_{A,B,C} R(A,B)·S(B,C)·T(C,A).
+
+    {!Naive} recomputes from scratch; {!Delta} uses first-order delta
+    queries (O(N) per update, Sec. 3.1); {!One_view} materializes
+    V_ST(B,A) = Σ_C S(B,C)·T(C,A) (Ex. 3.2: O(1) updates to R, O(N) to
+    S and T, O(N²) space). The worst-case optimal IVM^ε engine is
+    [Ivm_eps.Triangle_count]. *)
+
+type relation = R | S | T
+
+val relation_name : relation -> string
+
+(** The interface every triangle engine implements, so benchmarks, the
+    OuMv reduction and tests can swap them. *)
+module type ENGINE = sig
+  type t
+
+  val name : string
+
+  val create : unit -> t
+  (** An engine over the empty database. *)
+
+  val update : t -> relation -> a:int -> b:int -> int -> unit
+  (** [update t rel ~a ~b m] merges multiplicity [m] for the tuple (a,b)
+      of [rel], in the relation's own schema order: (A,B) for R, (B,C)
+      for S, (C,A) for T. *)
+
+  val count : t -> int
+  (** The current triangle count. O(1) for all engines except {!Naive},
+      which recomputes here (deferred, so loading data stays linear). *)
+end
+
+type base = { r : Edges.t; s : Edges.t; t : Edges.t }
+
+val make_base : unit -> base
+val edges_of : base -> relation -> Edges.t
+val next : relation -> relation
+val prev : relation -> relation
+
+val delta_count : base -> relation -> int -> int -> int -> int
+(** The first-order delta of the count for a single-tuple update, via
+    adjacency-list intersection (Sec. 3.1). *)
+
+val recompute : base -> int
+val database_size : base -> int
+
+module Naive : ENGINE
+module Delta : ENGINE
+module One_view : ENGINE

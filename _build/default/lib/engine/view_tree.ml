@@ -1,0 +1,464 @@
+(** View trees: the factorized maintenance structure of F-IVM
+    (Sec. 4.1, Fig. 3).
+
+    A view tree follows a variable order: each variable X carries a view
+    V_X keyed by dep(X) ∪ {X} — the join of the atoms anchored at X and
+    of the child aggregates — and an aggregate A_X keyed by dep(X) that
+    marginalizes X. A single-tuple update to a leaf relation propagates
+    along the leaf-to-root path (Fig. 3, middle and right); for
+    q-hierarchical queries every hop costs O(1).
+
+    The query output is distributed over the views (factorized): it is
+    enumerated with constant delay by descending from the roots when the
+    free variables form a connex top fragment of the order. *)
+
+module Rel = Ivm_data.Relation.Z
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+
+type node = {
+  id : int;
+  var : string;
+  free : bool;
+  dep : Schema.t;
+  full : Schema.t;
+  view : View.t;
+  agg : View.t;
+  parent : int; (* -1 for roots *)
+  mutable children : int list;
+  local_atoms : string list;
+}
+
+type t = {
+  query : Cq.t;
+  forest : Vo.forest;
+  nodes : node array;
+  roots : int list;
+  base : (string, View.t) Hashtbl.t;
+  anchor_of : (string, int) Hashtbl.t;
+  enumerable : bool;
+  fast_path : (string, unit) Hashtbl.t;
+      (* relations whose single-tuple updates propagate by pure lookups:
+         at every node on the leaf-to-root path all sibling views and
+         atoms are keyed within the fixed variables — the O(1) update
+         property of q-hierarchical queries, detected statically. *)
+}
+
+let base_view t rel =
+  match Hashtbl.find_opt t.base rel with
+  | Some v -> v
+  | None -> invalid_arg ("View_tree.base_view: unknown relation " ^ rel)
+
+let node_count t = Array.length t.nodes
+
+(* Total size of all materialized views (excluding base relations). *)
+let views_size t =
+  Array.fold_left (fun acc n -> acc + View.size n.view + View.size n.agg) 0 t.nodes
+
+(* Join the driver delta with a list of parts and reshape to [full]. *)
+let join_parts (driver : Rel.t) (parts : View.t list) (full : Schema.t) : Rel.t =
+  (* Prefer parts that are fully bound by the driver (pure lookups). *)
+  let rec order bound acc = function
+    | [] -> List.rev acc
+    | parts ->
+        let fully_bound p = Schema.subset (View.schema p) bound in
+        let next =
+          match List.find_opt fully_bound parts with
+          | Some p -> p
+          | None ->
+              (* Pick the part overlapping the most. *)
+              let score p =
+                Schema.arity (Schema.inter (View.schema p) bound)
+              in
+              List.fold_left (fun b p -> if score p > score b then p else b) (List.hd parts)
+                parts
+        in
+        order (Schema.union bound (View.schema next)) (next :: acc)
+          (List.filter (fun p -> p != next) parts)
+  in
+  let parts = order (Rel.schema driver) [] parts in
+  let joined = List.fold_left Eval.extend driver parts in
+  Rel.project_onto joined full
+
+let build (query : Cq.t) (forest : Vo.forest) (db : Ivm_data.Database.Z.t) : t =
+  (match Vo.validate query forest with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("View_tree.build: " ^ e));
+  let anchors =
+    match Vo.anchor query forest with Ok a -> a | Error e -> invalid_arg e
+  in
+  let deps = Vo.keys query forest in
+  (* Base views, one per atom, with the atom's variables as schema. *)
+  let base = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Cq.atom) ->
+      let schema = Schema.of_list a.Cq.vars in
+      let stored = Ivm_data.Database.Z.find db a.Cq.rel in
+      let rel =
+        if Schema.to_list (Rel.schema stored) = a.Cq.vars then Rel.copy stored
+        else Rel.project_onto stored schema
+      in
+      Hashtbl.replace base a.Cq.rel (View.of_relation rel))
+    query.Cq.atoms;
+  (* Flatten the forest into nodes, children before parents unresolved;
+     assign ids in DFS preorder. *)
+  let nodes = ref [] in
+  let counter = ref 0 in
+  let rec flatten parent (tr : Vo.t) =
+    let id = !counter in
+    incr counter;
+    let dep = Schema.of_list (List.assoc tr.Vo.var deps) in
+    let full = Schema.union dep (Schema.of_list [ tr.Vo.var ]) in
+    let local_atoms =
+      List.filteri (fun i _ -> String.equal anchors.(i) tr.Vo.var) query.Cq.atoms
+      |> List.map (fun (a : Cq.atom) -> a.Cq.rel)
+    in
+    let node =
+      {
+        id;
+        var = tr.Vo.var;
+        free = Cq.is_free query tr.Vo.var;
+        dep;
+        full;
+        view = View.create full;
+        agg = View.create dep;
+        parent;
+        children = [];
+        local_atoms;
+      }
+    in
+    nodes := node :: !nodes;
+    let kids = List.map (flatten id) tr.Vo.children in
+    node.children <- kids;
+    id
+  in
+  let roots = List.map (flatten (-1)) forest in
+  let nodes =
+    let arr = Array.make !counter (List.hd !nodes) in
+    List.iter (fun n -> arr.(n.id) <- n) !nodes;
+    arr
+  in
+  let anchor_of = Hashtbl.create 8 in
+  List.iteri
+    (fun i (a : Cq.atom) ->
+      let var = anchors.(i) in
+      let nid = (Array.to_list nodes |> List.find (fun n -> String.equal n.var var)).id in
+      Hashtbl.replace anchor_of a.Cq.rel nid)
+    query.Cq.atoms;
+  (* Static fast-path analysis: the propagation path of [rel] is pure
+     lookups iff at every node the sibling aggregates and local atoms
+     are keyed within the variables fixed by the delta. This is the
+     [constant_path] condition of the static/dynamic checker with every
+     relation dynamic. *)
+  let fast_path = Hashtbl.create 8 in
+  let deps_list = deps in
+  List.iteri
+    (fun i (a : Cq.atom) ->
+      let ok =
+        Ivm_query.Static_dynamic.constant_path ~q:query ~anchors ~deps:deps_list ~forest
+          ~atom_idx:i
+      in
+      if ok then Hashtbl.replace fast_path a.Cq.rel ())
+    query.Cq.atoms;
+  let t =
+    {
+      query;
+      forest;
+      nodes;
+      roots;
+      base;
+      anchor_of;
+      enumerable = Vo.free_top query forest;
+      fast_path;
+    }
+  in
+  (* Populate views bottom-up (preprocessing, O(N) for q-hierarchical).
+     The group index used by enumeration is created here so that its
+     construction is part of preprocessing and its maintenance part of
+     every update. *)
+  let rec populate id =
+    let n = nodes.(id) in
+    List.iter populate n.children;
+    let parts =
+      List.map (fun r -> Hashtbl.find base r) n.local_atoms
+      @ List.map (fun c -> nodes.(c).agg) n.children
+    in
+    let v =
+      match parts with
+      | [] -> invalid_arg "View_tree.build: node with no parts"
+      | first :: rest -> join_parts (Rel.copy (View.relation first)) rest n.full
+    in
+    View.apply_delta n.view v;
+    View.apply_delta n.agg (Rel.project_onto v n.dep);
+    if t.enumerable then ignore (View.index_on n.view n.dep)
+  in
+  List.iter populate roots;
+  t
+
+(** [apply_delta t rel d] propagates the delta relation [d] (keyed by the
+    atom schema of [rel]) along the leaf-to-root path: the delta view
+    tree of Fig. 3. The base relation is updated as well. *)
+let apply_delta (t : t) (rel : string) (d : Rel.t) : unit =
+  let bview = base_view t rel in
+  View.apply_delta bview (Rel.project_onto d (View.schema bview));
+  let rec up id came_from (d : Rel.t) =
+    if id >= 0 then begin
+      let n = t.nodes.(id) in
+      let local =
+        (* At the anchor node the updated relation itself is excluded:
+           δ(R · rest) = δR · rest for a single changed atom. *)
+        List.filter (fun r -> not (came_from = -1 && String.equal r rel)) n.local_atoms
+      in
+      let parts =
+        List.map (fun r -> Hashtbl.find t.base r) local
+        @ List.filter_map
+            (fun c -> if c = came_from then None else Some t.nodes.(c).agg)
+            n.children
+      in
+      let d_full = join_parts d parts n.full in
+      View.apply_delta n.view d_full;
+      let d_agg = Rel.project_onto d_full n.dep in
+      View.apply_delta n.agg d_agg;
+      up n.parent id d_agg
+    end
+  in
+  let anchor = Hashtbl.find t.anchor_of rel in
+  up anchor (-1) (Rel.project_onto d (Schema.of_list (Cq.find_atom t.query rel).Cq.vars))
+
+(* Fast path for single-tuple updates on relations whose propagation is
+   pure lookups: no intermediate relations are allocated; each hop is a
+   handful of hash operations. This is the constant the paper's
+   "constant update time" refers to. *)
+let apply_single_fast (t : t) rel (tuple : Tuple.t) (payload : int) : unit =
+  let atom = Cq.find_atom t.query rel in
+  let env = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace env v (Tuple.get tuple i)) atom.Cq.vars;
+  let proj schema = Tuple.of_list (List.map (Hashtbl.find env) (Schema.to_list schema)) in
+  let bview = base_view t rel in
+  View.update bview (proj (View.schema bview)) payload;
+  let rec up id came_from p =
+    if id >= 0 && p <> 0 then begin
+      let n = t.nodes.(id) in
+      let p =
+        List.fold_left
+          (fun acc r ->
+            if came_from = -1 && String.equal r rel then acc
+            else
+              let bv = Hashtbl.find t.base r in
+              acc * View.get bv (proj (View.schema bv)))
+          p n.local_atoms
+      in
+      let p =
+        List.fold_left
+          (fun acc c ->
+            if c = came_from then acc else acc * View.get t.nodes.(c).agg (proj t.nodes.(c).dep))
+          p n.children
+      in
+      if p <> 0 then begin
+        View.update n.view (proj n.full) p;
+        View.update n.agg (proj n.dep) p;
+        up n.parent id p
+      end
+    end
+  in
+  up (Hashtbl.find t.anchor_of rel) (-1) payload
+
+(** Single-tuple update (insert for positive payload, delete for
+    negative). Uses the lookup-only fast path when the static analysis
+    allows it, the generic delta propagation otherwise. *)
+let apply_update (t : t) (u : int Ivm_data.Update.t) : unit =
+  let rel = u.Ivm_data.Update.rel in
+  if Hashtbl.mem t.fast_path rel then
+    apply_single_fast t rel u.Ivm_data.Update.tuple u.Ivm_data.Update.payload
+  else begin
+    let schema = Schema.of_list (Cq.find_atom t.query rel).Cq.vars in
+    let d = Rel.create ~size:1 schema in
+    Rel.add_entry d u.Ivm_data.Update.tuple u.Ivm_data.Update.payload;
+    apply_delta t rel d
+  end
+
+(** Full aggregate of a query with no free variables (e.g. the triangle
+    count): the product of the root aggregates. *)
+let total_aggregate (t : t) : int =
+  List.fold_left (fun acc r -> acc * View.scalar t.nodes.(r).agg) 1 t.roots
+
+(** Constant-delay enumeration of the output, as (tuple over free
+    variables, aggregate payload) pairs. Requires the free variables to
+    form a connex top fragment (guaranteed for q-hierarchical queries
+    with the canonical order).
+
+    As in the paper (Sec. 2), the database must be *valid*: all base
+    multiplicities non-negative. Negative multiplicities can cancel a
+    marginal aggregate to zero while the underlying tuples remain, which
+    breaks the top-down calibration the enumeration relies on. *)
+let enumerate (t : t) : (Tuple.t * int) Seq.t =
+  if not t.enumerable then
+    invalid_arg "View_tree.enumerate: free variables are not a connex top fragment";
+  let free_roots, bound_roots = List.partition (fun r -> t.nodes.(r).free) t.roots in
+  let scalar_factor =
+    List.fold_left (fun acc r -> acc * View.scalar t.nodes.(r).agg) 1 bound_roots
+  in
+  if scalar_factor = 0 then Seq.empty
+  else begin
+    let lookup env v = List.assoc v env in
+    let key_of env schema = Tuple.of_list (List.map (lookup env) (Schema.to_list schema)) in
+    let rec enum_nodes ids env acc () =
+      match ids with
+      | [] -> Seq.Cons ((env, acc), Seq.empty)
+      | id :: rest ->
+          let n = t.nodes.(id) in
+          let ix = View.index_on n.view n.dep in
+          let xpos = Schema.position n.full n.var in
+          let group = Rel.Index.seq_group ix (key_of env n.dep) in
+          Seq.flat_map
+            (fun (full_t, _) ->
+              let env' = (n.var, Tuple.get full_t xpos) :: env in
+              let local =
+                List.fold_left
+                  (fun acc r ->
+                    let bv = Hashtbl.find t.base r in
+                    acc * View.get bv (key_of env' (View.schema bv)))
+                  1 n.local_atoms
+              in
+              let free_kids, bound_kids =
+                List.partition (fun c -> t.nodes.(c).free) n.children
+              in
+              let bfactor =
+                List.fold_left
+                  (fun acc c ->
+                    let cn = t.nodes.(c) in
+                    acc * View.get cn.agg (key_of env' cn.dep))
+                  1 bound_kids
+              in
+              let factor = local * bfactor in
+              if factor = 0 then Seq.empty
+              else enum_nodes (free_kids @ rest) env' (acc * factor))
+            group
+            ()
+    in
+    let out_vars = t.query.Cq.free in
+    Seq.map
+      (fun (env, p) ->
+        (Tuple.of_list (List.map (lookup env) out_vars), p * scalar_factor))
+      (enum_nodes free_roots [] 1)
+  end
+
+(** Callback-based output enumeration: same traversal as {!enumerate}
+    but with a slot-array environment and reusable key buffers, so the
+    per-tuple constant is a handful of hash lookups. Only the emitted
+    output tuples are freshly allocated. This is what the throughput
+    benchmarks drive; {!enumerate} remains the lazy constant-delay
+    iterator. *)
+let iter_output (t : t) (f : Tuple.t -> int -> unit) : unit =
+  if not t.enumerable then
+    invalid_arg "View_tree.iter_output: free variables are not a connex top fragment";
+  let free_roots, bound_roots = List.partition (fun r -> t.nodes.(r).free) t.roots in
+  let scalar_factor =
+    List.fold_left (fun acc r -> acc * View.scalar t.nodes.(r).agg) 1 bound_roots
+  in
+  if scalar_factor <> 0 then begin
+    let all_vars = Cq.vars t.query in
+    let slot_tbl = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.add slot_tbl v i) all_vars;
+    let env = Array.make (max 1 (List.length all_vars)) (Value.Int 0) in
+    let slots schema =
+      Array.of_list (List.map (Hashtbl.find slot_tbl) (Schema.to_list schema))
+    in
+    (* A lookup site: a view, the slots of its key schema, and a scratch
+       buffer reused across lookups. *)
+    let site view schema =
+      let sl = slots schema in
+      (view, sl, Array.make (Array.length sl) (Value.Int 0))
+    in
+    let fill (buf : Tuple.t) (sl : int array) =
+      Array.iteri (fun i s -> buf.(i) <- env.(s)) sl
+    in
+    let lookup (view, sl, buf) =
+      fill buf sl;
+      View.get view buf
+    in
+    (* Per-free-node enumeration state: all lookup sites as arrays so
+       the per-tuple loop allocates nothing but the emitted tuple. *)
+    let enodes =
+      Array.map
+        (fun n ->
+          let ix = View.index_on n.view n.dep in
+          let dep_sl = slots n.dep in
+          let sites =
+            Array.of_list
+              (List.map
+                 (fun r ->
+                   let bv = Hashtbl.find t.base r in
+                   site bv (View.schema bv))
+                 n.local_atoms
+              @ List.filter_map
+                  (fun c ->
+                    let cn = t.nodes.(c) in
+                    if cn.free then None else Some (site cn.agg cn.dep))
+                  n.children)
+          in
+          ( ix,
+            dep_sl,
+            Array.make (Array.length dep_sl) (Value.Int 0),
+            Hashtbl.find slot_tbl n.var,
+            Schema.position n.full n.var,
+            sites,
+            List.filter (fun c -> t.nodes.(c).free) n.children ))
+        t.nodes
+    in
+    let out_slots = slots (Schema.of_list t.query.Cq.free) in
+    let rec visit ids acc =
+      match ids with
+      | [] -> f (Array.map (fun s -> env.(s)) out_slots) (acc * scalar_factor)
+      | id :: rest ->
+          let ix, dep_sl, dep_buf, xslot, xpos, sites, free_kids = enodes.(id) in
+          fill dep_buf dep_sl;
+          Rel.Index.iter_group ix dep_buf (fun full_t _ ->
+              env.(xslot) <- Tuple.get full_t xpos;
+              let factor = ref 1 in
+              let k = ref 0 in
+              let nsites = Array.length sites in
+              while !factor <> 0 && !k < nsites do
+                factor := !factor * lookup sites.(!k);
+                incr k
+              done;
+              if !factor <> 0 then visit (free_kids @ rest) (acc * !factor))
+      (* NB: iter_group iterates a hash bucket; [visit] must not mutate
+         the views, which holds since enumeration is read-only. *)
+    in
+    visit free_roots 1
+  end
+
+(** Materialize the enumeration into a relation keyed by the free
+    variables — used in tests and by lazy strategies. *)
+let output_relation (t : t) : Rel.t =
+  let out = Rel.create (Schema.of_list t.query.Cq.free) in
+  iter_output t (fun tp p -> Rel.add_entry out tp p);
+  out
+
+(** The number of output tuples. *)
+let output_count (t : t) : int =
+  let n = ref 0 in
+  iter_output t (fun _ _ -> incr n);
+  !n
+
+(** Delta enumeration (the paper's footnote 2): apply a single-tuple
+    update and enumerate only the change to the query output, as
+    (tuple over the free variables, payload delta) pairs.
+
+    Implemented generically: the first-order output delta
+    δQ = δR ⋈ (other atoms) is evaluated against the pre-update state
+    (Sec. 3.1, Eq. 2 with one changed atom), then the update is applied.
+    For q-hierarchical queries the cost is proportional to the number of
+    changed output tuples. *)
+let apply_update_enumerating (t : t) (u : int Ivm_data.Update.t) : (Tuple.t * int) list =
+  let rel = u.Ivm_data.Update.rel in
+  let schema = Schema.of_list (Cq.find_atom t.query rel).Cq.vars in
+  let d = Rel.create ~size:1 schema in
+  Rel.add_entry d u.Ivm_data.Update.tuple u.Ivm_data.Update.payload;
+  let d_out = Eval.delta t.query ~lookup:(fun r -> base_view t r) ~changed:rel ~delta:d in
+  apply_update t u;
+  Rel.fold (fun tp p acc -> (tp, p) :: acc) d_out []

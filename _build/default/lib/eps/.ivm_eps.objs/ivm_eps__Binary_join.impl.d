@@ -1,0 +1,1 @@
+lib/eps/binary_join.ml: Ivm_data Ivm_engine List Partition Seq

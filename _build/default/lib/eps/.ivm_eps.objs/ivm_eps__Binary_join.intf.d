@@ -1,0 +1,1 @@
+lib/eps/binary_join.mli: Seq

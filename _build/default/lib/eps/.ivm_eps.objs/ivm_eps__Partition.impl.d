@@ -1,0 +1,1 @@
+lib/eps/partition.ml: Hashtbl Ivm_engine List Option

@@ -1,0 +1,1 @@
+lib/eps/partition.mli: Hashtbl Ivm_engine

@@ -1,0 +1,1 @@
+lib/eps/triangle_count.ml: Ivm_data Ivm_engine Partition

@@ -1,0 +1,1 @@
+lib/eps/triangle_count.mli: Ivm_engine

@@ -1,0 +1,116 @@
+(** IVM^ε for the simplest non-q-hierarchical query (Sec. 5, Fig. 7):
+
+    Q(A) = Σ_B R(A,B) · S(B)
+
+    The trade-off: O(N) preprocessing, O(N^ε) single-tuple updates and
+    O(N^{1−ε}) enumeration delay, with the weakly Pareto-optimal point at
+    ε = 1/2 (conditioned on OuMv/OMv).
+
+    R is partitioned on A with threshold θ ≈ N^{1−ε}: at most N^ε keys
+    are heavy. The aggregate Q_H(a) is materialized for heavy keys only:
+
+    - δR(a,b): one lookup into S (and a Q_H update if [a] is heavy) — O(1);
+    - δS(b):   update Q_H(a) for the heavy a's paired with b — O(N^ε);
+    - enumeration: heavy keys read Q_H(a) directly; light keys compute
+      Σ_B R(a,B)·S(B) on the fly over fewer than 2θ tuples — O(N^{1−ε}).
+
+    ε = 1 is the eager extreme (everything materialized, as after every
+    update), ε = 0 the lazy extreme (only base relations stored). *)
+
+module Edges = Ivm_engine.Edges
+module View = Ivm_engine.View
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+
+type t = {
+  epsilon : float;
+  r : Partition.t; (* R(A,B) on A; θ ≈ N^{1−ε} *)
+  s : View.t; (* S(B) *)
+  q_h : View.t; (* Q_H(A) for heavy A only *)
+  mutable epoch_n : int;
+}
+
+let threshold_for ~epsilon n =
+  max 1 (int_of_float (ceil (float_of_int (max 1 n) ** (1. -. epsilon))))
+
+let key1 = Edges.key1
+
+let create ?(epsilon = 0.5) () =
+  {
+    epsilon;
+    r = Partition.create ~name:"R" ~fst:"A" ~snd:"B" ~threshold:(threshold_for ~epsilon 1);
+    s = View.create (Schema.of_list [ "B" ]);
+    q_h = View.create (Schema.of_list [ "A" ]);
+    epoch_n = 16;
+  }
+
+let size t = Partition.size t.r + View.size t.s
+
+(* Recompute Q_H(a) = Σ_B R(a,B)·S(B) over the heavy part. *)
+let aggregate_of t a =
+  let acc = ref 0 in
+  Edges.iter_fst (Partition.part_of t.r a) a (fun b p ->
+      acc := !acc + (p * View.get t.s (key1 b)));
+  !acc
+
+let set_qh t a v =
+  let cur = View.get t.q_h (key1 a) in
+  if cur <> v then View.update t.q_h (key1 a) (v - cur)
+
+let drop_qh t a =
+  let cur = View.get t.q_h (key1 a) in
+  if cur <> 0 then View.update t.q_h (key1 a) (-cur)
+
+let maybe_rebalance t =
+  let n = size t in
+  if n > 2 * t.epoch_n || (4 * n < t.epoch_n && t.epoch_n > 16) then begin
+    let n0 = max 16 n in
+    Partition.rebalance t.r ~threshold:(threshold_for ~epsilon:t.epsilon n0);
+    View.clear t.q_h;
+    Partition.iter_heavy_keys t.r (fun a -> set_qh t a (aggregate_of t a));
+    t.epoch_n <- n0
+  end
+
+let update_r t ~a ~b m =
+  if Partition.is_heavy t.r a then View.update t.q_h (key1 a) (m * View.get t.s (key1 b));
+  (match
+     Partition.update
+       ~on_move:(fun ~heavy:_ _ _ _ -> () (* handled below, per key not per tuple *))
+       t.r a b m
+   with
+  | `Moved_to_heavy -> set_qh t a (aggregate_of t a)
+  | `Moved_to_light -> drop_qh t a
+  | `Stable -> ());
+  maybe_rebalance t
+
+let update_s t ~b m =
+  (* Maintain Q_H for every heavy A paired with b: at most one heavy key
+     per tuple in the heavy part's b-column group, which has at most
+     #heavy ≤ N^ε entries. *)
+  Edges.iter_snd t.r.Partition.heavy b (fun a p -> View.update t.q_h (key1 a) (p * m));
+  View.update t.s (key1 b) m;
+  maybe_rebalance t
+
+(** Constant-delay-per-group enumeration of the output (A, Q(A)),
+    skipping zero aggregates. Heavy keys cost O(1) each, light keys
+    O(θ) = O(N^{1−ε}) each. *)
+let enumerate (t : t) : (int * int) Seq.t =
+  let heavy =
+    Seq.filter_map
+      (fun (k, v) -> if v = 0 then None else Some (Value.to_int (Tuple.get k 0), v))
+      (View.to_seq t.q_h)
+  in
+  let light =
+    Seq.filter_map
+      (fun a ->
+        let v = aggregate_of t a in
+        if v = 0 then None else Some (a, v))
+      (Seq.map
+         (fun (k : Tuple.t) -> Value.to_int (Tuple.get k 0))
+         (Ivm_data.Relation.Z.Index.seq_keys t.r.Partition.light.Edges.by_fst))
+  in
+  Seq.append heavy light
+
+(** The output as an association list, sorted by key — for tests. *)
+let output t = List.sort compare (List.of_seq (enumerate t))

@@ -1,0 +1,23 @@
+(** IVM^ε for Q(A) = Σ_B R(A,B)·S(B), the simplest non-q-hierarchical
+    query (Sec. 5, Fig. 7): O(N) preprocessing, O(N^ε) updates and
+    O(N^{1−ε}) enumeration delay, weakly Pareto optimal at ε = 1/2.
+    ε = 1 is the eager extreme, ε = 0 the lazy one. *)
+
+type t
+
+val create : ?epsilon:float -> unit -> t
+val size : t -> int
+
+val update_r : t -> a:int -> b:int -> int -> unit
+(** O(1): one lookup into S, plus Q_H maintenance when [a] is heavy. *)
+
+val update_s : t -> b:int -> int -> unit
+(** O(N^ε): updates Q_H(a) for the heavy a's paired with [b]. *)
+
+val enumerate : t -> (int * int) Seq.t
+(** The (A, Q(A)) groups with non-zero aggregate: heavy keys from the
+    materialized Q_H in O(1) each, light keys computed on the fly in
+    O(N^{1−ε}) each. *)
+
+val output : t -> (int * int) list
+(** Sorted materialization of {!enumerate}, for tests. *)

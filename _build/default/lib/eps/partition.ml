@@ -1,0 +1,96 @@
+(** Heavy/light partitioned binary relations (Sec. 3.3).
+
+    A relation R(A,B) is split on its first column: a key [a] is light
+    while its degree |σ_{A=a} R| stays below the threshold θ ≈ N^ε, heavy
+    otherwise. To amortize part moves, a key only moves light→heavy when
+    its degree reaches [2θ] and heavy→light when it falls below [θ/2]
+    (the rebalancing of [18, 19]): between two moves of the same key at
+    least θ/2 updates to that key must happen, so a move of cost O(deg)
+    is amortized O(1) per update (times the per-tuple fix-up cost its
+    user incurs). *)
+
+module Edges = Ivm_engine.Edges
+module View = Ivm_engine.View
+
+type t = {
+  name : string;
+  light : Edges.t;
+  heavy : Edges.t;
+  heavy_keys : (int, unit) Hashtbl.t;
+  mutable threshold : int; (* θ *)
+}
+
+let create ~name ~fst ~snd ~threshold =
+  if threshold < 1 then invalid_arg "Partition.create: threshold must be >= 1";
+  {
+    name;
+    light = Edges.create fst snd;
+    heavy = Edges.create fst snd;
+    heavy_keys = Hashtbl.create 64;
+    threshold;
+  }
+
+let is_heavy t a = Hashtbl.mem t.heavy_keys a
+let part_of t a = if is_heavy t a then t.heavy else t.light
+let degree t a = if is_heavy t a then Edges.deg_fst t.heavy a else Edges.deg_fst t.light a
+let size t = Edges.size t.light + Edges.size t.heavy
+let heavy_count t = Hashtbl.length t.heavy_keys
+let get t a b = Edges.get (part_of t a) a b
+let iter_heavy_keys t f = Hashtbl.iter (fun k () -> f k) t.heavy_keys
+
+(** [update t a b m] merges multiplicity [m] into the part currently
+    owning key [a]. Returns [`Moved_to_heavy], [`Moved_to_light] or
+    [`Stable]; on a move the key's tuples have already been transferred
+    and [on_move] has been called once per transferred tuple, with the
+    tuple and its payload, *after* the transfer of that tuple — callers
+    use it to fix up their skew-aware views. *)
+let update ?(on_move = fun ~heavy:_ _ _ _ -> ()) t a b m =
+  Edges.update (part_of t a) a b m;
+  let deg = degree t a in
+  if (not (is_heavy t a)) && deg >= 2 * t.threshold then begin
+    (* light -> heavy: transfer all tuples of key [a]. *)
+    let tuples = ref [] in
+    Edges.iter_fst t.light a (fun b p -> tuples := (b, p) :: !tuples);
+    Hashtbl.replace t.heavy_keys a ();
+    List.iter
+      (fun (b, p) ->
+        Edges.update t.light a b (-p);
+        Edges.update t.heavy a b p;
+        on_move ~heavy:true a b p)
+      !tuples;
+    `Moved_to_heavy
+  end
+  else if is_heavy t a && 2 * deg < t.threshold then begin
+    (* heavy -> light (deg < θ/2, in integer arithmetic 2·deg < θ). *)
+    let tuples = ref [] in
+    Edges.iter_fst t.heavy a (fun b p -> tuples := (b, p) :: !tuples);
+    Hashtbl.remove t.heavy_keys a;
+    List.iter
+      (fun (b, p) ->
+        Edges.update t.heavy a b (-p);
+        Edges.update t.light a b p;
+        on_move ~heavy:false a b p)
+      !tuples;
+    `Moved_to_light
+  end
+  else `Stable
+
+(** Rebuild the partition for a new threshold (major rebalance): every
+    key is reassigned by comparing its degree to θ. The caller rebuilds
+    its views afterwards. *)
+let rebalance t ~threshold =
+  t.threshold <- threshold;
+  let all = ref [] in
+  Edges.iter t.light (fun a b p -> all := (a, b, p) :: !all);
+  Edges.iter t.heavy (fun a b p -> all := (a, b, p) :: !all);
+  View.clear t.light.Edges.view;
+  View.clear t.heavy.Edges.view;
+  Hashtbl.reset t.heavy_keys;
+  (* First pass: per-key degrees. *)
+  let deg = Hashtbl.create 64 in
+  List.iter
+    (fun (a, _, _) ->
+      Hashtbl.replace deg a (1 + Option.value (Hashtbl.find_opt deg a) ~default:0))
+    !all;
+  Hashtbl.iter (fun a d -> if d >= threshold then Hashtbl.replace t.heavy_keys a ()) deg;
+  List.iter (fun (a, b, p) -> Edges.update (part_of t a) a b p) !all

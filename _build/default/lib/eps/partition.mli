@@ -1,0 +1,40 @@
+(** Heavy/light partitioned binary relations (Sec. 3.3): keys are light
+    below the degree threshold θ ≈ N^ε and heavy above. Hysteresis
+    (moves at 2θ upward, θ/2 downward) amortizes part moves to O(1) per
+    update times the caller's per-tuple fix-up cost. *)
+
+module Edges = Ivm_engine.Edges
+module View = Ivm_engine.View
+
+type t = {
+  name : string;
+  light : Edges.t;
+  heavy : Edges.t;
+  heavy_keys : (int, unit) Hashtbl.t;
+  mutable threshold : int;
+}
+
+val create : name:string -> fst:string -> snd:string -> threshold:int -> t
+val is_heavy : t -> int -> bool
+
+val part_of : t -> int -> Edges.t
+(** The part currently owning a key (keys live in exactly one part). *)
+
+val degree : t -> int -> int
+val size : t -> int
+val heavy_count : t -> int
+val get : t -> int -> int -> int
+val iter_heavy_keys : t -> (int -> unit) -> unit
+
+val update :
+  ?on_move:(heavy:bool -> int -> int -> int -> unit) ->
+  t -> int -> int -> int ->
+  [ `Moved_to_heavy | `Moved_to_light | `Stable ]
+(** Merge a multiplicity into the owning part; on a threshold crossing,
+    transfer the key's tuples and call [on_move ~heavy a b payload] once
+    per transferred tuple ([heavy] is the destination), after the
+    transfer — callers fix up their skew-aware views there. *)
+
+val rebalance : t -> threshold:int -> unit
+(** Major rebalance: reassign every key against the new threshold. The
+    caller rebuilds its views afterwards. *)

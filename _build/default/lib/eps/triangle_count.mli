@@ -1,0 +1,27 @@
+(** IVM^ε for the triangle count (Sec. 3.3): worst-case optimal
+    maintenance with O(N^max{ε,1−ε}) single-tuple updates — O(√N) at
+    ε = 1/2, matching the OuMv-conditional lower bound of Thm. 3.4.
+    R(A,B) is partitioned on A, S(B,C) on B, T(C,A) on C; the three
+    skew-aware views V_ST, V_TR, V_RS are maintained under updates and
+    part moves; partitions rebalance when the database size leaves
+    [N₀/2, 2N₀]. *)
+
+type t
+
+val create : ?epsilon:float -> unit -> t
+(** An engine over the empty database; [epsilon] defaults to 1/2. *)
+
+val update : t -> Ivm_engine.Triangle.relation -> a:int -> b:int -> int -> unit
+(** [update t rel ~a ~b m] merges multiplicity [m] for the tuple (a,b)
+    of [rel], given in the relation's own schema order. *)
+
+val count : t -> int
+(** The maintained triangle count — O(1). *)
+
+val size : t -> int
+val threshold : t -> int
+val rebalances : t -> int
+
+(** The ε = 1/2 instance packaged as a {!Ivm_engine.Triangle.ENGINE},
+    for cross-checks and the OuMv reduction. *)
+module Half : Ivm_engine.Triangle.ENGINE

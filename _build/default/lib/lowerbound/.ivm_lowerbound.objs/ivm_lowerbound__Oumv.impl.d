@@ -1,0 +1,1 @@
+lib/lowerbound/oumv.ml: Array Random

@@ -1,0 +1,1 @@
+lib/lowerbound/oumv.mli: Random

@@ -1,0 +1,1 @@
+lib/lowerbound/reduction.ml: Array Ivm_engine Oumv

@@ -1,0 +1,1 @@
+lib/lowerbound/reduction.mli: Ivm_engine Oumv

@@ -1,0 +1,43 @@
+(** The Online Vector-Matrix-Vector multiplication problem (Def. 3.3).
+
+    Input: a Boolean n×n matrix M and n pairs of Boolean vectors
+    (u_r, v_r), revealed one pair at a time; after each pair the value
+    uᵀMv must be output before the next pair is revealed. The OuMv
+    conjecture: no algorithm solves this in O(n^{3−γ}) total time. *)
+
+type t = {
+  n : int;
+  matrix : bool array array; (* matrix.(i).(j) = M[i,j] *)
+  rounds : (bool array * bool array) array; (* (u_r, v_r) *)
+}
+
+let make ~matrix ~rounds =
+  let n = Array.length matrix in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Oumv.make: ragged matrix") matrix;
+  Array.iter
+    (fun (u, v) ->
+      if Array.length u <> n || Array.length v <> n then invalid_arg "Oumv.make: bad vector")
+    rounds;
+  { n; matrix; rounds }
+
+let random ~rng ~n ~density =
+  let flip () = Random.State.float rng 1.0 < density in
+  let matrix = Array.init n (fun _ -> Array.init n (fun _ -> flip ())) in
+  let rounds =
+    Array.init n (fun _ -> (Array.init n (fun _ -> flip ()), Array.init n (fun _ -> flip ())))
+  in
+  make ~matrix ~rounds
+
+(** The naive O(n³) solver: per round, uᵀMv by direct evaluation. *)
+let solve_naive (t : t) : bool array =
+  Array.map
+    (fun (u, v) ->
+      let hit = ref false in
+      for i = 0 to t.n - 1 do
+        if u.(i) && not !hit then
+          for j = 0 to t.n - 1 do
+            if (not !hit) && t.matrix.(i).(j) && v.(j) then hit := true
+          done
+      done;
+      !hit)
+    t.rounds

@@ -1,0 +1,18 @@
+(** The Online Vector-Matrix-Vector multiplication problem (Def. 3.3):
+    an n×n Boolean matrix and n Boolean vector pairs revealed one at a
+    time; after each pair, uᵀMv must be output. The OuMv conjecture: no
+    algorithm solves this in O(n^{3−γ}) total time. *)
+
+type t = {
+  n : int;
+  matrix : bool array array;
+  rounds : (bool array * bool array) array;
+}
+
+val make : matrix:bool array array -> rounds:(bool array * bool array) array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val random : rng:Random.State.t -> n:int -> density:float -> t
+
+val solve_naive : t -> bool array
+(** The O(n³) baseline. *)

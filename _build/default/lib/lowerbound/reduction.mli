@@ -1,0 +1,19 @@
+(** The executable reduction from OuMv to triangle detection under
+    updates (Thm. 3.4): any IVM engine for the Boolean triangle query
+    with O(N^{1/2−γ}) updates and O(N^{1−γ}) delay would yield a
+    subcubic OuMv algorithm, contradicting the conjecture. S encodes the
+    matrix, R and T encode the round vectors against a constant anchor
+    node; uᵀMv = [count > 0]. *)
+
+type stats = {
+  n : int;
+  database_size : int; (** N = O(n²) *)
+  matrix_updates : int; (** < n² *)
+  vector_updates : int; (** < 4n per round, totalled *)
+  answers : bool array;
+}
+
+val run :
+  (module Ivm_engine.Triangle.ENGINE with type t = 'a) -> Oumv.t -> stats
+(** Solve the instance through the given engine (the proof's
+    "Algorithm A" oracle), recording the update budget. *)

@@ -1,0 +1,1 @@
+lib/query/cq.ml: Format Hashtbl Ivm_data List Printf String

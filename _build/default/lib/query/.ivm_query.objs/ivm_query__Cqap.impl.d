@@ -1,0 +1,1 @@
+lib/query/cqap.ml: Array Cq Format Hashtbl Hierarchical Hypergraph List Printf Set String

@@ -1,0 +1,1 @@
+lib/query/cqap.mli: Cq Format

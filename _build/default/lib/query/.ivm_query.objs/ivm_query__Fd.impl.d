@@ -1,0 +1,1 @@
+lib/query/fd.ml: Cq Format Hierarchical List Set String

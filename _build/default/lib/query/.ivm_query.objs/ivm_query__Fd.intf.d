@@ -1,0 +1,1 @@
+lib/query/fd.mli: Cq Format Set

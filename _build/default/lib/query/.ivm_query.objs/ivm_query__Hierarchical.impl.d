@@ -1,0 +1,1 @@
+lib/query/hierarchical.ml: Cq Int List Set

@@ -1,0 +1,1 @@
+lib/query/hierarchical.mli: Cq Set

@@ -1,0 +1,1 @@
+lib/query/hypergraph.ml: Array Cq Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/query/parse.ml: Buffer Cq Fd List Printf Result Static_dynamic Str_split String

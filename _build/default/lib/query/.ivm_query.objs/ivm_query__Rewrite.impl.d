@@ -1,0 +1,1 @@
+lib/query/rewrite.ml: Cq Hierarchical List Set String

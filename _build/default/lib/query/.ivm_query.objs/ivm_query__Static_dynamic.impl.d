@@ -1,0 +1,1 @@
+lib/query/static_dynamic.ml: Array Cq Hashtbl List Option Set String Variable_order

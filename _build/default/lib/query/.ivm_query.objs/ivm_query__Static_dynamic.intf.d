@@ -1,0 +1,1 @@
+lib/query/static_dynamic.mli: Cq Variable_order

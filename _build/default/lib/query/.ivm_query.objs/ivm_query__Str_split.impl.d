@@ -1,0 +1,1 @@
+lib/query/str_split.ml: String

@@ -1,0 +1,1 @@
+lib/query/variable_order.ml: Array Cq Format Hierarchical Int List Printf Result Set String

@@ -1,0 +1,1 @@
+lib/query/variable_order.mli: Cq Format

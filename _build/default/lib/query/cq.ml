@@ -1,0 +1,88 @@
+(** Conjunctive queries with group-by aggregates (Sec. 2):
+
+    [Q(X_1,...,X_f) = Σ_{X_{f+1}} ... Σ_{X_m}  Π_i R_i(S_i)]
+
+    [free] lists the group-by (free) variables; all other variables are
+    bound and marginalized. A Boolean query has no free variables. *)
+
+type atom = { rel : string; vars : string list }
+
+type t = { name : string; free : string list; atoms : atom list }
+
+let atom rel vars =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg (Printf.sprintf "Cq.atom: repeated variable %s in %s" v rel);
+      Hashtbl.add seen v ())
+    vars;
+  { rel; vars }
+
+let make ~name ~free atoms =
+  let all = List.concat_map (fun a -> a.vars) atoms in
+  List.iter
+    (fun v ->
+      if not (List.mem v all) then
+        invalid_arg (Printf.sprintf "Cq.make: free variable %s not in any atom" v))
+    free;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg ("Cq.make: duplicate free variable " ^ v);
+      Hashtbl.add seen v ())
+    free;
+  { name; free; atoms }
+
+(* All variables, in first-occurrence order. *)
+let vars q =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun a ->
+      List.filter
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+        a.vars)
+    q.atoms
+
+let bound_vars q = List.filter (fun v -> not (List.mem v q.free)) (vars q)
+let is_free q v = List.mem v q.free
+let is_boolean q = q.free = []
+let arity q = List.length q.free
+
+(** [atoms_of q v] is the paper's [atoms(v)]: the set of atoms containing
+    [v], identified by their position in [q.atoms]. *)
+let atoms_of q v =
+  List.mapi (fun i a -> (i, a)) q.atoms
+  |> List.filter_map (fun (i, a) -> if List.mem v a.vars then Some i else None)
+
+let self_join_free q =
+  let names = List.map (fun a -> a.rel) q.atoms in
+  List.length names = List.length (List.sort_uniq String.compare names)
+
+let relation_names q = List.sort_uniq String.compare (List.map (fun a -> a.rel) q.atoms)
+
+let atom_schema a = Ivm_data.Schema.of_list a.vars
+
+(* Atoms grouped per relation name; [find_atom] assumes self-join-free
+   queries, which is what every engine in this library supports. *)
+let find_atom q rel =
+  match List.find_opt (fun a -> String.equal a.rel rel) q.atoms with
+  | Some a -> a
+  | None -> invalid_arg ("Cq.find_atom: no atom for relation " ^ rel)
+
+let pp ppf q =
+  let pp_atom ppf a =
+    Format.fprintf ppf "%s(%s)" a.rel (String.concat ", " a.vars)
+  in
+  Format.fprintf ppf "%s(%s) = %a" q.name (String.concat ", " q.free)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " * ")
+       pp_atom)
+    q.atoms
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,39 @@
+(** Conjunctive queries with group-by aggregates (Sec. 2):
+
+    [Q(X_1,...,X_f) = Σ_{X_{f+1}} ... Σ_{X_m}  Π_i R_i(S_i)]
+
+    [free] lists the group-by (free) variables; all other variables are
+    bound and marginalized. A Boolean query has no free variables. *)
+
+type atom = { rel : string; vars : string list }
+type t = { name : string; free : string list; atoms : atom list }
+
+val atom : string -> string list -> atom
+(** @raise Invalid_argument on repeated variables within the atom. *)
+
+val make : name:string -> free:string list -> atom list -> t
+(** @raise Invalid_argument when a free variable occurs in no atom or is
+    repeated. *)
+
+val vars : t -> string list
+(** All variables, in first-occurrence order. *)
+
+val bound_vars : t -> string list
+val is_free : t -> string -> bool
+val is_boolean : t -> bool
+val arity : t -> int
+
+val atoms_of : t -> string -> int list
+(** The paper's [atoms(v)]: the atoms containing [v], as positions in
+    [atoms]. *)
+
+val self_join_free : t -> bool
+val relation_names : t -> string list
+val atom_schema : atom -> Ivm_data.Schema.t
+
+val find_atom : t -> string -> atom
+(** The atom for a relation name (self-join-free queries).
+    @raise Invalid_argument when absent. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

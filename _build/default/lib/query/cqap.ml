@@ -1,0 +1,94 @@
+(** Conjunctive queries with free access patterns — CQAPs (Sec. 4.3).
+
+    The free variables are split into input and output variables: the
+    query returns tuples over the output variables for a given tuple of
+    values over the input variables. [Q(O|I)] in the paper's notation.
+
+    Tractability (Def. 4.7 / Thm. 4.8): a CQAP admits O(|D|)
+    preprocessing, O(1) updates and O(1) enumeration delay iff its
+    fracture is hierarchical, free-dominant and input-dominant. *)
+
+module SSet = Set.Make (String)
+
+type t = { cq : Cq.t; input : string list }
+
+let make ~input cq =
+  List.iter
+    (fun v ->
+      if not (List.mem v cq.Cq.free) then
+        invalid_arg ("Cqap.make: input variable " ^ v ^ " is not free"))
+    input;
+  { cq; input }
+
+let output q = List.filter (fun v -> not (List.mem v q.input)) q.cq.Cq.free
+let is_input q v = List.mem v q.input
+
+(** The fracture (Def. 4.7): replace each occurrence of an input variable
+    by a fresh variable, split into connected components, and within each
+    component merge the fresh variables that originate from the same
+    input variable back into one fresh input variable. The fracture is a
+    single CQAP whose components share no variables. *)
+let fracture (q : t) : t =
+  let fresh v i = Printf.sprintf "%s#%d" v i in
+  (* Step 1: per-occurrence renaming of input variables. *)
+  let renamed_atoms =
+    List.mapi
+      (fun i a ->
+        { Cq.rel = a.Cq.rel;
+          vars = List.map (fun v -> if is_input q v then fresh v i else v) a.Cq.vars })
+      q.cq.Cq.atoms
+  in
+  let renamed = Cq.make ~name:(q.cq.Cq.name ^ "_frac") ~free:[] renamed_atoms in
+  (* Step 2: connected components of the renamed query. *)
+  let comps = Hypergraph.components renamed in
+  (* Step 3: within component [c], merge fresh copies of input var [v]
+     into the canonical name [v@c]. *)
+  let comp_of_atom = Hashtbl.create 16 in
+  List.iteri (fun c (idxs, _) -> List.iter (fun i -> Hashtbl.replace comp_of_atom i c) idxs) comps;
+  let merged v c = Printf.sprintf "%s@%d" v c in
+  let original_atoms = Array.of_list q.cq.Cq.atoms in
+  let inputs' = ref SSet.empty in
+  let final_atoms =
+    List.mapi
+      (fun i (a : Cq.atom) ->
+        let c = Hashtbl.find comp_of_atom i in
+        { Cq.rel = a.Cq.rel;
+          vars =
+            List.map
+              (fun v ->
+                if is_input q v then begin
+                  let v' = merged v c in
+                  inputs' := SSet.add v' !inputs';
+                  v'
+                end
+                else v)
+              original_atoms.(i).Cq.vars })
+      renamed_atoms
+  in
+  let inputs' = SSet.elements !inputs' in
+  let free' = output q @ inputs' in
+  { cq = Cq.make ~name:(q.cq.Cq.name ^ "_fracture") ~free:free' final_atoms; input = inputs' }
+
+(* Input-dominance: if A is input and B dominates A, then B is input. *)
+let is_input_dominant (q : t) =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> if Hierarchical.dominates q.cq b a then is_input q b else true)
+        (Cq.vars q.cq))
+    q.input
+
+let is_tractable (q : t) =
+  let f = fracture q in
+  Hierarchical.is_hierarchical f.cq
+  && Hierarchical.is_free_dominant f.cq
+  && is_input_dominant f
+
+let pp ppf q =
+  Format.fprintf ppf "%s(%s|%s) = %a" q.cq.Cq.name
+    (String.concat ", " (output q))
+    (String.concat ", " q.input)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " * ")
+       (fun ppf a -> Format.fprintf ppf "%s(%s)" a.Cq.rel (String.concat ", " a.Cq.vars)))
+    q.cq.Cq.atoms

@@ -1,0 +1,22 @@
+(** Conjunctive queries with free access patterns (Sec. 4.3): the free
+    variables split into input and output; the query returns output
+    tuples for a given input tuple. Tractability (Thm. 4.8): O(|D|)
+    preprocessing, O(1) updates and O(1) delay iff the fracture is
+    hierarchical, free-dominant and input-dominant. *)
+
+type t = { cq : Cq.t; input : string list }
+
+val make : input:string list -> Cq.t -> t
+(** @raise Invalid_argument when an input variable is not free. *)
+
+val output : t -> string list
+val is_input : t -> string -> bool
+
+val fracture : t -> t
+(** The fracture (Def. 4.7): per-occurrence renaming of input variables,
+    connected-component split, then per-component re-merging of copies
+    of the same input variable. *)
+
+val is_input_dominant : t -> bool
+val is_tractable : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Functional dependencies and the Σ-reduct (Sec. 4.4, Def. 4.9).
+
+    A non-hierarchical query can behave hierarchically on databases that
+    satisfy FDs: extending every atom schema (and the head) with its
+    closure under Σ yields the Σ-reduct; if the reduct is q-hierarchical,
+    the original query admits the best possible maintenance
+    (Thm. 4.11). *)
+
+module SSet = Set.Make (String)
+
+type t = { lhs : string list; rhs : string list }
+
+let make lhs rhs = { lhs; rhs }
+
+let pp ppf fd =
+  Format.fprintf ppf "%s -> %s" (String.concat "," fd.lhs) (String.concat "," fd.rhs)
+
+(** [closure fds vs] is [C_Σ(vs)]: the fixpoint extension of [vs] under
+    the FDs, e.g. closure {A→C; BC→D} {A,B} = {A,B,C,D}. *)
+let closure (fds : t list) (vs : string list) : SSet.t =
+  let rec go set =
+    let set' =
+      List.fold_left
+        (fun acc fd ->
+          if List.for_all (fun v -> SSet.mem v acc) fd.lhs then
+            SSet.union acc (SSet.of_list fd.rhs)
+          else acc)
+        set fds
+    in
+    if SSet.equal set set' then set else go set'
+  in
+  go (SSet.of_list vs)
+
+(* Extend an ordered variable list with its closure, keeping the original
+   order and appending new variables in sorted order (determinism). *)
+let extend_ordered fds vs =
+  let cl = closure fds vs in
+  let added = SSet.elements (SSet.diff cl (SSet.of_list vs)) in
+  vs @ added
+
+(** [sigma_reduct fds q] is the Σ-reduct of [q] (Def. 4.9): each atom
+    schema and the free-variable set are extended to their closures. *)
+let sigma_reduct (fds : t list) (q : Cq.t) : Cq.t =
+  let atoms =
+    List.map (fun a -> { Cq.rel = a.Cq.rel; vars = extend_ordered fds a.Cq.vars }) q.Cq.atoms
+  in
+  let free = extend_ordered fds q.Cq.free in
+  (* Re-validate via the smart constructor. *)
+  Cq.make ~name:(q.Cq.name ^ "_reduct") ~free atoms
+
+(** Does [q] become q-hierarchical under the FDs (Thm. 4.11)? *)
+let q_hierarchical_under (fds : t list) (q : Cq.t) =
+  Hierarchical.is_q_hierarchical (sigma_reduct fds q)
+
+let hierarchical_under (fds : t list) (q : Cq.t) =
+  Hierarchical.is_hierarchical (sigma_reduct fds q)

@@ -1,0 +1,24 @@
+(** Functional dependencies and the Σ-reduct (Sec. 4.4): if the reduct
+    of a query is q-hierarchical, the query admits the best possible
+    maintenance over FD-satisfying databases (Thm. 4.11). *)
+
+module SSet : Set.S with type elt = string
+
+type t = { lhs : string list; rhs : string list }
+
+val make : string list -> string list -> t
+val pp : Format.formatter -> t -> unit
+
+val closure : t list -> string list -> SSet.t
+(** [closure fds vs] is [C_Σ(vs)], e.g.
+    closure {A→C; BC→D} {A,B} = {A,B,C,D} (Sec. 4.4). *)
+
+val extend_ordered : t list -> string list -> string list
+(** Extend an ordered variable list by its closure, deterministically. *)
+
+val sigma_reduct : t list -> Cq.t -> Cq.t
+(** The Σ-reduct (Def. 4.9): every atom schema and the head extended to
+    their closures. *)
+
+val q_hierarchical_under : t list -> Cq.t -> bool
+val hierarchical_under : t list -> Cq.t -> bool

@@ -1,0 +1,85 @@
+(** The hierarchical and q-hierarchical query classes (Def. 4.2).
+
+    A CQ is hierarchical if for any two variables X and Y, their atom
+    sets are comparable by inclusion or disjoint. A hierarchical query is
+    q-hierarchical if whenever atoms(X) ⊃ atoms(Y) and Y is free, X is
+    free too (equivalently: hierarchical and free-dominant, footnote 4).
+
+    Theorem 4.1 [4]: q-hierarchical self-join-free CQs are exactly those
+    maintainable with O(N) preprocessing, O(1) single-tuple updates and
+    O(1) enumeration delay; all others are OuMv-hard. *)
+
+module ISet = Set.Make (Int)
+
+let atom_sets q =
+  List.map (fun v -> (v, ISet.of_list (Cq.atoms_of q v))) (Cq.vars q)
+
+(* [dominates q x y]: atoms(y) ⊂ atoms(x), strictly ("x dominates y"). *)
+let dominates q x y =
+  let ax = ISet.of_list (Cq.atoms_of q x) and ay = ISet.of_list (Cq.atoms_of q y) in
+  ISet.subset ay ax && not (ISet.equal ax ay)
+
+let is_hierarchical q =
+  let sets = atom_sets q in
+  List.for_all
+    (fun (_, ax) ->
+      List.for_all
+        (fun (_, ay) ->
+          ISet.subset ax ay || ISet.subset ay ax || ISet.is_empty (ISet.inter ax ay))
+        sets)
+    sets
+
+(* Free-dominance: if Y is free and atoms(X) ⊃ atoms(Y) then X is free. *)
+let is_free_dominant q =
+  let sets = atom_sets q in
+  List.for_all
+    (fun (y, ay) ->
+      (not (Cq.is_free q y))
+      || List.for_all
+           (fun (x, ax) ->
+             if ISet.subset ay ax && not (ISet.equal ax ay) then Cq.is_free q x else true)
+           sets)
+    sets
+
+let is_q_hierarchical q = is_hierarchical q && is_free_dominant q
+
+(** Hierarchical *given the head*: the free variables are treated as
+    constants (removed from every atom) and the condition is checked on
+    the bound variables only. This is the convention of the TPC-H study
+    cited in Sec. 4.4 [35], where a non-Boolean query is hierarchical iff
+    each Boolean query obtained by fixing the head variables is. For
+    Boolean queries it coincides with {!is_hierarchical}. *)
+let is_hierarchical_given_free q =
+  let sets =
+    List.filter_map
+      (fun v ->
+        if Cq.is_free q v then None else Some (ISet.of_list (Cq.atoms_of q v)))
+      (Cq.vars q)
+  in
+  List.for_all
+    (fun ax ->
+      List.for_all
+        (fun ay ->
+          ISet.subset ax ay || ISet.subset ay ax || ISet.is_empty (ISet.inter ax ay))
+        sets)
+    sets
+
+(** A witness for non-hierarchicality: a pair of variables with properly
+    overlapping atom sets, useful in diagnostics. *)
+let non_hierarchical_witness q =
+  let sets = atom_sets q in
+  let rec find = function
+    | [] -> None
+    | (x, ax) :: rest -> (
+        match
+          List.find_opt
+            (fun (_, ay) ->
+              (not (ISet.subset ax ay))
+              && (not (ISet.subset ay ax))
+              && not (ISet.is_empty (ISet.inter ax ay)))
+            rest
+        with
+        | Some (y, _) -> Some (x, y)
+        | None -> find rest)
+  in
+  find sets

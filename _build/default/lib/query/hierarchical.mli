@@ -1,0 +1,31 @@
+(** The hierarchical and q-hierarchical query classes (Def. 4.2) and the
+    dichotomy they induce (Thm. 4.1): q-hierarchical self-join-free CQs
+    are exactly those maintainable with O(N) preprocessing, O(1)
+    single-tuple updates and O(1) enumeration delay; all others are
+    OuMv-hard. *)
+
+module ISet : Set.S with type elt = int
+
+val atom_sets : Cq.t -> (string * ISet.t) list
+(** Each variable with its [atoms(v)] set. *)
+
+val dominates : Cq.t -> string -> string -> bool
+(** [dominates q x y]: atoms(y) ⊂ atoms(x), strictly. *)
+
+val is_hierarchical : Cq.t -> bool
+(** For any two variables, the atom sets are comparable or disjoint. *)
+
+val is_free_dominant : Cq.t -> bool
+(** If Y is free and X dominates Y then X is free (footnote 4:
+    q-hierarchical = hierarchical + free-dominant). *)
+
+val is_q_hierarchical : Cq.t -> bool
+
+val non_hierarchical_witness : Cq.t -> (string * string) option
+(** A pair of variables with properly overlapping atom sets, for
+    diagnostics. *)
+
+val is_hierarchical_given_free : Cq.t -> bool
+(** Hierarchical with the free variables treated as constants — the
+    convention of the TPC-H study cited in Sec. 4.4 [35]. Coincides with
+    {!is_hierarchical} on Boolean queries. *)

@@ -1,0 +1,79 @@
+(** Query hypergraphs: α-acyclicity (GYO reduction), free-connexity, and
+    connected components. These underpin the classes mentioned in
+    Sec. 4.1 ("the q-hierarchical queries form a strict subclass of the
+    free-connex α-acyclic queries") and Sec. 4.6 (α-acyclic joins under
+    insert-only streams). *)
+
+module SSet = Set.Make (String)
+
+type t = SSet.t list
+(** A hypergraph as a list of hyperedges (variable sets). *)
+
+let of_query (q : Cq.t) : t = List.map (fun a -> SSet.of_list a.Cq.vars) q.atoms
+
+(* GYO reduction: repeatedly (1) drop variables occurring in exactly one
+   edge, (2) drop edges contained in another edge. The query is α-acyclic
+   iff the reduction terminates with at most one empty edge. *)
+let is_acyclic_edges (edges : t) =
+  let rec step edges =
+    let edges = List.filter (fun e -> not (SSet.is_empty e)) edges in
+    (* Remove edges contained in some other edge. *)
+    let edges =
+      let rec dedup kept = function
+        | [] -> List.rev kept
+        | e :: rest ->
+            if List.exists (fun f -> SSet.subset e f) (kept @ rest) then dedup kept rest
+            else dedup (e :: kept) rest
+      in
+      dedup [] edges
+    in
+    match edges with
+    | [] | [ _ ] -> true
+    | _ ->
+        (* Remove variables local to a single edge. *)
+        let count v = List.length (List.filter (fun e -> SSet.mem v e) edges) in
+        let edges' = List.map (fun e -> SSet.filter (fun v -> count v > 1) e) edges in
+        if List.equal SSet.equal edges edges' then false else step edges'
+  in
+  step edges
+
+let is_alpha_acyclic q = is_acyclic_edges (of_query q)
+
+(** Free-connex: α-acyclic and still α-acyclic after adding the head
+    (the free variables) as an extra hyperedge. Free-connex acyclic CQs
+    admit constant-delay enumeration after linear preprocessing in the
+    static setting. *)
+let is_free_connex q =
+  is_alpha_acyclic q && is_acyclic_edges (SSet.of_list q.Cq.free :: of_query q)
+
+(** Connected components of the variable co-occurrence graph; each
+    component is returned as the set of atom indices belonging to it
+    together with its variables. Used by the CQAP fracture (Def. 4.7). *)
+let components (q : Cq.t) : (int list * SSet.t) list =
+  let atoms = Array.of_list q.atoms in
+  let n = Array.length atoms in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let vi = SSet.of_list atoms.(i).Cq.vars and vj = SSet.of_list atoms.(j).Cq.vars in
+      if not (SSet.is_empty (SSet.inter vi vj)) then union i j
+    done
+  done;
+  let comps = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    let prev = Option.value (Hashtbl.find_opt comps r) ~default:[] in
+    Hashtbl.replace comps r (i :: prev)
+  done;
+  Hashtbl.fold
+    (fun _ idxs acc ->
+      let vars =
+        List.fold_left (fun s i -> SSet.union s (SSet.of_list atoms.(i).Cq.vars)) SSet.empty idxs
+      in
+      (idxs, vars) :: acc)
+    comps []

@@ -1,0 +1,20 @@
+(** Query hypergraphs: α-acyclicity (GYO reduction), free-connexity and
+    connected components. The q-hierarchical queries form a strict
+    subclass of the free-connex α-acyclic queries (Sec. 4.1); α-acyclic
+    joins admit amortized O(1) insert-only maintenance (Sec. 4.6). *)
+
+module SSet : Set.S with type elt = string
+
+type t = SSet.t list
+(** A hypergraph as a list of hyperedges (variable sets). *)
+
+val of_query : Cq.t -> t
+val is_acyclic_edges : t -> bool
+val is_alpha_acyclic : Cq.t -> bool
+
+val is_free_connex : Cq.t -> bool
+(** α-acyclic and still α-acyclic with the head added as an edge. *)
+
+val components : Cq.t -> (int list * SSet.t) list
+(** Connected components as (atom indices, variables); used by the CQAP
+    fracture (Def. 4.7). *)

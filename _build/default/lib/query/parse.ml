@@ -1,0 +1,125 @@
+(** A small concrete syntax for queries and FDs, used by the CLI and
+    handy in tests:
+
+    query:  [Q(A, B | C) = R(A, B), S(B, C), T(C)]
+            — head variables before [|] are output, after it input;
+            a head of [()] or empty is a Boolean query. The [|] part is
+            optional (then all head variables are plain free variables).
+    fds:    [A -> B; C, D -> E]
+    adornment: [R: dynamic; S: static] *)
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let trim = String.trim
+
+let split_top (sep : char) (s : string) : string list =
+  (* Split on [sep] at parenthesis depth 0. *)
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '(' then incr depth;
+      if c = ')' then decr depth;
+      if c = sep && !depth = 0 then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map trim !parts
+
+let ident_ok s =
+  String.length s > 0
+  && String.for_all (fun c -> c = '_' || c = '\'' || (c >= '0' && c <= '9')
+                              || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) s
+
+let parse_var_list s =
+  let s = trim s in
+  if s = "" || s = "." then Ok []
+  else
+    let vars = split_top ',' s in
+    if List.for_all ident_ok vars then Ok vars
+    else fail "bad variable list: %s" s
+
+(* "R(A, B)" -> atom *)
+let parse_atom (s : string) : (Cq.atom, string) result =
+  match String.index_opt s '(' with
+  | None -> fail "expected atom Rel(vars): %s" s
+  | Some i ->
+      let rel = trim (String.sub s 0 i) in
+      if not (ident_ok rel) then fail "bad relation name: %s" rel
+      else if String.length s = 0 || s.[String.length s - 1] <> ')' then
+        fail "missing ) in atom: %s" s
+      else
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        Result.bind (parse_var_list inner) (fun vars ->
+            try Ok (Cq.atom rel vars) with Invalid_argument m -> Error m)
+
+type parsed = { cq : Cq.t; input : string list }
+
+(** Parse a query; returns the CQ and the input variables (empty when no
+    access pattern was given). *)
+let query (s : string) : (parsed, string) result =
+  match split_top '=' s with
+  | [ head; body ] -> (
+      let atoms_r =
+        List.fold_right
+          (fun a acc ->
+            Result.bind acc (fun atoms -> Result.map (fun x -> x :: atoms) (parse_atom a)))
+          (split_top ',' body) (Ok [])
+      in
+      match atoms_r with
+      | Error e -> Error e
+      | Ok atoms -> (
+          match String.index_opt head '(' with
+          | None -> fail "expected head Q(vars): %s" head
+          | Some i ->
+              let name = trim (String.sub head 0 i) in
+              if String.length head = 0 || head.[String.length head - 1] <> ')' then
+                fail "missing ) in head: %s" head
+              else
+                let inner = String.sub head (i + 1) (String.length head - i - 2) in
+                let out_part, in_part =
+                  match String.index_opt inner '|' with
+                  | None -> (inner, "")
+                  | Some j ->
+                      ( String.sub inner 0 j,
+                        String.sub inner (j + 1) (String.length inner - j - 1) )
+                in
+                Result.bind (parse_var_list out_part) (fun out ->
+                    Result.bind (parse_var_list in_part) (fun input ->
+                        try Ok { cq = Cq.make ~name ~free:(out @ input) atoms; input }
+                        with Invalid_argument m -> Error m))))
+  | _ -> fail "expected: Head(vars) = Atom(vars), ..."
+
+(** Parse a semicolon-separated FD list: "A -> B; C, D -> E". *)
+let fds (s : string) : (Fd.t list, string) result =
+  let s = trim s in
+  if s = "" then Ok []
+  else
+    List.fold_right
+      (fun part acc ->
+        Result.bind acc (fun fds ->
+            match Str_split.arrow part with
+            | Some (lhs, rhs) ->
+                Result.bind (parse_var_list lhs) (fun l ->
+                    Result.bind (parse_var_list rhs) (fun r -> Ok (Fd.make l r :: fds)))
+            | None -> fail "expected lhs -> rhs: %s" part))
+      (split_top ';' s) (Ok [])
+
+(** Parse an adornment list: "R: static; S: dynamic". *)
+let adornment (s : string) : (Static_dynamic.adornment, string) result =
+  let s = trim s in
+  if s = "" then Ok []
+  else
+    List.fold_right
+      (fun part acc ->
+        Result.bind acc (fun ad ->
+            match split_top ':' part with
+            | [ rel; kind ] -> (
+                match String.lowercase_ascii (trim kind) with
+                | "static" | "s" -> Ok ((trim rel, Static_dynamic.Static) :: ad)
+                | "dynamic" | "d" -> Ok ((trim rel, Static_dynamic.Dynamic) :: ad)
+                | k -> fail "unknown kind %s (want static|dynamic)" k)
+            | _ -> fail "expected Rel: static|dynamic in %s" part))
+      (split_top ';' s) (Ok [])

@@ -1,0 +1,13 @@
+(** A small concrete syntax for queries, FDs and adornments, used by the
+    CLI:
+
+    - query: ["Q(A, B | C) = R(A, B), S(B, C), T(C)"] — head variables
+      after [|] are input variables; an empty head is a Boolean query;
+    - fds: ["A -> B; C, D -> E"];
+    - adornment: ["R: dynamic; S: static"]. *)
+
+type parsed = { cq : Cq.t; input : string list }
+
+val query : string -> (parsed, string) result
+val fds : string -> (Fd.t list, string) result
+val adornment : string -> (Static_dynamic.adornment, string) result

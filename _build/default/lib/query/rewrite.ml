@@ -1,0 +1,58 @@
+(** Cascading q-hierarchical queries (Sec. 4.2, Ex. 4.5).
+
+    When maintaining a set of queries, a non-q-hierarchical query Q1 can
+    piggyback on a q-hierarchical Q2 if there is a trivial (identity)
+    homomorphism from Q2 into Q1: Q1 is rewritten to join the view of Q2
+    with its remaining atoms. If the rewriting is q-hierarchical, the set
+    {Q1, Q2} is maintainable with amortized O(1) updates and O(1) delay,
+    provided Q2's output is enumerated before Q1's. *)
+
+module SSet = Set.Make (String)
+
+(* [covers q2 q1]: every atom of [q2] appears verbatim in [q1] (same
+   relation name and variable list) — the identity homomorphism. *)
+let covers (q2 : Cq.t) (q1 : Cq.t) =
+  List.for_all
+    (fun (a : Cq.atom) ->
+      List.exists
+        (fun (b : Cq.atom) -> String.equal a.rel b.rel && List.equal String.equal a.vars b.vars)
+        q1.Cq.atoms)
+    q2.Cq.atoms
+
+(** [rewrite ~q1 ~q2] replaces the atoms of [q2] inside [q1] by a single
+    view atom over [q2]'s free variables. Returns [None] when the
+    rewriting would not be equivalent to [q1]: that requires (i) the
+    identity homomorphism to exist and (ii) every variable of the covered
+    atoms that is free in [q1] or shared with the remaining atoms to be
+    free in [q2]. *)
+let rewrite ~(q1 : Cq.t) ~(q2 : Cq.t) : Cq.t option =
+  if not (covers q2 q1) then None
+  else begin
+    let covered (b : Cq.atom) =
+      List.exists
+        (fun (a : Cq.atom) -> String.equal a.rel b.rel && List.equal String.equal a.vars b.vars)
+        q2.Cq.atoms
+    in
+    let rest = List.filter (fun b -> not (covered b)) q1.Cq.atoms in
+    let q2_vars = SSet.of_list (Cq.vars q2) in
+    let rest_vars = SSet.of_list (List.concat_map (fun a -> a.Cq.vars) rest) in
+    let q2_free = SSet.of_list q2.Cq.free in
+    let needed =
+      SSet.union
+        (SSet.inter q2_vars rest_vars)
+        (SSet.inter q2_vars (SSet.of_list q1.Cq.free))
+    in
+    if not (SSet.subset needed q2_free) then None
+    else
+      let view_atom = { Cq.rel = q2.Cq.name; vars = q2.Cq.free } in
+      Some (Cq.make ~name:(q1.Cq.name ^ "'") ~free:q1.Cq.free (view_atom :: rest))
+  end
+
+(** Can {q1, q2} be maintained with the cascading technique: q2 is
+    q-hierarchical and the rewriting of q1 using q2 is q-hierarchical? *)
+let cascadable ~(q1 : Cq.t) ~(q2 : Cq.t) =
+  Hierarchical.is_q_hierarchical q2
+  &&
+  match rewrite ~q1 ~q2 with
+  | None -> false
+  | Some q1' -> Hierarchical.is_q_hierarchical q1'

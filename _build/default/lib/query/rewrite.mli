@@ -1,0 +1,16 @@
+(** Cascading q-hierarchical queries (Sec. 4.2, Ex. 4.5): rewriting a
+    non-q-hierarchical Q1 over the view of a q-hierarchical Q2 so that
+    the set {Q1, Q2} is maintainable with amortized O(1) updates and
+    O(1) delay, provided Q2 is enumerated before Q1. *)
+
+val covers : Cq.t -> Cq.t -> bool
+(** [covers q2 q1]: every atom of [q2] occurs verbatim in [q1] — the
+    identity homomorphism of Ex. 4.5. *)
+
+val rewrite : q1:Cq.t -> q2:Cq.t -> Cq.t option
+(** Replace [q2]'s atoms inside [q1] by one view atom over [q2]'s head;
+    [None] when the rewriting would not be equivalent (a bound variable
+    of [q2] is needed outside it). *)
+
+val cascadable : q1:Cq.t -> q2:Cq.t -> bool
+(** [q2] is q-hierarchical and the rewriting of [q1] using it is too. *)

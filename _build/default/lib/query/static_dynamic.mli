@@ -1,0 +1,35 @@
+(** Queries over static and dynamic relations (Sec. 4.5): a variable
+    order witnesses tractability in the mixed setting when updates to
+    every dynamic relation propagate to the root with constant-time
+    steps and the free variables form a connex top fragment. The checker
+    is exhaustive (hence exact on its search space) for queries with at
+    most {!max_search_vars} variables. *)
+
+type kind = Static | Dynamic
+type adornment = (string * kind) list
+
+val kind_of : adornment -> string -> kind
+(** Defaults to [Dynamic] for unlisted relations. *)
+
+val max_search_vars : int
+
+val constant_path :
+  q:Cq.t ->
+  anchors:string array ->
+  deps:(string * string list) list ->
+  forest:Variable_order.forest ->
+  atom_idx:int ->
+  bool
+(** Does a single-tuple update to the given atom propagate to the root
+    with constant-time steps under this order? (Also used by the view
+    tree's fast-path analysis.) *)
+
+val tractable_with_order : Cq.t -> adornment -> Variable_order.forest -> bool
+
+val all_forests : string list -> Variable_order.forest list
+(** Every rooted forest over the given variables (for ≤ 7 of them). *)
+
+val is_tractable : ?candidates:Variable_order.forest list -> Cq.t -> adornment -> bool
+
+val all_dynamic : Cq.t -> adornment
+(** With this adornment the class collapses to q-hierarchical (tested). *)

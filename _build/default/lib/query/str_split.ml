@@ -1,0 +1,12 @@
+(** String helpers for the parser (kept out of {!Parse} for reuse). *)
+
+(** [arrow "A, B -> C"] is [Some ("A, B", "C")]. *)
+let arrow (s : string) : (string * string) option =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = '-' && s.[i + 1] = '>' then
+      Some (String.trim (String.sub s 0 i), String.trim (String.sub s (i + 2) (n - i - 2)))
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,178 @@
+(** Variable orders: the skeletons of view trees (Sec. 4.1, Fig. 3).
+
+    A variable order for a query is a forest over its variables such that
+    the variables of every atom lie on a single root-to-node path (the
+    atom is "anchored" at its lowest variable). Hierarchical queries have
+    a canonical such forest: group variables into equivalence classes by
+    equal atom sets; class X is a child of the smallest class strictly
+    containing its atom set. Free variables are ordered before bound ones
+    inside a class, so that for q-hierarchical queries the free variables
+    form a connex top fragment — the condition for constant-delay
+    enumeration. *)
+
+module ISet = Set.Make (Int)
+module SSet = Set.Make (String)
+
+type t = { var : string; children : t list }
+type forest = t list
+
+let rec vars_of_tree t = t.var :: List.concat_map vars_of_tree t.children
+let vars_of (f : forest) = List.concat_map vars_of_tree f
+
+(* A chain a > b > c > ... as a degenerate tree. *)
+let rec chain = function
+  | [] -> invalid_arg "Variable_order.chain: empty"
+  | [ v ] -> { var = v; children = [] }
+  | v :: rest -> { var = v; children = [ chain rest ] }
+
+(** [canonical q] is the canonical forest of a hierarchical query, [None]
+    if [q] is not hierarchical. *)
+let canonical (q : Cq.t) : forest option =
+  if not (Hierarchical.is_hierarchical q) then None
+  else begin
+    let vs = Cq.vars q in
+    let aset v = ISet.of_list (Cq.atoms_of q v) in
+    (* Equivalence classes by equal atom sets. *)
+    let classes : (ISet.t * string list) list =
+      List.fold_left
+        (fun acc v ->
+          let s = aset v in
+          let rec insert = function
+            | [] -> [ (s, [ v ]) ]
+            | (s', vs') :: rest ->
+                if ISet.equal s s' then (s', vs' @ [ v ]) :: rest
+                else (s', vs') :: insert rest
+          in
+          insert acc)
+        [] vs
+    in
+    (* Order class members: free variables first (free-connex top). *)
+    let order_members vs =
+      let free, bound = List.partition (Cq.is_free q) vs in
+      free @ bound
+    in
+    (* Build the forest: class C is a child of the smallest class whose
+       atom set strictly contains C's. *)
+    let strictly_contains (s1, _) (s2, _) = ISet.subset s2 s1 && not (ISet.equal s1 s2) in
+    let parent_of c =
+      let candidates = List.filter (fun c' -> strictly_contains c' c) classes in
+      match candidates with
+      | [] -> None
+      | first :: rest ->
+          Some
+            (List.fold_left
+               (fun (best_s, best_v) (s, v) ->
+                 if ISet.subset s best_s then (s, v) else (best_s, best_v))
+               first rest)
+    in
+    let rec build ((_, members) as cls) : t =
+      let children_classes = List.filter (fun c -> parent_of c = Some cls) classes in
+      let subtrees = List.map build children_classes in
+      (* A class with several variables becomes a chain ending in the
+         children of the class. *)
+      let rec attach = function
+        | [] -> assert false
+        | [ v ] -> { var = v; children = subtrees }
+        | v :: rest -> { var = v; children = [ attach rest ] }
+      in
+      attach (order_members members)
+    in
+    let roots = List.filter (fun c -> parent_of c = None) classes in
+    Some (List.map build roots)
+  end
+
+(** Ancestor paths: [paths f] maps each variable to the list of its
+    ancestors (root first, excluding itself). *)
+let paths (f : forest) : (string * string list) list =
+  let rec go anc t =
+    (t.var, List.rev anc) :: List.concat_map (go (t.var :: anc)) t.children
+  in
+  List.concat_map (go []) f
+
+(** [anchor q f] assigns every atom of [q] to its lowest variable in the
+    forest and checks validity: each atom's variables must lie on the
+    root path of its anchor. Returns the anchor variable for each atom
+    index, or an error describing the violated atom. *)
+let anchor (q : Cq.t) (f : forest) : (string array, string) result =
+  let pathmap = paths f in
+  let path_of v =
+    match List.assoc_opt v pathmap with
+    | Some p -> p @ [ v ]
+    | None -> invalid_arg ("Variable_order.anchor: variable not in order: " ^ v)
+  in
+  let atoms = Array.of_list q.Cq.atoms in
+  let anchors = Array.make (Array.length atoms) "" in
+  let ok = ref (Ok ()) in
+  Array.iteri
+    (fun i (a : Cq.atom) ->
+      (* The anchor is the atom variable with the longest root path. *)
+      match a.Cq.vars with
+      | [] -> ok := Error (Printf.sprintf "atom %s has no variables" a.Cq.rel)
+      | v0 :: _ ->
+          let anchor_var =
+            List.fold_left
+              (fun best v ->
+                if List.length (path_of v) > List.length (path_of best) then v else best)
+              v0 a.Cq.vars
+          in
+          let p = path_of anchor_var in
+          if List.for_all (fun v -> List.mem v p) a.Cq.vars then anchors.(i) <- anchor_var
+          else
+            ok :=
+              Error
+                (Printf.sprintf "atom %s(%s) does not lie on the root path of %s" a.Cq.rel
+                   (String.concat "," a.Cq.vars) anchor_var))
+    atoms;
+  match !ok with Ok () -> Ok anchors | Error e -> Error e
+
+let validate (q : Cq.t) (f : forest) : (unit, string) result =
+  let qvars = SSet.of_list (Cq.vars q) in
+  let fvars = vars_of f in
+  if List.length fvars <> SSet.cardinal qvars || not (List.for_all (fun v -> SSet.mem v qvars) fvars)
+  then Error "variable order does not cover exactly the query variables"
+  else Result.map (fun _ -> ()) (anchor q f)
+
+(** [keys q f] computes the dependency set dep(X) of every variable in
+    the order: the ancestors of X that co-occur (in some atom anchored in
+    X's subtree) with variables of that subtree. dep(X) is the key schema
+    of the view at X after marginalizing X (F-IVM's view trees). The
+    result lists dep(X) in root-to-leaf ancestor order. *)
+let keys (q : Cq.t) (f : forest) : (string * string list) list =
+  match anchor q f with
+  | Error e -> invalid_arg ("Variable_order.keys: invalid order: " ^ e)
+  | Ok anchors ->
+      let atoms = Array.of_list q.Cq.atoms in
+      let pathmap = paths f in
+      let rec subtree_atoms t =
+        let here =
+          List.filteri (fun i _ -> String.equal anchors.(i) t.var) (Array.to_list atoms)
+        in
+        here @ List.concat_map subtree_atoms t.children
+      in
+      let rec go acc t =
+        let anc = List.assoc t.var pathmap in
+        let sub_vars =
+          SSet.of_list (List.concat_map (fun (a : Cq.atom) -> a.Cq.vars) (subtree_atoms t))
+        in
+        let dep = List.filter (fun y -> SSet.mem y sub_vars) anc in
+        List.fold_left go ((t.var, dep) :: acc) t.children
+      in
+      List.rev (List.fold_left go [] f)
+
+(** Free variables form a connex top fragment: every ancestor of a free
+    variable is free. Required for constant-delay full enumeration. *)
+let free_top (q : Cq.t) (f : forest) =
+  List.for_all
+    (fun (v, anc) -> (not (Cq.is_free q v)) || List.for_all (Cq.is_free q) anc)
+    (paths f)
+
+let rec pp_tree ppf t =
+  match t.children with
+  | [] -> Format.pp_print_string ppf t.var
+  | cs ->
+      Format.fprintf ppf "%s(%a)" t.var
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_tree)
+        cs
+
+let pp ppf (f : forest) =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ") pp_tree ppf f

@@ -1,0 +1,37 @@
+(** Variable orders: the skeletons of view trees (Sec. 4.1, Fig. 3). A
+    variable order for a query is a forest over its variables in which
+    every atom's variables lie on a single root-to-node path. *)
+
+type t = { var : string; children : t list }
+type forest = t list
+
+val vars_of : forest -> string list
+
+val chain : string list -> t
+(** A linear order a > b > c > ..., always a valid order. *)
+
+val canonical : Cq.t -> forest option
+(** The canonical forest of a hierarchical query ([None] otherwise):
+    variables grouped by equal atom sets, classes nested by strict
+    containment, free variables first within a class — which makes the
+    order free-top for q-hierarchical queries. *)
+
+val paths : forest -> (string * string list) list
+(** Each variable with its ancestors, root first. *)
+
+val anchor : Cq.t -> forest -> (string array, string) result
+(** The lowest variable of each atom; [Error] when some atom is not on a
+    root path (invalid order). *)
+
+val validate : Cq.t -> forest -> (unit, string) result
+
+val keys : Cq.t -> forest -> (string * string list) list
+(** dep(X) for every variable: the ancestors of X co-occurring with X's
+    subtree — the key schema of the view at X (F-IVM). *)
+
+val free_top : Cq.t -> forest -> bool
+(** Free variables form a connex top fragment: required for
+    constant-delay full enumeration. *)
+
+val pp_tree : Format.formatter -> t -> unit
+val pp : Format.formatter -> forest -> unit

@@ -1,0 +1,1 @@
+lib/ring/bool_semiring.ml: Bool Format

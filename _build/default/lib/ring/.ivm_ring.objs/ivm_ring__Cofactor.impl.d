@@ -1,0 +1,1 @@
+lib/ring/cofactor.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/ring/count_sum.ml: Float Format

@@ -1,0 +1,1 @@
+lib/ring/float_ring.ml: Float Format

@@ -1,0 +1,1 @@
+lib/ring/int_ring.ml: Format Int

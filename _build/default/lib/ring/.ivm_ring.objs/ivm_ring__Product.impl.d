@@ -1,0 +1,1 @@
+lib/ring/product.ml: Format Sigs

@@ -1,0 +1,1 @@
+lib/ring/provenance.ml: Format Int List Map Option Stdlib String

@@ -1,0 +1,1 @@
+lib/ring/sigs.ml: Format

@@ -1,0 +1,1 @@
+lib/ring/tropical.ml: Float Format

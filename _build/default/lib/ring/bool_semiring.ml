@@ -1,0 +1,17 @@
+(** The Boolean semiring [(bool, ||, &&, false, true)].
+
+    It is a semiring, not a ring: disjunction has no inverse, so it cannot
+    encode deletes. Boolean queries under insert-delete streams are instead
+    maintained over [Int_ring] and tested for positivity, exactly as the
+    paper's triangle-detection query [Q_b] is the positivity test of the
+    triangle count (Sec. 3.4). *)
+
+type t = bool
+
+let zero = false
+let one = true
+let add = ( || )
+let mul = ( && )
+let equal : bool -> bool -> bool = Bool.equal
+let is_zero x = not x
+let pp = Format.pp_print_bool

@@ -1,0 +1,86 @@
+(** The degree-2 (cofactor) ring of F-IVM [33, 22]: payloads are triples
+    [(count, sums vector, cofactor matrix)] over a fixed set of [n]
+    numeric features. Maintaining a query over this ring maintains, in one
+    pass, all pairwise cofactors SUM(X_i * X_j) of the join result — the
+    sufficient statistics of linear regression ("in-database machine
+    learning" in the paper's Sec. 6 outlook).
+
+    Multiplication is the scalar extension of the degree-1 rule:
+    - count: c1*c2
+    - sums:  c1*s2 + c2*s1
+    - cofactors: c1*Q2 + c2*Q1 + s1*s2^T + s2*s1^T *)
+
+type t = { count : int; sums : float array; cof : float array array }
+
+let dim = ref 0
+
+let set_dimension n =
+  if n < 0 then invalid_arg "Cofactor.set_dimension";
+  dim := n
+
+let dimension () = !dim
+let make_vec () = Array.make !dim 0.
+let make_mat () = Array.init !dim (fun _ -> Array.make !dim 0.)
+let zero_of n =
+  { count = 0; sums = Array.make n 0.; cof = Array.init n (fun _ -> Array.make n 0.) }
+
+let zero = { count = 0; sums = [||]; cof = [||] }
+let one = { count = 1; sums = [||]; cof = [||] }
+
+(* The empty-array forms of [zero] and [one] act as neutral elements of
+   any dimension; [promote] expands them on demand. *)
+let promote x = if Array.length x.sums = !dim then x else
+    { x with sums = (let v = make_vec () in Array.blit x.sums 0 v 0 (Array.length x.sums); v);
+             cof = (let m = make_mat () in
+                    Array.iteri (fun i r -> Array.blit r 0 m.(i) 0 (Array.length r)) x.cof;
+                    m) }
+
+(* [of_feature i v] lifts feature [i] having value [v]. *)
+let of_feature i v =
+  let sums = make_vec () in
+  sums.(i) <- v;
+  let cof = make_mat () in
+  cof.(i).(i) <- v *. v;
+  { count = 1; sums; cof }
+
+let add a b =
+  let a = promote a and b = promote b in
+  { count = a.count + b.count;
+    sums = Array.init !dim (fun i -> a.sums.(i) +. b.sums.(i));
+    cof = Array.init !dim (fun i -> Array.init !dim (fun j -> a.cof.(i).(j) +. b.cof.(i).(j))) }
+
+let mul a b =
+  let a = promote a and b = promote b in
+  let ca = float_of_int a.count and cb = float_of_int b.count in
+  { count = a.count * b.count;
+    sums = Array.init !dim (fun i -> (ca *. b.sums.(i)) +. (cb *. a.sums.(i)));
+    cof =
+      Array.init !dim (fun i ->
+          Array.init !dim (fun j ->
+              (ca *. b.cof.(i).(j)) +. (cb *. a.cof.(i).(j))
+              +. (a.sums.(i) *. b.sums.(j)) +. (b.sums.(i) *. a.sums.(j)))) }
+
+let neg a =
+  let a = promote a in
+  { count = -a.count;
+    sums = Array.map (fun x -> -.x) a.sums;
+    cof = Array.map (Array.map (fun x -> -.x)) a.cof }
+
+let sub a b = add a (neg b)
+
+let equal a b =
+  let a = promote a and b = promote b in
+  a.count = b.count
+  && Array.for_all2 Float.equal a.sums b.sums
+  && Array.for_all2 (fun r1 r2 -> Array.for_all2 Float.equal r1 r2) a.cof b.cof
+
+let is_zero a =
+  a.count = 0
+  && Array.for_all (Float.equal 0.) a.sums
+  && Array.for_all (Array.for_all (Float.equal 0.)) a.cof
+
+let pp ppf a =
+  Format.fprintf ppf "{n=%d; sums=[%a]}" a.count
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list a.sums)

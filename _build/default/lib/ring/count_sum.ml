@@ -1,0 +1,28 @@
+(** The COUNT+SUM ring: payloads [(c, s)] maintaining a tuple count
+    together with a sum of lifted measure values. AVG over a view is the
+    derived quantity [s /. c]. This is the degree-1 case of F-IVM's
+    aggregate rings; see also {!Cofactor} for the degree-2 case. *)
+
+type t = { count : int; sum : float }
+
+let zero = { count = 0; sum = 0. }
+let one = { count = 1; sum = 0. }
+
+(* [of_value v] lifts a measure value: count 1, sum v. *)
+let of_value v = { count = 1; sum = v }
+
+let add a b = { count = a.count + b.count; sum = a.sum +. b.sum }
+
+(* Multiplication follows the scalar-extension rule used by F-IVM:
+   (c1, s1) * (c2, s2) = (c1*c2, c1*s2 + c2*s1). It makes [of_value]
+   multiplicative over independent join branches. *)
+let mul a b =
+  { count = a.count * b.count;
+    sum = (float_of_int a.count *. b.sum) +. (float_of_int b.count *. a.sum) }
+
+let neg a = { count = -a.count; sum = -.a.sum }
+let sub a b = add a (neg b)
+let equal a b = a.count = b.count && Float.equal a.sum b.sum
+let is_zero a = a.count = 0 && a.sum = 0.
+let avg a = if a.count = 0 then nan else a.sum /. float_of_int a.count
+let pp ppf a = Format.fprintf ppf "{n=%d; sum=%g}" a.count a.sum

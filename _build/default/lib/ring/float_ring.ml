@@ -1,0 +1,18 @@
+(** The ring of floats, for SUM-style aggregates over measure columns.
+
+    Floating-point addition is only approximately associative; we accept
+    this for aggregate payloads, as production IVM engines do. Exact
+    equality is used for zero-elision, which is sound because payloads
+    reach exact [0.] only when an inserted value is subtracted back. *)
+
+type t = float
+
+let zero = 0.
+let one = 1.
+let add = ( +. )
+let mul = ( *. )
+let neg x = -.x
+let sub = ( -. )
+let equal : float -> float -> bool = Float.equal
+let is_zero x = x = 0.
+let pp ppf x = Format.fprintf ppf "%g" x

@@ -1,0 +1,15 @@
+(** The ring of integers [(Z, +, *, 0, 1)], used to maintain tuple
+    multiplicities (Sec. 2). This is the payload domain of DBToaster and
+    F-IVM and the default ring of every engine in this library. *)
+
+type t = int
+
+let zero = 0
+let one = 1
+let add = ( + )
+let mul = ( * )
+let neg x = -x
+let sub = ( - )
+let equal : int -> int -> bool = Int.equal
+let is_zero x = x = 0
+let pp = Format.pp_print_int

@@ -1,0 +1,18 @@
+(** Product of two rings, component-wise. Products let one maintain
+    several aggregates over the same view tree in a single pass, e.g.
+    COUNT and SUM together (the basis of AVG maintenance). *)
+
+module Make (A : Sigs.RING) (B : Sigs.RING) : Sigs.RING with type t = A.t * B.t =
+struct
+  type t = A.t * B.t
+
+  let zero = (A.zero, B.zero)
+  let one = (A.one, B.one)
+  let add (a1, b1) (a2, b2) = (A.add a1 a2, B.add b1 b2)
+  let mul (a1, b1) (a2, b2) = (A.mul a1 a2, B.mul b1 b2)
+  let neg (a, b) = (A.neg a, B.neg b)
+  let sub (a1, b1) (a2, b2) = (A.sub a1 a2, B.sub b1 b2)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let is_zero (a, b) = A.is_zero a && B.is_zero b
+  let pp ppf (a, b) = Format.fprintf ppf "(%a, %a)" A.pp a B.pp b
+end

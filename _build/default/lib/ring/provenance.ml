@@ -1,0 +1,109 @@
+(** Provenance polynomials — the free commutative semiring N[X] over
+    tuple identifiers (Green, Karvounarakis, Tannen [13], the origin of
+    the paper's K-relation data model, Sec. 2).
+
+    A payload is a polynomial Σ c · m where each monomial m is a
+    multiset of base-tuple identifiers: the query output's payload
+    records *how* each output tuple was derived. Addition is union of
+    derivations (alternative uses), multiplication is joint use.
+
+    N[X] is the most general such semiring: any other semiring
+    annotation factors through it. It is not a ring (no additive
+    inverses), so it supports insert-only maintenance; deletion support
+    requires specializing to Z[X], which {!neg} provides by allowing
+    negative coefficients. *)
+
+module Monomial = struct
+  (* A multiset of identifiers, as a sorted (id, exponent) list. *)
+  type t = (string * int) list
+
+  let one : t = []
+
+  let of_id id : t = [ (id, 1) ]
+
+  let rec mul (a : t) (b : t) : t =
+    match (a, b) with
+    | [], m | m, [] -> m
+    | (x, i) :: a', (y, j) :: b' ->
+        let c = String.compare x y in
+        if c = 0 then (x, i + j) :: mul a' b'
+        else if c < 0 then (x, i) :: mul a' ((y, j) :: b')
+        else (y, j) :: mul ((x, i) :: a') b'
+
+  let compare = Stdlib.compare
+
+  let pp ppf (m : t) =
+    if m = [] then Format.pp_print_string ppf "1"
+    else
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "·")
+        (fun ppf (x, i) ->
+          if i = 1 then Format.pp_print_string ppf x else Format.fprintf ppf "%s^%d" x i)
+        ppf m
+end
+
+module MMap = Map.Make (struct
+  type t = Monomial.t
+
+  let compare = Monomial.compare
+end)
+
+type t = int MMap.t
+(** coefficient per monomial; absent = 0. *)
+
+let zero : t = MMap.empty
+let one : t = MMap.singleton Monomial.one 1
+
+(** The polynomial consisting of a single base-tuple identifier — the
+    lifting of an inserted tuple. *)
+let of_id id : t = MMap.singleton (Monomial.of_id id) 1
+
+let norm (p : t) : t = MMap.filter (fun _ c -> c <> 0) p
+
+let add (a : t) (b : t) : t =
+  norm (MMap.union (fun _ c1 c2 -> Some (c1 + c2)) a b)
+
+let mul (a : t) (b : t) : t =
+  MMap.fold
+    (fun ma ca acc ->
+      MMap.fold
+        (fun mb cb acc ->
+          let m = Monomial.mul ma mb in
+          let prev = Option.value (MMap.find_opt m acc) ~default:0 in
+          let c = prev + (ca * cb) in
+          if c = 0 then MMap.remove m acc else MMap.add m c acc)
+        b acc)
+    a MMap.empty
+
+(* Z[X]: negative coefficients encode deletions of derivations. *)
+let neg (p : t) : t = MMap.map (fun c -> -c) p
+let sub a b = add a (neg b)
+let equal (a : t) (b : t) = MMap.equal Int.equal (norm a) (norm b)
+let is_zero (p : t) = MMap.is_empty (norm p)
+
+(** Number of distinct derivations (monomials with positive
+    coefficient counted with multiplicity). *)
+let derivation_count (p : t) = MMap.fold (fun _ c acc -> acc + max 0 c) p 0
+
+(** Evaluate the polynomial under an assignment of semiring values to
+    identifiers — the factorization property of N[X]: specializing to
+    (Z, +, ×) with every id ↦ its multiplicity recovers counting. *)
+let eval ~(zero : 'a) ~(add : 'a -> 'a -> 'a) ~(mul : 'a -> 'a -> 'a) ~(of_int : int -> 'a)
+    ~(var : string -> 'a) (p : t) : 'a =
+  MMap.fold
+    (fun m c acc ->
+      let rec pow v n = if n = 0 then of_int 1 else mul v (pow v (n - 1)) in
+      let mono =
+        List.fold_left (fun acc (x, i) -> mul acc (pow (var x) i)) (of_int 1) m
+      in
+      add acc (mul (of_int c) mono))
+    p zero
+
+let pp ppf (p : t) =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+      (fun ppf (m, c) ->
+        if c = 1 then Monomial.pp ppf m else Format.fprintf ppf "%d·%a" c Monomial.pp m)
+      ppf (MMap.bindings p)

@@ -1,0 +1,36 @@
+(** Algebraic signatures for payload domains (Sec. 2 of the paper).
+
+    Relations map tuples to values of a commutative ring (or, for some
+    analytics, a semiring). The ring structure is what makes inserts and
+    deletes uniform: an insert carries a positive payload, a delete a
+    negative one, and batches of updates commute. *)
+
+(** A commutative semiring [(t, add, mul, zero, one)]. *)
+module type SEMIRING = sig
+  type t
+
+  val zero : t
+  (** Additive identity; tuples whose payload is [zero] are absent. *)
+
+  val one : t
+  (** Multiplicative identity; the payload of a plain inserted tuple. *)
+
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val is_zero : t -> bool
+  (** [is_zero x] is [equal x zero]; relations use it to evict entries. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A commutative ring: a semiring with additive inverses. Additive
+    inverses are what encode deletes (Sec. 2). *)
+module type RING = sig
+  include SEMIRING
+
+  val neg : t -> t
+  val sub : t -> t -> t
+end

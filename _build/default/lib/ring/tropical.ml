@@ -1,0 +1,32 @@
+(** The min-plus (tropical) semiring [(R ∪ {∞}, min, +, ∞, 0)].
+
+    Useful for maintaining shortest-path-style analytics over views; it is
+    a semiring only (min has no inverse), so it supports insert-only
+    maintenance (Sec. 4.6), not deletes. *)
+
+type t = Finite of float | Infinity
+
+let zero = Infinity
+let one = Finite 0.
+
+let add a b =
+  match (a, b) with
+  | Infinity, x | x, Infinity -> x
+  | Finite x, Finite y -> Finite (Float.min x y)
+
+let mul a b =
+  match (a, b) with
+  | Infinity, _ | _, Infinity -> Infinity
+  | Finite x, Finite y -> Finite (x +. y)
+
+let equal a b =
+  match (a, b) with
+  | Infinity, Infinity -> true
+  | Finite x, Finite y -> Float.equal x y
+  | Infinity, Finite _ | Finite _, Infinity -> false
+
+let is_zero a = equal a Infinity
+
+let pp ppf = function
+  | Infinity -> Format.pp_print_string ppf "inf"
+  | Finite x -> Format.fprintf ppf "%g" x

@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Hashtbl Option Random Vec Zipf

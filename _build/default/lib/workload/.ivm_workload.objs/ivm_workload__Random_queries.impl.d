@@ -1,0 +1,1 @@
+lib/workload/random_queries.ml: Ivm_query List Printf Random

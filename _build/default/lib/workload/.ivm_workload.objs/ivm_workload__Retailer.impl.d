@@ -1,0 +1,1 @@
+lib/workload/retailer.ml: Ivm_data Ivm_query List Random Zipf

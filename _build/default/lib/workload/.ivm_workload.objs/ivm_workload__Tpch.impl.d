@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Ivm_query List Printf

@@ -1,0 +1,1 @@
+lib/workload/vec.ml: Array

@@ -1,0 +1,81 @@
+(** Random-graph update streams for the triangle workloads (Sec. 3).
+
+    The three binary relations R(A,B), S(B,C), T(C,A) are populated with
+    edges whose endpoints are drawn either uniformly or Zipf-skewed; the
+    skewed variant produces the heavy keys that separate the classical
+    engines (O(N) updates) from IVM^ε (O(√N)). *)
+
+type edge = { rel : int; (* 0 = R, 1 = S, 2 = T *) src : int; dst : int; mult : int }
+
+type spec = {
+  nodes : int;
+  skew : float; (* Zipf exponent; 0. = uniform *)
+  delete_ratio : float; (* probability an update deletes a live edge *)
+}
+
+let default = { nodes = 1000; skew = 0.; delete_ratio = 0. }
+
+type t = {
+  spec : spec;
+  rng : Random.State.t;
+  zipf : Zipf.t option;
+  live : ((int * int * int), int) Hashtbl.t; (* (rel,src,dst) -> multiplicity *)
+  live_list : (int * int * int) Vec.t option; (* absent: no deletes *)
+}
+
+let create ?(seed = 7) (spec : spec) =
+  {
+    spec;
+    rng = Random.State.make [| seed |];
+    zipf = (if spec.skew > 0. then Some (Zipf.create ~n:spec.nodes ~s:spec.skew) else None);
+    live = Hashtbl.create 1024;
+    live_list = (if spec.delete_ratio > 0. then Some (Vec.create ()) else None);
+  }
+
+let node t =
+  match t.zipf with
+  | Some z -> Zipf.sample z t.rng
+  | None -> 1 + Random.State.int t.rng t.spec.nodes
+
+let insert_random (t : t) : edge =
+  let rel = Random.State.int t.rng 3 and src = node t and dst = node t in
+  let key = (rel, src, dst) in
+  Hashtbl.replace t.live key (1 + Option.value (Hashtbl.find_opt t.live key) ~default:0);
+  Option.iter (fun l -> Vec.add l key) t.live_list;
+  { rel; src; dst; mult = 1 }
+
+(** Next update in the stream: an insert of a random edge, or (with
+    probability [delete_ratio]) a delete of a currently live edge. *)
+let next (t : t) : edge =
+  let try_delete =
+    t.spec.delete_ratio > 0.
+    && Random.State.float t.rng 1.0 < t.spec.delete_ratio
+    && Hashtbl.length t.live > 0
+  in
+  if try_delete then begin
+    let list = Option.get t.live_list in
+    (* Rejection-sample a live edge from the append-only list. *)
+    let rec pick tries =
+      if tries = 0 || Vec.length list = 0 then None
+      else
+        let i = Random.State.int t.rng (Vec.length list) in
+        let key = Vec.get list i in
+        match Hashtbl.find_opt t.live key with
+        | Some m when m > 0 -> Some key
+        | Some _ | None -> pick (tries - 1)
+    in
+    match pick 16 with
+    | Some ((rel, src, dst) as key) ->
+        let m = Hashtbl.find t.live key in
+        if m = 1 then Hashtbl.remove t.live key else Hashtbl.replace t.live key (m - 1);
+        { rel; src; dst; mult = -1 }
+    | None -> insert_random t
+  end
+  else insert_random t
+
+(** [prefill t k f] feeds [k] stream updates to [f] — used to build an
+    initial database of a target size before measuring. *)
+let prefill t k f =
+  for _ = 1 to k do
+    f (next t)
+  done

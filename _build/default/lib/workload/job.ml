@@ -1,0 +1,63 @@
+(** The JOB/IMDB-style PK–FK workload of Ex. 4.13.
+
+    Relations: Title(movie_id), Movie_Companies(movie_id, company_id),
+    Company_Name(company_id). movie_id and company_id are primary keys of
+    Title and Company_Name and foreign keys in Movie_Companies.
+
+    The generator produces *valid* batches: each batch inserts (or
+    deletes) a consistent group — a company, the movies it participates
+    in, and the Movie_Companies rows wiring them — and then shuffles the
+    batch, so the engine sees out-of-order updates that pass through
+    inconsistent intermediate states, exactly the regime in which the
+    amortized-constant argument of Ex. 4.13 applies. *)
+
+type op = T_title of int * int | T_companies of int * int * int | T_names of int * int
+(* payload last; positive insert, negative delete *)
+
+type t = {
+  rng : Random.State.t;
+  mutable next_movie : int;
+  mutable next_company : int;
+  mutable groups : (int * int list) list; (* live (company, movies) groups *)
+}
+
+let create ?(seed = 23) () = { rng = Random.State.make [| seed |]; next_movie = 1; next_company = 1; groups = [] }
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** A valid insert batch: a fresh company with [fanout] fresh movies.
+    The shuffled order routinely inserts Movie_Companies rows before the
+    Title and Company_Name rows they reference. *)
+let insert_batch (t : t) ~fanout : op list =
+  let c = t.next_company in
+  t.next_company <- c + 1;
+  let movies = List.init fanout (fun i -> t.next_movie + i) in
+  t.next_movie <- t.next_movie + fanout;
+  t.groups <- (c, movies) :: t.groups;
+  let ops =
+    T_names (c, 1)
+    :: List.concat_map (fun m -> [ T_title (m, 1); T_companies (m, c, 1) ]) movies
+  in
+  shuffle t.rng ops
+
+(** A valid delete batch: remove a previously inserted group wholesale,
+    again in shuffled order (deleting the company key before the rows
+    referencing it passes through inconsistent states). *)
+let delete_batch (t : t) : op list option =
+  match t.groups with
+  | [] -> None
+  | (c, movies) :: rest ->
+      t.groups <- rest;
+      let ops =
+        T_names (c, -1)
+        :: List.concat_map (fun m -> [ T_title (m, -1); T_companies (m, c, -1) ]) movies
+      in
+      Some (shuffle t.rng ops)

@@ -1,0 +1,71 @@
+(** A random CQ workload generator with key-style FDs, used to reproduce
+    the Sec. 4.4 observation that functional dependencies turn a large
+    fraction of a real query workload q-hierarchical (76% of ≈6000
+    queries in a RelationalAI project). The proprietary corpus is not
+    available, so we generate snowflake-shaped join queries over schemas
+    with key/foreign-key edges — the shape of that workload — and
+    measure the same fraction on them. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+
+type generated = { query : Cq.t; fds : Fd.t list }
+
+(* A random snowflake: a central fact relation with [dims] dimension
+   relations hanging off foreign keys, each dimension possibly having a
+   further sub-dimension (chains of length 2) — the pattern that is
+   non-hierarchical as written (chains!) but hierarchical under the key
+   FDs. With probability [cyclic_p] an extra edge shares a dimension
+   between two branches, which usually stays intractable. *)
+let generate ~rng ~id : generated =
+  (* 70% single-branch (chain) queries, 30% multi-branch stars. Chains
+     become q-hierarchical under the key FDs; stars do not (two branches
+     properly overlap on the fact atom — see Ex. 4.13 for why only
+     amortized maintenance is possible for them). The measured fraction
+     therefore tracks the chain share of the corpus; the paper's 76% is
+     a property of the RelationalAI corpus, ours of this mix. *)
+  let dims = if Random.State.int rng 10 < 7 then 1 else 2 + Random.State.int rng 2 in
+  let fact_keys = List.init dims (fun i -> Printf.sprintf "k%d" i) in
+  let fact = Cq.atom "Fact" ("fid" :: fact_keys) in
+  let atoms = ref [ fact ] in
+  (* The fact table's primary key determines its foreign keys. *)
+  let fds = ref [ Fd.make [ "fid" ] fact_keys ] in
+  let free = ref [] in
+  List.iteri
+    (fun i k ->
+      let dname = Printf.sprintf "Dim%d" i in
+      let attr = Printf.sprintf "a%d" i in
+      let deep = Random.State.bool rng in
+      if deep then begin
+        (* Dim(k, sub); Sub(sub, attr): a chain of length 2. *)
+        let sub = Printf.sprintf "s%d" i in
+        atoms := Cq.atom dname [ k; sub ] :: Cq.atom (dname ^ "s") [ sub; attr ] :: !atoms;
+        fds := Fd.make [ k ] [ sub ] :: Fd.make [ sub ] [ attr ] :: !fds
+      end
+      else begin
+        atoms := Cq.atom dname [ k; attr ] :: !atoms;
+        fds := Fd.make [ k ] [ attr ] :: !fds
+      end;
+      if Random.State.bool rng then free := attr :: !free)
+    fact_keys;
+  (* Group by the fact id with probability 3/4: real workloads of this
+     shape are dominated by per-fact (key-in-head) queries. *)
+  if Random.State.int rng 4 < 3 then free := "fid" :: !free;
+  let free = if !free = [] then [ "fid" ] else !free in
+  { query = Cq.make ~name:(Printf.sprintf "W%d" id) ~free !atoms; fds = !fds }
+
+type fraction = { total : int; q_hier : int; q_hier_fd : int }
+
+(** Generate [n] queries and report how many are q-hierarchical as
+    written and under their FDs. *)
+let measure ?(seed = 99) ~n () : fraction =
+  let rng = Random.State.make [| seed |] in
+  let qs = List.init n (fun id -> generate ~rng ~id) in
+  let module H = Ivm_query.Hierarchical in
+  {
+    total = n;
+    q_hier = List.length (List.filter (fun g -> H.is_q_hierarchical g.query) qs);
+    q_hier_fd =
+      List.length
+        (List.filter (fun g -> H.is_q_hierarchical (Fd.sigma_reduct g.fds g.query)) qs);
+  }

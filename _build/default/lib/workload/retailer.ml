@@ -1,0 +1,128 @@
+(** The synthetic Retailer workload of Fig. 4 and Ex. 4.10.
+
+    The query joins five relations:
+
+      Q(locn, dateid, ksn, zip) =
+        Inventory(locn, dateid, ksn) · Weather(locn, dateid)
+        · Location(locn, zip) · Census(zip) · Demographics(zip)
+
+    It is not hierarchical — atoms(locn) and atoms(zip) properly overlap
+    through Location — but under the functional dependency zip → locn
+    (every zip code lies in one location) its Σ-reduct is q-hierarchical
+    (Ex. 4.10), so the canonical order of the reduct gives a view tree
+    with O(1) updates and O(1) enumeration delay (Thm. 4.11).
+
+    The generator enforces zip → locn by construction and streams
+    Zipf-skewed inserts into the fact relation Inventory, grouped into
+    batches as in Fig. 4. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+module Schema = Ivm_data.Schema
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+module Db = Ivm_data.Database.Z
+module Rel = Ivm_data.Relation.Z
+
+let query =
+  Cq.make ~name:"Retailer" ~free:[ "locn"; "dateid"; "ksn"; "zip" ]
+    [
+      Cq.atom "Inventory" [ "locn"; "dateid"; "ksn" ];
+      Cq.atom "Weather" [ "locn"; "dateid" ];
+      Cq.atom "Location" [ "locn"; "zip" ];
+      Cq.atom "Census" [ "zip" ];
+      Cq.atom "Demographics" [ "zip" ];
+    ]
+
+let fds = [ Fd.make [ "zip" ] [ "locn" ] ]
+
+(** The canonical variable order of the Σ-reduct, valid for the original
+    query: locn(dateid(ksn), zip). *)
+let order () =
+  match Ivm_query.Variable_order.canonical (Fd.sigma_reduct fds query) with
+  | Some f -> f
+  | None -> assert false
+
+type spec = {
+  locations : int;
+  zips_per_location : int;
+  dates : int;
+  skus : int;
+  skew : float; (* Zipf exponent for locn and ksn in the insert stream *)
+}
+
+let default_spec =
+  { locations = 50; zips_per_location = 8; dates = 50; skus = 2000; skew = 1.0 }
+
+type t = {
+  spec : spec;
+  rng : Random.State.t;
+  locn_zipf : Zipf.t;
+  sku_zipf : Zipf.t;
+}
+
+let create ?(seed = 11) spec =
+  {
+    spec;
+    rng = Random.State.make [| seed |];
+    locn_zipf = Zipf.create ~n:spec.locations ~s:spec.skew;
+    sku_zipf = Zipf.create ~n:spec.skus ~s:spec.skew;
+  }
+
+(** The initial database: all dimension relations fully populated (one
+    Location/Census/Demographics row per zip, one Weather row per
+    (locn, date)), Inventory empty — it arrives as the update stream. *)
+let initial_database (t : t) : Db.t =
+  let db = Db.create () in
+  let inv = Db.declare db "Inventory" (Schema.of_list [ "locn"; "dateid"; "ksn" ]) in
+  ignore inv;
+  let weather = Db.declare db "Weather" (Schema.of_list [ "locn"; "dateid" ]) in
+  let location = Db.declare db "Location" (Schema.of_list [ "locn"; "zip" ]) in
+  let census = Db.declare db "Census" (Schema.of_list [ "zip" ]) in
+  let demo = Db.declare db "Demographics" (Schema.of_list [ "zip" ]) in
+  for locn = 1 to t.spec.locations do
+    for d = 1 to t.spec.dates do
+      Rel.add_entry weather (Tuple.of_ints [ locn; d ]) 1
+    done;
+    for z = 0 to t.spec.zips_per_location - 1 do
+      let zip = (locn * t.spec.zips_per_location) + z in
+      Rel.add_entry location (Tuple.of_ints [ locn; zip ]) 1;
+      Rel.add_entry census (Tuple.of_ints [ zip ]) 1;
+      Rel.add_entry demo (Tuple.of_ints [ zip ]) 1
+    done
+  done;
+  db
+
+(** One single-tuple Inventory insert with skewed location and SKU. *)
+let next_insert (t : t) : int Update.t =
+  let locn = Zipf.sample t.locn_zipf t.rng in
+  let dateid = 1 + Random.State.int t.rng t.spec.dates in
+  let ksn = Zipf.sample t.sku_zipf t.rng in
+  Update.make ~rel:"Inventory" ~tuple:(Tuple.of_ints [ locn; dateid; ksn ]) ~payload:1
+
+(** A Fig. 4 batch: [size] single-tuple inserts. *)
+let next_batch (t : t) ~size : int Update.t list =
+  List.init size (fun _ -> next_insert t)
+
+(** A batch with dimension churn: a fraction [churn] of the updates are
+    delete/insert pairs on Demographics rows (e.g. data corrections).
+    Such updates join with every Inventory row of the zip's location —
+    expensive for strategies that maintain the flat output, O(1) for
+    factorized view trees. The net content of Demographics is unchanged
+    and the database stays valid throughout. *)
+let next_mixed_batch (t : t) ~size ~churn : int Update.t list =
+  let n_churn = int_of_float (churn *. float_of_int size /. 2.) in
+  let churn_pairs =
+    List.concat
+      (List.init n_churn (fun _ ->
+           let locn = Zipf.sample t.locn_zipf t.rng in
+           let zip =
+             (locn * t.spec.zips_per_location) + Random.State.int t.rng t.spec.zips_per_location
+           in
+           let tuple = Tuple.of_ints [ zip ] in
+           [
+             Update.make ~rel:"Demographics" ~tuple ~payload:(-1);
+             Update.make ~rel:"Demographics" ~tuple ~payload:1;
+           ]))
+  in
+  List.init (size - (2 * n_churn)) (fun _ -> next_insert t) @ churn_pairs

@@ -1,0 +1,206 @@
+(** The join structures of the 22 TPC-H queries and the TPC-H key
+    functional dependencies, for the classification study of Sec. 4.4:
+    the paper reports that 8 Boolean and 13 non-Boolean TPC-H queries are
+    hierarchical, and that the TPC-H FDs make 4 more of each
+    hierarchical.
+
+    Encoding conventions (the original study's exact atom encodings are
+    not public, so absolute counts can differ by a query or two — see
+    EXPERIMENTS.md):
+    - atoms carry the join variables plus the head/group-by attributes;
+    - correlated subqueries contribute their atoms to the join structure;
+    - self-joins are encoded with renamed relation symbols (N1/N2, L1/L2)
+      and correspondingly renamed variables;
+    - the Boolean version of a query empties the head; the non-Boolean
+      version keeps it, and is classified with the study's convention
+      (hierarchical given the head, [Hierarchical.is_hierarchical_given_free]);
+    - FDs are the TPC-H primary keys restricted to the variables each
+      query actually uses. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+
+type entry = { id : int; query : Cq.t; fds : Fd.t list }
+
+let q ~id ~free ~fds atoms =
+  let query = Cq.make ~name:(Printf.sprintf "Q%d" id) ~free atoms in
+  { id; query; fds }
+
+let fd l r = Fd.make l [ r ]
+
+(* Relation schemas, per use. Variables: ok/ck/sk/pk/nk/rk are the TPC-H
+   keys; other names are non-key attributes used in heads. *)
+
+let queries : entry list =
+  [
+    q ~id:1 ~free:[ "retflag"; "linestatus" ] ~fds:[]
+      [ Cq.atom "L" [ "ok"; "pk"; "sk"; "retflag"; "linestatus"; "qty" ] ];
+    q ~id:2
+      ~free:[ "pk"; "sk"; "nname"; "mfgr" ]
+      ~fds:[ fd [ "sk" ] "nk"; fd [ "nk" ] "rk"; fd [ "nk" ] "nname" ]
+      [
+        Cq.atom "P" [ "pk"; "mfgr" ];
+        Cq.atom "PS" [ "pk"; "sk" ];
+        Cq.atom "S" [ "sk"; "nk" ];
+        Cq.atom "N" [ "nk"; "rk"; "nname" ];
+        Cq.atom "R" [ "rk" ];
+      ];
+    q ~id:3
+      ~free:[ "ok"; "odate"; "shippri" ]
+      ~fds:[ fd [ "ok" ] "ck"; fd [ "ok" ] "odate"; fd [ "ok" ] "shippri" ]
+      [
+        Cq.atom "C" [ "ck" ];
+        Cq.atom "O" [ "ok"; "ck"; "odate"; "shippri" ];
+        Cq.atom "L" [ "ok"; "qty" ];
+      ];
+    q ~id:4 ~free:[ "opri" ] ~fds:[ fd [ "ok" ] "opri" ]
+      [ Cq.atom "O" [ "ok"; "opri" ]; Cq.atom "L" [ "ok" ] ];
+    q ~id:5 ~free:[ "nname" ]
+      ~fds:[ fd [ "ok" ] "ck"; fd [ "ck" ] "nk"; fd [ "sk" ] "nk"; fd [ "nk" ] "rk" ]
+      [
+        Cq.atom "C" [ "ck"; "nk" ];
+        Cq.atom "O" [ "ok"; "ck" ];
+        Cq.atom "L" [ "ok"; "sk" ];
+        Cq.atom "S" [ "sk"; "nk" ];
+        Cq.atom "N" [ "nk"; "rk"; "nname" ];
+        Cq.atom "R" [ "rk" ];
+      ];
+    q ~id:6 ~free:[] ~fds:[] [ Cq.atom "L" [ "ok"; "pk"; "sk"; "qty" ] ];
+    q ~id:7
+      ~free:[ "n1name"; "n2name" ]
+      ~fds:[ fd [ "sk" ] "nk1"; fd [ "ok" ] "ck"; fd [ "ck" ] "nk2" ]
+      [
+        Cq.atom "S" [ "sk"; "nk1" ];
+        Cq.atom "L" [ "ok"; "sk" ];
+        Cq.atom "O" [ "ok"; "ck" ];
+        Cq.atom "C" [ "ck"; "nk2" ];
+        Cq.atom "N1" [ "nk1"; "n1name" ];
+        Cq.atom "N2" [ "nk2"; "n2name" ];
+      ];
+    q ~id:8 ~free:[ "oyear" ]
+      ~fds:
+        [ fd [ "ok" ] "ck"; fd [ "ck" ] "nk1"; fd [ "sk" ] "nk2"; fd [ "nk1" ] "rk";
+          fd [ "ok" ] "oyear" ]
+      [
+        Cq.atom "P" [ "pk" ];
+        Cq.atom "L" [ "ok"; "pk"; "sk" ];
+        Cq.atom "S" [ "sk"; "nk2" ];
+        Cq.atom "O" [ "ok"; "ck"; "oyear" ];
+        Cq.atom "C" [ "ck"; "nk1" ];
+        Cq.atom "N1" [ "nk1"; "rk" ];
+        Cq.atom "R" [ "rk" ];
+        Cq.atom "N2" [ "nk2" ];
+      ];
+    q ~id:9
+      ~free:[ "nname"; "oyear" ]
+      ~fds:[ fd [ "sk" ] "nk"; fd [ "ok" ] "oyear"; fd [ "nk" ] "nname" ]
+      [
+        Cq.atom "P" [ "pk" ];
+        Cq.atom "L" [ "ok"; "pk"; "sk" ];
+        Cq.atom "S" [ "sk"; "nk" ];
+        Cq.atom "PS" [ "pk"; "sk" ];
+        Cq.atom "O" [ "ok"; "oyear" ];
+        Cq.atom "N" [ "nk"; "nname" ];
+      ];
+    q ~id:10
+      ~free:[ "ck"; "cname"; "nname" ]
+      ~fds:[ fd [ "ok" ] "ck"; fd [ "ck" ] "nk"; fd [ "nk" ] "nname"; fd [ "ck" ] "cname" ]
+      [
+        Cq.atom "C" [ "ck"; "nk"; "cname" ];
+        Cq.atom "O" [ "ok"; "ck" ];
+        Cq.atom "L" [ "ok" ];
+        Cq.atom "N" [ "nk"; "nname" ];
+      ];
+    q ~id:11 ~free:[ "pk" ] ~fds:[ fd [ "sk" ] "nk" ]
+      [ Cq.atom "PS" [ "pk"; "sk" ]; Cq.atom "S" [ "sk"; "nk" ]; Cq.atom "N" [ "nk" ] ];
+    q ~id:12 ~free:[ "shipmode" ] ~fds:[ fd [ "ok" ] "opri" ]
+      [ Cq.atom "O" [ "ok"; "opri" ]; Cq.atom "L" [ "ok"; "shipmode" ] ];
+    q ~id:13 ~free:[ "ck" ] ~fds:[ fd [ "ok" ] "ck" ]
+      [ Cq.atom "C" [ "ck" ]; Cq.atom "O" [ "ok"; "ck" ] ];
+    q ~id:14 ~free:[] ~fds:[ fd [ "pk" ] "ptype" ]
+      [ Cq.atom "L" [ "ok"; "pk" ]; Cq.atom "P" [ "pk"; "ptype" ] ];
+    q ~id:15 ~free:[ "sk"; "sname" ] ~fds:[ fd [ "sk" ] "sname" ]
+      [ Cq.atom "S" [ "sk"; "sname" ]; Cq.atom "L" [ "ok"; "sk" ] ];
+    q ~id:16
+      ~free:[ "pbrand"; "ptype"; "psize" ]
+      ~fds:[ fd [ "pk" ] "pbrand"; fd [ "pk" ] "ptype"; fd [ "pk" ] "psize" ]
+      [ Cq.atom "P" [ "pk"; "pbrand"; "ptype"; "psize" ]; Cq.atom "PS" [ "pk"; "sk" ] ];
+    q ~id:17 ~free:[] ~fds:[ fd [ "pk" ] "pbrand" ]
+      [ Cq.atom "L" [ "ok"; "pk"; "qty" ]; Cq.atom "P" [ "pk"; "pbrand" ] ];
+    q ~id:18
+      ~free:[ "ck"; "cname"; "ok"; "odate"; "ototal" ]
+      ~fds:[ fd [ "ok" ] "ck"; fd [ "ok" ] "odate"; fd [ "ok" ] "ototal"; fd [ "ck" ] "cname" ]
+      [
+        Cq.atom "C" [ "ck"; "cname" ];
+        Cq.atom "O" [ "ok"; "ck"; "odate"; "ototal" ];
+        Cq.atom "L" [ "ok"; "qty" ];
+      ];
+    q ~id:19 ~free:[] ~fds:[ fd [ "pk" ] "pbrand" ]
+      [ Cq.atom "L" [ "ok"; "pk"; "qty" ]; Cq.atom "P" [ "pk"; "pbrand" ] ];
+    q ~id:20 ~free:[ "sname" ] ~fds:[ fd [ "sk" ] "nk"; fd [ "sk" ] "sname" ]
+      [
+        Cq.atom "S" [ "sk"; "nk"; "sname" ];
+        Cq.atom "N" [ "nk" ];
+        Cq.atom "PS" [ "pk"; "sk" ];
+        Cq.atom "P" [ "pk" ];
+        Cq.atom "L" [ "ok"; "pk"; "sk" ];
+      ];
+    q ~id:21 ~free:[ "sname" ] ~fds:[ fd [ "sk" ] "nk"; fd [ "sk" ] "sname"; fd [ "ok" ] "ck" ]
+      [
+        Cq.atom "S" [ "sk"; "nk"; "sname" ];
+        Cq.atom "L1" [ "ok"; "sk" ];
+        Cq.atom "O" [ "ok" ];
+        Cq.atom "N" [ "nk" ];
+        Cq.atom "L2" [ "ok"; "sk2" ];
+        Cq.atom "L3" [ "ok"; "sk3" ];
+      ];
+    q ~id:22 ~free:[ "cntry" ] ~fds:[ fd [ "ck" ] "cntry" ]
+      [ Cq.atom "C" [ "ck"; "cntry" ]; Cq.atom "O" [ "ok"; "ck" ] ];
+  ]
+
+let boolean_version (e : entry) : Cq.t =
+  { e.query with Cq.name = e.query.Cq.name ^ "b"; free = [] }
+
+type classification = {
+  id : int;
+  boolean_hier : bool;
+  nonboolean_hier : bool;
+  boolean_hier_fd : bool;
+  nonboolean_hier_fd : bool;
+  q_hier : bool;
+  q_hier_fd : bool;
+}
+
+let classify (e : entry) : classification =
+  let module H = Ivm_query.Hierarchical in
+  let b = boolean_version e in
+  let b_fd = Fd.sigma_reduct e.fds b in
+  let nb_fd = Fd.sigma_reduct e.fds e.query in
+  {
+    id = e.id;
+    boolean_hier = H.is_hierarchical b;
+    nonboolean_hier = H.is_hierarchical_given_free e.query;
+    boolean_hier_fd = H.is_hierarchical b_fd;
+    nonboolean_hier_fd = H.is_hierarchical_given_free nb_fd;
+    q_hier = H.is_q_hierarchical e.query;
+    q_hier_fd = H.is_q_hierarchical nb_fd;
+  }
+
+let study () = List.map classify queries
+
+let count f l = List.length (List.filter f l)
+
+type summary = {
+  boolean_total : int;
+  nonboolean_total : int;
+  boolean_fd_total : int;
+  nonboolean_fd_total : int;
+}
+
+let summarize (cs : classification list) : summary =
+  {
+    boolean_total = count (fun c -> c.boolean_hier) cs;
+    nonboolean_total = count (fun c -> c.nonboolean_hier) cs;
+    boolean_fd_total = count (fun c -> c.boolean_hier_fd) cs;
+    nonboolean_fd_total = count (fun c -> c.nonboolean_hier_fd) cs;
+  }

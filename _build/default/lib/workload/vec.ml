@@ -1,0 +1,20 @@
+(** A minimal growable array (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t = { mutable arr : 'a array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length t = t.len
+
+let add t x =
+  if t.len = Array.length t.arr then begin
+    let cap = max 16 (2 * Array.length t.arr) in
+    let arr = Array.make cap x in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.arr.(i)

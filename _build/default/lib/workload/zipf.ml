@@ -1,0 +1,30 @@
+(** Zipf-distributed sampling over {1, ..., n} with exponent [s]:
+    P(k) ∝ 1/k^s. Used to generate the skewed degree distributions that
+    IVM^ε's heavy/light partitioning targets (Sec. 3.3). Sampling is by
+    binary search over the precomputed CDF. *)
+
+type t = { n : int; cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (1. /. (float_of_int k ** s));
+    cdf.(k - 1) <- !total
+  done;
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. !total
+  done;
+  { n; cdf }
+
+(** [sample t rng] draws a value in [1, n]. *)
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  (* Smallest index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1

@@ -1,0 +1,170 @@
+(* IVM^ε (Sec. 3.3, Sec. 5): partition invariants, the worst-case
+   optimal triangle engine against the delta reference, and the
+   ε-parameterized binary join against brute force. *)
+
+module E = Ivm_engine
+module Eps = Ivm_eps
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- partitions --------------------------------------------------------- *)
+
+let partition_moves () =
+  let p = Eps.Partition.create ~name:"R" ~fst:"A" ~snd:"B" ~threshold:4 in
+  (* Degree grows: key 1 moves heavy at degree 2θ = 8. *)
+  let moved = ref 0 in
+  for b = 1 to 8 do
+    match Eps.Partition.update p 1 b 1 with
+    | `Moved_to_heavy -> incr moved
+    | `Moved_to_light | `Stable -> ()
+  done;
+  checki "one move up" 1 !moved;
+  checkb "now heavy" true (Eps.Partition.is_heavy p 1);
+  checki "degree" 8 (Eps.Partition.degree p 1);
+  checki "light part empty for key 1" 0 (E.Edges.deg_fst p.Eps.Partition.light 1);
+  (* Shrink below θ/2 = 2: moves back. *)
+  let moved_down = ref 0 in
+  for b = 1 to 7 do
+    match Eps.Partition.update p 1 b (-1) with
+    | `Moved_to_light -> incr moved_down
+    | `Moved_to_heavy | `Stable -> ()
+  done;
+  checki "one move down" 1 !moved_down;
+  checkb "light again" false (Eps.Partition.is_heavy p 1);
+  checki "degree after deletes" 1 (Eps.Partition.degree p 1)
+
+let partition_invariant =
+  QCheck.Test.make ~count:60 ~name:"partition: keys live in exactly one part"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 200)
+           (triple (int_range 0 5) (int_range 0 5) (int_range (-1) 1))))
+    (fun ops ->
+      let p = Eps.Partition.create ~name:"R" ~fst:"A" ~snd:"B" ~threshold:3 in
+      List.iter (fun (a, b, m) -> if m <> 0 then ignore (Eps.Partition.update p a b m)) ops;
+      List.for_all
+        (fun a ->
+          let in_light = E.Edges.deg_fst p.Eps.Partition.light a in
+          let in_heavy = E.Edges.deg_fst p.Eps.Partition.heavy a in
+          (in_light = 0 || in_heavy = 0)
+          && Eps.Partition.is_heavy p a = (in_heavy > 0)
+          (* hysteresis bounds: light degree < 2θ *)
+          && (in_light < 2 * p.Eps.Partition.threshold))
+        [ 0; 1; 2; 3; 4; 5 ])
+
+(* --- the IVM^ε triangle engine ------------------------------------------ *)
+
+let eps_triangle_agrees =
+  QCheck.Test.make ~count:25
+    ~name:"IVM^eps triangle count = delta reference (inserts+deletes, skew)"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (float_range 0.1 0.9)
+           (list_size (int_range 50 400)
+              (quad (int_range 0 2) (int_range 1 8) (int_range 1 8) (int_range (-1) 1)))))
+    (fun (eps, ops) ->
+      let reference = E.Triangle.Delta.create () in
+      let tested = Eps.Triangle_count.create ~epsilon:eps () in
+      List.iter
+        (fun (r, a, b, m) ->
+          if m <> 0 then begin
+            let rel =
+              match r with 0 -> E.Triangle.R | 1 -> E.Triangle.S | _ -> E.Triangle.T
+            in
+            E.Triangle.Delta.update reference rel ~a ~b m;
+            Eps.Triangle_count.update tested rel ~a ~b m
+          end)
+        ops;
+      E.Triangle.Delta.count reference = Eps.Triangle_count.count tested)
+
+let eps_triangle_skewed_heavy () =
+  (* A hub node forces heavy keys and part moves; count stays exact. *)
+  let reference = E.Triangle.Delta.create () in
+  let tested = Eps.Triangle_count.create ~epsilon:0.5 () in
+  let upd rel a b m =
+    E.Triangle.Delta.update reference rel ~a ~b m;
+    Eps.Triangle_count.update tested rel ~a ~b m
+  in
+  for i = 1 to 300 do
+    upd E.Triangle.R 1 i 1;
+    (* heavy A-key 1 *)
+    upd E.Triangle.S i (i mod 17) 1;
+    upd E.Triangle.T (i mod 17) 1 1
+  done;
+  checki "skewed count" (E.Triangle.Delta.count reference) (Eps.Triangle_count.count tested);
+  checkb "rebalanced at least once" true (Eps.Triangle_count.rebalances tested > 0);
+  (* Delete the hub: still exact. *)
+  for i = 1 to 300 do
+    upd E.Triangle.R 1 i (-1)
+  done;
+  checki "after hub delete" (E.Triangle.Delta.count reference)
+    (Eps.Triangle_count.count tested)
+
+let eps_engine_interface () =
+  (* The ENGINE packaging at ε = 1/2. *)
+  let module H = Eps.Triangle_count.Half in
+  let e = H.create () in
+  H.update e E.Triangle.R ~a:1 ~b:2 1;
+  H.update e E.Triangle.S ~a:2 ~b:3 1;
+  H.update e E.Triangle.T ~a:3 ~b:1 1;
+  checki "one triangle" 1 (H.count e);
+  H.update e E.Triangle.S ~a:2 ~b:3 (-1);
+  checki "deleted" 0 (H.count e)
+
+(* --- the binary-join trade-off engine (Fig. 7) --------------------------- *)
+
+let binary_join_agrees =
+  QCheck.Test.make ~count:40 ~name:"binary join = brute force at every epsilon"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 4)
+           (list_size (int_range 1 150)
+              (quad bool (int_range 1 6) (int_range 1 6) (int_range (-1) 1)))))
+    (fun (eps_i, ops) ->
+      let epsilon = float_of_int eps_i /. 4. in
+      let eng = Eps.Binary_join.create ~epsilon () in
+      let r = Hashtbl.create 16 and s = Hashtbl.create 16 in
+      let bump tbl k m =
+        Hashtbl.replace tbl k (m + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+      in
+      List.iter
+        (fun (is_r, a, b, m) ->
+          if m <> 0 then
+            if is_r then begin
+              Eps.Binary_join.update_r eng ~a ~b m;
+              bump r (a, b) m
+            end
+            else begin
+              Eps.Binary_join.update_s eng ~b m;
+              bump s b m
+            end)
+        ops;
+      let expected = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (a, b) p ->
+          if p <> 0 then
+            bump expected a (p * Option.value (Hashtbl.find_opt s b) ~default:0))
+        r;
+      let exp =
+        Hashtbl.fold (fun a v acc -> if v <> 0 then (a, v) :: acc else acc) expected []
+        |> List.sort compare
+      in
+      Eps.Binary_join.output eng = exp)
+
+let qt t = QCheck_alcotest.to_alcotest ~long:false t
+
+let () =
+  Alcotest.run "eps"
+    [
+      ( "partitions",
+        [ Alcotest.test_case "hysteresis moves" `Quick partition_moves; qt partition_invariant ]
+      );
+      ( "triangle count",
+        [
+          qt eps_triangle_agrees;
+          Alcotest.test_case "skewed stream with rebalances" `Quick eps_triangle_skewed_heavy;
+          Alcotest.test_case "ENGINE interface" `Quick eps_engine_interface;
+        ] );
+      ("binary join (Fig. 7)", [ qt binary_join_agrees ]);
+    ]

@@ -1,0 +1,86 @@
+(* The OuMv reduction (Thm. 3.4): the reduction solves OuMv correctly
+   through every triangle engine, within the update budget of the proof. *)
+
+module E = Ivm_engine
+module Eps = Ivm_eps
+module L = Ivm_lowerbound
+
+let checkb = Alcotest.(check bool)
+
+let engines :
+    (string * (L.Oumv.t -> L.Reduction.stats)) list =
+  [
+    ("delta", L.Reduction.run (module E.Triangle.Delta));
+    ("one-view", L.Reduction.run (module E.Triangle.One_view));
+    ("ivm-eps", L.Reduction.run (module Eps.Triangle_count.Half));
+  ]
+
+let agree_with_naive () =
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun density ->
+          let inst = L.Oumv.random ~rng ~n ~density in
+          let expected = L.Oumv.solve_naive inst in
+          List.iter
+            (fun (name, solve) ->
+              let stats = solve inst in
+              Alcotest.(check (array bool))
+                (Printf.sprintf "%s n=%d d=%.1f" name n density)
+                expected stats.L.Reduction.answers)
+            engines)
+        [ 0.1; 0.5; 0.9 ])
+    [ 3; 8; 17 ]
+
+let update_budget () =
+  (* The proof's accounting: < n² matrix updates and < 4n vector updates
+     per round. *)
+  let rng = Random.State.make [| 6 |] in
+  let n = 20 in
+  let inst = L.Oumv.random ~rng ~n ~density:0.5 in
+  let stats = L.Reduction.run (module E.Triangle.Delta) inst in
+  checkb "matrix updates < n^2" true (stats.L.Reduction.matrix_updates <= n * n);
+  checkb "vector updates < 4n per round" true
+    (stats.L.Reduction.vector_updates <= 4 * n * n);
+  checkb "database size O(n^2)" true (stats.L.Reduction.database_size <= (n * n) + (2 * n))
+
+let all_zero_matrix () =
+  let inst =
+    L.Oumv.make
+      ~matrix:(Array.make_matrix 4 4 false)
+      ~rounds:(Array.init 4 (fun _ -> (Array.make 4 true, Array.make 4 true)))
+  in
+  List.iter
+    (fun (name, solve) ->
+      let stats = solve inst in
+      checkb (name ^ ": all answers false") true
+        (Array.for_all not stats.L.Reduction.answers))
+    engines
+
+let identity_matrix () =
+  let n = 5 in
+  let matrix = Array.init n (fun i -> Array.init n (fun j -> i = j)) in
+  (* u_r = e_r, v_r = e_r: answer true iff M[r,r]. *)
+  let rounds =
+    Array.init n (fun r ->
+        (Array.init n (fun i -> i = r), Array.init n (fun j -> j = r)))
+  in
+  let inst = L.Oumv.make ~matrix ~rounds in
+  List.iter
+    (fun (name, solve) ->
+      let stats = solve inst in
+      checkb (name ^ ": diagonal hits") true (Array.for_all Fun.id stats.L.Reduction.answers))
+    engines
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "oumv reduction (Thm. 3.4)",
+        [
+          Alcotest.test_case "agrees with naive solver" `Quick agree_with_naive;
+          Alcotest.test_case "update budget of the proof" `Quick update_budget;
+          Alcotest.test_case "all-zero matrix" `Quick all_zero_matrix;
+          Alcotest.test_case "identity matrix" `Quick identity_matrix;
+        ] );
+    ]

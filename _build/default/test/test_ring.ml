@@ -1,0 +1,220 @@
+(* Ring and semiring laws (Sec. 2), checked exhaustively on small values
+   and by qcheck properties on random ones. *)
+
+let check = Alcotest.(check bool)
+
+(* Property-based ring laws for a ring with a generator. *)
+module Laws (R : Ivm_ring.Sigs.RING) = struct
+  let laws ~name (gen : R.t QCheck.arbitrary) =
+    let t3 = QCheck.triple gen gen gen in
+    let t2 = QCheck.pair gen gen in
+    [
+      QCheck.Test.make ~name:(name ^ ": add associative") t3 (fun (a, b, c) ->
+          R.equal (R.add a (R.add b c)) (R.add (R.add a b) c));
+      QCheck.Test.make ~name:(name ^ ": add commutative") t2 (fun (a, b) ->
+          R.equal (R.add a b) (R.add b a));
+      QCheck.Test.make ~name:(name ^ ": mul associative") t3 (fun (a, b, c) ->
+          R.equal (R.mul a (R.mul b c)) (R.mul (R.mul a b) c));
+      QCheck.Test.make ~name:(name ^ ": mul commutative") t2 (fun (a, b) ->
+          R.equal (R.mul a b) (R.mul b a));
+      QCheck.Test.make ~name:(name ^ ": zero is add identity") gen (fun a ->
+          R.equal (R.add a R.zero) a);
+      QCheck.Test.make ~name:(name ^ ": one is mul identity") gen (fun a ->
+          R.equal (R.mul a R.one) a);
+      QCheck.Test.make ~name:(name ^ ": zero annihilates") gen (fun a ->
+          R.is_zero (R.mul a R.zero));
+      QCheck.Test.make ~name:(name ^ ": distributivity") t3 (fun (a, b, c) ->
+          R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)));
+      QCheck.Test.make ~name:(name ^ ": additive inverse") gen (fun a ->
+          R.is_zero (R.add a (R.neg a)));
+      QCheck.Test.make ~name:(name ^ ": sub = add neg") t2 (fun (a, b) ->
+          R.equal (R.sub a b) (R.add a (R.neg b)));
+    ]
+end
+
+module Int_laws = Laws (Ivm_ring.Int_ring)
+
+(* Floats: use small-integer-valued floats so associativity is exact. *)
+module Float_laws = Laws (Ivm_ring.Float_ring)
+
+let float_gen = QCheck.map float_of_int (QCheck.int_range (-1000) 1000)
+
+module PInt = Ivm_ring.Product.Make (Ivm_ring.Int_ring) (Ivm_ring.Int_ring)
+module Product_laws = Laws (PInt)
+
+(* Count_sum satisfies the RING signature structurally; wrap it. *)
+module CS : Ivm_ring.Sigs.RING with type t = Ivm_ring.Count_sum.t = Ivm_ring.Count_sum
+module Cs_laws = Laws (CS)
+
+let cs_gen =
+  QCheck.map
+    (fun (c, s) -> { Ivm_ring.Count_sum.count = c; sum = float_of_int s })
+    (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range (-50) 50))
+
+(* Tropical semiring laws (no inverse, so spelled out by hand). *)
+let tropical_tests =
+  let module T = Ivm_ring.Tropical in
+  let gen =
+    QCheck.map
+      (function None -> T.Infinity | Some x -> T.Finite (float_of_int x))
+      (QCheck.option (QCheck.int_range (-100) 100))
+  in
+  [
+    QCheck.Test.make ~name:"tropical: add = min, assoc" (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> T.equal (T.add a (T.add b c)) (T.add (T.add a b) c));
+    QCheck.Test.make ~name:"tropical: mul = plus, distributes" (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> T.equal (T.mul a (T.add b c)) (T.add (T.mul a b) (T.mul a c)));
+    QCheck.Test.make ~name:"tropical: identities" gen (fun a ->
+        T.equal (T.add a T.zero) a && T.equal (T.mul a T.one) a);
+    QCheck.Test.make ~name:"tropical: zero annihilates" gen (fun a ->
+        T.is_zero (T.mul a T.zero));
+  ]
+
+(* Boolean semiring: exhaustive. *)
+let bool_unit () =
+  let module B = Ivm_ring.Bool_semiring in
+  let all = [ true; false ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check "add = or" (a || b) (B.add a b);
+          check "mul = and" (a && b) (B.mul a b))
+        all;
+      check "identity add" a (B.add a B.zero);
+      check "identity mul" a (B.mul a B.one))
+    all
+
+(* Count_sum: AVG and the lifting. *)
+let count_sum_unit () =
+  let module C = Ivm_ring.Count_sum in
+  let a = C.of_value 10. and b = C.of_value 20. in
+  let s = C.add a b in
+  Alcotest.(check int) "count" 2 s.C.count;
+  Alcotest.(check (float 1e-9)) "sum" 30. s.C.sum;
+  Alcotest.(check (float 1e-9)) "avg" 15. (C.avg s);
+  (* mul: (1, 10) * (1, 20) = (1, 30): sums add across join branches. *)
+  let m = C.mul a b in
+  Alcotest.(check int) "mul count" 1 m.C.count;
+  Alcotest.(check (float 1e-9)) "mul sum" 30. m.C.sum;
+  (* a join branch with multiplicity 2 doubles the other side's sums *)
+  let two = C.add C.one C.one in
+  let m2 = C.mul two a in
+  Alcotest.(check int) "mul count 2" 2 m2.C.count;
+  Alcotest.(check (float 1e-9)) "mul sum 2" 20. m2.C.sum
+
+(* Cofactor ring: the degree-2 statistics of a two-feature join. *)
+let cofactor_unit () =
+  let module C = Ivm_ring.Cofactor in
+  C.set_dimension 2;
+  let x = C.of_feature 0 3. (* feature 0 = 3 *) and y = C.of_feature 1 4. in
+  let joint = C.mul x y in
+  Alcotest.(check int) "count" 1 joint.C.count;
+  Alcotest.(check (float 1e-9)) "sum x" 3. joint.C.sums.(0);
+  Alcotest.(check (float 1e-9)) "sum y" 4. joint.C.sums.(1);
+  Alcotest.(check (float 1e-9)) "cof xx" 9. joint.C.cof.(0).(0);
+  Alcotest.(check (float 1e-9)) "cof xy" 12. joint.C.cof.(0).(1);
+  Alcotest.(check (float 1e-9)) "cof yy" 16. joint.C.cof.(1).(1);
+  (* additivity: two tuples accumulate *)
+  let s = C.add joint joint in
+  Alcotest.(check int) "acc count" 2 s.C.count;
+  Alcotest.(check (float 1e-9)) "acc cof xy" 24. s.C.cof.(0).(1);
+  (* inverse deletes *)
+  Alcotest.(check bool) "delete" true (C.is_zero (C.sub joint joint))
+
+let cofactor_laws =
+  let module C = Ivm_ring.Cofactor in
+  C.set_dimension 2;
+  let gen =
+    QCheck.map
+      (fun ((c, a), b) ->
+        let x = C.of_feature 0 (float_of_int a) and y = C.of_feature 1 (float_of_int b) in
+        let v = C.mul x y in
+        if c then v else C.neg v)
+      (QCheck.pair (QCheck.pair QCheck.bool (QCheck.int_range (-20) 20))
+         (QCheck.int_range (-20) 20))
+  in
+  [
+    QCheck.Test.make ~name:"cofactor: add commutative" (QCheck.pair gen gen) (fun (a, b) ->
+        C.equal (C.add a b) (C.add b a));
+    QCheck.Test.make ~name:"cofactor: distributivity" (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> C.equal (C.mul a (C.add b c)) (C.add (C.mul a b) (C.mul a c)));
+    QCheck.Test.make ~name:"cofactor: inverse" gen (fun a -> C.is_zero (C.add a (C.neg a)));
+  ]
+
+
+(* Provenance polynomials (the K-relation model of Sec. 2, [13]). *)
+let provenance_unit () =
+  let module P = Ivm_ring.Provenance in
+  let r1 = P.of_id "r1" and s1 = P.of_id "s1" and s2 = P.of_id "s2" in
+  (* (s1 + s2) * r1 = r1·s1 + r1·s2: two derivations. *)
+  let p = P.mul (P.add s1 s2) r1 in
+  Alcotest.(check int) "derivations" 2 (P.derivation_count p);
+  (* Distributivity: r1*(s1+s2) = r1*s1 + r1*s2. *)
+  Alcotest.(check bool) "distributes" true
+    (P.equal p (P.add (P.mul r1 s1) (P.mul r1 s2)));
+  (* Identities and annihilation. *)
+  Alcotest.(check bool) "one" true (P.equal (P.mul p P.one) p);
+  Alcotest.(check bool) "zero" true (P.is_zero (P.mul p P.zero));
+  (* Z[X] deletes: removing the s1 derivation leaves r1·s2. *)
+  let p' = P.sub p (P.mul r1 s1) in
+  Alcotest.(check bool) "delete derivation" true (P.equal p' (P.mul r1 s2));
+  Alcotest.(check bool) "full cancel" true (P.is_zero (P.sub p p));
+  (* Self-join provenance keeps exponents: r1 * r1 = r1^2. *)
+  let sq = P.mul r1 r1 in
+  Alcotest.(check string) "squares" "r1^2" (Format.asprintf "%a" P.pp sq);
+  (* Factorization: evaluating under id -> multiplicity recovers counts. *)
+  let count =
+    P.eval ~zero:0 ~add:( + ) ~mul:( * ) ~of_int:Fun.id
+      ~var:(function "r1" -> 2 | _ -> 3) p
+  in
+  Alcotest.(check int) "eval to Z" ((3 * 2) + (3 * 2)) count
+
+let provenance_laws =
+  let module P = Ivm_ring.Provenance in
+  let gen =
+    QCheck.map
+      (fun (ids, c) ->
+        let base =
+          List.fold_left (fun acc i -> P.mul acc (P.of_id (Printf.sprintf "x%d" (i mod 3))))
+            P.one ids
+        in
+        if c then base else P.neg base)
+      (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 0 3) (QCheck.int_range 0 5))
+         QCheck.bool)
+  in
+  [
+    QCheck.Test.make ~name:"provenance: add commutative" (QCheck.pair gen gen)
+      (fun (a, b) -> P.equal (P.add a b) (P.add b a));
+    QCheck.Test.make ~name:"provenance: mul commutative" (QCheck.pair gen gen)
+      (fun (a, b) -> P.equal (P.mul a b) (P.mul b a));
+    QCheck.Test.make ~name:"provenance: mul associative" (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> P.equal (P.mul a (P.mul b c)) (P.mul (P.mul a b) c));
+    QCheck.Test.make ~name:"provenance: distributivity" (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> P.equal (P.mul a (P.add b c)) (P.add (P.mul a b) (P.mul a c)));
+    QCheck.Test.make ~name:"provenance: inverse (Z[X])" gen (fun a ->
+        P.is_zero (P.add a (P.neg a)));
+  ]
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "ring"
+    [
+      qsuite "int ring laws" (Int_laws.laws ~name:"Z" (QCheck.int_range (-10000) 10000));
+      qsuite "float ring laws" (Float_laws.laws ~name:"R" float_gen);
+      qsuite "product ring laws"
+        (Product_laws.laws ~name:"ZxZ"
+           (QCheck.pair (QCheck.int_range (-100) 100) (QCheck.int_range (-100) 100)));
+      qsuite "count-sum ring laws" (Cs_laws.laws ~name:"count_sum" cs_gen);
+      qsuite "tropical semiring" tropical_tests;
+      qsuite "cofactor ring laws" cofactor_laws;
+      qsuite "provenance semiring laws" provenance_laws;
+      ( "units",
+        [
+          Alcotest.test_case "bool semiring" `Quick bool_unit;
+          Alcotest.test_case "count-sum avg" `Quick count_sum_unit;
+          Alcotest.test_case "cofactor statistics" `Quick cofactor_unit;
+          Alcotest.test_case "provenance polynomials" `Quick provenance_unit;
+        ] );
+    ]
