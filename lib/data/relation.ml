@@ -48,9 +48,15 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   let copy r = { schema = r.schema; data = Tuple.Tbl.copy r.data }
 
   (* Extensional equality: same schema as sets is not required, only same
-     variable order, since tuples are positional. *)
+     variable order, since tuples are positional. The traversal stops at
+     the first mismatch (exception-based: [Tuple.Tbl] has no
+     short-circuiting fold). *)
   let equal a b =
-    size a = size b && Tuple.Tbl.fold (fun t p ok -> ok && R.equal (get b t) p) a.data true
+    a.schema = b.schema && size a = size b
+    &&
+    match Tuple.Tbl.iter (fun t p -> if not (R.equal (get b t) p) then raise_notrace Exit) a.data with
+    | () -> true
+    | exception Exit -> false
 
   (** [union a b] is the paper's [⊎]: payload-wise addition. *)
   let union a b =
@@ -68,12 +74,19 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
     let b_shared = Schema.projection b.schema shared in
     let b_rest_schema = Schema.diff b.schema a.schema in
     let b_rest = Schema.projection b.schema b_rest_schema in
-    let index : (Tuple.t * payload) list Tuple.Tbl.t = Tuple.Tbl.create (size b) in
+    (* The index is pre-sized to [b] (no rehash growth while building)
+       and buckets are mutable cells, so extending a group costs one
+       probe instead of a find-then-replace pair. *)
+    let index : (Tuple.t * payload) list ref Tuple.Tbl.t =
+      Tuple.Tbl.create (max 16 (size b))
+    in
     iter
       (fun t p ->
         let k = Tuple.project t b_shared in
-        let prev = Option.value (Tuple.Tbl.find_opt index k) ~default:[] in
-        Tuple.Tbl.replace index k ((Tuple.project t b_rest, p) :: prev))
+        let entry = (Tuple.project t b_rest, p) in
+        match Tuple.Tbl.find_opt index k with
+        | Some bucket -> bucket := entry :: !bucket
+        | None -> Tuple.Tbl.add index k (ref [ entry ]))
       b;
     let out = create ~size:(size a) out_schema in
     iter
@@ -84,7 +97,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
         | Some matches ->
             List.iter
               (fun (rest, q) -> add_entry out (Tuple.append t rest) (R.mul p q))
-              matches)
+              !matches)
       a;
     out
 

@@ -1,43 +1,76 @@
 (** Tuples are immutable arrays of values, positionally aligned with a
-    {!Schema}. The empty tuple [unit] is the tuple over the empty schema,
-    the key of scalar (fully aggregated) views. *)
+    {!Schema}, carrying a memoized structural hash. The empty tuple
+    [unit] is the tuple over the empty schema, the key of scalar (fully
+    aggregated) views.
 
-type t = Value.t array
+    The hash cache is what makes hash-table-heavy maintenance cheap: a
+    tuple is typically probed several times (relation + group indexes,
+    find then replace) and rehashed wholesale on every table resize;
+    with the cache each of those costs one int read instead of a
+    traversal of the value array. The cache is filled lazily on first
+    {!hash} so tuples that are only ever enumerated never pay for it. *)
 
-let unit : t = [||]
-let of_list = Array.of_list
-let to_list = Array.to_list
-let of_ints is = Array.of_list (List.map Value.of_int is)
-let arity (t : t) = Array.length t
-let get (t : t) i = t.(i)
+type t = {
+  vals : Value.t array;
+  mutable h : int; (* memoized hash; negative = not yet computed *)
+}
 
-let equal (a : t) (b : t) =
-  Array.length a = Array.length b
-  &&
-  let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
-  go (Array.length a - 1)
+let wrap vals = { vals; h = -1 }
+let unit : t = wrap [||]
+let of_list vs = wrap (Array.of_list vs)
+let to_list t = Array.to_list t.vals
+let of_ints is = wrap (Array.of_list (List.map Value.of_int is))
+let init n f = wrap (Array.init n f)
+let arity t = Array.length t.vals
+let get t i = t.vals.(i)
 
-let compare (a : t) (b : t) =
-  let c = Int.compare (Array.length a) (Array.length b) in
+let hash t =
+  if t.h >= 0 then t.h
+  else begin
+    let h = Hashtbl.hash t.vals land max_int in
+    t.h <- h;
+    h
+  end
+
+let equal a b =
+  a == b
+  || (Array.length a.vals = Array.length b.vals
+     && (a.h < 0 || b.h < 0 || Int.equal a.h b.h)
+     &&
+     let va = a.vals and vb = b.vals in
+     let rec go i = i < 0 || (Value.equal va.(i) vb.(i) && go (i - 1)) in
+     go (Array.length va - 1))
+
+let compare a b =
+  let va = a.vals and vb = b.vals in
+  let c = Int.compare (Array.length va) (Array.length vb) in
   if c <> 0 then c
   else
     let rec go i =
-      if i >= Array.length a then 0
+      if i >= Array.length va then 0
       else
-        let c = Value.compare a.(i) b.(i) in
+        let c = Value.compare va.(i) vb.(i) in
         if c <> 0 then c else go (i + 1)
     in
     go 0
 
-let hash (t : t) = Hashtbl.hash t
-
 (* [project t idxs] picks the fields of [t] at positions [idxs]. *)
-let project (t : t) (idxs : int array) : t =
-  Array.map (fun i -> t.(i)) idxs
+let project t (idxs : int array) : t =
+  wrap (Array.map (fun i -> t.vals.(i)) idxs)
 
-let append (a : t) (b : t) : t = Array.append a b
+let append a b : t = wrap (Array.append a.vals b.vals)
 
-let pp ppf (t : t) =
+(* Reusable probe buffers: a scratch tuple is mutated in place between
+   lookups, so the hot enumeration loops allocate nothing per probe.
+   [set] invalidates the memoized hash; a scratch tuple must never be
+   *stored* as a hash-table key while it can still be mutated. *)
+let scratch n : t = wrap (Array.make n (Value.Int 0))
+
+let set t i v =
+  t.vals.(i) <- v;
+  t.h <- -1
+
+let pp ppf t =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
     (to_list t)

@@ -1,8 +1,10 @@
 (** Tuples: immutable arrays of values, positionally aligned with a
-    {!Schema}. The empty tuple is the tuple over the empty schema — the
-    key of fully aggregated (scalar) views. *)
+    {!Schema}, carrying a memoized structural hash so hash-table probes
+    and resizes do not re-traverse the value array. The empty tuple is
+    the tuple over the empty schema — the key of fully aggregated
+    (scalar) views. *)
 
-type t = Value.t array
+type t
 
 val unit : t
 (** The empty tuple [()]. *)
@@ -13,17 +15,35 @@ val to_list : t -> Value.t list
 val of_ints : int list -> t
 (** Convenience: a tuple of integer values. *)
 
+val init : int -> (int -> Value.t) -> t
+(** [init n f] is the tuple [(f 0, ..., f (n-1))]. *)
+
 val arity : t -> int
 val get : t -> int -> Value.t
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Structural hash, computed on first use and cached. Safe to read
+    from several domains: racing computations store the same value. *)
 
 val project : t -> int array -> t
 (** [project t idxs] picks the fields of [t] at positions [idxs]; used
     with {!Schema.projection}. *)
 
 val append : t -> t -> t
+
+val scratch : int -> t
+(** A mutable probe buffer of arity [n] (fields initialised to [Int 0]).
+    Fill it with {!set} and use it as a lookup key; reusing one buffer
+    across probes keeps hot enumeration loops allocation-free. A scratch
+    tuple must not be stored as a hash-table key while it may still be
+    mutated. *)
+
+val set : t -> int -> Value.t -> unit
+(** [set t i v] overwrites field [i] (invalidating the cached hash).
+    Only meaningful on {!scratch} buffers. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -13,15 +13,20 @@ let insert ~one ~rel tuple = { rel; tuple; payload = one }
 
 type 'p batch = 'p t list
 
-(* Deterministic shuffle, used to exercise out-of-order execution. *)
-let shuffle ~rng (batch : 'p batch) : 'p batch =
-  let a = Array.of_list batch in
+(* In-place Fisher–Yates; the workload generators shuffle batches they
+   already hold as arrays, without a list round-trip. *)
+let shuffle_array ~rng (a : 'a array) : unit =
   for i = Array.length a - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in
     let tmp = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- tmp
-  done;
+  done
+
+(* Deterministic shuffle, used to exercise out-of-order execution. *)
+let shuffle ~rng (batch : 'p batch) : 'p batch =
+  let a = Array.of_list batch in
+  shuffle_array ~rng a;
   Array.to_list a
 
 let pp pp_payload ppf u =

@@ -15,4 +15,8 @@ val shuffle : rng:Random.State.t -> 'p batch -> 'p batch
 (** Deterministic permutation; used to exercise out-of-order
     execution. *)
 
+val shuffle_array : rng:Random.State.t -> 'a array -> unit
+(** In-place Fisher–Yates; what generators that hold their batch as an
+    array use to avoid the list→array→list round-trip of {!shuffle}. *)
+
 val pp : (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p t -> unit

@@ -1,0 +1,278 @@
+(** Parallel batch maintenance for the triangle count engines of Sec. 3.
+
+    A batch of edge updates commutes (ring payloads, Sec. 2), and the
+    count Q = Σ R(A,B)·S(B,C)·T(C,A) is multilinear in (R, S, T), so the
+    cumulative count change of a batch polarizes exactly into seven
+    terms, every one evaluated against the *pre-batch* state:
+
+      δQ = δR·S·T + R·δS·T + R·S·δT            (first order)
+         + δR·δS·T + R·δS·δT + δR·S·δT         (second order)
+         + δR·δS·δT                            (third order)
+
+    Each term is a sum over delta edges of read-only probes into the
+    old state and the (frozen) delta indexes — embarrassingly parallel:
+    the delta arrays are chunked across the {!Ivm_par.Domain_pool} and
+    the partial sums merged with [+], the ℤ-ring add. Base updates are
+    then applied with one task per relation (R, S, T own disjoint
+    storage), and for {!One_view} the view delta δV_ST is likewise
+    built from read-only probes and merged afterwards.
+
+    This is the batch-parallel regime of the Dhulipala et al. line the
+    paper cites for triangle maintenance: out-of-order and parallel
+    execution licensed by commutativity. Single-tuple [update] stays
+    the sequential path of {!Triangle}. *)
+
+module Tri = Triangle
+module Pool = Ivm_par.Domain_pool
+
+type edge = Tri.relation * int * int * int
+(** One edge update [(rel, a, b, m)] in the relation's own schema
+    order — (A,B) for R, (B,C) for S, (C,A) for T — merging
+    multiplicity [m]. *)
+
+(** The interface of the batch fronts: {!Triangle.ENGINE}'s single-tuple
+    contract plus whole-batch application. *)
+module type BATCH_ENGINE = sig
+  type t
+
+  val name : string
+
+  val create : ?pool:Pool.t -> unit -> t
+  (** An engine over the empty database. Without [pool] the engine runs
+      sequentially; the pool, when given, is borrowed (the caller
+      destroys it). *)
+
+  val update : t -> Tri.relation -> a:int -> b:int -> int -> unit
+  (** Single-tuple update, identical to the sequential engines. *)
+
+  val apply_batch : t -> edge list -> unit
+  (** Apply a whole update batch; equivalent to [update] applied to
+      each edge in order, for any pool width. *)
+
+  val count : t -> int
+  (** The current triangle count (constant-time read). *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared batch machinery.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Net per-edge deltas of a batch, split by relation: updates to the
+   same edge merge (Q is linear in each relation), zero nets drop. *)
+let split_batch (batch : edge list) =
+  let mk () : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let hr = mk () and hs = mk () and ht = mk () in
+  List.iter
+    (fun (rel, a, b, m) ->
+      let h = match rel with Tri.R -> hr | Tri.S -> hs | Tri.T -> ht in
+      match Hashtbl.find_opt h (a, b) with
+      | Some cell -> cell := !cell + m
+      | None -> Hashtbl.add h (a, b) (ref m))
+    batch;
+  let to_array h =
+    let out = ref [] and n = ref 0 in
+    Hashtbl.iter
+      (fun (a, b) cell ->
+        if !cell <> 0 then begin
+          out := (a, b, !cell) :: !out;
+          incr n
+        end)
+      h;
+    Array.of_list !out
+  in
+  (to_array hr, to_array hs, to_array ht)
+
+(* Group a delta array by its first column, for the second/third-order
+   joins. Read-only once built. *)
+let index_by_fst (d : (int * int * int) array) =
+  let h : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create (Array.length d) in
+  Array.iter
+    (fun (a, b, m) ->
+      match Hashtbl.find_opt h a with
+      | Some l -> l := (b, m) :: !l
+      | None -> Hashtbl.add h a (ref [ (b, m) ]))
+    d;
+  h
+
+let find_fst h a = match Hashtbl.find_opt h a with Some l -> !l | None -> []
+
+(* Chunked parallel sum of [f edge] over a delta array: one task per
+   pool slot, partials merged with the ring add. [f] must only read. *)
+let psum pool (d : (int * int * int) array) f =
+  Pool.fold pool ~add:( + ) ~zero:0
+    (List.map
+       (fun (lo, len) ->
+         fun () ->
+          let acc = ref 0 in
+          for i = lo to lo + len - 1 do
+            acc := !acc + f d.(i)
+          done;
+          !acc)
+       (Pool.chunk_bounds pool (Array.length d)))
+
+(* Apply the net deltas to the base, one task per relation: R, S and T
+   own disjoint storage, so the three tasks never contend. *)
+let apply_to_base pool (base : Tri.base) dr ds dt =
+  let task rel d () = Array.iter (fun (a, b, m) -> Edges.update (Tri.edges_of base rel) a b m) d in
+  Pool.run pool [ task Tri.R dr; task Tri.S ds; task Tri.T dt ]
+
+let seq_pool = lazy (Pool.create ~domains:1)
+let pool_of = function Some p -> p | None -> Lazy.force seq_pool
+
+(* ------------------------------------------------------------------ *)
+(* Delta: first-order engine with polarized batch application.        *)
+(* ------------------------------------------------------------------ *)
+
+module Delta : BATCH_ENGINE = struct
+  type t = { base : Tri.base; pool : Pool.t; mutable cnt : int }
+
+  let name = "delta-batch"
+  let create ?pool () = { base = Tri.make_base (); pool = pool_of pool; cnt = 0 }
+
+  let update t rel ~a ~b m =
+    t.cnt <- t.cnt + Tri.delta_count t.base rel a b m;
+    Edges.update (Tri.edges_of t.base rel) a b m
+
+  let apply_batch t (batch : edge list) =
+    let dr, ds, dt = split_batch batch in
+    let ds_by_b = index_by_fst ds and dt_by_c = index_by_fst dt in
+    let dr_by_a = index_by_fst dr in
+    let dt_map : (int * int, int) Hashtbl.t = Hashtbl.create (Array.length dt) in
+    Array.iter (fun (c, a, m) -> Hashtbl.replace dt_map (c, a) m) dt;
+    (* First order: the Sec. 3.1 delta queries against the old state. *)
+    let d1 rel d = psum t.pool d (fun (a, b, m) -> Tri.delta_count t.base rel a b m) in
+    let t_r = d1 Tri.R dr and t_s = d1 Tri.S ds and t_t = d1 Tri.T dt in
+    (* Second order: two delta relations joined, the third probed old. *)
+    let t_rs =
+      psum t.pool dr (fun (a, b, mr) ->
+          List.fold_left
+            (fun acc (c, ms) -> acc + (mr * ms * Edges.get t.base.Tri.t c a))
+            0 (find_fst ds_by_b b))
+    in
+    let t_st =
+      psum t.pool ds (fun (b, c, ms) ->
+          List.fold_left
+            (fun acc (a, mt) -> acc + (ms * mt * Edges.get t.base.Tri.r a b))
+            0 (find_fst dt_by_c c))
+    in
+    let t_tr =
+      psum t.pool dt (fun (c, a, mt) ->
+          List.fold_left
+            (fun acc (b, mr) -> acc + (mt * mr * Edges.get t.base.Tri.s b c))
+            0 (find_fst dr_by_a a))
+    in
+    (* Third order: all three deltas. *)
+    let t_rst =
+      psum t.pool dr (fun (a, b, mr) ->
+          List.fold_left
+            (fun acc (c, ms) ->
+              match Hashtbl.find_opt dt_map (c, a) with
+              | Some mt -> acc + (mr * ms * mt)
+              | None -> acc)
+            0 (find_fst ds_by_b b))
+    in
+    apply_to_base t.pool t.base dr ds dt;
+    t.cnt <- t.cnt + t_r + t_s + t_t + t_rs + t_st + t_tr + t_rst
+
+  let count t = t.cnt
+end
+
+(* ------------------------------------------------------------------ *)
+(* One_view: maintains V_ST(B,A) = Σ_C S(B,C)·T(C,A) (Sec. 3.2).      *)
+(* ------------------------------------------------------------------ *)
+
+module One_view : BATCH_ENGINE = struct
+  type t = { base : Tri.base; vst : View.t; pool : Pool.t; mutable cnt : int }
+
+  let name = "one-view-batch"
+
+  let create ?pool () =
+    {
+      base = Tri.make_base ();
+      vst = View.create (Ivm_data.Schema.of_list [ "B"; "A" ]);
+      pool = pool_of pool;
+      cnt = 0;
+    }
+
+  (* Single-tuple path: Triangle.One_view's update, verbatim. *)
+  let update t rel ~a ~b m =
+    (match rel with
+    | Tri.R -> t.cnt <- t.cnt + (m * View.get t.vst (Edges.tup2 b a))
+    | Tri.S ->
+        let beta = a and gamma = b in
+        Edges.iter_fst t.base.Tri.t gamma (fun av p ->
+            let dv = m * p in
+            View.update t.vst (Edges.tup2 beta av) dv;
+            t.cnt <- t.cnt + (dv * Edges.get t.base.Tri.r av beta))
+    | Tri.T ->
+        let gamma = a and alpha = b in
+        Edges.iter_snd t.base.Tri.s gamma (fun bv p ->
+            let dv = m * p in
+            View.update t.vst (Edges.tup2 bv alpha) dv;
+            t.cnt <- t.cnt + (dv * Edges.get t.base.Tri.r alpha bv)));
+    Edges.update (Tri.edges_of t.base rel) a b m
+
+  (* With Q = R · V and V = S · T, the batch delta splits as
+       δQ = δR·V_old + R_new·δV,
+       δV = δS·T_old + S_old·δT + δS·δT,
+     every summand over old state or frozen deltas. *)
+  let apply_batch t (batch : edge list) =
+    let dr, ds, dt = split_batch batch in
+    let dt_by_c = index_by_fst dt in
+    (* δR · V_old. *)
+    let t_r = psum t.pool dr (fun (a, b, m) -> m * View.get t.vst (Edges.tup2 b a)) in
+    (* δV, built as per-chunk local maps merged after the barrier. *)
+    let local_dv body =
+      fun () ->
+       let h : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
+       let add key m =
+         match Hashtbl.find_opt h key with
+         | Some cell -> cell := !cell + m
+         | None -> Hashtbl.add h key (ref m)
+       in
+       body add;
+       [ h ]
+    in
+    let chunk_tasks d body =
+      List.map
+        (fun (lo, len) ->
+          local_dv (fun add ->
+              for i = lo to lo + len - 1 do
+                body add d.(i)
+              done))
+        (Pool.chunk_bounds t.pool (Array.length d))
+    in
+    let dv_parts =
+      Pool.fold t.pool ~add:( @ ) ~zero:[]
+        (chunk_tasks ds (fun add (b, c, ms) ->
+             (* δS(b,c) · T_old(c,A) *)
+             Edges.iter_fst t.base.Tri.t c (fun a p -> add (b, a) (ms * p));
+             (* δS(b,c) · δT(c,A) *)
+             List.iter (fun (a, mt) -> add (b, a) (ms * mt)) (find_fst dt_by_c c))
+        @ chunk_tasks dt (fun add (c, a, mt) ->
+              (* S_old(B,c) · δT(c,a) *)
+              Edges.iter_snd t.base.Tri.s c (fun b p -> add (b, a) (p * mt))))
+    in
+    let dv : (int * int * int) array =
+      let merged : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun part ->
+          Hashtbl.iter
+            (fun key cell ->
+              match Hashtbl.find_opt merged key with
+              | Some acc -> acc := !acc + !cell
+              | None -> Hashtbl.add merged key (ref !cell))
+            part)
+        dv_parts;
+      let out = ref [] in
+      Hashtbl.iter (fun (b, a) cell -> if !cell <> 0 then out := (b, a, !cell) :: !out) merged;
+      Array.of_list !out
+    in
+    apply_to_base t.pool t.base dr ds dt;
+    (* R_new · δV (the base now holds R_new; reads only). *)
+    let t_v = psum t.pool dv (fun (b, a, m) -> m * Edges.get t.base.Tri.r a b) in
+    Array.iter (fun (b, a, m) -> View.update t.vst (Edges.tup2 b a) m) dv;
+    t.cnt <- t.cnt + t_r + t_v
+
+  let count t = t.cnt
+end

@@ -1,0 +1,43 @@
+(** Parallel batch maintenance for the triangle count (Sec. 3).
+
+    Because payloads live in a ring, update batches commute (Sec. 2),
+    and Q = Σ R(A,B)·S(B,C)·T(C,A) is multilinear in (R,S,T): the count
+    change of a whole batch polarizes into seven terms — the three
+    first-order deltas plus the cross terms of two and three delta
+    relations — all evaluated against the pre-batch state with read-only
+    probes. The batch fronts chunk those sums across an
+    {!Ivm_par.Domain_pool}, merge partials with the ring add, and then
+    apply base (and view) deltas with one writer per structure. *)
+
+type edge = Triangle.relation * int * int * int
+(** One edge update [(rel, a, b, m)] in the relation's own schema order:
+    (A,B) for R, (B,C) for S, (C,A) for T; merges multiplicity [m]. *)
+
+module type BATCH_ENGINE = sig
+  type t
+
+  val name : string
+
+  val create : ?pool:Ivm_par.Domain_pool.t -> unit -> t
+  (** An engine over the empty database. Without [pool] the engine runs
+      sequentially; a given pool is borrowed, never destroyed here. *)
+
+  val update : t -> Triangle.relation -> a:int -> b:int -> int -> unit
+  (** Single-tuple update — the sequential path of {!Triangle}. *)
+
+  val apply_batch : t -> edge list -> unit
+  (** Apply a whole batch; equivalent to [update] per edge in order,
+      for any pool width. *)
+
+  val count : t -> int
+  (** The current triangle count (constant-time read). *)
+end
+
+module Delta : BATCH_ENGINE
+(** Batch front of {!Triangle.Delta}: first-order deltas per update,
+    polarized batch application. *)
+
+module One_view : BATCH_ENGINE
+(** Batch front of {!Triangle.One_view}: additionally maintains
+    V_ST(B,A) = Σ_C S(B,C)·T(C,A) through batch deltas
+    δV = δS·T + S·δT + δS·δT. *)

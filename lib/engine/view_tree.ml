@@ -371,10 +371,10 @@ let iter_output (t : t) (f : Tuple.t -> int -> unit) : unit =
        buffer reused across lookups. *)
     let site view schema =
       let sl = slots schema in
-      (view, sl, Array.make (Array.length sl) (Value.Int 0))
+      (view, sl, Tuple.scratch (Array.length sl))
     in
     let fill (buf : Tuple.t) (sl : int array) =
-      Array.iteri (fun i s -> buf.(i) <- env.(s)) sl
+      Array.iteri (fun i s -> Tuple.set buf i env.(s)) sl
     in
     let lookup (view, sl, buf) =
       fill buf sl;
@@ -402,7 +402,7 @@ let iter_output (t : t) (f : Tuple.t -> int -> unit) : unit =
           in
           ( ix,
             dep_sl,
-            Array.make (Array.length dep_sl) (Value.Int 0),
+            Tuple.scratch (Array.length dep_sl),
             Hashtbl.find slot_tbl n.var,
             Schema.position n.full n.var,
             sites,
@@ -412,7 +412,8 @@ let iter_output (t : t) (f : Tuple.t -> int -> unit) : unit =
     let out_slots = slots (Schema.of_list t.query.Cq.free) in
     let rec visit ids acc =
       match ids with
-      | [] -> f (Array.map (fun s -> env.(s)) out_slots) (acc * scalar_factor)
+      | [] ->
+          f (Tuple.init (Array.length out_slots) (fun i -> env.(out_slots.(i)))) (acc * scalar_factor)
       | id :: rest ->
           let ix, dep_sl, dep_buf, xslot, xpos, sites, free_kids = enodes.(id) in
           fill dep_buf dep_sl;

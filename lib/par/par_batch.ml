@@ -1,0 +1,67 @@
+(** Parallel application of named update batches (the paper's Sec. 2
+    batches) over hash-sharded relations.
+
+    [apply] partitions a batch by (relation, shard) — one bucket per
+    shard of each touched relation — and runs the buckets concurrently
+    on a {!Domain_pool}. Each bucket is applied *in batch order* by a
+    single task, so every shard table has one writer; buckets of
+    different shards interleave arbitrarily, which is sound because ring
+    payloads make update batches commute (Sec. 2): the final relation
+    contents are order-independent.
+
+    Scalar results that engines derive per-update (counts, ring
+    aggregates) are merged with [R.add] via {!Domain_pool.fold} — the
+    same commutativity argument. *)
+
+module Update = Ivm_data.Update
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
+  module Srel = Sharded_relation.Make (R)
+
+  (** [apply pool ~find batch] routes every update of [batch] to
+      [find u.rel] and applies all shard sub-batches on the pool.
+      @raise Invalid_argument (from [find]) on unknown relation names —
+      resolution happens during sequential partitioning, before any
+      parallel work starts. *)
+  let apply pool ~(find : string -> Srel.t) (batch : R.t Update.batch) : unit =
+    match batch with
+    | [] -> ()
+    | batch when Domain_pool.width pool = 1 ->
+        List.iter
+          (fun (u : R.t Update.t) -> Srel.add_entry (find u.rel) u.tuple u.payload)
+          batch
+    | batch ->
+        (* Partition sequentially: bucket key = (relation, shard). The
+           shard index memoizes each tuple's hash, so the parallel phase
+           probes with cached hashes. *)
+        let buckets : (string * int, (Srel.t * (Ivm_data.Tuple.t * R.t) list ref)) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        List.iter
+          (fun (u : R.t Update.t) ->
+            let srel = find u.rel in
+            let key = (u.rel, Srel.shard_of srel u.tuple) in
+            match Hashtbl.find_opt buckets key with
+            | Some (_, entries) -> entries := (u.tuple, u.payload) :: !entries
+            | None -> Hashtbl.add buckets key (srel, ref [ (u.tuple, u.payload) ]))
+          batch;
+        let tasks =
+          Hashtbl.fold
+            (fun (_, shard_idx) (srel, entries) acc ->
+              let table = Srel.shard srel shard_idx in
+              (fun () ->
+                (* [entries] was built by prepending: re-reverse so the
+                   shard sees batch order (order is irrelevant for the
+                   final state, but determinism helps debugging). *)
+                List.iter
+                  (fun (tuple, p) -> Srel.add_to_table table tuple p)
+                  (List.rev !entries))
+              :: acc)
+            buckets []
+        in
+        Domain_pool.run pool tasks
+
+  (** [sum pool tasks] evaluates independent ring-valued tasks on the
+      pool and merges the results with [R.add]. *)
+  let sum pool tasks = Domain_pool.fold pool ~add:R.add ~zero:R.zero tasks
+end

@@ -1,0 +1,124 @@
+(** Hash-sharded relations: the same finite map from tuples to non-zero
+    ring payloads as {!Ivm_data.Relation}, split into [2^k] independent
+    hash tables by tuple-key hash. Within a shard there is no locking at
+    all — parallel batch application partitions updates by shard and
+    hands each shard's sub-batch to exactly one task, so every table has
+    a single writer (the "each domain owns its shards" discipline).
+
+    Correctness of out-of-order, cross-shard application is the paper's
+    Sec. 2 observation: payloads live in a ring, so a batch of updates
+    commutes — the final map is the same whatever interleaving the pool
+    happens to run. *)
+
+module Tuple = Ivm_data.Tuple
+module Schema = Ivm_data.Schema
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
+  module Rel = Ivm_data.Relation.Make (R)
+
+  type payload = R.t
+
+  type t = {
+    schema : Schema.t;
+    mask : int; (* shard count - 1; shard count is a power of two *)
+    shards : payload Tuple.Tbl.t array;
+  }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let create ?(shards = 64) ?(size = 16) schema =
+    let count = next_pow2 (max 1 shards) in
+    {
+      schema;
+      mask = count - 1;
+      shards = Array.init count (fun _ -> Tuple.Tbl.create (max 1 (size / count)));
+    }
+
+  let schema t = t.schema
+  let shard_count t = t.mask + 1
+
+  (* The table hashes a key by [Tuple.hash] too, so shard selection uses
+     the *upper* bits: taking the same low bits twice would leave every
+     shard's table clustered in a fraction of its buckets. *)
+  let shard_of t tuple = (Tuple.hash tuple lsr 16) land t.mask
+  let shard t i = t.shards.(i)
+
+  let size t = Array.fold_left (fun acc s -> acc + Tuple.Tbl.length s) 0 t.shards
+
+  let get t tuple =
+    match Tuple.Tbl.find_opt t.shards.(shard_of t tuple) tuple with
+    | Some p -> p
+    | None -> R.zero
+
+  let mem t tuple = Tuple.Tbl.mem t.shards.(shard_of t tuple) tuple
+
+  (* Identical merge-and-elide semantics to [Relation.add_entry]. *)
+  let add_to_table table tuple p =
+    if not (R.is_zero p) then
+      match Tuple.Tbl.find_opt table tuple with
+      | None -> Tuple.Tbl.replace table tuple p
+      | Some q ->
+          let s = R.add q p in
+          if R.is_zero s then Tuple.Tbl.remove table tuple
+          else Tuple.Tbl.replace table tuple s
+
+  let add_entry t tuple p = add_to_table t.shards.(shard_of t tuple) tuple p
+  let iter f t = Array.iter (Tuple.Tbl.iter f) t.shards
+
+  let fold f t acc =
+    Array.fold_left (fun acc s -> Tuple.Tbl.fold f s acc) acc t.shards
+
+  let clear t = Array.iter Tuple.Tbl.reset t.shards
+
+  let of_relation ?shards r =
+    let t = create ?shards ~size:(Rel.size r) (Rel.schema r) in
+    Rel.iter (fun tuple p -> add_entry t tuple p) r;
+    t
+
+  let to_relation t =
+    let r = Rel.create ~size:(size t) t.schema in
+    iter (fun tuple p -> Rel.set_entry r tuple p) t;
+    r
+
+  let equal_relation t r =
+    size t = Rel.size r
+    &&
+    match iter (fun tuple p -> if not (R.equal (Rel.get r tuple) p) then raise_notrace Exit) t with
+    | () -> true
+    | exception Exit -> false
+
+  (** [apply_batch pool t batch] applies a batch of (tuple, payload)
+      updates: the batch is partitioned by target shard sequentially
+      (computing each tuple's memoized hash once), then the per-shard
+      sub-batches run concurrently on the pool — one task per non-empty
+      shard, each writing only its own table. *)
+  let apply_batch pool t (batch : (Tuple.t * payload) list) =
+    match batch with
+    | [] -> ()
+    | batch when Domain_pool.width pool = 1 ->
+        List.iter (fun (tuple, p) -> add_entry t tuple p) batch
+    | batch ->
+        let buckets : (Tuple.t * payload) list array =
+          Array.make (t.mask + 1) []
+        in
+        List.iter
+          (fun ((tuple, _) as entry) ->
+            let i = shard_of t tuple in
+            buckets.(i) <- entry :: buckets.(i))
+          batch;
+        let tasks = ref [] in
+        Array.iteri
+          (fun i bucket ->
+            match bucket with
+            | [] -> ()
+            | bucket ->
+                let table = t.shards.(i) in
+                tasks :=
+                  (fun () ->
+                    List.iter (fun (tuple, p) -> add_to_table table tuple p) bucket)
+                  :: !tasks)
+          buckets;
+        Domain_pool.run pool !tasks
+end

@@ -23,41 +23,37 @@ type t = {
 
 let create ?(seed = 23) () = { rng = Random.State.make [| seed |]; next_movie = 1; next_company = 1; groups = [] }
 
-let shuffle rng l =
-  let a = Array.of_list l in
-  for i = Array.length a - 1 downto 1 do
-    let j = Random.State.int rng (i + 1) in
-    let tmp = a.(i) in
-    a.(i) <- a.(j);
-    a.(j) <- tmp
-  done;
-  Array.to_list a
+(* The batch for one (company, movies) group with payload [d]: built
+   directly as an array and shuffled in place, so large-fanout batches
+   never round-trip through lists. *)
+let group_ops rng c movies d : op array =
+  let fanout = List.length movies in
+  let ops = Array.make ((2 * fanout) + 1) (T_names (c, d)) in
+  List.iteri
+    (fun i m ->
+      ops.((2 * i) + 1) <- T_title (m, d);
+      ops.((2 * i) + 2) <- T_companies (m, c, d))
+    movies;
+  Ivm_data.Update.shuffle_array ~rng ops;
+  ops
 
 (** A valid insert batch: a fresh company with [fanout] fresh movies.
     The shuffled order routinely inserts Movie_Companies rows before the
     Title and Company_Name rows they reference. *)
-let insert_batch (t : t) ~fanout : op list =
+let insert_batch (t : t) ~fanout : op array =
   let c = t.next_company in
   t.next_company <- c + 1;
   let movies = List.init fanout (fun i -> t.next_movie + i) in
   t.next_movie <- t.next_movie + fanout;
   t.groups <- (c, movies) :: t.groups;
-  let ops =
-    T_names (c, 1)
-    :: List.concat_map (fun m -> [ T_title (m, 1); T_companies (m, c, 1) ]) movies
-  in
-  shuffle t.rng ops
+  group_ops t.rng c movies 1
 
 (** A valid delete batch: remove a previously inserted group wholesale,
     again in shuffled order (deleting the company key before the rows
     referencing it passes through inconsistent states). *)
-let delete_batch (t : t) : op list option =
+let delete_batch (t : t) : op array option =
   match t.groups with
   | [] -> None
   | (c, movies) :: rest ->
       t.groups <- rest;
-      let ops =
-        T_names (c, -1)
-        :: List.concat_map (fun m -> [ T_title (m, -1); T_companies (m, c, -1) ]) movies
-      in
-      Some (shuffle t.rng ops)
+      Some (group_ops t.rng c movies (-1))

@@ -106,9 +106,9 @@ let job_batches_valid () =
         Hashtbl.replace names c (d + Option.value (Hashtbl.find_opt names c) ~default:0)
     | W.Job.T_companies (m, c, d) -> mc := (m, c, d) :: !mc
   in
-  List.iter (fun fanout -> List.iter apply (W.Job.insert_batch gen ~fanout)) [ 3; 1; 8; 2 ];
+  List.iter (fun fanout -> Array.iter apply (W.Job.insert_batch gen ~fanout)) [ 3; 1; 8; 2 ];
   (match W.Job.delete_batch gen with
-  | Some b -> List.iter apply b
+  | Some b -> Array.iter apply b
   | None -> Alcotest.fail "expected a group to delete");
   let live_mc = Hashtbl.create 64 in
   List.iter
