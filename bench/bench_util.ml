@@ -57,3 +57,63 @@ let table ~header rows =
 let us t = Printf.sprintf "%.2f" (t *. 1e6)
 let ms t = Printf.sprintf "%.1f" (t *. 1e3)
 let rate n t = Printf.sprintf "%.0f" (float_of_int n /. max 1e-9 t)
+
+(** Minimal JSON for the machine-readable [BENCH_*.json] artifacts the
+    CI and plotting scripts consume — no dependency beyond stdlib. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec write_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_json buf x)
+        l;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_json buf (Str k);
+          Buffer.add_char buf ':';
+          write_json buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+(** Write [BENCH_<name>.json] into the current directory and say so. *)
+let emit_json ~name json =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let buf = Buffer.create 1024 in
+  write_json buf json;
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

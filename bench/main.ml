@@ -709,6 +709,8 @@ let par_scaling () =
     in
     go 0 []
   in
+  (* Prints the human table and returns the same cells as JSON, so the
+     experiment can emit a machine-readable BENCH_par_scaling.json. *)
   let speedup_table ~title run =
     Printf.printf "\n-- %s --\n" title;
     let times = Hashtbl.create 32 in
@@ -732,15 +734,38 @@ let par_scaling () =
                   let t1 = Hashtbl.find times (1, b) in
                   Printf.sprintf "%s (%.2fx)" (U.rate total t) (t1 /. t))
                 batch_sizes)
-         domain_widths)
+         domain_widths);
+    U.Obj
+      [
+        ("title", U.Str title);
+        ( "cells",
+          U.List
+            (List.concat_map
+               (fun d ->
+                 List.map
+                   (fun b ->
+                     let t = Hashtbl.find times (d, b) in
+                     let t1 = Hashtbl.find times (1, b) in
+                     U.Obj
+                       [
+                         ("domains", U.Int d);
+                         ("batch", U.Int b);
+                         ("seconds", U.Float t);
+                         ("updates_per_s", U.Float (float_of_int total /. t));
+                         ("speedup", U.Float (t1 /. t));
+                       ])
+                   batch_sizes)
+               domain_widths) );
+      ]
   in
   (* Triangle-count batch front: the 7-term polarized batch delta with
      chunk-parallel probes, then shard-free base application (one task
      per relation). Every (width, batch-size) cell must land on the same
      count -- the commutativity cross-check. *)
   let reference = ref None in
-  speedup_table ~title:"triangle count, Delta batch front (7-term polarization)"
-    (fun pool _ b ->
+  let tri_json =
+    speedup_table ~title:"triangle count, Delta batch front (7-term polarization)"
+      (fun pool _ b ->
       let eng = E.Triangle_batch.Delta.create ~pool () in
       let bs = batches b in
       let (), t =
@@ -750,7 +775,8 @@ let par_scaling () =
       (match !reference with
       | None -> reference := Some c
       | Some c0 -> assert (c = c0));
-      t);
+      t)
+  in
   (* Raw base-relation ingest: updates partitioned by (relation, shard),
      one writer per shard table. *)
   let module Pb = Ivm_par.Par_batch.Make (Ivm_ring.Int_ring) in
@@ -763,8 +789,9 @@ let par_scaling () =
       stream
   in
   let expected_sizes = ref None in
-  speedup_table ~title:"sharded base-relation ingest (64 shards per relation)"
-    (fun pool _ b ->
+  let ingest_json =
+    speedup_table ~title:"sharded base-relation ingest (64 shards per relation)"
+      (fun pool _ b ->
       let srels =
         List.map (fun n -> (n, Pb.Srel.create ~shards:64 schema)) [ "R"; "S"; "T" ]
       in
@@ -781,12 +808,168 @@ let par_scaling () =
       (match !expected_sizes with
       | None -> expected_sizes := Some sizes
       | Some s0 -> assert (sizes = s0));
-      t);
+      t)
+  in
+  U.emit_json ~name:"par_scaling"
+    (U.Obj
+       [
+         ("experiment", U.Str "par-scaling");
+         ("total_updates", U.Int total);
+         ("tables", U.List [ tri_json; ingest_json ]);
+       ]);
   Printf.printf
     "\nsoundness: payloads live in a ring, so batches commute (Sec. 2) -- every\n\
      width must produce identical state (asserted above). The speedup column\n\
      shows parallel efficiency; per-batch partitioning is the sequential part\n\
      (Amdahl), so larger batches scale better.\n"
+
+(* ----------------------------------------------------------- *)
+(* stream: the durable multi-view maintenance runtime.          *)
+(* ----------------------------------------------------------- *)
+
+(* End-to-end throughput and latency of lib/stream: producer domains
+   feed the bounded queue, the scheduler WAL-logs, coalesces and
+   micro-batches epochs, and the registry maintains heterogeneous views
+   (delta kernel, view tree, recomputation strategies). Run once with
+   the WAL on and once off to isolate the durability cost. *)
+let stream_bench () =
+  U.section
+    "stream: durable multi-view runtime (WAL + epoch micro-batching, lib/stream)";
+  let module St = Ivm_stream in
+  let module M = E.Maintainable in
+  let module Tb = E.Triangle_batch in
+  let module G = W.Graph_gen in
+  let total = if !fast then 20_000 else 100_000 in
+  let nodes = 300 in
+  let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ] in
+  let make_db () =
+    let db = D.Database.Z.create () in
+    List.iter
+      (fun (n, vars) -> ignore (D.Database.Z.declare db n (D.Schema.of_list vars)))
+      schemas;
+    db
+  in
+  let q_rs =
+    Q.Cq.make ~name:"paths_rs" ~free:[ "B"; "A"; "C" ]
+      [ Q.Cq.atom "R" [ "A"; "B" ]; Q.Cq.atom "S" [ "B"; "C" ] ]
+  in
+  let q_st =
+    Q.Cq.make ~name:"paths_st" ~free:[ "C"; "B"; "A" ]
+      [ Q.Cq.atom "S" [ "B"; "C" ]; Q.Cq.atom "T" [ "C"; "A" ] ]
+  in
+  let register reg =
+    St.Registry.register reg ~name:"tri-count" (fun _db ->
+        M.of_triangle_batch ~name:"tri-count" (module Tb.Delta) (Tb.Delta.create ()));
+    St.Registry.register reg ~name:"paths-rs" (fun db ->
+        let forest = Option.get (Q.Variable_order.canonical q_rs) in
+        M.of_view_tree ~name:"paths-rs" q_rs (E.View_tree.build q_rs forest db));
+    St.Registry.register reg ~name:"paths-st" (fun db ->
+        let forest = Option.get (Q.Variable_order.canonical q_st) in
+        M.of_strategy ~name:"paths-st"
+          (E.Strategy.create E.Strategy.Lazy_fact q_st forest db))
+  in
+  let run_config ~wal_enabled =
+    let metrics = St.Metrics.create () in
+    let reg = St.Registry.create ~metrics (make_db ()) in
+    register reg;
+    let wal_path = Filename.temp_file "ivm_bench" ".wal" in
+    Sys.remove wal_path;
+    let wal = if wal_enabled then Some (St.Wal.Z.open_log wal_path) else None in
+    let queue = St.Queue.create ~capacity:8192 St.Queue.Block in
+    let sched = St.Scheduler.create ?wal ~queue ~registry:reg ~metrics () in
+    let producer =
+      Domain.spawn (fun () ->
+          let gen = G.create ~seed:7 { G.nodes; skew = 1.1; delete_ratio = 0.2 } in
+          for _ = 1 to total do
+            let e = G.next gen in
+            let rel = match e.G.rel with 0 -> "R" | 1 -> "S" | _ -> "T" in
+            ignore
+              (St.Queue.push queue
+                 (St.Scheduler.item
+                    (D.Update.make ~rel ~tuple:(tup [ e.G.src; e.G.dst ])
+                       ~payload:e.G.mult)))
+          done;
+          St.Queue.close queue)
+    in
+    let (), dt = U.time (fun () -> St.Scheduler.run sched) in
+    Domain.join producer;
+    Option.iter St.Wal.Z.close wal;
+    if Sys.file_exists wal_path then Sys.remove wal_path;
+    (metrics, reg, dt)
+  in
+  let configs =
+    List.map
+      (fun (name, wal_enabled) -> (name, run_config ~wal_enabled))
+      [ ("wal", true); ("no-wal", false) ]
+  in
+  let p hist q = St.Metrics.Hist.percentile hist q *. 1e3 in
+  U.table
+    ~header:[ "config"; "upd/s"; "epochs"; "coalesced"; "p50 ms"; "p99 ms" ]
+    (List.map
+       (fun (name, ((m : St.Metrics.t), _, dt)) ->
+         [
+           name;
+           U.rate total dt;
+           string_of_int m.St.Metrics.epochs;
+           string_of_int m.St.Metrics.coalesced;
+           Printf.sprintf "%.3f" (p m.St.Metrics.latency 0.5);
+           Printf.sprintf "%.3f" (p m.St.Metrics.latency 0.99);
+         ])
+       configs);
+  let _, reg_wal, dt_wal = List.assoc "wal" configs in
+  let m_wal, _, _ = List.assoc "wal" configs in
+  Printf.printf "\nper-view (wal config):\n";
+  U.table
+    ~header:[ "view"; "updates"; "batches"; "apply p50 ms"; "apply p99 ms" ]
+    (List.map
+       (fun (name, _) ->
+         let v = St.Metrics.view m_wal name in
+         [
+           name;
+           string_of_int v.St.Metrics.updates;
+           string_of_int v.St.Metrics.batches;
+           Printf.sprintf "%.3f" (p v.St.Metrics.apply 0.5);
+           Printf.sprintf "%.3f" (p v.St.Metrics.apply 0.99);
+         ])
+       (St.Registry.views reg_wal));
+  ignore dt_wal;
+  U.emit_json ~name:"stream"
+    (U.Obj
+       [
+         ("experiment", U.Str "stream");
+         ("updates", U.Int total);
+         ( "configs",
+           U.List
+             (List.map
+                (fun (name, ((m : St.Metrics.t), reg, dt)) ->
+                  U.Obj
+                    [
+                      ("name", U.Str name);
+                      ("seconds", U.Float dt);
+                      ("updates_per_s", U.Float (float_of_int total /. dt));
+                      ("epochs", U.Int m.St.Metrics.epochs);
+                      ("coalesced", U.Int m.St.Metrics.coalesced);
+                      ("latency_p50_ms", U.Float (p m.St.Metrics.latency 0.5));
+                      ("latency_p99_ms", U.Float (p m.St.Metrics.latency 0.99));
+                      ( "views",
+                        U.List
+                          (List.map
+                             (fun (vname, _) ->
+                               let v = St.Metrics.view m vname in
+                               U.Obj
+                                 [
+                                   ("name", U.Str vname);
+                                   ("updates", U.Int v.St.Metrics.updates);
+                                   ("batches", U.Int v.St.Metrics.batches);
+                                   ( "apply_p50_ms",
+                                     U.Float (p v.St.Metrics.apply 0.5) );
+                                   ( "apply_p99_ms",
+                                     U.Float (p v.St.Metrics.apply 0.99) );
+                                 ])
+                             (St.Registry.views reg)) );
+                    ])
+                configs) );
+       ])
 
 (* --------------------------------------------------- *)
 (* micro: Bechamel per-operation latencies.             *)
@@ -897,6 +1080,7 @@ let experiments =
     ("insert-only", insert_only);
     ("fig7", fig7);
     ("par-scaling", par_scaling);
+    ("stream", stream_bench);
     ("micro", micro);
   ]
 

@@ -1,0 +1,161 @@
+(** Binary encoding of values, tuples and updates, for the durable
+    update log and checkpoints of [lib/stream].
+
+    The encoding is little-endian and self-delimiting: every reader
+    consumes exactly what the matching writer produced, so records can
+    be concatenated. Integrity is the caller's concern — the framing
+    layers (WAL records, checkpoint files) wrap encoded bodies in a
+    length + CRC-32 envelope and call {!Corrupt}-raising readers only on
+    bodies whose checksum already passed. *)
+
+exception Corrupt of string
+(** Raised by readers on a short or malformed buffer. The streaming
+    layers translate this into "stop at the torn tail" (WAL replay) or a
+    hard failure (checkpoint load). *)
+
+let corrupt what = raise (Corrupt what)
+
+(* --- CRC-32 (IEEE 802.3, the zlib polynomial) ----------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+(** [crc32 s ~pos ~len] is the CRC-32 of the given substring, as a
+    non-negative int (32 bits). *)
+let crc32 (s : string) ~pos ~len : int =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.to_int (Int32.logxor !c 0xFFFFFFFFl) land 0xFFFFFFFF
+
+(* --- primitive writers ---------------------------------------------- *)
+
+let add_u8 b i = Buffer.add_char b (Char.chr (i land 0xFF))
+
+let add_u16 b i =
+  add_u8 b i;
+  add_u8 b (i lsr 8)
+
+let add_u32 b i =
+  add_u16 b i;
+  add_u16 b (i lsr 16)
+
+let add_i64 b i = Buffer.add_int64_le b (Int64.of_int i)
+let add_f64 b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* --- primitive readers ----------------------------------------------- *)
+
+let need s pos n = if !pos + n > String.length s then corrupt "short read"
+
+let u8 s pos =
+  need s pos 1;
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let u16 s pos =
+  let lo = u8 s pos in
+  lo lor (u8 s pos lsl 8)
+
+let u32 s pos =
+  let lo = u16 s pos in
+  lo lor (u16 s pos lsl 16)
+
+let i64 s pos =
+  need s pos 8;
+  let v = Int64.to_int (String.get_int64_le s !pos) in
+  pos := !pos + 8;
+  v
+
+let f64 s pos =
+  need s pos 8;
+  let v = Int64.float_of_bits (String.get_int64_le s !pos) in
+  pos := !pos + 8;
+  v
+
+let str s pos =
+  let n = u32 s pos in
+  need s pos n;
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+(* --- values, tuples, updates ----------------------------------------- *)
+
+let add_value b = function
+  | Value.Int i ->
+      add_u8 b 0;
+      add_i64 b i
+  | Value.Str s ->
+      add_u8 b 1;
+      add_str b s
+  | Value.Real f ->
+      add_u8 b 2;
+      add_f64 b f
+
+let value s pos =
+  match u8 s pos with
+  | 0 -> Value.Int (i64 s pos)
+  | 1 -> Value.Str (str s pos)
+  | 2 -> Value.Real (f64 s pos)
+  | t -> corrupt (Printf.sprintf "unknown value tag %d" t)
+
+let add_tuple b t =
+  add_u16 b (Tuple.arity t);
+  List.iter (add_value b) (Tuple.to_list t)
+
+let tuple s pos =
+  let n = u16 s pos in
+  Tuple.of_list (List.init n (fun _ -> value s pos))
+
+(** A payload codec: how to write and read one ring element. The
+    streaming layers are functorized over this, so any ring with a
+    binary form (Z, floats, products of those, ...) gets a durable log
+    and checkpoints for free. *)
+module type PAYLOAD = sig
+  type t
+
+  val write : Buffer.t -> t -> unit
+  val read : string -> int ref -> t
+end
+
+module Int_payload = struct
+  type t = int
+
+  let write = add_i64
+  let read = i64
+end
+
+module Float_payload = struct
+  type t = float
+
+  let write = add_f64
+  let read = f64
+end
+
+let add_update (type p) (module P : PAYLOAD with type t = p) b (u : p Update.t) =
+  add_str b u.Update.rel;
+  add_tuple b u.Update.tuple;
+  P.write b u.Update.payload
+
+let update (type p) (module P : PAYLOAD with type t = p) s pos : p Update.t =
+  let rel = str s pos in
+  let t = tuple s pos in
+  let payload = P.read s pos in
+  Update.make ~rel ~tuple:t ~payload

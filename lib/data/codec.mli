@@ -1,0 +1,49 @@
+(** Binary encoding of values, tuples and updates, for the durable
+    update log and checkpoints of [lib/stream]. Little-endian,
+    self-delimiting; integrity (length + CRC-32 framing) is layered on
+    top by the callers. *)
+
+exception Corrupt of string
+(** Raised by every reader on a short or malformed buffer. *)
+
+val crc32 : string -> pos:int -> len:int -> int
+(** CRC-32 (IEEE) of a substring, as a non-negative 32-bit int. *)
+
+(** {1 Primitives} — writers append to a [Buffer.t]; readers consume
+    from a string at a position cursor, raising {!Corrupt} on underrun. *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+val add_i64 : Buffer.t -> int -> unit
+val add_f64 : Buffer.t -> float -> unit
+val add_str : Buffer.t -> string -> unit
+val u8 : string -> int ref -> int
+val u16 : string -> int ref -> int
+val u32 : string -> int ref -> int
+val i64 : string -> int ref -> int
+val f64 : string -> int ref -> float
+val str : string -> int ref -> string
+
+(** {1 Data-model codecs} *)
+
+val add_value : Buffer.t -> Value.t -> unit
+val value : string -> int ref -> Value.t
+val add_tuple : Buffer.t -> Tuple.t -> unit
+val tuple : string -> int ref -> Tuple.t
+
+(** A payload codec: how to write and read one ring element. The
+    streaming layers are functorized over this, so any ring with a
+    binary form gets a durable log and checkpoints for free. *)
+module type PAYLOAD = sig
+  type t
+
+  val write : Buffer.t -> t -> unit
+  val read : string -> int ref -> t
+end
+
+module Int_payload : PAYLOAD with type t = int
+module Float_payload : PAYLOAD with type t = float
+
+val add_update : (module PAYLOAD with type t = 'p) -> Buffer.t -> 'p Update.t -> unit
+val update : (module PAYLOAD with type t = 'p) -> string -> int ref -> 'p Update.t

@@ -1,0 +1,79 @@
+(** A uniform handle over every maintenance engine in this library, so
+    the multi-view server of [lib/stream] can keep N heterogeneous views
+    (factorized view trees, Fig. 4 strategies, triangle batch kernels)
+    current off one shared update stream.
+
+    A maintainable is a record of closures rather than a first-class
+    module: the registry only ever needs "apply this batch", "how big is
+    your output" and "a fingerprint of your state", and closures let one
+    constructor per engine family capture whatever private state the
+    engine keeps. [relations] names the base relations the view consumes
+    — the registry routes each view only the updates it understands. *)
+
+module Rel = Ivm_data.Relation.Z
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+module Cq = Ivm_query.Cq
+
+type t = {
+  name : string;
+  relations : string list;  (** base relations this view consumes *)
+  apply_batch : int Update.t list -> unit;
+      (** Apply a batch of single-tuple updates, all on [relations]. *)
+  output_count : unit -> int;  (** current output size (tuples or count) *)
+  fingerprint : unit -> int;
+      (** Order-independent digest of the current output state, for
+          crash-recovery equality checks: two engines over the same
+          query agree iff their outputs are extensionally equal. *)
+}
+
+(* Order-independent digest of a relation: summing per-entry digests
+   makes the fold order (hash-table iteration) irrelevant. *)
+let relation_fingerprint (r : Rel.t) : int =
+  Rel.fold
+    (fun tp p acc -> acc + (Tuple.hash tp lxor (p * 0x9E3779B9)) land max_int)
+    r 0
+  land max_int
+
+let of_view_tree ~name (q : Cq.t) (tree : View_tree.t) : t =
+  {
+    name;
+    relations = Cq.relation_names q;
+    apply_batch = (fun batch -> List.iter (View_tree.apply_update tree) batch);
+    output_count = (fun () -> View_tree.output_count tree);
+    fingerprint = (fun () -> relation_fingerprint (View_tree.output_relation tree));
+  }
+
+let of_strategy ~name (s : Strategy.t) : t =
+  {
+    name;
+    relations = Cq.relation_names (Strategy.query s);
+    apply_batch = (fun batch -> Strategy.apply_batch s batch);
+    output_count = (fun () -> Strategy.count_output s);
+    fingerprint = (fun () -> relation_fingerprint (Strategy.output s));
+  }
+
+(* Triangle kernels speak (relation, a, b, multiplicity) edges over the
+   fixed schema R(A,B), S(B,C), T(C,A); updates are translated on the
+   way in. The count is the whole output, so it is also the digest. *)
+let of_triangle_batch (type e) ~name
+    (module B : Triangle_batch.BATCH_ENGINE with type t = e) (eng : e) : t =
+  let edge_of (u : int Update.t) : Triangle_batch.edge =
+    let rel =
+      match u.Update.rel with
+      | "R" -> Triangle.R
+      | "S" -> Triangle.S
+      | "T" -> Triangle.T
+      | r -> invalid_arg ("Maintainable.of_triangle_batch: unknown relation " ^ r)
+    in
+    let a = Ivm_data.Value.to_int (Tuple.get u.Update.tuple 0) in
+    let b = Ivm_data.Value.to_int (Tuple.get u.Update.tuple 1) in
+    (rel, a, b, u.Update.payload)
+  in
+  {
+    name;
+    relations = [ "R"; "S"; "T" ];
+    apply_batch = (fun batch -> B.apply_batch eng (List.map edge_of batch));
+    output_count = (fun () -> B.count eng);
+    fingerprint = (fun () -> B.count eng land max_int);
+  }

@@ -1,0 +1,34 @@
+(** A uniform handle over every maintenance engine in this library, so
+    the multi-view server of [lib/stream] can keep N heterogeneous views
+    (view trees, Fig. 4 strategies, triangle batch kernels) current off
+    one shared update stream. *)
+
+module Rel = Ivm_data.Relation.Z
+module Cq = Ivm_query.Cq
+
+type t = {
+  name : string;
+  relations : string list;  (** base relations this view consumes *)
+  apply_batch : int Ivm_data.Update.t list -> unit;
+      (** Apply a batch of single-tuple updates, all on [relations]. *)
+  output_count : unit -> int;  (** current output size (tuples or count) *)
+  fingerprint : unit -> int;
+      (** Order-independent digest of the current output state, for
+          crash-recovery equality checks: two engines over the same
+          query agree iff their outputs are extensionally equal. *)
+}
+
+val relation_fingerprint : Rel.t -> int
+(** Order-independent digest of a relation's entries. *)
+
+val of_view_tree : name:string -> Cq.t -> View_tree.t -> t
+(** Wrap a factorized view tree; the query supplies the consumed
+    relation names. *)
+
+val of_strategy : name:string -> Strategy.t -> t
+(** Wrap one of the four Fig. 4 maintenance strategies. *)
+
+val of_triangle_batch :
+  name:string -> (module Triangle_batch.BATCH_ENGINE with type t = 'e) -> 'e -> t
+(** Wrap a triangle batch kernel. Updates must be on relations "R", "S",
+    "T" with binary integer tuples; the count is the output. *)

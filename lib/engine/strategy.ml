@@ -43,6 +43,7 @@ let create kind query forest db =
   { kind; query; tree; out; pending = [] }
 
 let kind t = t.kind
+let query t = t.query
 
 (** The shared view tree (its leaves are the maintained base relations,
     whatever the strategy). *)

@@ -21,6 +21,7 @@ type t
 
 val create : kind -> Cq.t -> Vo.forest -> Ivm_data.Database.Z.t -> t
 val kind : t -> kind
+val query : t -> Cq.t
 
 val tree : t -> View_tree.t
 (** The shared view tree (its leaves are the maintained base relations,

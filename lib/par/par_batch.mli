@@ -1,0 +1,23 @@
+(** Parallel application of named update batches (the paper's Sec. 2
+    batches) over hash-sharded relations. A batch is partitioned by
+    (relation, shard); each bucket is applied in batch order by a single
+    task, so every shard table has one writer, and buckets interleave
+    arbitrarily — sound because ring payloads make batches commute. *)
+
+module Update = Ivm_data.Update
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
+  module Srel : module type of Sharded_relation.Make (R)
+
+  val apply : Domain_pool.t -> find:(string -> Srel.t) -> R.t Update.batch -> unit
+  (** [apply pool ~find batch] routes every update of [batch] to
+      [find u.rel] and applies all (relation, shard) sub-batches on the
+      pool; width-1 pools apply inline, in order.
+      @raise Invalid_argument (from [find]) on unknown relation names —
+      resolution happens during sequential partitioning, before any
+      parallel work starts. *)
+
+  val sum : Domain_pool.t -> (unit -> R.t) list -> R.t
+  (** Evaluate independent ring-valued tasks on the pool and merge the
+      results with [R.add]. *)
+end

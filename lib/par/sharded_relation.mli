@@ -1,0 +1,63 @@
+(** Hash-sharded relations: the same finite map from tuples to non-zero
+    ring payloads as {!Ivm_data.Relation}, split into [2^k] independent
+    hash tables by tuple-key hash. Within a shard there is no locking at
+    all — parallel batch application partitions updates by shard and
+    hands each shard's sub-batch to exactly one task, so every table has
+    a single writer. Out-of-order, cross-shard application is sound
+    because ring payloads make update batches commute (Sec. 2). *)
+
+module Tuple = Ivm_data.Tuple
+module Schema = Ivm_data.Schema
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
+  module Rel : module type of Ivm_data.Relation.Make (R)
+
+  type payload = R.t
+  type t
+
+  val create : ?shards:int -> ?size:int -> Schema.t -> t
+  (** [shards] (default 64) is rounded up to a power of two; [size] is
+      the expected total entry count, split across the shard tables. *)
+
+  val schema : t -> Schema.t
+  val shard_count : t -> int
+
+  val shard_of : t -> Tuple.t -> int
+  (** The shard index of a tuple — upper hash bits, so the tables (which
+      consume the lower bits) stay uniformly filled. Computing it also
+      memoizes the tuple's hash for the parallel probe phase. *)
+
+  val shard : t -> int -> payload Tuple.Tbl.t
+  (** The [i]th shard table. Callers mutating it directly (as
+      {!Par_batch} does) must ensure a single writer per shard. *)
+
+  val size : t -> int
+  (** Stored entries across all shards — tuples with non-zero payload. *)
+
+  val get : t -> Tuple.t -> payload
+  (** The payload of a tuple, [R.zero] when absent (zero elision). *)
+
+  val mem : t -> Tuple.t -> bool
+
+  val add_to_table : payload Tuple.Tbl.t -> Tuple.t -> payload -> unit
+  (** Merge-and-elide into one shard table: identical semantics to
+      [Relation.add_entry] — add with [R.add], drop entries that reach
+      [R.zero]. *)
+
+  val add_entry : t -> Tuple.t -> payload -> unit
+  val iter : (Tuple.t -> payload -> unit) -> t -> unit
+  val fold : (Tuple.t -> payload -> 'a -> 'a) -> t -> 'a -> 'a
+  val clear : t -> unit
+
+  val of_relation : ?shards:int -> Rel.t -> t
+  val to_relation : t -> Rel.t
+
+  val equal_relation : t -> Rel.t -> bool
+  (** Same tuple→payload map, shard layout aside. *)
+
+  val apply_batch : Domain_pool.t -> t -> (Tuple.t * payload) list -> unit
+  (** Partition a batch by target shard sequentially (computing each
+      tuple's memoized hash once), then apply the per-shard sub-batches
+      concurrently — one task per non-empty shard, each writing only its
+      own table. Width-1 pools apply inline. *)
+end

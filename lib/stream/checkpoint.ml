@@ -1,0 +1,99 @@
+(** Checkpoints: a snapshot of the base database paired with the WAL
+    offset it is current through.
+
+    The recovery contract is [restore + replay ≡ direct apply]: loading
+    a checkpoint, rebuilding views from the restored base state
+    ({!Registry.restore}) and replaying the WAL suffix from
+    [wal_offset] reproduces exactly the state of a run that never
+    crashed. Only base relations are written — every view is a
+    deterministic function of the base database, so re-deriving them on
+    restore is both simpler and safer than serializing engine
+    internals.
+
+    File format: magic, then [u32 length | u32 crc32 | body]; the body
+    holds the offset and each relation's name, schema and entries.
+    Writes go to a temporary file renamed into place, so a crash during
+    checkpointing leaves the previous checkpoint intact. *)
+
+module Codec = Ivm_data.Codec
+module Schema = Ivm_data.Schema
+
+let magic = "IVMCKP01"
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) (P : Codec.PAYLOAD with type t = R.t) =
+struct
+  module Db = Ivm_data.Database.Make (R)
+  module Rel = Ivm_data.Relation.Make (R)
+
+  let save path ~(db : Db.t) ~wal_offset =
+    let b = Buffer.create 4096 in
+    Codec.add_i64 b wal_offset;
+    let rels = List.sort compare (Db.relations db) in
+    Codec.add_u32 b (List.length rels);
+    List.iter
+      (fun (name, rel) ->
+        Codec.add_str b name;
+        let schema = Rel.schema rel in
+        Codec.add_u16 b (Schema.arity schema);
+        List.iter (Codec.add_str b) (Schema.to_list schema);
+        Codec.add_u32 b (Rel.size rel);
+        Rel.iter
+          (fun tuple p ->
+            Codec.add_tuple b tuple;
+            P.write b p)
+          rel)
+      rels;
+    let body = Buffer.contents b in
+    let len = String.length body in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        let frame = Buffer.create 8 in
+        Codec.add_u32 frame len;
+        Codec.add_u32 frame (Codec.crc32 body ~pos:0 ~len);
+        Buffer.output_buffer oc frame;
+        output_string oc body;
+        flush oc);
+    Sys.rename tmp path
+
+  let load path : Db.t * int =
+    let ic = open_in_bin path in
+    let body =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then failwith ("Checkpoint.load: bad magic in " ^ path);
+          let frame = really_input_string ic 8 in
+          let pos = ref 0 in
+          let len = Codec.u32 frame pos in
+          let crc = Codec.u32 frame pos in
+          let body = really_input_string ic len in
+          if Codec.crc32 body ~pos:0 ~len <> crc then
+            failwith ("Checkpoint.load: checksum mismatch in " ^ path);
+          body)
+    in
+    let pos = ref 0 in
+    let wal_offset = Codec.i64 body pos in
+    let nrels = Codec.u32 body pos in
+    let db = Db.create () in
+    for _ = 1 to nrels do
+      let name = Codec.str body pos in
+      let arity = Codec.u16 body pos in
+      let schema = Schema.of_list (List.init arity (fun _ -> Codec.str body pos)) in
+      let entries = Codec.u32 body pos in
+      let rel = Db.declare db name schema in
+      for _ = 1 to entries do
+        let tuple = Codec.tuple body pos in
+        let p = P.read body pos in
+        Rel.set_entry rel tuple p
+      done
+    done;
+    (db, wal_offset)
+end
+
+(** The default instance: the Z ring of tuple multiplicities. *)
+module Z = Make (Ivm_ring.Int_ring) (Codec.Int_payload)

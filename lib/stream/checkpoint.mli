@@ -1,0 +1,23 @@
+(** Checkpoints: a CRC-framed snapshot of the base database paired with
+    the WAL offset it is current through. The recovery contract —
+    asserted in [test/test_stream.ml] — is
+    [load + Registry.restore + Wal.replay ≡ direct apply]. Writes are
+    atomic (temp file + rename), so a crash mid-checkpoint leaves the
+    previous checkpoint intact. *)
+
+module Codec = Ivm_data.Codec
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) (P : Codec.PAYLOAD with type t = R.t) : sig
+  module Db : module type of Ivm_data.Database.Make (R)
+
+  val save : string -> db:Db.t -> wal_offset:int -> unit
+
+  val load : string -> Db.t * int
+  (** @raise Failure on a missing magic or checksum mismatch. *)
+end
+
+(** The default instance: the Z ring of tuple multiplicities. *)
+module Z : sig
+  val save : string -> db:Ivm_data.Database.Z.t -> wal_offset:int -> unit
+  val load : string -> Ivm_data.Database.Z.t * int
+end

@@ -1,0 +1,37 @@
+(** Runtime metrics: counters and log-bucketed latency histograms
+    (geometric buckets, ≤ 12% relative quantile error, allocation-free
+    recording) for the serving loop's p50/p99 reporting. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t q] for [q] in [0,1]: the upper edge of the bucket
+      holding the [q]-quantile sample; 0 when empty. *)
+
+  val merge_into : into:t -> t -> unit
+end
+
+type view = { mutable updates : int; mutable batches : int; apply : Hist.t }
+
+type t = {
+  latency : Hist.t;  (** enqueue → applied, per update *)
+  mutable epochs : int;
+  mutable ingested : int;  (** updates popped off the queue *)
+  mutable coalesced : int;  (** updates left after per-epoch coalescing *)
+  views : (string, view) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val view : t -> string -> view
+(** The named view's counters, created on first use. *)
+
+val view_names : t -> string list
+val pp : Format.formatter -> t -> unit

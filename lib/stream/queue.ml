@@ -1,0 +1,133 @@
+(** A bounded multi-producer single-consumer update queue — the
+    ingestion buffer between producers (clients, generators, replicas)
+    and the maintenance loop.
+
+    The full-queue [policy] is the backpressure contract:
+    - {!Block}: producers wait for space — lossless, throughput degrades
+      to the consumer's rate;
+    - {!Drop_newest}: the offered item is rejected (push returns
+      [false]) — lossy, producers never stall;
+    - {!Drop_oldest}: the oldest queued item is discarded to admit the
+      new one — "keep latest", for monitoring-style consumers that
+      prefer fresh updates over complete ones.
+
+    Dropping updates is only sound for views that tolerate an incomplete
+    stream (approximate dashboards); the serving runtime defaults to
+    {!Block}, which preserves the exact-maintenance guarantees. *)
+
+type policy = Block | Drop_newest | Drop_oldest
+
+let policy_name = function
+  | Block -> "block"
+  | Drop_newest -> "drop"
+  | Drop_oldest -> "latest"
+
+type 'a t = {
+  capacity : int;
+  policy : policy;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  items : 'a Stdlib.Queue.t;
+  mutable closed : bool;
+  mutable pushed : int; (* accepted items *)
+  mutable dropped : int; (* rejected or evicted items *)
+}
+
+let create ?(capacity = 8192) policy =
+  if capacity < 1 then invalid_arg "Queue.create: capacity < 1";
+  {
+    capacity;
+    policy;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    items = Stdlib.Queue.create ();
+    closed = false;
+    pushed = 0;
+    dropped = 0;
+  }
+
+let capacity t = t.capacity
+let policy t = t.policy
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Stdlib.Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n
+
+let pushed t = t.pushed
+let dropped t = t.dropped
+let is_closed t = t.closed
+
+(** [push t x] offers [x]; [false] means the item was not admitted (full
+    queue under {!Drop_newest}, or a closed queue). *)
+let push t x =
+  Mutex.lock t.mutex;
+  let admitted =
+    if t.closed then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      (match t.policy with
+      | Block ->
+          while Stdlib.Queue.length t.items >= t.capacity && not t.closed do
+            Condition.wait t.not_full t.mutex
+          done
+      | Drop_newest | Drop_oldest -> ());
+      if t.closed then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else if Stdlib.Queue.length t.items >= t.capacity then
+        match t.policy with
+        | Block -> assert false
+        | Drop_newest ->
+            t.dropped <- t.dropped + 1;
+            false
+        | Drop_oldest ->
+            ignore (Stdlib.Queue.pop t.items);
+            t.dropped <- t.dropped + 1;
+            Stdlib.Queue.push x t.items;
+            t.pushed <- t.pushed + 1;
+            true
+      else begin
+        Stdlib.Queue.push x t.items;
+        t.pushed <- t.pushed + 1;
+        true
+      end
+    end
+  in
+  if admitted then Condition.signal t.not_empty;
+  Mutex.unlock t.mutex;
+  admitted
+
+(** Close the queue: future pushes are rejected; the consumer drains
+    what remains and then sees the end of the stream. *)
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+(** [pop_batch t ~max] blocks until at least one item is available, then
+    drains up to [max] items in FIFO order. The empty list is the end of
+    the stream: the queue is closed and fully drained. *)
+let pop_batch t ~max:limit =
+  if limit < 1 then invalid_arg "Queue.pop_batch: max < 1";
+  Mutex.lock t.mutex;
+  while Stdlib.Queue.is_empty t.items && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < limit && not (Stdlib.Queue.is_empty t.items) do
+    out := Stdlib.Queue.pop t.items :: !out;
+    incr n
+  done;
+  if !n > 0 then Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  List.rev !out

@@ -1,0 +1,41 @@
+(** A bounded multi-producer single-consumer update queue with a
+    backpressure policy, between stream producers and the maintenance
+    loop. {!Block} is lossless (producers stall); {!Drop_newest} rejects
+    the offered item when full; {!Drop_oldest} evicts the oldest to
+    admit the new ("keep latest"). Dropping is only sound for views that
+    tolerate an incomplete stream; the serving runtime defaults to
+    {!Block}. *)
+
+type policy = Block | Drop_newest | Drop_oldest
+
+val policy_name : policy -> string
+
+type 'a t
+
+val create : ?capacity:int -> policy -> 'a t
+(** Default capacity 8192. @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val policy : 'a t -> policy
+val length : 'a t -> int
+
+val pushed : 'a t -> int
+(** Items admitted so far. *)
+
+val dropped : 'a t -> int
+(** Items rejected or evicted so far. *)
+
+val is_closed : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** Offer an item; [false] means it was not admitted (full queue under
+    {!Drop_newest}, or a closed queue). Blocks only under {!Block}. *)
+
+val close : 'a t -> unit
+(** Future pushes are rejected; the consumer drains what remains and
+    then sees the end of the stream. *)
+
+val pop_batch : 'a t -> max:int -> 'a list
+(** Block until at least one item is available, then drain up to [max]
+    in FIFO order. The empty list is the end of the stream (closed and
+    fully drained). Single consumer only. *)

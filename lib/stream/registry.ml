@@ -1,0 +1,112 @@
+(** The multi-view server: N registered views maintained off one shared
+    update stream.
+
+    The registry owns the authoritative base database — the durable
+    truth that checkpoints snapshot — and a list of registered views,
+    each built by a *factory* from a database. Keeping the factory
+    around is what makes crash recovery uniform: restore re-runs every
+    factory against the restored base state, so any engine that can
+    preprocess a database (view trees, strategies, kernels fed tuple by
+    tuple) becomes recoverable without engine-specific serialization.
+
+    [apply_batch] routes each view the sub-batch on its relations and
+    fans the independent views across an {!Ivm_par.Domain_pool}: views
+    share nothing (each preprocessed its own copies at build time), so
+    view-level parallelism needs no commutativity argument at all — it
+    is plain task parallelism over disjoint state. The base database is
+    one more task on the same barrier. *)
+
+module Db = Ivm_data.Database.Z
+module Update = Ivm_data.Update
+module M = Ivm_engine.Maintainable
+
+type entry = { view : M.t; build : Db.t -> M.t }
+
+type t = {
+  db : Db.t;
+  pool : Ivm_par.Domain_pool.t option;
+  metrics : Metrics.t option;
+  mutable entries : (string * entry) list; (* registration order, reversed *)
+}
+
+let create ?pool ?metrics db = { db; pool; metrics; entries = [] }
+let db t = t.db
+
+let register t ~name build =
+  if List.mem_assoc name t.entries then
+    invalid_arg ("Registry.register: duplicate view " ^ name);
+  t.entries <- (name, { view = build t.db; build }) :: t.entries
+
+let views t = List.rev_map (fun (name, e) -> (name, e.view)) t.entries
+let view_count t = List.length t.entries
+
+let find t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e.view
+  | None -> invalid_arg ("Registry.find: no view " ^ name)
+
+let counts t = List.map (fun (name, m) -> (name, m.M.output_count ())) (views t)
+let fingerprints t = List.map (fun (name, m) -> (name, m.M.fingerprint ())) (views t)
+
+(* Route a batch: per view, the sub-batch on its consumed relations (in
+   batch order). Views over the same relations share the input list
+   physically where possible. *)
+let sub_batch (m : M.t) batch =
+  match m.M.relations with
+  | [] -> []
+  | rels -> List.filter (fun (u : int Update.t) -> List.mem u.Update.rel rels) batch
+
+let now () = Unix.gettimeofday ()
+
+let apply_batch t (batch : int Update.t list) =
+  match batch with
+  | [] -> ()
+  | batch ->
+      let views = views t in
+      (* Per-task elapsed times land in preallocated slots; the metrics
+         tables are only touched after the barrier, on this domain. *)
+      let timings = Array.make (List.length views) 0. in
+      let sized =
+        List.mapi
+          (fun i (name, m) ->
+            let sub = sub_batch m batch in
+            (i, name, m, sub, List.length sub))
+          views
+      in
+      let tasks =
+        (fun () -> Db.apply_batch t.db batch)
+        :: List.filter_map
+             (fun (i, _, m, sub, n) ->
+               if n = 0 then None
+               else
+                 Some
+                   (fun () ->
+                     let t0 = now () in
+                     m.M.apply_batch sub;
+                     timings.(i) <- now () -. t0))
+             sized
+      in
+      (match t.pool with
+      | Some pool -> Ivm_par.Domain_pool.run pool tasks
+      | None -> List.iter (fun task -> task ()) tasks);
+      Option.iter
+        (fun metrics ->
+          List.iter
+            (fun (i, name, _, _, n) ->
+              if n > 0 then begin
+                let v = Metrics.view metrics name in
+                v.Metrics.updates <- v.Metrics.updates + n;
+                v.Metrics.batches <- v.Metrics.batches + 1;
+                Metrics.Hist.add v.Metrics.apply timings.(i)
+              end)
+            sized)
+        t.metrics
+
+(** [restore t db] is a fresh registry over [db] with every view rebuilt
+    by its registration factory — the recovery path: pair it with a WAL
+    replay from the checkpoint's offset. The restored registry runs
+    sequentially unless given its own pool/metrics. *)
+let restore ?pool ?metrics t db =
+  let fresh = create ?pool ?metrics db in
+  List.iter (fun (name, e) -> register fresh ~name e.build) (List.rev t.entries);
+  fresh

@@ -1,0 +1,41 @@
+(** The multi-view server: N registered views maintained off one shared
+    update stream. The registry owns the authoritative base database
+    (what checkpoints snapshot) and rebuilds every view from its
+    registration factory on {!restore} — recovery without
+    engine-specific serialization. Independent views fan out across an
+    {!Ivm_par.Domain_pool}: they share no state, so this is plain task
+    parallelism over disjoint structures. *)
+
+module Db = Ivm_data.Database.Z
+module M = Ivm_engine.Maintainable
+
+type t
+
+val create : ?pool:Ivm_par.Domain_pool.t -> ?metrics:Metrics.t -> Db.t -> t
+val db : t -> Db.t
+
+val register : t -> name:string -> (Db.t -> M.t) -> unit
+(** Build a view from the current base database and serve it from now
+    on. The factory is kept for {!restore}.
+    @raise Invalid_argument on a duplicate name. *)
+
+val views : t -> (string * M.t) list
+(** In registration order. *)
+
+val view_count : t -> int
+
+val find : t -> string -> M.t
+(** @raise Invalid_argument when absent. *)
+
+val counts : t -> (string * int) list
+val fingerprints : t -> (string * int) list
+
+val apply_batch : t -> int Ivm_data.Update.t list -> unit
+(** Apply a batch to the base database and to every registered view
+    (each view sees only the updates on its relations), concurrently
+    across the pool when one was given. *)
+
+val restore : ?pool:Ivm_par.Domain_pool.t -> ?metrics:Metrics.t -> t -> Db.t -> t
+(** A fresh registry over [db] with every view rebuilt by its
+    registration factory — the recovery path, paired with a WAL replay
+    from the checkpoint's offset. *)

@@ -1,0 +1,49 @@
+(** The epoch micro-batcher: pops queued updates, logs them durably
+    (WAL append + sync before any view applies them), coalesces per
+    (relation, tuple) with the ring add — sound by batch commutativity
+    (Sec. 2) — and feeds the registry. The batch cap adapts to observed
+    epoch apply latency: halved over 1.5x target, doubled when a full
+    epoch runs under half the target. *)
+
+type item = { update : int Ivm_data.Update.t; enqueued_at : float }
+
+val item : int Ivm_data.Update.t -> item
+(** Stamp an update with the current time — what producers enqueue. *)
+
+type t
+
+val create :
+  ?wal:Wal.Z.t ->
+  ?target_latency:float ->
+  ?min_batch:int ->
+  ?max_batch:int ->
+  ?initial_batch:int ->
+  queue:item Queue.t ->
+  registry:Registry.t ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** Defaults: 2 ms target latency, batch cap adapting within
+    [16, 65536] starting at 1024. Without [wal] the runtime is
+    in-memory only. *)
+
+val batch_limit : t -> int
+(** The current adaptive batch cap. *)
+
+val applied : t -> int
+(** Updates applied so far (before coalescing). *)
+
+val metrics : t -> Metrics.t
+val registry : t -> Registry.t
+
+val coalesce : item list -> int Ivm_data.Update.t list
+(** Per-(relation, tuple) ring-add coalescing with zero elision;
+    exposed for tests. *)
+
+val step : t -> bool
+(** Run one epoch; [false] means the stream ended (queue closed and
+    drained). *)
+
+val run : ?on_epoch:(t -> unit) -> t -> unit
+(** Drain the stream to its end, calling [on_epoch] after every epoch
+    (live stats, periodic checkpoints). *)

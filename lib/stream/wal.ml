@@ -1,0 +1,133 @@
+(** A durable append-only update log (write-ahead log).
+
+    The paper's model is an unbounded stream of single-tuple updates
+    (Sec. 2); the WAL is that stream made durable: every update is
+    framed as [u32 length | u32 crc32 | body] where the body is the
+    {!Ivm_data.Codec} encoding of the update. Offsets are byte positions
+    in the file; {!append} returns the offset *after* the record, which
+    is exactly the replay cursor a checkpoint pairs with its snapshot —
+    restore the snapshot, replay the suffix, and the state is as if the
+    log had been applied directly (asserted in [test/test_stream.ml]).
+
+    Crash tolerance: a torn tail (a record cut short by a crash, or one
+    whose checksum fails) terminates replay at the last complete record;
+    {!open_log} truncates such a tail so later appends extend a valid
+    prefix rather than burying records behind garbage. *)
+
+module Codec = Ivm_data.Codec
+module Update = Ivm_data.Update
+
+let magic = "IVMWAL01"
+let header_len = String.length magic
+
+module Make (P : Codec.PAYLOAD) = struct
+  type t = {
+    path : string;
+    oc : out_channel;
+    buf : Buffer.t;
+    mutable offset : int; (* bytes of valid log written, including magic *)
+  }
+
+  (* Scan an existing file and return the length of its valid prefix:
+     the magic plus every complete, checksum-correct record. *)
+  let valid_prefix path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let file_len = in_channel_length ic in
+        if file_len < header_len then 0
+        else begin
+          let m = really_input_string ic header_len in
+          if m <> magic then 0
+          else begin
+            let ok = ref header_len in
+            (try
+               while true do
+                 let frame = really_input_string ic 8 in
+                 let pos = ref 0 in
+                 let len = Codec.u32 frame pos in
+                 let crc = Codec.u32 frame pos in
+                 if !ok + 8 + len > file_len then raise Exit;
+                 let body = really_input_string ic len in
+                 if Codec.crc32 body ~pos:0 ~len <> crc then raise Exit;
+                 ok := !ok + 8 + len
+               done
+             with End_of_file | Exit -> ());
+            !ok
+          end
+        end)
+
+  let open_log path =
+    let valid = if Sys.file_exists path then valid_prefix path else -1 in
+    if valid >= header_len && valid < (Unix.stat path).Unix.st_size then
+      (* Torn tail from a previous crash: cut it off before appending. *)
+      Unix.truncate path valid;
+    let fresh = valid < header_len in
+    if fresh && Sys.file_exists path then Sys.remove path;
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+    if fresh then output_string oc magic;
+    flush oc;
+    { path; oc; buf = Buffer.create 256; offset = (if fresh then header_len else valid) }
+
+  let offset t = t.offset
+  let path t = t.path
+
+  let append t (u : P.t Update.t) =
+    Buffer.clear t.buf;
+    Codec.add_update (module P) t.buf u;
+    let body = Buffer.contents t.buf in
+    let len = String.length body in
+    Buffer.clear t.buf;
+    Codec.add_u32 t.buf len;
+    Codec.add_u32 t.buf (Codec.crc32 body ~pos:0 ~len);
+    Buffer.add_string t.buf body;
+    Buffer.output_buffer t.oc t.buf;
+    t.offset <- t.offset + 8 + len;
+    t.offset
+
+  let append_batch t batch = List.fold_left (fun _ u -> append t u) t.offset batch
+
+  let sync t = flush t.oc
+
+  let close t =
+    flush t.oc;
+    close_out_noerr t.oc
+
+  (** [replay path ~from f] feeds every complete record at offset
+      [>= from] to [f] and returns the offset after the last one — the
+      next replay cursor. [from <= header_len] starts at the first
+      record. A torn or corrupt tail silently ends the replay: those
+      bytes were never acknowledged as applied by anyone. *)
+  let replay path ~from f =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let file_len = in_channel_length ic in
+        if file_len < header_len then header_len
+        else begin
+          let m = really_input_string ic header_len in
+          if m <> magic then invalid_arg ("Wal.replay: bad magic in " ^ path);
+          let cursor = ref (max from header_len) in
+          seek_in ic !cursor;
+          (try
+             while true do
+               let frame = really_input_string ic 8 in
+               let pos = ref 0 in
+               let len = Codec.u32 frame pos in
+               let crc = Codec.u32 frame pos in
+               if !cursor + 8 + len > file_len then raise Exit;
+               let body = really_input_string ic len in
+               if Codec.crc32 body ~pos:0 ~len <> crc then raise Exit;
+               let u = Codec.update (module P) body (ref 0) in
+               cursor := !cursor + 8 + len;
+               f u
+             done
+           with End_of_file | Exit | Codec.Corrupt _ -> ());
+          !cursor
+        end)
+end
+
+(** The default instance: integer-multiplicity updates (the Z ring). *)
+module Z = Make (Codec.Int_payload)

@@ -1,0 +1,54 @@
+(** A durable append-only update log with explicit byte offsets,
+    CRC-checked records and replay. Pair {!Make.append}'s returned
+    offset with a {!Checkpoint} snapshot and [restore + replay] is
+    equivalent to having applied the log directly. A torn tail (record
+    cut short by a crash, or failing its checksum) ends replay at the
+    last complete record and is truncated on re-open. *)
+
+module Codec = Ivm_data.Codec
+
+val header_len : int
+(** Bytes of file magic; the offset of the first record. *)
+
+module Make (P : Codec.PAYLOAD) : sig
+  type t
+
+  val open_log : string -> t
+  (** Open for appending, creating the file if needed. An existing log
+      is scanned and any torn tail truncated, so appends always extend
+      a valid prefix. *)
+
+  val offset : t -> int
+  (** The current end offset: the replay cursor for state that includes
+      everything appended so far. *)
+
+  val path : t -> string
+
+  val append : t -> P.t Ivm_data.Update.t -> int
+  (** Append one record, returning the offset after it. Buffered; call
+      {!sync} to flush (the scheduler syncs once per epoch). *)
+
+  val append_batch : t -> P.t Ivm_data.Update.t list -> int
+  val sync : t -> unit
+  val close : t -> unit
+
+  val replay : string -> from:int -> (P.t Ivm_data.Update.t -> unit) -> int
+  (** [replay path ~from f] feeds every complete record at offset
+      [>= from] to [f], returning the offset after the last one. A torn
+      or corrupt tail silently ends the replay.
+      @raise Invalid_argument when the file is not a WAL. *)
+end
+
+(** The default instance: integer-multiplicity updates (the Z ring). *)
+module Z : sig
+  type t
+
+  val open_log : string -> t
+  val offset : t -> int
+  val path : t -> string
+  val append : t -> int Ivm_data.Update.t -> int
+  val append_batch : t -> int Ivm_data.Update.t list -> int
+  val sync : t -> unit
+  val close : t -> unit
+  val replay : string -> from:int -> (int Ivm_data.Update.t -> unit) -> int
+end

@@ -1,0 +1,493 @@
+(* The streaming maintenance runtime: codec roundtrips, WAL durability
+   and torn-tail tolerance, queue backpressure policies, checkpoint +
+   replay crash recovery (the load-bearing property: restore + replay
+   from the saved offset ≡ direct apply, for Z and float rings), the
+   multi-view registry, and the end-to-end kill-and-restart equivalence
+   the `serve` runtime promises. *)
+
+module D = Ivm_data
+module S = D.Schema
+module U = D.Update
+module Codec = D.Codec
+module Wal = Ivm_stream.Wal
+module Squeue = Ivm_stream.Queue
+module Metrics = Ivm_stream.Metrics
+module Registry = Ivm_stream.Registry
+module Checkpoint = Ivm_stream.Checkpoint
+module Scheduler = Ivm_stream.Scheduler
+module M = Ivm_engine.Maintainable
+module Tri = Ivm_engine.Triangle
+module Tb = Ivm_engine.Triangle_batch
+module Rel = D.Relation.Z
+
+let tup = D.Tuple.of_ints
+
+let tmp_path suffix =
+  let path = Filename.temp_file "ivm_stream" suffix in
+  Sys.remove path;
+  path
+
+let with_tmp suffix f =
+  let path = tmp_path suffix in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* --- codec ----------------------------------------------------------- *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map D.Value.of_int (int_range (-1_000_000) 1_000_000);
+        map D.Value.of_string (string_size ~gen:printable (int_range 0 12));
+        map D.Value.of_float (map (fun i -> float_of_int i /. 4.) (int_range (-100) 100));
+      ])
+
+let tuple_gen = QCheck.Gen.(map D.Tuple.of_list (list_size (int_range 0 5) value_gen))
+
+let update_gen =
+  QCheck.Gen.(
+    map3
+      (fun rel tuple payload -> U.make ~rel ~tuple ~payload)
+      (oneofl [ "R"; "S"; "T" ])
+      tuple_gen (int_range (-3) 3))
+
+let update_eq (a : int U.t) (b : int U.t) =
+  a.U.rel = b.U.rel && D.Tuple.equal a.U.tuple b.U.tuple && a.U.payload = b.U.payload
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"codec: update roundtrip"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 20) update_gen))
+    (fun updates ->
+      let b = Buffer.create 256 in
+      List.iter (Codec.add_update (module Codec.Int_payload) b) updates;
+      let s = Buffer.contents b in
+      let pos = ref 0 in
+      let back = List.map (fun _ -> Codec.update (module Codec.Int_payload) s pos) updates in
+      !pos = String.length s && List.for_all2 update_eq updates back)
+
+let codec_corrupt () =
+  let b = Buffer.create 16 in
+  Codec.add_tuple b (tup [ 1; 2; 3 ]);
+  let s = Buffer.contents b in
+  let clipped = String.sub s 0 (String.length s - 1) in
+  Alcotest.check_raises "short buffer raises" (Codec.Corrupt "short read") (fun () ->
+      ignore (Codec.tuple clipped (ref 0)))
+
+(* --- WAL ------------------------------------------------------------- *)
+
+let replay_all path ~from =
+  let acc = ref [] in
+  let stop = Wal.Z.replay path ~from (fun u -> acc := u :: !acc) in
+  (List.rev !acc, stop)
+
+let wal_roundtrip =
+  QCheck.Test.make ~name:"wal: append then replay = identity"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) update_gen))
+    (fun updates ->
+      with_tmp ".wal" (fun path ->
+          let w = Wal.Z.open_log path in
+          let offsets = List.map (fun u -> Wal.Z.append w u) updates in
+          Wal.Z.close w;
+          let back, stop = replay_all path ~from:0 in
+          let replay_ok =
+            List.length back = List.length updates
+            && List.for_all2 update_eq updates back
+            && stop = (match List.rev offsets with [] -> Wal.header_len | o :: _ -> o)
+          in
+          (* Replay from a mid-stream offset yields exactly the suffix. *)
+          let suffix_ok =
+            match offsets with
+            | [] -> true
+            | _ ->
+                let k = List.length offsets / 2 in
+                let from = if k = 0 then Wal.header_len else List.nth offsets (k - 1) in
+                let suffix, _ = replay_all path ~from in
+                List.length suffix = List.length updates - k
+                && List.for_all2 update_eq (List.filteri (fun i _ -> i >= k) updates) suffix
+          in
+          replay_ok && suffix_ok))
+
+let wal_torn_tail =
+  QCheck.Test.make ~name:"wal: truncated last record is dropped, prefix survives"
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 1 20) update_gen) (int_range 1 8)))
+    (fun (updates, cut) ->
+      with_tmp ".wal" (fun path ->
+          let w = Wal.Z.open_log path in
+          let offsets = List.map (fun u -> Wal.Z.append w u) updates in
+          Wal.Z.close w;
+          let last_end = List.nth offsets (List.length offsets - 1) in
+          let last_start =
+            if List.length offsets = 1 then Wal.header_len
+            else List.nth offsets (List.length offsets - 2)
+          in
+          (* Cut somewhere strictly inside the last record. *)
+          let at = max (last_start + 1) (last_end - cut) in
+          Unix.truncate path at;
+          let back, stop = replay_all path ~from:0 in
+          let n = List.length updates in
+          List.length back = n - 1
+          && stop = last_start
+          && List.for_all2 update_eq (List.filteri (fun i _ -> i < n - 1) updates) back
+          &&
+          (* Re-opening truncates the torn tail; appends resume cleanly. *)
+          let w = Wal.Z.open_log path in
+          let u = U.make ~rel:"R" ~tuple:(tup [ 9; 9 ]) ~payload:1 in
+          ignore (Wal.Z.append w u);
+          Wal.Z.close w;
+          let back2, _ = replay_all path ~from:0 in
+          List.length back2 = n && update_eq (List.nth back2 (n - 1)) u))
+
+let wal_garbage_tail () =
+  with_tmp ".wal" (fun path ->
+      let w = Wal.Z.open_log path in
+      let u1 = U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:1 in
+      ignore (Wal.Z.append w u1);
+      let off = Wal.Z.offset w in
+      Wal.Z.close w;
+      (* A frame whose checksum cannot match: replay must stop before it. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\x04\x00\x00\x00\xff\xff\xff\xff\xde\xad\xbe\xef";
+      close_out oc;
+      let back, stop = replay_all path ~from:0 in
+      Alcotest.(check int) "one record survives" 1 (List.length back);
+      Alcotest.(check int) "stops before garbage" off stop)
+
+(* --- queue ----------------------------------------------------------- *)
+
+let queue_policies () =
+  let q = Squeue.create ~capacity:2 Squeue.Drop_newest in
+  Alcotest.(check bool) "push 1" true (Squeue.push q 1);
+  Alcotest.(check bool) "push 2" true (Squeue.push q 2);
+  Alcotest.(check bool) "push 3 dropped" false (Squeue.push q 3);
+  Alcotest.(check int) "dropped count" 1 (Squeue.dropped q);
+  Alcotest.(check (list int)) "fifo drain" [ 1; 2 ] (Squeue.pop_batch q ~max:10);
+  let q = Squeue.create ~capacity:2 Squeue.Drop_oldest in
+  List.iter (fun i -> ignore (Squeue.push q i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "keeps latest" [ 3; 4 ] (Squeue.pop_batch q ~max:10);
+  Alcotest.(check int) "evicted count" 2 (Squeue.dropped q);
+  Squeue.close q;
+  Alcotest.(check bool) "push after close" false (Squeue.push q 5);
+  Alcotest.(check (list int)) "end of stream" [] (Squeue.pop_batch q ~max:10)
+
+let queue_mpsc () =
+  let q = Squeue.create ~capacity:64 Squeue.Block in
+  let producers = 4 and per_producer = 2_000 in
+  let domains =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              ignore (Squeue.push q ((p * per_producer) + i))
+            done))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        List.iter Domain.join domains;
+        Squeue.close q)
+  in
+  let seen = Hashtbl.create 1024 in
+  let rec drain () =
+    match Squeue.pop_batch q ~max:100 with
+    | [] -> ()
+    | items ->
+        List.iter (fun i -> Hashtbl.replace seen i ()) items;
+        drain ()
+  in
+  drain ();
+  Domain.join closer;
+  Alcotest.(check int) "every item delivered exactly once" (producers * per_producer)
+    (Hashtbl.length seen);
+  Alcotest.(check int) "nothing dropped under Block" 0 (Squeue.dropped q)
+
+(* --- metrics --------------------------------------------------------- *)
+
+let metrics_percentiles () =
+  let h = Metrics.Hist.create () in
+  for i = 1 to 100 do
+    Metrics.Hist.add h (float_of_int i *. 1e-4)
+  done;
+  let p50 = Metrics.Hist.percentile h 0.5 in
+  let p99 = Metrics.Hist.percentile h 0.99 in
+  Alcotest.(check bool) "p50 near 5ms" true (p50 >= 4e-3 && p50 <= 7e-3);
+  Alcotest.(check bool) "p99 near 10ms" true (p99 >= 8e-3 && p99 <= 13e-3);
+  Alcotest.(check bool) "p99 >= p50" true (p99 >= p50);
+  Alcotest.(check int) "count" 100 (Metrics.Hist.count h)
+
+(* --- checkpoint + replay crash recovery ------------------------------ *)
+
+(* The property, for a ring with a payload codec: for any update stream
+   and any split point, [checkpoint at the split + WAL replay of the
+   suffix] reproduces the directly-maintained database — including when
+   the log has a torn tail *after* the replayed suffix. *)
+module Crash_recovery (R : Ivm_ring.Sigs.SEMIRING) (P : Codec.PAYLOAD with type t = R.t) =
+struct
+  module Db = Ivm_data.Database.Make (R)
+  module CRel = Ivm_data.Relation.Make (R)
+  module W = Wal.Make (P)
+  module C = Checkpoint.Make (R) (P)
+
+  let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ]
+
+  let make_db () =
+    let db = Db.create () in
+    List.iter (fun (n, vars) -> ignore (Db.declare db n (S.of_list vars))) schemas;
+    db
+
+  let run (updates : P.t U.t list) (split : int) (torn : bool) =
+    with_tmp ".wal" (fun wal_path ->
+        with_tmp ".ckpt" (fun ckpt_path ->
+            let split = if updates = [] then 0 else split mod (List.length updates + 1) in
+            (* Direct run: every update applied, all logged. *)
+            let direct = make_db () in
+            let w = W.open_log wal_path in
+            let ckpt_db = make_db () in
+            List.iteri
+              (fun i u ->
+                ignore (W.append w u);
+                Db.apply direct u;
+                if i < split then Db.apply ckpt_db u;
+                if i = split - 1 then
+                  C.save ckpt_path ~db:ckpt_db ~wal_offset:(W.offset w))
+              updates;
+            if split = 0 then C.save ckpt_path ~db:ckpt_db ~wal_offset:Wal.header_len;
+            W.close w;
+            if torn then begin
+              (* A crash mid-append: garbage after the last full record. *)
+              let oc = open_out_gen [ Open_append; Open_binary ] 0o644 wal_path in
+              output_string oc "\x40\x00\x00\x00\x01\x02";
+              close_out oc
+            end;
+            (* Crash, restart: load the snapshot, replay the suffix. *)
+            let restored, offset = C.load ckpt_path in
+            ignore (W.replay wal_path ~from:offset (fun u -> Db.apply restored u));
+            List.for_all
+              (fun (name, _) -> CRel.equal (Db.find restored name) (Db.find direct name))
+              schemas))
+end
+
+module Crash_z = Crash_recovery (Ivm_ring.Int_ring) (Codec.Int_payload)
+module Crash_f = Crash_recovery (Ivm_ring.Float_ring) (Codec.Float_payload)
+
+let crash_gen payload_gen =
+  QCheck.make
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 60)
+           (map3
+              (fun rel (a, b) payload -> U.make ~rel ~tuple:(tup [ a; b ]) ~payload)
+              (oneofl [ "R"; "S"; "T" ])
+              (pair (int_range 0 4) (int_range 0 4))
+              payload_gen))
+        small_nat bool)
+
+let crash_recovery_z =
+  QCheck.Test.make ~name:"checkpoint+replay = direct apply (Z ring, incl. torn tail)"
+    (crash_gen QCheck.Gen.(int_range (-2) 2))
+    (fun (updates, split, torn) -> Crash_z.run updates split torn)
+
+let crash_recovery_float =
+  QCheck.Test.make ~name:"checkpoint+replay = direct apply (float ring, incl. torn tail)"
+    (crash_gen QCheck.Gen.(map (fun i -> float_of_int i /. 2.) (int_range (-4) 4)))
+    (fun (updates, split, torn) -> Crash_f.run updates split torn)
+
+(* --- the multi-view registry ----------------------------------------- *)
+
+let q_rs =
+  Ivm_query.Cq.make ~name:"Q" ~free:[ "B"; "A"; "C" ]
+    [ Ivm_query.Cq.atom "R" [ "A"; "B" ]; Ivm_query.Cq.atom "S" [ "B"; "C" ] ]
+
+let q_st =
+  Ivm_query.Cq.make ~name:"Q2" ~free:[ "C"; "B"; "A" ]
+    [ Ivm_query.Cq.atom "S" [ "B"; "C" ]; Ivm_query.Cq.atom "T" [ "C"; "A" ] ]
+
+let triangle_schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ]
+
+let make_triangle_db () =
+  let db = D.Database.Z.create () in
+  List.iter (fun (n, vars) -> ignore (D.Database.Z.declare db n (S.of_list vars))) triangle_schemas;
+  db
+
+(* Factories: each rebuilds its engine from a base database — the
+   preprocessing step of recovery. *)
+let tri_factory (db : D.Database.Z.t) : M.t =
+  let eng = Tb.Delta.create () in
+  List.iter
+    (fun name ->
+      let rel = match name with "R" -> Tri.R | "S" -> Tri.S | _ -> Tri.T in
+      Rel.iter
+        (fun t p ->
+          Tb.Delta.update eng rel
+            ~a:(D.Value.to_int (D.Tuple.get t 0))
+            ~b:(D.Value.to_int (D.Tuple.get t 1))
+            p)
+        (D.Database.Z.find db name))
+    [ "R"; "S"; "T" ];
+  M.of_triangle_batch ~name:"tri" (module Tb.Delta) eng
+
+let view_tree_factory q name (db : D.Database.Z.t) : M.t =
+  let forest = Option.get (Ivm_query.Variable_order.canonical q) in
+  M.of_view_tree ~name q (Ivm_engine.View_tree.build q forest db)
+
+let strategy_factory q name (db : D.Database.Z.t) : M.t =
+  let forest = Option.get (Ivm_query.Variable_order.canonical q) in
+  M.of_strategy ~name (Ivm_engine.Strategy.create Ivm_engine.Strategy.Lazy_fact q forest db)
+
+let register_standard_views reg =
+  Registry.register reg ~name:"tri" tri_factory;
+  Registry.register reg ~name:"paths-rs" (view_tree_factory q_rs "paths-rs");
+  Registry.register reg ~name:"paths-st" (strategy_factory q_st "paths-st")
+
+let edge_stream n =
+  let gen =
+    Ivm_workload.Graph_gen.create ~seed:11
+      { Ivm_workload.Graph_gen.nodes = 12; skew = 0.; delete_ratio = 0.3 }
+  in
+  List.init n (fun _ ->
+      let e = Ivm_workload.Graph_gen.next gen in
+      let rel = match e.Ivm_workload.Graph_gen.rel with 0 -> "R" | 1 -> "S" | _ -> "T" in
+      U.make ~rel
+        ~tuple:(tup [ e.Ivm_workload.Graph_gen.src; e.Ivm_workload.Graph_gen.dst ])
+        ~payload:e.Ivm_workload.Graph_gen.mult)
+
+let registry_matches_direct () =
+  let stream = edge_stream 2_000 in
+  (* Reference: each engine maintained directly, tuple by tuple. *)
+  let ref_db = make_triangle_db () in
+  let ref_reg = Registry.create ref_db in
+  register_standard_views ref_reg;
+  List.iter (fun u -> Registry.apply_batch ref_reg [ u ]) stream;
+  (* Served: same stream, arbitrary batch boundaries. *)
+  let db = make_triangle_db () in
+  let reg = Registry.create db in
+  register_standard_views reg;
+  let rec go = function
+    | [] -> ()
+    | rest ->
+        let k = min 97 (List.length rest) in
+        Registry.apply_batch reg (List.filteri (fun i _ -> i < k) rest);
+        go (List.filteri (fun i _ -> i >= k) rest)
+  in
+  go stream;
+  List.iter2
+    (fun (n1, f1) (n2, f2) ->
+      Alcotest.(check string) "same view" n1 n2;
+      Alcotest.(check int) ("fingerprint " ^ n1) f1 f2)
+    (Registry.fingerprints ref_reg) (Registry.fingerprints reg);
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) ("base " ^ name) true
+        (Rel.equal (D.Database.Z.find ref_db name) (D.Database.Z.find db name)))
+    triangle_schemas
+
+(* --- scheduler ------------------------------------------------------- *)
+
+let coalesce_cancels () =
+  let items =
+    List.map Scheduler.item
+      [
+        U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:1;
+        U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:(-1);
+        U.make ~rel:"S" ~tuple:(tup [ 3; 4 ]) ~payload:2;
+        U.make ~rel:"S" ~tuple:(tup [ 3; 4 ]) ~payload:3;
+      ]
+  in
+  match Scheduler.coalesce items with
+  | [ u ] ->
+      Alcotest.(check string) "surviving relation" "S" u.U.rel;
+      Alcotest.(check int) "summed payload" 5 u.U.payload
+  | l -> Alcotest.failf "expected one coalesced update, got %d" (List.length l)
+
+(* The acceptance criterion: a served run with a WAL and a mid-stream
+   checkpoint, then kill-and-restart — restore the checkpoint, rebuild
+   the views, replay the WAL suffix — must yield state identical to the
+   uninterrupted run. *)
+let serve_kill_restart () =
+  with_tmp ".wal" (fun wal_path ->
+      with_tmp ".ckpt" (fun ckpt_path ->
+          let total = 4_000 in
+          let db = make_triangle_db () in
+          let metrics = Metrics.create () in
+          let reg = Registry.create ~metrics db in
+          register_standard_views reg;
+          let wal = Wal.Z.open_log wal_path in
+          let queue = Squeue.create ~capacity:512 Squeue.Block in
+          let sched =
+            Scheduler.create ~wal ~initial_batch:64 ~queue ~registry:reg ~metrics ()
+          in
+          let producer =
+            Domain.spawn (fun () ->
+                List.iter
+                  (fun u -> ignore (Squeue.push queue (Scheduler.item u)))
+                  (edge_stream total);
+                Squeue.close queue)
+          in
+          let checkpointed = ref false in
+          Scheduler.run
+            ~on_epoch:(fun s ->
+              if (not !checkpointed) && Scheduler.applied s >= total / 2 then begin
+                checkpointed := true;
+                Checkpoint.Z.save ckpt_path ~db:(Registry.db reg)
+                  ~wal_offset:(Wal.Z.offset wal)
+              end)
+            sched;
+          Domain.join producer;
+          Wal.Z.close wal;
+          Alcotest.(check bool) "checkpoint was taken mid-stream" true !checkpointed;
+          Alcotest.(check int) "every update applied" total (Scheduler.applied sched);
+          Alcotest.(check bool) "latency histogram populated" true
+            (Metrics.Hist.count metrics.Metrics.latency = total);
+          (* Kill-and-restart. *)
+          let restored_db, offset = Checkpoint.Z.load ckpt_path in
+          let restored = Registry.restore reg restored_db in
+          let pending = ref [] in
+          let flush () =
+            Registry.apply_batch restored (List.rev !pending);
+            pending := []
+          in
+          ignore
+            (Wal.Z.replay wal_path ~from:offset (fun u ->
+                 pending := u :: !pending;
+                 if List.length !pending >= 256 then flush ()));
+          flush ();
+          List.iter2
+            (fun (n1, f1) (n2, f2) ->
+              Alcotest.(check string) "same view" n1 n2;
+              Alcotest.(check int) ("restored fingerprint " ^ n1) f1 f2)
+            (Registry.fingerprints reg) (Registry.fingerprints restored);
+          List.iter
+            (fun (name, _) ->
+              Alcotest.(check bool) ("restored base " ^ name) true
+                (Rel.equal
+                   (D.Database.Z.find (Registry.db restored) name)
+                   (D.Database.Z.find db name)))
+            triangle_schemas))
+
+let qt t = QCheck_alcotest.to_alcotest ~long:false t
+
+let () =
+  Alcotest.run ~and_exit:false "stream"
+    [
+      ("codec", [ qt codec_roundtrip; Alcotest.test_case "corrupt" `Quick codec_corrupt ]);
+      ( "wal",
+        [
+          qt wal_roundtrip;
+          qt wal_torn_tail;
+          Alcotest.test_case "garbage tail" `Quick wal_garbage_tail;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "policies" `Quick queue_policies;
+          Alcotest.test_case "mpsc" `Quick queue_mpsc;
+        ] );
+      ("metrics", [ Alcotest.test_case "percentiles" `Quick metrics_percentiles ]);
+      ("crash recovery", [ qt crash_recovery_z; qt crash_recovery_float ]);
+      ( "registry",
+        [ Alcotest.test_case "multi-view = direct" `Quick registry_matches_direct ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "coalesce" `Quick coalesce_cancels;
+          Alcotest.test_case "serve, kill, restart" `Quick serve_kill_restart;
+        ] );
+    ]
