@@ -136,6 +136,87 @@ let triangles_cmd =
     (Cmd.info "triangles" ~doc:"Maintain the triangle count over a random edge stream (Sec. 3)")
     Term.(const run $ updates_arg $ nodes_arg $ domains_arg $ batch_arg)
 
+(* Exit with a clean one-line message instead of a backtrace when a
+   durability operation fails for real. *)
+let ok_or_die what = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "ivm_cli: %s: %s\n" what (Ivm_stream.Errors.to_string e);
+      exit 1
+
+(* The serving workload shared by [serve] and [chaos]: three binary
+   edge relations and a heterogeneous set of views over them (delta
+   kernel, view tree, two recomputation strategies). *)
+module Views = struct
+  module D = Ivm_data
+  module Db = D.Database.Z
+  module M = Ivm_engine.Maintainable
+  module Tri = Ivm_engine.Triangle
+  module Tb = Ivm_engine.Triangle_batch
+
+  let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ]
+
+  let make_db () =
+    let db = Db.create () in
+    List.iter (fun (n, vars) -> ignore (Db.declare db n (D.Schema.of_list vars))) schemas;
+    db
+
+  let q_rs =
+    Ivm_query.Cq.make ~name:"paths_rs" ~free:[ "B"; "A"; "C" ]
+      [ Ivm_query.Cq.atom "R" [ "A"; "B" ]; Ivm_query.Cq.atom "S" [ "B"; "C" ] ]
+
+  let q_st =
+    Ivm_query.Cq.make ~name:"paths_st" ~free:[ "C"; "B"; "A" ]
+      [ Ivm_query.Cq.atom "S" [ "B"; "C" ]; Ivm_query.Cq.atom "T" [ "C"; "A" ] ]
+
+  let tri_factory (db : Db.t) : M.t =
+    let eng = Tb.Delta.create () in
+    List.iter
+      (fun name ->
+        let rel = match name with "R" -> Tri.R | "S" -> Tri.S | _ -> Tri.T in
+        D.Relation.Z.iter
+          (fun t p ->
+            Tb.Delta.update eng rel
+              ~a:(D.Value.to_int (D.Tuple.get t 0))
+              ~b:(D.Value.to_int (D.Tuple.get t 1))
+              p)
+          (Db.find db name))
+      [ "R"; "S"; "T" ];
+    M.of_triangle_batch ~name:"tri-count" (module Tb.Delta) eng
+
+  let tree_factory q name (db : Db.t) : M.t =
+    let forest = Option.get (Ivm_query.Variable_order.canonical q) in
+    M.of_view_tree ~name q (Ivm_engine.View_tree.build q forest db)
+
+  let strategy_factory kind q name (db : Db.t) : M.t =
+    let forest = Option.get (Ivm_query.Variable_order.canonical q) in
+    M.of_strategy ~name (Ivm_engine.Strategy.create kind q forest db)
+
+  let standard =
+    [
+      ("tri-count", tri_factory);
+      ("paths-rs", tree_factory q_rs "paths-rs");
+      ("paths-st", strategy_factory Ivm_engine.Strategy.Lazy_fact q_st "paths-st");
+      ("paths-rs-eager", strategy_factory Ivm_engine.Strategy.Eager_fact q_rs "paths-rs-eager");
+    ]
+
+  (* A view whose engine fails on every apply: the supervision demo.
+     Its factory succeeds, so recovery rebuilds it — and it fails
+     again, until the registry quarantines it. *)
+  let flaky_factory (_ : Db.t) : M.t =
+    {
+      M.name = "flaky";
+      relations = [ "R" ];
+      apply_batch = (fun _ -> failwith "flaky engine: injected apply failure");
+      output_count = (fun () -> 0);
+      fingerprint = (fun () -> 0);
+    }
+
+  let register ?(flaky = false) reg =
+    List.iter (fun (name, f) -> Ivm_stream.Registry.register reg ~name f) standard;
+    if flaky then Ivm_stream.Registry.register reg ~name:"flaky" flaky_factory
+end
+
 let serve_cmd =
   let updates_arg =
     Arg.(value & opt int 100_000 & info [ "updates" ] ~docv:"N" ~doc:"Stream length.")
@@ -200,63 +281,15 @@ let serve_cmd =
     let wal_path = Filename.concat dir "updates.wal" in
     let ckpt_path = Filename.concat dir "state.ckpt" in
     List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ wal_path; ckpt_path ];
-    let schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ] in
-    let make_db () =
-      let db = Db.create () in
-      List.iter (fun (n, vars) -> ignore (Db.declare db n (D.Schema.of_list vars))) schemas;
-      db
-    in
-    (* The served views: a cyclic count (delta kernel), a view tree and
-       two recomputation strategies — heterogeneous engines behind one
-       maintainable interface. *)
-    let q_rs =
-      Ivm_query.Cq.make ~name:"paths_rs" ~free:[ "B"; "A"; "C" ]
-        [ Ivm_query.Cq.atom "R" [ "A"; "B" ]; Ivm_query.Cq.atom "S" [ "B"; "C" ] ]
-    in
-    let q_st =
-      Ivm_query.Cq.make ~name:"paths_st" ~free:[ "C"; "B"; "A" ]
-        [ Ivm_query.Cq.atom "S" [ "B"; "C" ]; Ivm_query.Cq.atom "T" [ "C"; "A" ] ]
-    in
-    let tri_factory (db : Db.t) : M.t =
-      let eng = Tb.Delta.create () in
-      List.iter
-        (fun name ->
-          let rel = match name with "R" -> Tri.R | "S" -> Tri.S | _ -> Tri.T in
-          D.Relation.Z.iter
-            (fun t p ->
-              Tb.Delta.update eng rel
-                ~a:(D.Value.to_int (D.Tuple.get t 0))
-                ~b:(D.Value.to_int (D.Tuple.get t 1))
-                p)
-            (Db.find db name))
-        [ "R"; "S"; "T" ];
-      M.of_triangle_batch ~name:"tri-count" (module Tb.Delta) eng
-    in
-    let tree_factory q name (db : Db.t) : M.t =
-      let forest = Option.get (Ivm_query.Variable_order.canonical q) in
-      M.of_view_tree ~name q (Ivm_engine.View_tree.build q forest db)
-    in
-    let strategy_factory kind q name (db : Db.t) : M.t =
-      let forest = Option.get (Ivm_query.Variable_order.canonical q) in
-      M.of_strategy ~name (Ivm_engine.Strategy.create kind q forest db)
-    in
-    let register reg =
-      St.Registry.register reg ~name:"tri-count" tri_factory;
-      St.Registry.register reg ~name:"paths-rs" (tree_factory q_rs "paths-rs");
-      St.Registry.register reg ~name:"paths-st"
-        (strategy_factory Ivm_engine.Strategy.Lazy_fact q_st "paths-st");
-      St.Registry.register reg ~name:"paths-rs-eager"
-        (strategy_factory Ivm_engine.Strategy.Eager_fact q_rs "paths-rs-eager")
-    in
     let pool =
       if domains > 1 then Some (Ivm_par.Domain_pool.create ~domains) else None
     in
     let finally () = Option.iter Ivm_par.Domain_pool.destroy pool in
     Fun.protect ~finally (fun () ->
         let metrics = St.Metrics.create () in
-        let reg = St.Registry.create ?pool ~metrics (make_db ()) in
-        register reg;
-        let wal = St.Wal.Z.open_log wal_path in
+        let reg = St.Registry.create ?pool ~metrics (Views.make_db ()) in
+        Views.register reg;
+        let wal = ok_or_die "open WAL" (St.Wal.Z.open_log wal_path) in
         let queue = St.Queue.create ~capacity:queue_cap policy in
         let sched =
           St.Scheduler.create ~wal ~target_latency:(target_ms /. 1_000.) ~queue
@@ -294,8 +327,9 @@ let serve_cmd =
             let applied = St.Scheduler.applied s in
             if (not !checkpointed) && applied >= updates / 2 then begin
               checkpointed := true;
-              St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg)
-                ~wal_offset:(St.Wal.Z.offset wal);
+              ok_or_die "save checkpoint"
+                (St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg)
+                   ~wal_offset:(St.Wal.Z.offset wal));
               Printf.printf "checkpoint @ %d updates (wal offset %d)\n%!" applied
                 (St.Wal.Z.offset wal)
             end;
@@ -305,7 +339,8 @@ let serve_cmd =
                 metrics.St.Metrics.epochs applied (St.Scheduler.batch_limit s)
                 (St.Metrics.Hist.percentile metrics.St.Metrics.latency 0.5 *. 1e3)
                 (St.Metrics.Hist.percentile metrics.St.Metrics.latency 0.99 *. 1e3))
-          sched;
+          sched
+        |> ok_or_die "stream epoch";
         let dt = Unix.gettimeofday () -. t0 in
         Domain.join closer;
         St.Wal.Z.close wal;
@@ -333,7 +368,7 @@ let serve_cmd =
         (* Kill-and-restart verification: rebuild from the checkpoint and
            the WAL suffix, then compare fingerprints with the live run. *)
         if !checkpointed then begin
-          let restored_db, offset = St.Checkpoint.Z.load ckpt_path in
+          let restored_db, offset = ok_or_die "load checkpoint" (St.Checkpoint.Z.load ckpt_path) in
           let restored = St.Registry.restore ?pool reg restored_db in
           let pending = ref [] in
           let flush () =
@@ -341,9 +376,10 @@ let serve_cmd =
             pending := []
           in
           ignore
-            (St.Wal.Z.replay wal_path ~from:offset (fun u ->
-                 pending := u :: !pending;
-                 if List.length !pending >= 1024 then flush ()));
+            (ok_or_die "replay WAL"
+               (St.Wal.Z.replay wal_path ~from:offset (fun u ->
+                    pending := u :: !pending;
+                    if List.length !pending >= 1024 then flush ())));
           flush ();
           let live = St.Registry.fingerprints reg in
           let recov = St.Registry.fingerprints restored in
@@ -371,9 +407,385 @@ let serve_cmd =
     Term.(const run $ updates_arg $ nodes_arg $ producers_arg $ domains_arg
           $ queue_arg $ policy_arg $ target_ms_arg $ dir_arg $ stats_every_arg)
 
+(* ------------------------------------------------------------------ *)
+(* chaos: soak the serve pipeline under seeded fault schedules and
+   verify that the final per-view fingerprints equal a fault-free
+   reference run of the same stream.                                   *)
+
+module Chaos = struct
+  module D = Ivm_data
+  module U = D.Update
+  module St = Ivm_stream
+  module Fp = Ivm_fault.Failpoint
+  module G = Ivm_workload.Graph_gen
+
+  (* The deterministic input stream. [poison] splices in an update whose
+     tuple carries a string where the triangle kernel expects ints — a
+     decode-able, loggable update that only the consuming engine rejects. *)
+  let make_stream ~updates ~nodes ~poison =
+    let gen = G.create ~seed:7 { G.nodes; skew = 1.1; delete_ratio = 0.2 } in
+    let arr =
+      Array.init updates (fun _ -> U.make ~rel:"R" ~tuple:(D.Tuple.of_ints [ 0; 0 ]) ~payload:0)
+    in
+    for i = 0 to updates - 1 do
+      arr.(i) <-
+        (if poison && i = updates / 3 then
+           U.make ~rel:"R"
+             ~tuple:(D.Tuple.of_list [ D.Value.Str "poison"; D.Value.Int 0 ])
+             ~payload:1
+         else begin
+           let e = G.next gen in
+           let rel = match e.G.rel with 0 -> "R" | 1 -> "S" | _ -> "T" in
+           U.make ~rel ~tuple:(D.Tuple.of_ints [ e.G.src; e.G.dst ]) ~payload:e.G.mult
+         end)
+    done;
+    arr
+
+  type outcome = {
+    fingerprints : (string * int) list;
+    crashes : int;
+    unhealthy_seen : string list; (* views observed degraded/quarantined mid-run *)
+    quarantined_seen : string list;
+    dead_lettered : int;
+    healthy_updates : int; (* updates absorbed by healthy views across the run *)
+  }
+
+  (* Run the stream to completion through WAL + checkpoint + supervised
+     registry, treating every durability error as a process crash:
+     drop WAL buffers, forget all in-memory state, and recover from
+     checkpoint + WAL replay. The checkpoint's [wal_offset] field
+     stores the *record index* (not the byte offset), so the resume
+     point survives even a WAL truncated below the checkpoint by
+     corruption: resume = max(records replayed, checkpoint index). *)
+  let run_stream ~label ~dir ~stream ~flaky () =
+    let wal_path = Filename.concat dir (label ^ ".wal") in
+    let ckpt_path = Filename.concat dir (label ^ ".ckpt") in
+    let dead_path = Filename.concat dir (label ^ ".dead.wal") in
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ wal_path; ckpt_path; ckpt_path ^ ".tmp"; dead_path ];
+    let n = Array.length stream in
+    let queue_cap = 512 in
+    let ckpt_every = max 1 (n / 5) in
+    let ( let* ) = Result.bind in
+    let reg_prev = ref None in
+    let current_wal = ref None in
+    let crashes = ref 0 in
+    let unhealthy = ref [] in
+    let quarantined = ref [] in
+    let observe reg =
+      List.iter
+        (fun (name, h) ->
+          if h <> St.Registry.Healthy && not (List.mem name !unhealthy) then
+            unhealthy := name :: !unhealthy;
+          if h = St.Registry.Quarantined && not (List.mem name !quarantined) then
+            quarantined := name :: !quarantined)
+        (St.Registry.statuses reg)
+    in
+    let incarnation metrics =
+      let* wal = St.Wal.Z.open_log wal_path in
+      current_wal := Some wal;
+      let db, ckpt_index =
+        if Sys.file_exists ckpt_path then
+          match St.Checkpoint.Z.load ckpt_path with
+          | Ok (db, idx) -> (db, idx)
+          | Error _ -> (Views.make_db (), 0) (* corrupt checkpoint: from the log alone *)
+        else (Views.make_db (), 0)
+      in
+      let reg =
+        match !reg_prev with
+        | None ->
+            let r = St.Registry.create ~metrics ~backoff_base:0.0005 ~seed:11 db in
+            Views.register ~flaky r;
+            r
+        | Some old -> St.Registry.restore ~metrics old db
+      in
+      reg_prev := Some reg;
+      (* Replay the whole log once: records up to the checkpoint index
+         only advance the cursor; the suffix is re-applied. *)
+      let replayed = ref 0 in
+      let pending = ref [] in
+      let flush () =
+        St.Registry.apply_batch reg (List.rev !pending);
+        pending := []
+      in
+      let* _end =
+        St.Wal.Z.replay wal_path ~from:St.Wal.header_len (fun u ->
+            incr replayed;
+            if !replayed > ckpt_index then begin
+              pending := u :: !pending;
+              if List.length !pending >= 256 then flush ()
+            end)
+      in
+      flush ();
+      let resume = max !replayed ckpt_index in
+      let queue = St.Queue.create ~capacity:queue_cap St.Queue.Block in
+      let sched =
+        St.Scheduler.create ~wal ~queue ~registry:reg ~metrics ~self_check_every:32 ()
+      in
+      let fed = ref resume in
+      let next_ckpt = ref ((resume / ckpt_every) + 1) in
+      let rec chunks () =
+        if !fed >= n then Ok ()
+        else begin
+          let len = min queue_cap (n - !fed) in
+          for i = !fed to !fed + len - 1 do
+            ignore (St.Queue.push queue (St.Scheduler.item stream.(i)))
+          done;
+          fed := !fed + len;
+          let target = !fed - resume in
+          let rec drain () =
+            if St.Scheduler.applied sched >= target then Ok ()
+            else
+              let* more = St.Scheduler.step sched in
+              if more then drain () else Ok ()
+          in
+          let* () = drain () in
+          observe reg;
+          let durable = resume + St.Scheduler.applied sched in
+          let* () =
+            if durable >= !next_ckpt * ckpt_every then begin
+              incr next_ckpt;
+              St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg) ~wal_offset:durable
+            end
+            else Ok ()
+          in
+          chunks ()
+        end
+      in
+      let* () = chunks () in
+      St.Queue.close queue;
+      let* () = St.Scheduler.run sched in
+      Ok (wal, reg)
+    in
+    let metrics = St.Metrics.create () in
+    let rec attempt k =
+      if k > 50 then Error "chaos did not converge within 50 incarnations"
+      else
+        match incarnation metrics with
+        | Ok (wal, reg) ->
+            let leftover = St.Registry.heal reg in
+            St.Wal.Z.close wal;
+            if leftover <> [] then
+              Error ("views still unhealthy after heal: " ^ String.concat ", " leftover)
+            else begin
+              let dead =
+                List.fold_left (fun acc (_, ds) -> acc + List.length ds) 0
+                  (St.Registry.dead_letters reg)
+              in
+              let healthy_updates =
+                List.fold_left
+                  (fun acc name ->
+                    if name = "flaky" then acc else acc + (St.Metrics.view metrics name).St.Metrics.updates)
+                  0
+                  (St.Metrics.view_names metrics)
+              in
+              Ok
+                {
+                  fingerprints = St.Registry.fingerprints reg;
+                  crashes = !crashes;
+                  unhealthy_seen = List.rev !unhealthy;
+                  quarantined_seen = List.rev !quarantined;
+                  dead_lettered = dead;
+                  healthy_updates;
+                }
+            end
+        | Error (_ : St.Errors.t) ->
+            (* Crash semantics: buffered WAL bytes are lost, all
+               in-memory state is forgotten; recover and go again. *)
+            incr crashes;
+            Option.iter St.Wal.Z.crash !current_wal;
+            current_wal := None;
+            attempt (k + 1)
+    in
+    attempt 1
+
+  type scenario = {
+    sname : string;
+    describe : string;
+    poison : bool;
+    flaky : bool;
+    arm : updates:int -> unit;
+    expect_crash : bool;
+  }
+
+  let scenarios ~updates:_ =
+    [
+      {
+        sname = "torn-wal";
+        describe = "short write tears the WAL tail mid-stream";
+        poison = false;
+        flaky = false;
+        arm = (fun ~updates -> Fp.arm "wal.write" ~after:(updates / 2) ~times:1 (Fp.Short_write 7));
+        expect_crash = true;
+      };
+      {
+        sname = "ckpt-fsync";
+        describe = "fsync of the checkpoint temp file fails";
+        poison = false;
+        flaky = false;
+        arm = (fun ~updates:_ -> Fp.arm "ckpt.fsync" ~times:1 Fp.Fail);
+        expect_crash = true;
+      };
+      {
+        sname = "ckpt-rename";
+        describe = "crash before the checkpoint rename installs";
+        poison = false;
+        flaky = false;
+        arm = (fun ~updates:_ -> Fp.arm "ckpt.rename" ~times:1 Fp.Fail);
+        expect_crash = true;
+      };
+      {
+        sname = "bit-flip";
+        describe = "bit flip corrupts a logged record, then a sync failure forces recovery";
+        poison = false;
+        flaky = false;
+        arm =
+          (fun ~updates ->
+            Fp.arm "wal.write" ~after:(updates / 3) ~times:1 (Fp.Bit_flip 12);
+            (* 4 consecutive fsync failures beat the scheduler's 3
+               retries, forcing a crash that must recover across the
+               corrupt record. *)
+            Fp.arm "wal.fsync" ~after:(updates / 2 / 256) ~times:4 Fp.Fail);
+        expect_crash = true;
+      };
+      {
+        sname = "poison";
+        describe = "a malformed update poisons one view; it is dead-lettered";
+        poison = true;
+        flaky = false;
+        arm = (fun ~updates:_ -> ());
+        expect_crash = false;
+      };
+      {
+        sname = "flaky";
+        describe = "an always-failing view is quarantined; healthy views keep serving";
+        poison = false;
+        flaky = true;
+        arm = (fun ~updates:_ -> ());
+        expect_crash = false;
+      };
+    ]
+
+  let run_scenario ~dir ~updates ~nodes ~seed (sc : scenario) =
+    let stream = make_stream ~updates ~nodes ~poison:sc.poison in
+    (* Fault-free reference run of the identical stream. *)
+    Fp.reset ();
+    let reference =
+      run_stream ~label:(sc.sname ^ ".ref") ~dir ~stream ~flaky:sc.flaky ()
+    in
+    (* The chaos run under this scenario's seeded fault schedule. *)
+    Fp.enable ~seed ();
+    sc.arm ~updates;
+    let armed = List.map fst (Fp.armed ()) in
+    let chaotic = run_stream ~label:sc.sname ~dir ~stream ~flaky:sc.flaky () in
+    let vacuous =
+      List.filter (fun name -> Fp.fired name = 0) armed
+    in
+    Fp.reset ();
+    match (reference, chaotic) with
+    | Error e, _ -> Error ("reference run failed: " ^ e)
+    | _, Error e -> Error ("chaos run failed: " ^ e)
+    | Ok r, Ok c ->
+        if vacuous <> [] then
+          Error ("armed failpoints never fired: " ^ String.concat ", " vacuous)
+        else if sc.expect_crash && c.crashes = 0 then
+          Error "expected at least one crash-recovery cycle, saw none"
+        else if c.fingerprints <> r.fingerprints then begin
+          List.iter2
+            (fun (name, a) (_, b) ->
+              if a <> b then
+                Printf.eprintf "  %s: chaos fingerprint %d vs reference %d\n" name a b)
+            c.fingerprints r.fingerprints;
+          Error "final fingerprints diverge from the fault-free reference"
+        end
+        else if sc.poison && (c.dead_lettered = 0 || r.dead_lettered = 0) then
+          Error "poison update was not dead-lettered"
+        else if sc.flaky && not (List.mem "flaky" c.quarantined_seen) then
+          Error "flaky view was never quarantined"
+        else if sc.flaky && c.healthy_updates = 0 then
+          Error "healthy views made no progress alongside the quarantined one"
+        else Ok c
+end
+
+let chaos_cmd =
+  let updates_arg =
+    Arg.(value & opt int 20_000 & info [ "updates" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"K" ~doc:"Graph node count.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base fault seed; scenario i runs under seed S+i.")
+  in
+  let scenario_arg =
+    Arg.(value & opt string "all" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Scenario to run (torn-wal, ckpt-fsync, ckpt-rename, bit-flip, \
+                 poison, flaky) or 'all'.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Working directory (default: a fresh directory under the \
+                 system temp dir).")
+  in
+  let run updates nodes seed scenario dir =
+    if updates < 100 then begin
+      prerr_endline "--updates must be >= 100";
+      exit 2
+    end;
+    let dir =
+      if dir <> "" then dir
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ivm_chaos_%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let all = Chaos.scenarios ~updates in
+    let chosen =
+      if scenario = "all" then all
+      else
+        match List.filter (fun (s : Chaos.scenario) -> s.Chaos.sname = scenario) all with
+        | [] ->
+            Printf.eprintf "ivm_cli: unknown scenario %s\n" scenario;
+            exit 2
+        | l -> l
+    in
+    Printf.printf "chaos soak: %d updates, %d scenario(s), dir %s\n%!" updates
+      (List.length chosen) dir;
+    let failures = ref 0 in
+    List.iteri
+      (fun i (sc : Chaos.scenario) ->
+        let seed = seed + i in
+        Printf.printf "[%-11s] seed %-3d %s ...%!" sc.Chaos.sname seed sc.Chaos.describe;
+        match Chaos.run_scenario ~dir ~updates ~nodes ~seed sc with
+        | Ok c ->
+            Printf.printf
+              " PASS (%d crash-recoveries, %d dead-lettered%s)\n%!"
+              c.Chaos.crashes c.Chaos.dead_lettered
+              (if c.Chaos.quarantined_seen <> [] then
+                 ", quarantined: " ^ String.concat "," c.Chaos.quarantined_seen
+               else "")
+        | Error msg ->
+            incr failures;
+            Printf.printf " FAIL: %s\n%!" msg)
+      chosen;
+    if !failures > 0 then begin
+      Printf.printf "%d scenario(s) failed\n" !failures;
+      exit 1
+    end
+    else Printf.printf "all scenarios converged to the fault-free reference state\n"
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Soak the durable serving pipeline under seeded fault injection \
+             (torn writes, failed fsyncs, bit flips, poison updates) and \
+             verify convergence to a fault-free reference run")
+    Term.(const run $ updates_arg $ nodes_arg $ seed_arg $ scenario_arg $ dir_arg)
+
 let () =
   let doc = "incremental view maintenance toolbox (PODS 2024 survey reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
-          [ classify_cmd; tpch_cmd; triangles_cmd; serve_cmd ]))
+          [ classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; chaos_cmd ]))

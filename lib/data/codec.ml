@@ -155,6 +155,13 @@ let add_update (type p) (module P : PAYLOAD with type t = p) b (u : p Update.t) 
   P.write b u.Update.payload
 
 let update (type p) (module P : PAYLOAD with type t = p) s pos : p Update.t =
+  (* The decode failpoint: lets a chaos harness poison the decode path
+     itself (a record whose bytes pass the CRC but fail to parse), which
+     the framing layers must translate into a clean Corrupt error. One
+     bool read when fault injection is disabled. *)
+  (match Ivm_fault.Failpoint.hit "codec.decode" with
+  | Some _ -> corrupt "injected decode fault"
+  | None -> ());
   let rel = str s pos in
   let t = tuple s pos in
   let payload = P.read s pos in

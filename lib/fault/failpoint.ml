@@ -1,0 +1,110 @@
+(** A seeded, deterministic failpoint registry.
+
+    A failpoint is a named hook compiled into an I/O or decode path
+    (e.g. ["wal.write"], ["ckpt.fsync"]). Production code calls {!hit}
+    at the hook; when the registry is disabled — the default — that is
+    one mutable-bool read, so the hooks cost nothing in normal runs.
+    Chaos harnesses {!enable} the registry with a seed and {!arm}
+    failpoints with an {!action} and a trigger window; every firing
+    decision is then a pure function of (seed, hit counts), so a fault
+    schedule replays identically run after run.
+
+    The registry is global and guarded by a mutex: the maintenance loop
+    that performs durable I/O is single-domain, but producers and pool
+    workers may share the process, and a torn counter would break the
+    determinism the chaos harness relies on. *)
+
+type action =
+  | Fail  (** the operation reports an injected error and does nothing *)
+  | Short_write of int
+      (** only the first [k] bytes reach the file, then the write
+          reports an error — a crash mid-write, leaving a torn tail *)
+  | Bit_flip of int
+      (** bit [i mod (8 * length)] of the buffer is flipped and the
+          operation *succeeds* — silent corruption, caught later by
+          checksums *)
+  | Delay of float  (** sleep this many seconds, then proceed normally *)
+
+let action_name = function
+  | Fail -> "fail"
+  | Short_write k -> Printf.sprintf "short-write(%d)" k
+  | Bit_flip i -> Printf.sprintf "bit-flip(%d)" i
+  | Delay s -> Printf.sprintf "delay(%gs)" s
+
+type state = {
+  action : action;
+  after : int;  (** hits to let through before the window opens *)
+  times : int;  (** firings before the point disarms *)
+  p : float;  (** probability of firing on an in-window hit *)
+  mutable hits : int;
+  mutable fired : int;
+}
+
+let enabled_flag = ref false
+let mutex = Mutex.create ()
+let points : (string, state) Hashtbl.t = Hashtbl.create 16
+let rng = ref (Random.State.make [| 0 |])
+
+let enabled () = !enabled_flag
+
+let enable ?(seed = 0) () =
+  Mutex.lock mutex;
+  rng := Random.State.make [| 0x17a5; seed |];
+  enabled_flag := true;
+  Mutex.unlock mutex
+
+let reset () =
+  Mutex.lock mutex;
+  enabled_flag := false;
+  Hashtbl.reset points;
+  Mutex.unlock mutex
+
+let arm name ?(after = 0) ?(times = 1) ?(p = 1.0) action =
+  Mutex.lock mutex;
+  Hashtbl.replace points name { action; after; times; p; hits = 0; fired = 0 };
+  Mutex.unlock mutex
+
+let disarm name =
+  Mutex.lock mutex;
+  Hashtbl.remove points name;
+  Mutex.unlock mutex
+
+(* The hook. Disabled: one bool read. Armed: count the hit and decide —
+   inside the window, under budget, and (for p < 1) a seeded coin. *)
+let hit name =
+  if not !enabled_flag then None
+  else begin
+    Mutex.lock mutex;
+    let r =
+      match Hashtbl.find_opt points name with
+      | None -> None
+      | Some s ->
+          s.hits <- s.hits + 1;
+          if s.hits <= s.after || s.fired >= s.times then None
+          else if s.p >= 1.0 || Random.State.float !rng 1.0 < s.p then begin
+            s.fired <- s.fired + 1;
+            Some s.action
+          end
+          else None
+    in
+    Mutex.unlock mutex;
+    r
+  end
+
+let hits name =
+  Mutex.lock mutex;
+  let n = match Hashtbl.find_opt points name with Some s -> s.hits | None -> 0 in
+  Mutex.unlock mutex;
+  n
+
+let fired name =
+  Mutex.lock mutex;
+  let n = match Hashtbl.find_opt points name with Some s -> s.fired | None -> 0 in
+  Mutex.unlock mutex;
+  n
+
+let armed () =
+  Mutex.lock mutex;
+  let l = Hashtbl.fold (fun name s acc -> (name, s.action) :: acc) points [] in
+  Mutex.unlock mutex;
+  List.sort compare l

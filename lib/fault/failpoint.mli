@@ -1,0 +1,43 @@
+(** A seeded, deterministic failpoint registry. Hooks ({!hit}) compiled
+    into I/O and decode paths cost one bool read while the registry is
+    disabled (the default); a chaos harness {!enable}s it with a seed
+    and {!arm}s named points, after which every firing decision is a
+    pure function of (seed, hit counts) — fault schedules replay
+    identically. *)
+
+type action =
+  | Fail  (** the operation reports an injected error and does nothing *)
+  | Short_write of int
+      (** only the first [k] bytes reach the file, then the write
+          reports an error — a crash mid-write leaving a torn tail *)
+  | Bit_flip of int
+      (** bit [i mod (8·length)] of the buffer is flipped and the
+          operation succeeds — silent corruption for checksums to catch *)
+  | Delay of float  (** sleep, then proceed normally *)
+
+val action_name : action -> string
+
+val enable : ?seed:int -> unit -> unit
+(** Turn the registry on; the seed drives every probabilistic firing. *)
+
+val reset : unit -> unit
+(** Disable and clear every armed point (the normal-operation state). *)
+
+val enabled : unit -> bool
+
+val arm : string -> ?after:int -> ?times:int -> ?p:float -> action -> unit
+(** [arm name action] makes the named point fire [action]: hits
+    [<= after] pass through, then each hit fires with probability [p]
+    (default 1) until the point has fired [times] (default 1) times. *)
+
+val disarm : string -> unit
+
+val hit : string -> action option
+(** The hook. [None] means proceed normally; [Some a] means the caller
+    must simulate fault [a]. Disabled registry: one bool read. *)
+
+val hits : string -> int
+(** Hits recorded against an armed point (0 when not armed). *)
+
+val fired : string -> int
+val armed : unit -> (string * action) list

@@ -12,20 +12,29 @@
 
     File format: magic, then [u32 length | u32 crc32 | body]; the body
     holds the offset and each relation's name, schema and entries.
-    Writes go to a temporary file renamed into place, so a crash during
-    checkpointing leaves the previous checkpoint intact. *)
+
+    Installation is atomic and durable: the snapshot is written to a
+    temporary file, fsync'd, renamed into place, and the containing
+    directory fsync'd. A crash at any point leaves either the previous
+    checkpoint or the new one — never a torn or unlinked file. All I/O
+    goes through {!Ivm_fault.Io} under the ["ckpt"] tag so each of
+    those four steps is individually fault-injectable. *)
 
 module Codec = Ivm_data.Codec
 module Schema = Ivm_data.Schema
+module Io = Ivm_fault.Io
 
 let magic = "IVMCKP01"
+let tag = "ckpt"
+let ( let* ) = Result.bind
+let io_err r = Result.map_error (fun e -> Errors.Io e) r
 
 module Make (R : Ivm_ring.Sigs.SEMIRING) (P : Codec.PAYLOAD with type t = R.t) =
 struct
   module Db = Ivm_data.Database.Make (R)
   module Rel = Ivm_data.Relation.Make (R)
 
-  let save path ~(db : Db.t) ~wal_offset =
+  let save path ~(db : Db.t) ~wal_offset : (unit, Errors.t) result =
     let b = Buffer.create 4096 in
     Codec.add_i64 b wal_offset;
     let rels = List.sort compare (Db.relations db) in
@@ -45,54 +54,81 @@ struct
       rels;
     let body = Buffer.contents b in
     let len = String.length body in
+    let frame = Buffer.create 8 in
+    Codec.add_u32 frame len;
+    Codec.add_u32 frame (Codec.crc32 body ~pos:0 ~len);
     let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc magic;
-        let frame = Buffer.create 8 in
-        Codec.add_u32 frame len;
-        Codec.add_u32 frame (Codec.crc32 body ~pos:0 ~len);
-        Buffer.output_buffer oc frame;
-        output_string oc body;
-        flush oc);
-    Sys.rename tmp path
-
-  let load path : Db.t * int =
-    let ic = open_in_bin path in
-    let body =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let m = really_input_string ic (String.length magic) in
-          if m <> magic then failwith ("Checkpoint.load: bad magic in " ^ path);
-          let frame = really_input_string ic 8 in
-          let pos = ref 0 in
-          let len = Codec.u32 frame pos in
-          let crc = Codec.u32 frame pos in
-          let body = really_input_string ic len in
-          if Codec.crc32 body ~pos:0 ~len <> crc then
-            failwith ("Checkpoint.load: checksum mismatch in " ^ path);
-          body)
+    let result =
+      let* oc = io_err (Io.open_trunc ~tag tmp) in
+      let write_all =
+        let* () = io_err (Io.write oc magic) in
+        let* () = io_err (Io.write oc (Buffer.contents frame)) in
+        let* () = io_err (Io.write oc body) in
+        (* fsync the temp file BEFORE the rename: otherwise the rename
+           can become durable while the contents are not, and a crash
+           leaves an installed-but-empty checkpoint. *)
+        io_err (Io.fsync oc)
+      in
+      (match write_all with
+      | Ok () ->
+          Io.close_noerr oc;
+          Ok ()
+      | Error _ as e ->
+          Io.close_noerr oc;
+          e)
     in
-    let pos = ref 0 in
-    let wal_offset = Codec.i64 body pos in
-    let nrels = Codec.u32 body pos in
-    let db = Db.create () in
-    for _ = 1 to nrels do
-      let name = Codec.str body pos in
-      let arity = Codec.u16 body pos in
-      let schema = Schema.of_list (List.init arity (fun _ -> Codec.str body pos)) in
-      let entries = Codec.u32 body pos in
-      let rel = Db.declare db name schema in
-      for _ = 1 to entries do
-        let tuple = Codec.tuple body pos in
-        let p = P.read body pos in
-        Rel.set_entry rel tuple p
-      done
-    done;
-    (db, wal_offset)
+    let* () =
+      match result with
+      | Ok () -> Ok ()
+      | Error _ as e ->
+          Io.remove_noerr tmp;
+          e
+    in
+    let* () =
+      match io_err (Io.rename ~tag ~src:tmp ~dst:path) with
+      | Ok () -> Ok ()
+      | Error _ as e ->
+          Io.remove_noerr tmp;
+          e
+    in
+    (* fsync the directory so the rename itself survives a crash. *)
+    io_err (Io.fsync_dir ~tag (Filename.dirname path))
+
+  let load path : (Db.t * int, Errors.t) result =
+    let* contents = io_err (Io.read_file ~tag path) in
+    let total = String.length contents in
+    let mlen = String.length magic in
+    if total < mlen || String.sub contents 0 mlen <> magic then
+      Error (Errors.Bad_magic { path; expected = "checkpoint" })
+    else begin
+      match
+        let pos = ref mlen in
+        let len = Codec.u32 contents pos in
+        let crc = Codec.u32 contents pos in
+        if !pos + len > total then raise (Codec.Corrupt "truncated checkpoint body");
+        if Codec.crc32 contents ~pos:!pos ~len <> crc then raise (Codec.Corrupt "checksum mismatch");
+        let body = String.sub contents !pos len in
+        let pos = ref 0 in
+        let wal_offset = Codec.i64 body pos in
+        let nrels = Codec.u32 body pos in
+        let db = Db.create () in
+        for _ = 1 to nrels do
+          let name = Codec.str body pos in
+          let arity = Codec.u16 body pos in
+          let schema = Schema.of_list (List.init arity (fun _ -> Codec.str body pos)) in
+          let entries = Codec.u32 body pos in
+          let rel = Db.declare db name schema in
+          for _ = 1 to entries do
+            let tuple = Codec.tuple body pos in
+            let p = P.read body pos in
+            Rel.set_entry rel tuple p
+          done
+        done;
+        (db, wal_offset)
+      with
+      | result -> Ok result
+      | exception Codec.Corrupt detail -> Error (Errors.Corrupt { path; detail })
+    end
 end
 
 (** The default instance: the Z ring of tuple multiplicities. *)

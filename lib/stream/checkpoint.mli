@@ -1,23 +1,29 @@
 (** Checkpoints: a CRC-framed snapshot of the base database paired with
     the WAL offset it is current through. The recovery contract —
     asserted in [test/test_stream.ml] — is
-    [load + Registry.restore + Wal.replay ≡ direct apply]. Writes are
-    atomic (temp file + rename), so a crash mid-checkpoint leaves the
-    previous checkpoint intact. *)
+    [load + Registry.restore + Wal.replay ≡ direct apply].
+
+    Installation is atomic and durable: write temp file, fsync it,
+    rename into place, fsync the directory. A crash at any point leaves
+    either the previous checkpoint or the new one. All I/O goes through
+    {!Ivm_fault.Io} under the ["ckpt"] tag, and every failure is a
+    result over {!Errors.t}, not an exception. *)
 
 module Codec = Ivm_data.Codec
 
 module Make (R : Ivm_ring.Sigs.SEMIRING) (P : Codec.PAYLOAD with type t = R.t) : sig
   module Db : module type of Ivm_data.Database.Make (R)
 
-  val save : string -> db:Db.t -> wal_offset:int -> unit
+  val save : string -> db:Db.t -> wal_offset:int -> (unit, Errors.t) result
 
-  val load : string -> Db.t * int
-  (** @raise Failure on a missing magic or checksum mismatch. *)
+  val load : string -> (Db.t * int, Errors.t) result
+  (** [Error (Bad_magic _)] when the file is not a checkpoint,
+      [Error (Corrupt _)] on a checksum or parse failure, [Error (Io _)]
+      when the file cannot be read. *)
 end
 
 (** The default instance: the Z ring of tuple multiplicities. *)
 module Z : sig
-  val save : string -> db:Ivm_data.Database.Z.t -> wal_offset:int -> unit
-  val load : string -> Ivm_data.Database.Z.t * int
+  val save : string -> db:Ivm_data.Database.Z.t -> wal_offset:int -> (unit, Errors.t) result
+  val load : string -> (Ivm_data.Database.Z.t * int, Errors.t) result
 end

@@ -1,0 +1,33 @@
+(** The structured error type of the durability layer. Everything that
+    can go wrong loading or appending durable state — an I/O failure
+    (real or injected), a file that is not ours, a checksum or decode
+    failure — comes back as one of these instead of an exception, so
+    the runtime and the CLI handle faults as values: retry, fall back
+    to an older checkpoint, or print one clean line instead of a
+    backtrace. *)
+
+type t =
+  | Io of Ivm_fault.Io.error
+      (** the OS (or an injected fault) refused an operation *)
+  | Bad_magic of { path : string; expected : string }
+      (** the file exists but is not a WAL/checkpoint of this format *)
+  | Corrupt of { path : string; detail : string }
+      (** framing or checksum failure on a body that should be intact *)
+
+let io e = Error (Io e)
+
+let pp ppf = function
+  | Io e -> Ivm_fault.Io.pp_error ppf e
+  | Bad_magic { path; expected } ->
+      Format.fprintf ppf "%s: not a %s file (bad magic)" path expected
+  | Corrupt { path; detail } -> Format.fprintf ppf "%s: corrupt (%s)" path detail
+
+let to_string e = Format.asprintf "%a" pp e
+
+let get_ok = function
+  | Ok v -> v
+  | Error e -> failwith (to_string e)
+
+let injected = function
+  | Io { Ivm_fault.Io.injected = i; _ } -> i
+  | Bad_magic _ | Corrupt _ -> false

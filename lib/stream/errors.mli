@@ -1,0 +1,21 @@
+(** The structured error type of the durability layer ({!Wal},
+    {!Checkpoint}): I/O failures, foreign files and corruption as
+    values, not exceptions. *)
+
+type t =
+  | Io of Ivm_fault.Io.error
+  | Bad_magic of { path : string; expected : string }
+  | Corrupt of { path : string; detail : string }
+
+val io : Ivm_fault.Io.error -> ('a, t) result
+(** [io e] is [Error (Io e)] — the lift used at every I/O call site. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val get_ok : ('a, t) result -> 'a
+(** Unwrap, raising [Failure] with the rendered error — for tests and
+    call sites that have decided a durability fault is fatal. *)
+
+val injected : t -> bool
+(** Whether this error came from an armed failpoint rather than the OS. *)

@@ -68,8 +68,18 @@ module Hist = struct
 end
 
 (** Per-view counters: how many updates and batches this view absorbed,
-    and the distribution of its batch-apply times. *)
-type view = { mutable updates : int; mutable batches : int; apply : Hist.t }
+    the distribution of its batch-apply times, and the supervision
+    counters (failures observed, recovery rebuilds, dead-lettered poison
+    updates, updates skipped while the view was not healthy). *)
+type view = {
+  mutable updates : int;
+  mutable batches : int;
+  mutable failures : int;
+  mutable rebuilds : int;
+  mutable dead_letters : int;
+  mutable skipped : int;
+  apply : Hist.t;
+}
 
 type t = {
   latency : Hist.t; (* enqueue -> applied, per update *)
@@ -92,7 +102,17 @@ let view t name =
   match Hashtbl.find_opt t.views name with
   | Some v -> v
   | None ->
-      let v = { updates = 0; batches = 0; apply = Hist.create () } in
+      let v =
+        {
+          updates = 0;
+          batches = 0;
+          failures = 0;
+          rebuilds = 0;
+          dead_letters = 0;
+          skipped = 0;
+          apply = Hist.create ();
+        }
+      in
       Hashtbl.add t.views name v;
       v
 
@@ -111,9 +131,13 @@ let pp ppf t =
   List.iter
     (fun name ->
       let v = view t name in
-      Format.fprintf ppf "view %-24s %9d upd %7d batches, apply p50 %.1fus p99 %.1fus@,"
+      Format.fprintf ppf "view %-24s %9d upd %7d batches, apply p50 %.1fus p99 %.1fus%t@,"
         name v.updates v.batches
         (us (Hist.percentile v.apply 0.5))
-        (us (Hist.percentile v.apply 0.99)))
+        (us (Hist.percentile v.apply 0.99))
+        (fun ppf ->
+          if v.failures + v.rebuilds + v.dead_letters + v.skipped > 0 then
+            Format.fprintf ppf "; %d failures %d rebuilds %d dead-lettered %d skipped"
+              v.failures v.rebuilds v.dead_letters v.skipped))
     (view_names t);
   Format.fprintf ppf "@]"

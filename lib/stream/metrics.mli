@@ -18,7 +18,15 @@ module Hist : sig
   val merge_into : into:t -> t -> unit
 end
 
-type view = { mutable updates : int; mutable batches : int; apply : Hist.t }
+type view = {
+  mutable updates : int;
+  mutable batches : int;
+  mutable failures : int;  (** apply or rebuild failures observed *)
+  mutable rebuilds : int;  (** successful recovery / self-check rebuilds *)
+  mutable dead_letters : int;  (** poison updates quarantined out of the view *)
+  mutable skipped : int;  (** updates skipped while degraded or quarantined *)
+  apply : Hist.t;
+}
 
 type t = {
   latency : Hist.t;  (** enqueue → applied, per update *)

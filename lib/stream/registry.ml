@@ -1,41 +1,236 @@
 (** The multi-view server: N registered views maintained off one shared
-    update stream.
+    update stream, with per-view supervision.
 
     The registry owns the authoritative base database — the durable
     truth that checkpoints snapshot — and a list of registered views,
     each built by a *factory* from a database. Keeping the factory
-    around is what makes crash recovery uniform: restore re-runs every
-    factory against the restored base state, so any engine that can
-    preprocess a database (view trees, strategies, kernels fed tuple by
-    tuple) becomes recoverable without engine-specific serialization.
+    around is what makes both crash recovery and fault recovery
+    uniform: any view can be rebuilt from the base state at any time,
+    so a view whose engine misbehaves is never fatal — it is degraded,
+    retried, and rebuilt, while every other view keeps serving.
 
-    [apply_batch] routes each view the sub-batch on its relations and
-    fans the independent views across an {!Ivm_par.Domain_pool}: views
-    share nothing (each preprocessed its own copies at build time), so
-    view-level parallelism needs no commutativity argument at all — it
-    is plain task parallelism over disjoint state. The base database is
-    one more task on the same barrier. *)
+    Supervision model:
+
+    - A view whose [apply_batch] raises is marked {e degraded}. Its
+      updates stop flowing (the base database still absorbs them), and
+      recovery is scheduled with exponential backoff plus seeded
+      jitter.
+    - Recovery rebuilds the view from the live base database — the
+      same operation as crash recovery, because the base state already
+      contains everything the view missed while degraded.
+    - If the rebuild itself fails, the updates of the failed batch are
+      suspected of being {e poison}. The registry retries the rebuild
+      excluding each single suspect in turn (then all of them); the
+      smallest exclusion that works is {e dead-lettered}: recorded
+      per-view, optionally appended to a dead-letter WAL, and filtered
+      out of every future rebuild of that view.
+    - A view that keeps failing past the threshold is {e quarantined}:
+      no more automatic retries, but {!heal} can still force one.
+    - {!self_check} compares each healthy view's fingerprint against a
+      fresh rebuild and reinstalls the rebuild on divergence — silent
+      state corruption heals itself at the next check.
+
+    [apply_batch] routes each healthy view the sub-batch on its
+    relations and fans the independent views across an
+    {!Ivm_par.Domain_pool}: views share nothing, so view-level
+    parallelism is plain task parallelism over disjoint state.
+    Exceptions are caught {e inside} each task (the pool re-raises
+    otherwise) and turned into supervision state after the barrier, on
+    the scheduler's domain. *)
 
 module Db = Ivm_data.Database.Z
+module Rel = Ivm_data.Relation.Z
+module Tuple = Ivm_data.Tuple
 module Update = Ivm_data.Update
 module M = Ivm_engine.Maintainable
 
-type entry = { view : M.t; build : Db.t -> M.t }
+type health = Healthy | Degraded | Quarantined
+
+let health_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+
+type entry = {
+  build : Db.t -> M.t;
+  mutable view : M.t;
+  mutable health : health;
+  mutable failures : int; (* consecutive failures since the last clean apply *)
+  mutable retry_at : float; (* wall clock of the next automatic recovery *)
+  mutable suspects : int Update.t list; (* the batch in flight when it failed *)
+  mutable dead : (string * Tuple.t) list; (* dead-lettered (relation, tuple) *)
+  mutable last_error : string option;
+}
 
 type t = {
   db : Db.t;
   pool : Ivm_par.Domain_pool.t option;
   metrics : Metrics.t option;
   mutable entries : (string * entry) list; (* registration order, reversed *)
+  (* supervision knobs *)
+  backoff_base : float;
+  max_failures : int;
+  rng : Random.State.t;
+  dead_wal : Wal.Z.t option;
 }
 
-let create ?pool ?metrics db = { db; pool; metrics; entries = [] }
+let create ?pool ?metrics ?(backoff_base = 0.01) ?(max_failures = 5) ?(seed = 0) ?dead_wal db =
+  {
+    db;
+    pool;
+    metrics;
+    entries = [];
+    backoff_base;
+    max_failures;
+    rng = Random.State.make [| 0x51e9; seed |];
+    dead_wal;
+  }
+
 let db t = t.db
+let now () = Unix.gettimeofday ()
+
+(* A placeholder installed when even the initial build fails: consumes
+   nothing, serves empty state, until recovery rebuilds the real view. *)
+let stub name =
+  {
+    M.name;
+    relations = [];
+    apply_batch = (fun _ -> ());
+    output_count = (fun () -> 0);
+    fingerprint = (fun () -> 0);
+  }
+
+let metrics_view t name = Option.map (fun m -> Metrics.view m name) t.metrics
+
+let count_failure t name =
+  Option.iter (fun v -> v.Metrics.failures <- v.Metrics.failures + 1) (metrics_view t name)
+
+(* The base database minus a view's dead-lettered tuples: what its
+   factory rebuilds from. With no dead letters this is the live
+   database itself — the common case costs nothing. *)
+let filtered_db t (dead : (string * Tuple.t) list) =
+  if dead = [] then t.db
+  else begin
+    let db' = Db.copy t.db in
+    List.iter
+      (fun (rel, tuple) -> if Db.mem db' rel then Rel.set_entry (Db.find db' rel) tuple 0)
+      dead;
+    db'
+  end
+
+let backoff t failures =
+  let doubling = 2. ** float_of_int (max 0 (failures - 1)) in
+  t.backoff_base *. doubling *. (1. +. Random.State.float t.rng 0.5)
+
+(* Record one more failure for [e]: schedule the next retry, or
+   quarantine past the threshold. *)
+let note_failure t name e detail =
+  e.failures <- e.failures + 1;
+  e.last_error <- Some detail;
+  count_failure t name;
+  if e.failures >= t.max_failures then e.health <- Quarantined
+  else begin
+    e.health <- Degraded;
+    e.retry_at <- now () +. backoff t e.failures
+  end
+
+let dead_letter t name e (updates : int Update.t list) =
+  List.iter
+    (fun (u : int Update.t) ->
+      e.dead <- (u.Update.rel, u.Update.tuple) :: e.dead;
+      Option.iter (fun w -> ignore (Wal.Z.append w u)) t.dead_wal)
+    updates;
+  Option.iter (fun w -> ignore (Wal.Z.sync w)) t.dead_wal;
+  Option.iter
+    (fun v -> v.Metrics.dead_letters <- v.Metrics.dead_letters + List.length updates)
+    (metrics_view t name)
+
+let install t name e view =
+  e.view <- view;
+  e.health <- Healthy;
+  e.suspects <- [];
+  Option.iter (fun v -> v.Metrics.rebuilds <- v.Metrics.rebuilds + 1) (metrics_view t name)
+
+let try_build e db = match e.build db with v -> Some v | exception _ -> None
+
+(* Distinct (relation, tuple) suspects from the failed batch, oldest
+   first, excluding anything already dead-lettered. *)
+let distinct_suspects e =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun (rel, tu) -> Hashtbl.replace seen (rel, Tuple.to_string tu) ()) e.dead;
+  List.filter
+    (fun (u : int Update.t) ->
+      let key = (u.Update.rel, Tuple.to_string u.Update.tuple) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev e.suspects)
+
+let as_dead (us : int Update.t list) = List.map (fun (u : int Update.t) -> (u.Update.rel, u.Update.tuple)) us
+
+(* One recovery attempt: rebuild from the (dead-filtered) base state;
+   on failure, isolate poison by retrying with each single suspect
+   excluded, then with all of them. The smallest exclusion that works
+   is dead-lettered. On total failure, back off again. *)
+let attempt_recovery t name e =
+  match try_build e (filtered_db t e.dead) with
+  | Some v -> install t name e v
+  | None -> begin
+      let suspects = distinct_suspects e in
+      let single =
+        List.find_map
+          (fun (u : int Update.t) ->
+            match try_build e (filtered_db t (as_dead [ u ] @ e.dead)) with
+            | Some v -> Some (v, [ u ])
+            | None -> None)
+          suspects
+      in
+      let outcome =
+        match single with
+        | Some _ -> single
+        | None when suspects <> [] -> (
+            match try_build e (filtered_db t (as_dead suspects @ e.dead)) with
+            | Some v -> Some (v, suspects)
+            | None -> None)
+        | None -> None
+      in
+      match outcome with
+      | Some (v, poison) ->
+          dead_letter t name e poison;
+          install t name e v
+      | None -> note_failure t name e "rebuild failed"
+    end
+
+(* Retry every degraded view whose backoff has elapsed. Quarantined
+   views are skipped — only {!heal} touches those. *)
+let maybe_recover t =
+  let clock = now () in
+  List.iter
+    (fun (name, e) ->
+      if e.health = Degraded && clock >= e.retry_at then attempt_recovery t name e)
+    t.entries
 
 let register t ~name build =
   if List.mem_assoc name t.entries then
     invalid_arg ("Registry.register: duplicate view " ^ name);
-  t.entries <- (name, { view = build t.db; build }) :: t.entries
+  let e =
+    {
+      build;
+      view = stub name;
+      health = Healthy;
+      failures = 0;
+      retry_at = 0.;
+      suspects = [];
+      dead = [];
+      last_error = None;
+    }
+  in
+  (match try_build e t.db with
+  | Some v -> e.view <- v
+  | None -> note_failure t name e "initial build failed");
+  t.entries <- (name, e) :: t.entries
 
 let views t = List.rev_map (fun (name, e) -> (name, e.view)) t.entries
 let view_count t = List.length t.entries
@@ -48,6 +243,20 @@ let find t name =
 let counts t = List.map (fun (name, m) -> (name, m.M.output_count ())) (views t)
 let fingerprints t = List.map (fun (name, m) -> (name, m.M.fingerprint ())) (views t)
 
+let health t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e.health
+  | None -> invalid_arg ("Registry.health: no view " ^ name)
+
+let statuses t = List.rev_map (fun (name, e) -> (name, e.health)) t.entries
+
+let last_error t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e.last_error
+  | None -> None
+
+let dead_letters t = List.rev_map (fun (name, e) -> (name, List.rev e.dead)) t.entries
+
 (* Route a batch: per view, the sub-batch on its consumed relations (in
    batch order). Views over the same relations share the input list
    physically where possible. *)
@@ -56,57 +265,148 @@ let sub_batch (m : M.t) batch =
   | [] -> []
   | rels -> List.filter (fun (u : int Update.t) -> List.mem u.Update.rel rels) batch
 
-let now () = Unix.gettimeofday ()
-
 let apply_batch t (batch : int Update.t list) =
   match batch with
   | [] -> ()
   | batch ->
-      let views = views t in
-      (* Per-task elapsed times land in preallocated slots; the metrics
-         tables are only touched after the barrier, on this domain. *)
-      let timings = Array.make (List.length views) 0. in
+      maybe_recover t;
+      let entries = List.rev t.entries in
+      (* Per-task elapsed times and caught exceptions land in
+         preallocated slots; entry state and the metrics tables are only
+         touched after the barrier, on this domain. *)
+      let n_entries = List.length entries in
+      let timings = Array.make n_entries 0. in
+      let errors : string option array = Array.make n_entries None in
       let sized =
         List.mapi
-          (fun i (name, m) ->
-            let sub = sub_batch m batch in
-            (i, name, m, sub, List.length sub))
-          views
+          (fun i (name, e) ->
+            let sub = if e.health = Healthy then sub_batch e.view batch else [] in
+            (* Dead-lettered tuples stay quarantined out of the view —
+               also on WAL replay after a restore. *)
+            let sub =
+              if e.dead = [] then sub
+              else
+                List.filter
+                  (fun (u : int Update.t) ->
+                    not
+                      (List.exists
+                         (fun (rel, tu) -> rel = u.Update.rel && Tuple.equal tu u.Update.tuple)
+                         e.dead))
+                  sub
+            in
+            (i, name, e, sub, List.length sub))
+          entries
       in
       let tasks =
         (fun () -> Db.apply_batch t.db batch)
         :: List.filter_map
-             (fun (i, _, m, sub, n) ->
+             (fun (i, _, e, sub, n) ->
                if n = 0 then None
                else
                  Some
                    (fun () ->
                      let t0 = now () in
-                     m.M.apply_batch sub;
-                     timings.(i) <- now () -. t0))
+                     match e.view.M.apply_batch sub with
+                     | () -> timings.(i) <- now () -. t0
+                     | exception exn -> errors.(i) <- Some (Printexc.to_string exn)))
              sized
       in
       (match t.pool with
       | Some pool -> Ivm_par.Domain_pool.run pool tasks
       | None -> List.iter (fun task -> task ()) tasks);
-      Option.iter
-        (fun metrics ->
-          List.iter
-            (fun (i, name, _, _, n) ->
+      List.iter
+        (fun (i, name, e, sub, n) ->
+          match errors.(i) with
+          | Some detail ->
+              (* The view's in-memory state is now suspect; recovery
+                 will rebuild it from the base database, which did
+                 absorb this batch. *)
+              e.suspects <- List.rev_append sub e.suspects;
+              note_failure t name e detail
+          | None ->
               if n > 0 then begin
-                let v = Metrics.view metrics name in
-                v.Metrics.updates <- v.Metrics.updates + n;
-                v.Metrics.batches <- v.Metrics.batches + 1;
-                Metrics.Hist.add v.Metrics.apply timings.(i)
+                e.failures <- 0;
+                Option.iter
+                  (fun v ->
+                    v.Metrics.updates <- v.Metrics.updates + n;
+                    v.Metrics.batches <- v.Metrics.batches + 1;
+                    Metrics.Hist.add v.Metrics.apply timings.(i))
+                  (metrics_view t name)
+              end
+              else if e.health <> Healthy then begin
+                let missed = List.length (sub_batch e.view batch) in
+                let missed = if missed = 0 then List.length batch else missed in
+                Option.iter
+                  (fun v -> v.Metrics.skipped <- v.Metrics.skipped + missed)
+                  (metrics_view t name)
               end)
-            sized)
-        t.metrics
+        sized
+
+(** Force a recovery attempt on every view that is not healthy,
+    ignoring backoff timers and quarantine — the convergence point a
+    driver calls at end of stream (or an operator invokes by hand).
+    Returns the names still not healthy afterwards. *)
+let heal t =
+  List.iter
+    (fun (name, e) -> if e.health <> Healthy then attempt_recovery t name e)
+    (List.rev t.entries);
+  List.filter_map (fun (name, e) -> if e.health <> Healthy then Some name else None) t.entries
+  |> List.rev
+
+(** Verify every healthy view's fingerprint against a fresh rebuild
+    from the base state; on divergence install the rebuild. Returns the
+    names that diverged. Expensive — run it off the hot path, every N
+    epochs. *)
+let self_check t =
+  List.filter_map
+    (fun (name, e) ->
+      if e.health <> Healthy then None
+      else
+        match try_build e (filtered_db t e.dead) with
+        | None ->
+            note_failure t name e "self-check rebuild failed";
+            Some name
+        | Some fresh ->
+            if fresh.M.fingerprint () = e.view.M.fingerprint () then None
+            else begin
+              count_failure t name;
+              install t name e fresh;
+              Some name
+            end)
+    (List.rev t.entries)
 
 (** [restore t db] is a fresh registry over [db] with every view rebuilt
     by its registration factory — the recovery path: pair it with a WAL
-    replay from the checkpoint's offset. The restored registry runs
-    sequentially unless given its own pool/metrics. *)
+    replay from the checkpoint's offset. Dead-letter sets carry over, so
+    a view poisoned before the checkpoint rebuilds filtered. The
+    restored registry runs sequentially unless given its own
+    pool/metrics. *)
 let restore ?pool ?metrics t db =
-  let fresh = create ?pool ?metrics db in
-  List.iter (fun (name, e) -> register fresh ~name e.build) (List.rev t.entries);
+  let fresh =
+    {
+      db;
+      pool;
+      metrics;
+      entries = [];
+      backoff_base = t.backoff_base;
+      max_failures = t.max_failures;
+      rng = Random.State.copy t.rng;
+      dead_wal = t.dead_wal;
+    }
+  in
+  List.iter
+    (fun (name, e) ->
+      register fresh ~name e.build;
+      match List.assoc_opt name fresh.entries with
+      | Some e' ->
+          e'.dead <- e.dead;
+          if e.dead <> [] || e'.health <> Healthy then begin
+            (* Rebuild with the inherited filter (register built from
+               the raw db, which may still contain the poison). *)
+            match try_build e' (filtered_db fresh e'.dead) with
+            | Some v -> install fresh name e' v
+            | None -> note_failure fresh name e' "restore rebuild failed"
+          end
+      | None -> ())
+    (List.rev t.entries);
   fresh

@@ -1,22 +1,44 @@
 (** The multi-view server: N registered views maintained off one shared
-    update stream. The registry owns the authoritative base database
-    (what checkpoints snapshot) and rebuilds every view from its
-    registration factory on {!restore} — recovery without
-    engine-specific serialization. Independent views fan out across an
-    {!Ivm_par.Domain_pool}: they share no state, so this is plain task
-    parallelism over disjoint structures. *)
+    update stream, with per-view supervision. The registry owns the
+    authoritative base database (what checkpoints snapshot) and
+    rebuilds any view from its registration factory — on {!restore}
+    after a crash, and whenever a view's engine fails at runtime. A
+    failing view is degraded (its updates stop flowing; the base
+    database still absorbs them), retried with exponential backoff and
+    jitter, poison updates are isolated and dead-lettered, and a view
+    failing past the threshold is quarantined — all without ever
+    blocking the healthy views. *)
 
 module Db = Ivm_data.Database.Z
 module M = Ivm_engine.Maintainable
 
+type health = Healthy | Degraded | Quarantined
+
+val health_name : health -> string
+
 type t
 
-val create : ?pool:Ivm_par.Domain_pool.t -> ?metrics:Metrics.t -> Db.t -> t
+val create :
+  ?pool:Ivm_par.Domain_pool.t ->
+  ?metrics:Metrics.t ->
+  ?backoff_base:float ->
+  ?max_failures:int ->
+  ?seed:int ->
+  ?dead_wal:Wal.Z.t ->
+  Db.t ->
+  t
+(** [backoff_base] (default 10 ms) is the first retry delay, doubled
+    per consecutive failure with seeded jitter; after [max_failures]
+    (default 5) consecutive failures a view is quarantined. [dead_wal]
+    receives every dead-lettered poison update. *)
+
 val db : t -> Db.t
 
 val register : t -> name:string -> (Db.t -> M.t) -> unit
 (** Build a view from the current base database and serve it from now
-    on. The factory is kept for {!restore}.
+    on. The factory is kept for {!restore} and for runtime recovery. A
+    factory that fails leaves the view degraded (to be retried), not
+    the registry broken.
     @raise Invalid_argument on a duplicate name. *)
 
 val views : t -> (string * M.t) list
@@ -30,12 +52,35 @@ val find : t -> string -> M.t
 val counts : t -> (string * int) list
 val fingerprints : t -> (string * int) list
 
+val health : t -> string -> health
+(** @raise Invalid_argument when absent. *)
+
+val statuses : t -> (string * health) list
+val last_error : t -> string -> string option
+
+val dead_letters : t -> (string * (string * Ivm_data.Tuple.t) list) list
+(** Per view, the (relation, tuple) pairs dead-lettered out of it, in
+    dead-letter order. *)
+
 val apply_batch : t -> int Ivm_data.Update.t list -> unit
-(** Apply a batch to the base database and to every registered view
-    (each view sees only the updates on its relations), concurrently
-    across the pool when one was given. *)
+(** Apply a batch to the base database and to every healthy registered
+    view (each view sees only the updates on its relations),
+    concurrently across the pool when one was given. A view whose
+    engine raises is degraded and scheduled for recovery; this call
+    itself never raises on view failure. *)
+
+val heal : t -> string list
+(** Force a recovery attempt on every non-healthy view, ignoring
+    backoff timers and quarantine; returns the names still not healthy
+    afterwards. The convergence point a driver calls at end of
+    stream. *)
+
+val self_check : t -> string list
+(** Verify every healthy view's fingerprint against a fresh rebuild
+    from the base state, installing the rebuild on divergence; returns
+    the diverged names. Expensive — run off the hot path. *)
 
 val restore : ?pool:Ivm_par.Domain_pool.t -> ?metrics:Metrics.t -> t -> Db.t -> t
 (** A fresh registry over [db] with every view rebuilt by its
     registration factory — the recovery path, paired with a WAL replay
-    from the checkpoint's offset. *)
+    from the checkpoint's offset. Dead-letter sets carry over. *)

@@ -19,6 +19,8 @@
 module Update = Ivm_data.Update
 module Tuple = Ivm_data.Tuple
 
+let ( let* ) = Result.bind
+
 type item = { update : int Update.t; enqueued_at : float }
 
 let item u = { update = u; enqueued_at = Unix.gettimeofday () }
@@ -31,12 +33,14 @@ type t = {
   target : float; (* target epoch apply latency, seconds *)
   min_batch : int;
   max_batch : int;
+  sync_retries : int; (* extra fsync attempts before giving up an epoch *)
+  self_check_every : int option; (* epochs between fingerprint self-checks *)
   mutable limit : int; (* the adaptive batch cap *)
   mutable applied : int; (* updates applied so far (pre-coalescing) *)
 }
 
 let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536)
-    ?initial_batch ~queue ~registry ~metrics () =
+    ?initial_batch ?(sync_retries = 3) ?self_check_every ~queue ~registry ~metrics () =
   if min_batch < 1 || max_batch < min_batch then
     invalid_arg "Scheduler.create: need 1 <= min_batch <= max_batch";
   let limit =
@@ -44,7 +48,19 @@ let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536
     | Some b -> max min_batch (min max_batch b)
     | None -> max min_batch (min max_batch 1024)
   in
-  { queue; registry; wal; metrics; target = target_latency; min_batch; max_batch; limit; applied = 0 }
+  {
+    queue;
+    registry;
+    wal;
+    metrics;
+    target = target_latency;
+    min_batch;
+    max_batch;
+    sync_retries;
+    self_check_every;
+    limit;
+    applied = 0;
+  }
 
 let batch_limit t = t.limit
 let applied t = t.applied
@@ -79,21 +95,36 @@ let coalesce (items : item list) : int Update.t list =
         table acc)
     per_rel []
 
-(** Run one epoch. [false] means the stream ended: the queue is closed
-    and fully drained. *)
-let step t =
+(* A failed fsync does not mean lost data — the bytes are still in the
+   log — so a transient failure (injected or a blip) is worth retrying
+   before declaring the epoch undurable. *)
+let rec sync_retrying w retries =
+  match Wal.Z.sync w with
+  | Ok () -> Ok ()
+  | Error e -> if retries <= 0 then Error e else sync_retrying w (retries - 1)
+
+(** Run one epoch. [Ok false] means the stream ended: the queue is
+    closed and fully drained. [Error _] is a durability failure — the
+    popped updates were {e not} applied (crash-and-recover semantics:
+    they are replayed from the last durable state). View failures never
+    surface here; they are handled by the registry's supervision. *)
+let step t : (bool, Errors.t) result =
   match Queue.pop_batch t.queue ~max:t.limit with
-  | [] -> false
+  | [] -> Ok false
   | items ->
       let n = List.length items in
       (* Durability first: every popped update reaches the log before
-         any view applies it, so a crash mid-epoch replays the whole
+         any view sees it, so a crash mid-epoch replays the whole
          epoch from the previous checkpoint state. *)
-      (match t.wal with
-      | Some w ->
-          List.iter (fun { update; _ } -> ignore (Wal.Z.append w update)) items;
-          Wal.Z.sync w
-      | None -> ());
+      let* () =
+        match t.wal with
+        | Some w ->
+            let* _offset =
+              Wal.Z.append_batch w (List.map (fun { update; _ } -> update) items)
+            in
+            sync_retrying w t.sync_retries
+        | None -> Ok ()
+      in
       let batch = coalesce items in
       let t0 = Unix.gettimeofday () in
       Registry.apply_batch t.registry batch;
@@ -110,11 +141,22 @@ let step t =
       if dt > 1.5 *. t.target then t.limit <- max t.min_batch (t.limit / 2)
       else if dt < 0.5 *. t.target && n >= t.limit then
         t.limit <- min t.max_batch (t.limit * 2);
-      true
+      (match t.self_check_every with
+      | Some k when k > 0 && t.metrics.Metrics.epochs mod k = 0 ->
+          ignore (Registry.self_check t.registry)
+      | _ -> ());
+      Ok true
 
 (** Drain the stream to its end, calling [on_epoch] after every epoch
-    (live stats, periodic checkpoints). *)
+    (live stats, periodic checkpoints). Stops at the first durability
+    error. *)
 let run ?(on_epoch = fun (_ : t) -> ()) t =
-  while step t do
-    on_epoch t
-  done
+  let rec loop () =
+    match step t with
+    | Ok true ->
+        on_epoch t;
+        loop ()
+    | Ok false -> Ok ()
+    | Error _ as e -> e
+  in
+  loop ()

@@ -18,6 +18,8 @@ val create :
   ?min_batch:int ->
   ?max_batch:int ->
   ?initial_batch:int ->
+  ?sync_retries:int ->
+  ?self_check_every:int ->
   queue:item Queue.t ->
   registry:Registry.t ->
   metrics:Metrics.t ->
@@ -25,7 +27,10 @@ val create :
   t
 (** Defaults: 2 ms target latency, batch cap adapting within
     [16, 65536] starting at 1024. Without [wal] the runtime is
-    in-memory only. *)
+    in-memory only. A failed WAL fsync is retried [sync_retries]
+    (default 3) times before the epoch errors out. With
+    [self_check_every], the registry fingerprint self-check runs every
+    that many epochs. *)
 
 val batch_limit : t -> int
 (** The current adaptive batch cap. *)
@@ -40,10 +45,14 @@ val coalesce : item list -> int Ivm_data.Update.t list
 (** Per-(relation, tuple) ring-add coalescing with zero elision;
     exposed for tests. *)
 
-val step : t -> bool
-(** Run one epoch; [false] means the stream ended (queue closed and
-    drained). *)
+val step : t -> (bool, Errors.t) result
+(** Run one epoch; [Ok false] means the stream ended (queue closed and
+    drained). [Error _] is a durability failure: the popped updates
+    were {e not} applied — crash-and-recover semantics, they replay
+    from the last durable state. View failures never surface here;
+    the registry's supervision absorbs them. *)
 
-val run : ?on_epoch:(t -> unit) -> t -> unit
+val run : ?on_epoch:(t -> unit) -> t -> (unit, Errors.t) result
 (** Drain the stream to its end, calling [on_epoch] after every epoch
-    (live stats, periodic checkpoints). *)
+    (live stats, periodic checkpoints); stops at the first durability
+    error. *)

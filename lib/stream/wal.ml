@@ -9,6 +9,13 @@
     restore the snapshot, replay the suffix, and the state is as if the
     log had been applied directly (asserted in [test/test_stream.ml]).
 
+    Every load-and-append path is result-typed: real disk errors and
+    injected faults (the log routes all file I/O through
+    {!Ivm_fault.Io} under the ["wal"] tag) come back as
+    {!Errors.t} values, so the scheduler can retry a failed fsync and a
+    crash harness can treat a torn write as a kill point instead of an
+    uncaught exception.
+
     Crash tolerance: a torn tail (a record cut short by a crash, or one
     whose checksum fails) terminates replay at the last complete record;
     {!open_log} truncates such a tail so later appends extend a valid
@@ -16,14 +23,17 @@
 
 module Codec = Ivm_data.Codec
 module Update = Ivm_data.Update
+module Io = Ivm_fault.Io
 
 let magic = "IVMWAL01"
 let header_len = String.length magic
+let tag = "wal"
+let ( let* ) = Result.bind
 
 module Make (P : Codec.PAYLOAD) = struct
   type t = {
     path : string;
-    oc : out_channel;
+    out : Io.out;
     buf : Buffer.t;
     mutable offset : int; (* bytes of valid log written, including magic *)
   }
@@ -58,22 +68,31 @@ module Make (P : Codec.PAYLOAD) = struct
           end
         end)
 
-  let open_log path =
-    let valid = if Sys.file_exists path then valid_prefix path else -1 in
-    if valid >= header_len && valid < (Unix.stat path).Unix.st_size then
-      (* Torn tail from a previous crash: cut it off before appending. *)
-      Unix.truncate path valid;
+  let open_log path : (t, Errors.t) result =
+    let* valid =
+      if not (Sys.file_exists path) then Ok (-1)
+      else
+        match valid_prefix path with
+        | v -> Ok v
+        | exception Sys_error m -> Errors.io { Io.op = "scan"; path; detail = m; injected = false }
+    in
+    let* () =
+      if valid >= header_len && valid < (Unix.stat path).Unix.st_size then
+        (* Torn tail from a previous crash: cut it off before appending. *)
+        Result.map_error (fun e -> Errors.Io e) (Io.truncate ~tag path valid)
+      else Ok ()
+    in
     let fresh = valid < header_len in
-    if fresh && Sys.file_exists path then Sys.remove path;
-    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-    if fresh then output_string oc magic;
-    flush oc;
-    { path; oc; buf = Buffer.create 256; offset = (if fresh then header_len else valid) }
+    if fresh && Sys.file_exists path then Io.remove_noerr path;
+    let* out = Result.map_error (fun e -> Errors.Io e) (Io.open_append ~tag path) in
+    let* () = if fresh then Result.map_error (fun e -> Errors.Io e) (Io.write out magic) else Ok () in
+    let* () = Result.map_error (fun e -> Errors.Io e) (Io.flush_out out) in
+    Ok { path; out; buf = Buffer.create 256; offset = (if fresh then header_len else valid) }
 
   let offset t = t.offset
   let path t = t.path
 
-  let append t (u : P.t Update.t) =
+  let append t (u : P.t Update.t) : (int, Errors.t) result =
     Buffer.clear t.buf;
     Codec.add_update (module P) t.buf u;
     let body = Buffer.contents t.buf in
@@ -82,51 +101,71 @@ module Make (P : Codec.PAYLOAD) = struct
     Codec.add_u32 t.buf len;
     Codec.add_u32 t.buf (Codec.crc32 body ~pos:0 ~len);
     Buffer.add_string t.buf body;
-    Buffer.output_buffer t.oc t.buf;
-    t.offset <- t.offset + 8 + len;
-    t.offset
+    match Io.write t.out (Buffer.contents t.buf) with
+    | Ok () ->
+        t.offset <- t.offset + 8 + len;
+        Ok t.offset
+    | Error e -> Errors.io e
 
-  let append_batch t batch = List.fold_left (fun _ u -> append t u) t.offset batch
+  let append_batch t batch : (int, Errors.t) result =
+    List.fold_left
+      (fun acc u ->
+        let* _ = acc in
+        append t u)
+      (Ok t.offset) batch
 
-  let sync t = flush t.oc
+  (** Make everything appended so far durable: flush and [fsync]. *)
+  let sync t : (unit, Errors.t) result =
+    Result.map_error (fun e -> Errors.Io e) (Io.fsync t.out)
 
   let close t =
-    flush t.oc;
-    close_out_noerr t.oc
+    ignore (Io.flush_out t.out);
+    Io.close_noerr t.out
+
+  (** Simulate a crash: drop buffered (never-synced) bytes and close the
+      descriptor. What a recovery will replay is exactly the durable
+      prefix. *)
+  let crash t = Io.crash t.out
 
   (** [replay path ~from f] feeds every complete record at offset
       [>= from] to [f] and returns the offset after the last one — the
       next replay cursor. [from <= header_len] starts at the first
       record. A torn or corrupt tail silently ends the replay: those
-      bytes were never acknowledged as applied by anyone. *)
-  let replay path ~from f =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let file_len = in_channel_length ic in
-        if file_len < header_len then header_len
-        else begin
-          let m = really_input_string ic header_len in
-          if m <> magic then invalid_arg ("Wal.replay: bad magic in " ^ path);
-          let cursor = ref (max from header_len) in
-          seek_in ic !cursor;
-          (try
-             while true do
-               let frame = really_input_string ic 8 in
-               let pos = ref 0 in
-               let len = Codec.u32 frame pos in
-               let crc = Codec.u32 frame pos in
-               if !cursor + 8 + len > file_len then raise Exit;
-               let body = really_input_string ic len in
-               if Codec.crc32 body ~pos:0 ~len <> crc then raise Exit;
-               let u = Codec.update (module P) body (ref 0) in
-               cursor := !cursor + 8 + len;
-               f u
-             done
-           with End_of_file | Exit | Codec.Corrupt _ -> ());
-          !cursor
-        end)
+      bytes were never acknowledged as applied by anyone. A missing or
+      foreign file is an error — replaying it would silently lose the
+      whole log. *)
+  let replay path ~from f : (int, Errors.t) result =
+    let* contents = Result.map_error (fun e -> Errors.Io e) (Io.read_file ~tag path) in
+    let file_len = String.length contents in
+    if file_len < header_len then
+      if String.sub contents 0 file_len = String.sub magic 0 file_len then Ok header_len
+      else Error (Errors.Bad_magic { path; expected = "WAL" })
+    else if String.sub contents 0 header_len <> magic then
+      Error (Errors.Bad_magic { path; expected = "WAL" })
+    else begin
+      let cursor = ref (max from header_len) in
+      (try
+         while !cursor + 8 <= file_len do
+           let pos = ref !cursor in
+           let len = Codec.u32 contents pos in
+           let crc = Codec.u32 contents pos in
+           if !cursor + 8 + len > file_len then raise Exit;
+           if Codec.crc32 contents ~pos:!pos ~len <> crc then raise Exit;
+           let body = String.sub contents !pos len in
+           let u = Codec.update (module P) body (ref 0) in
+           cursor := !cursor + 8 + len;
+           f u
+         done
+       with Exit | Codec.Corrupt _ -> ());
+      Ok !cursor
+    end
+
+  (** The number of complete records in the log — what a producer-side
+      driver uses as "how many updates are durable" after a crash. *)
+  let record_count path : (int, Errors.t) result =
+    let n = ref 0 in
+    let* _ = replay path ~from:0 (fun _ -> incr n) in
+    Ok !n
 end
 
 (** The default instance: integer-multiplicity updates (the Z ring). *)

@@ -3,7 +3,12 @@
     offset with a {!Checkpoint} snapshot and [restore + replay] is
     equivalent to having applied the log directly. A torn tail (record
     cut short by a crash, or failing its checksum) ends replay at the
-    last complete record and is truncated on re-open. *)
+    last complete record and is truncated on re-open.
+
+    All load-and-append paths are result-typed over {!Errors.t}; file
+    I/O is routed through {!Ivm_fault.Io} under the ["wal"] tag, so a
+    fault harness can inject short writes, failed fsyncs and bit flips
+    at the exact syscall boundaries. *)
 
 module Codec = Ivm_data.Codec
 
@@ -13,7 +18,7 @@ val header_len : int
 module Make (P : Codec.PAYLOAD) : sig
   type t
 
-  val open_log : string -> t
+  val open_log : string -> (t, Errors.t) result
   (** Open for appending, creating the file if needed. An existing log
       is scanned and any torn tail truncated, so appends always extend
       a valid prefix. *)
@@ -24,31 +29,45 @@ module Make (P : Codec.PAYLOAD) : sig
 
   val path : t -> string
 
-  val append : t -> P.t Ivm_data.Update.t -> int
+  val append : t -> P.t Ivm_data.Update.t -> (int, Errors.t) result
   (** Append one record, returning the offset after it. Buffered; call
-      {!sync} to flush (the scheduler syncs once per epoch). *)
+      {!sync} to make it durable (the scheduler syncs once per epoch). *)
 
-  val append_batch : t -> P.t Ivm_data.Update.t list -> int
-  val sync : t -> unit
+  val append_batch : t -> P.t Ivm_data.Update.t list -> (int, Errors.t) result
+
+  val sync : t -> (unit, Errors.t) result
+  (** Flush and [fsync]: on [Ok ()] every appended record survives a
+      crash. *)
+
   val close : t -> unit
 
-  val replay : string -> from:int -> (P.t Ivm_data.Update.t -> unit) -> int
+  val crash : t -> unit
+  (** Simulate a crash: drop buffered (never-synced) bytes and close the
+      descriptor, leaving on disk exactly the durable prefix. *)
+
+  val replay : string -> from:int -> (P.t Ivm_data.Update.t -> unit) -> (int, Errors.t) result
   (** [replay path ~from f] feeds every complete record at offset
       [>= from] to [f], returning the offset after the last one. A torn
-      or corrupt tail silently ends the replay.
-      @raise Invalid_argument when the file is not a WAL. *)
+      or corrupt tail silently ends the replay; a missing or foreign
+      file is an [Error] — replaying it would silently lose the log. *)
+
+  val record_count : string -> (int, Errors.t) result
+  (** Number of complete records in the log — what a crash harness uses
+      as "how many updates are durable". *)
 end
 
 (** The default instance: integer-multiplicity updates (the Z ring). *)
 module Z : sig
   type t
 
-  val open_log : string -> t
+  val open_log : string -> (t, Errors.t) result
   val offset : t -> int
   val path : t -> string
-  val append : t -> int Ivm_data.Update.t -> int
-  val append_batch : t -> int Ivm_data.Update.t list -> int
-  val sync : t -> unit
+  val append : t -> int Ivm_data.Update.t -> (int, Errors.t) result
+  val append_batch : t -> int Ivm_data.Update.t list -> (int, Errors.t) result
+  val sync : t -> (unit, Errors.t) result
   val close : t -> unit
-  val replay : string -> from:int -> (int Ivm_data.Update.t -> unit) -> int
+  val crash : t -> unit
+  val replay : string -> from:int -> (int Ivm_data.Update.t -> unit) -> (int, Errors.t) result
+  val record_count : string -> (int, Errors.t) result
 end

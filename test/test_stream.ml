@@ -22,6 +22,12 @@ module Rel = D.Relation.Z
 
 let tup = D.Tuple.of_ints
 
+(* Unwrap a durability result; a real error fails the test with the
+   rendered message instead of a backtrace. *)
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected durability error: %s" (Ivm_stream.Errors.to_string e)
+
 let tmp_path suffix =
   let path = Filename.temp_file "ivm_stream" suffix in
   Sys.remove path;
@@ -79,7 +85,7 @@ let codec_corrupt () =
 
 let replay_all path ~from =
   let acc = ref [] in
-  let stop = Wal.Z.replay path ~from (fun u -> acc := u :: !acc) in
+  let stop = ok (Wal.Z.replay path ~from (fun u -> acc := u :: !acc)) in
   (List.rev !acc, stop)
 
 let wal_roundtrip =
@@ -87,8 +93,8 @@ let wal_roundtrip =
     (QCheck.make QCheck.Gen.(list_size (int_range 0 40) update_gen))
     (fun updates ->
       with_tmp ".wal" (fun path ->
-          let w = Wal.Z.open_log path in
-          let offsets = List.map (fun u -> Wal.Z.append w u) updates in
+          let w = ok (Wal.Z.open_log path) in
+          let offsets = List.map (fun u -> ok (Wal.Z.append w u)) updates in
           Wal.Z.close w;
           let back, stop = replay_all path ~from:0 in
           let replay_ok =
@@ -115,8 +121,8 @@ let wal_torn_tail =
        QCheck.Gen.(pair (list_size (int_range 1 20) update_gen) (int_range 1 8)))
     (fun (updates, cut) ->
       with_tmp ".wal" (fun path ->
-          let w = Wal.Z.open_log path in
-          let offsets = List.map (fun u -> Wal.Z.append w u) updates in
+          let w = ok (Wal.Z.open_log path) in
+          let offsets = List.map (fun u -> ok (Wal.Z.append w u)) updates in
           Wal.Z.close w;
           let last_end = List.nth offsets (List.length offsets - 1) in
           let last_start =
@@ -133,18 +139,18 @@ let wal_torn_tail =
           && List.for_all2 update_eq (List.filteri (fun i _ -> i < n - 1) updates) back
           &&
           (* Re-opening truncates the torn tail; appends resume cleanly. *)
-          let w = Wal.Z.open_log path in
+          let w = ok (Wal.Z.open_log path) in
           let u = U.make ~rel:"R" ~tuple:(tup [ 9; 9 ]) ~payload:1 in
-          ignore (Wal.Z.append w u);
+          ignore (ok (Wal.Z.append w u));
           Wal.Z.close w;
           let back2, _ = replay_all path ~from:0 in
           List.length back2 = n && update_eq (List.nth back2 (n - 1)) u))
 
 let wal_garbage_tail () =
   with_tmp ".wal" (fun path ->
-      let w = Wal.Z.open_log path in
+      let w = ok (Wal.Z.open_log path) in
       let u1 = U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:1 in
-      ignore (Wal.Z.append w u1);
+      ignore (ok (Wal.Z.append w u1));
       let off = Wal.Z.offset w in
       Wal.Z.close w;
       (* A frame whose checksum cannot match: replay must stop before it. *)
@@ -201,6 +207,56 @@ let queue_mpsc () =
     (Hashtbl.length seen);
   Alcotest.(check int) "nothing dropped under Block" 0 (Squeue.dropped q)
 
+(* Backpressure edge case: capacity 1 under concurrent producers. The
+   lossy policies must preserve the accounting invariant
+   [delivered = pushed = offered - dropped] (Drop_newest) resp.
+   [delivered = pushed - dropped] (Drop_oldest, evictions counted), and
+   the consumer must see every delivered item exactly once. *)
+let queue_capacity_one policy () =
+  let q = Squeue.create ~capacity:1 policy in
+  let producers = 4 and per_producer = 1_000 in
+  let offered = producers * per_producer in
+  let domains =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              ignore (Squeue.push q ((p * per_producer) + i))
+            done))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        List.iter Domain.join domains;
+        Squeue.close q)
+  in
+  let seen = Hashtbl.create 1024 in
+  let rec drain () =
+    match Squeue.pop_batch q ~max:7 with
+    | [] -> ()
+    | items ->
+        List.iter
+          (fun i ->
+            Alcotest.(check bool) "no duplicate delivery" false (Hashtbl.mem seen i);
+            Hashtbl.replace seen i ())
+          items;
+        drain ()
+  in
+  drain ();
+  Domain.join closer;
+  let delivered = Hashtbl.length seen in
+  (match policy with
+  | Squeue.Block ->
+      Alcotest.(check int) "lossless" offered delivered;
+      Alcotest.(check int) "no drops" 0 (Squeue.dropped q)
+  | Squeue.Drop_newest ->
+      Alcotest.(check int) "delivered = pushed" (Squeue.pushed q) delivered;
+      Alcotest.(check int) "offered = pushed + dropped" offered
+        (Squeue.pushed q + Squeue.dropped q)
+  | Squeue.Drop_oldest ->
+      Alcotest.(check int) "delivered = pushed - evicted" (Squeue.pushed q - Squeue.dropped q)
+        delivered;
+      Alcotest.(check int) "everything admitted" offered (Squeue.pushed q));
+  Alcotest.(check bool) "something was delivered" true (delivered > 0)
+
 (* --- metrics --------------------------------------------------------- *)
 
 let metrics_percentiles () =
@@ -241,17 +297,17 @@ struct
             let split = if updates = [] then 0 else split mod (List.length updates + 1) in
             (* Direct run: every update applied, all logged. *)
             let direct = make_db () in
-            let w = W.open_log wal_path in
+            let w = ok (W.open_log wal_path) in
             let ckpt_db = make_db () in
             List.iteri
               (fun i u ->
-                ignore (W.append w u);
+                ignore (ok (W.append w u));
                 Db.apply direct u;
                 if i < split then Db.apply ckpt_db u;
                 if i = split - 1 then
-                  C.save ckpt_path ~db:ckpt_db ~wal_offset:(W.offset w))
+                  ok (C.save ckpt_path ~db:ckpt_db ~wal_offset:(W.offset w)))
               updates;
-            if split = 0 then C.save ckpt_path ~db:ckpt_db ~wal_offset:Wal.header_len;
+            if split = 0 then ok (C.save ckpt_path ~db:ckpt_db ~wal_offset:Wal.header_len);
             W.close w;
             if torn then begin
               (* A crash mid-append: garbage after the last full record. *)
@@ -260,8 +316,8 @@ struct
               close_out oc
             end;
             (* Crash, restart: load the snapshot, replay the suffix. *)
-            let restored, offset = C.load ckpt_path in
-            ignore (W.replay wal_path ~from:offset (fun u -> Db.apply restored u));
+            let restored, offset = ok (C.load ckpt_path) in
+            ignore (ok (W.replay wal_path ~from:offset (fun u -> Db.apply restored u)));
             List.for_all
               (fun (name, _) -> CRel.equal (Db.find restored name) (Db.find direct name))
               schemas))
@@ -399,6 +455,159 @@ let coalesce_cancels () =
       Alcotest.(check int) "summed payload" 5 u.U.payload
   | l -> Alcotest.failf "expected one coalesced update, got %d" (List.length l)
 
+(* An epoch whose payloads cancel to zero entirely must still count as
+   an epoch (durably logged, applied-counter advanced, adaptive limit
+   intact) while handing the registry an empty batch — and the views
+   must be exactly as if the epoch never happened. *)
+let zero_cancel_epoch () =
+  with_tmp ".wal" (fun wal_path ->
+      let db = make_triangle_db () in
+      let metrics = Metrics.create () in
+      let reg = Registry.create ~metrics db in
+      register_standard_views reg;
+      let before = Registry.fingerprints reg in
+      let wal = ok (Wal.Z.open_log wal_path) in
+      let queue = Squeue.create ~capacity:64 Squeue.Block in
+      let sched = Scheduler.create ~wal ~initial_batch:64 ~queue ~registry:reg ~metrics () in
+      (* Insert/delete pairs across two relations: the whole epoch
+         cancels. *)
+      List.iter
+        (fun u -> ignore (Squeue.push queue (Scheduler.item u)))
+        [
+          U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:1;
+          U.make ~rel:"S" ~tuple:(tup [ 2; 3 ]) ~payload:2;
+          U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:(-1);
+          U.make ~rel:"S" ~tuple:(tup [ 2; 3 ]) ~payload:(-2);
+        ];
+      Alcotest.(check bool) "epoch ran" true (ok (Scheduler.step sched));
+      Alcotest.(check int) "all four updates accounted" 4 (Scheduler.applied sched);
+      Alcotest.(check int) "coalesced away entirely" 0 metrics.Metrics.coalesced;
+      List.iter2
+        (fun (n1, f1) (n2, f2) ->
+          Alcotest.(check string) "same view" n1 n2;
+          Alcotest.(check int) ("view untouched: " ^ n1) f1 f2)
+        before (Registry.fingerprints reg);
+      (* The log still carries the cancelled records (durability is
+         pre-coalescing), and the scheduler keeps serving. *)
+      Alcotest.(check int) "wal has all records" 4 (ok (Wal.Z.record_count wal_path));
+      List.iter
+        (fun u -> ignore (Squeue.push queue (Scheduler.item u)))
+        [ U.make ~rel:"R" ~tuple:(tup [ 4; 5 ]) ~payload:1 ];
+      Squeue.close queue;
+      Alcotest.(check bool) "next epoch ran" true (ok (Scheduler.step sched));
+      Alcotest.(check bool) "stream end" false (ok (Scheduler.step sched));
+      Wal.Z.close wal)
+
+(* --- supervision ------------------------------------------------------ *)
+
+let flaky_view name : D.Database.Z.t -> M.t =
+ fun _ ->
+  {
+    M.name;
+    relations = [ "R" ];
+    apply_batch = (fun _ -> failwith "flaky: injected apply failure");
+    output_count = (fun () -> 0);
+    fingerprint = (fun () -> 0);
+  }
+
+(* A view whose engine keeps failing is quarantined while the healthy
+   views keep serving the full stream — apply_batch never raises and
+   the healthy fingerprints match a registry that never had the flaky
+   peer. *)
+let quarantine_isolates () =
+  let stream = edge_stream 1_500 in
+  let reference = Registry.create (make_triangle_db ()) in
+  register_standard_views reference;
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics ~backoff_base:1e-6 ~max_failures:3 (make_triangle_db ()) in
+  register_standard_views reg;
+  Registry.register reg ~name:"flaky" (flaky_view "flaky");
+  let rec go reg = function
+    | [] -> ()
+    | rest ->
+        let k = min 50 (List.length rest) in
+        Registry.apply_batch reg (List.filteri (fun i _ -> i < k) rest);
+        go reg (List.filteri (fun i _ -> i >= k) rest)
+  in
+  go reference stream;
+  go reg stream;
+  Alcotest.(check bool) "flaky ends quarantined" true
+    (Registry.health reg "flaky" = Registry.Quarantined);
+  List.iter
+    (fun (name, h) ->
+      if name <> "flaky" then
+        Alcotest.(check bool) (name ^ " stays healthy") true (h = Registry.Healthy))
+    (Registry.statuses reg);
+  List.iter
+    (fun (name, fp) ->
+      if name <> "flaky" then
+        Alcotest.(check int)
+          ("healthy view unaffected: " ^ name)
+          (List.assoc name (Registry.fingerprints reference))
+          fp)
+    (Registry.fingerprints reg);
+  Alcotest.(check bool) "failures surfaced in metrics" true
+    ((Metrics.view metrics "flaky").Metrics.failures > 0);
+  (* heal rebuilds it from the base state (the build itself works). *)
+  Alcotest.(check (list string)) "heal recovers everything" [] (Registry.heal reg);
+  Alcotest.(check bool) "flaky healthy after heal" true
+    (Registry.health reg "flaky" = Registry.Healthy)
+
+(* A structurally poisonous update (string where the triangle kernel
+   needs ints) degrades only the consuming view; recovery isolates the
+   poison tuple, dead-letters it, and rebuilds. The recovered view
+   equals a run that never saw the poison. *)
+let poison_dead_letter () =
+  let stream = edge_stream 600 in
+  let poison = U.make ~rel:"R" ~tuple:(D.Tuple.of_list [ D.Value.Str "bad"; D.Value.Int 7 ]) ~payload:1 in
+  let clean = Registry.create (make_triangle_db ()) in
+  register_standard_views clean;
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics ~backoff_base:1e-6 (make_triangle_db ()) in
+  register_standard_views reg;
+  let rec go reg with_poison i = function
+    | [] -> ()
+    | rest ->
+        let k = min 50 (List.length rest) in
+        let chunk = List.filteri (fun j _ -> j < k) rest in
+        let chunk = if with_poison && i = 3 then chunk @ [ poison ] else chunk in
+        Registry.apply_batch reg chunk;
+        go reg with_poison (i + 1) (List.filteri (fun j _ -> j >= k) rest)
+  in
+  go clean false 0 stream;
+  go reg true 0 stream;
+  Alcotest.(check (list string)) "all views healthy at end" [] (Registry.heal reg);
+  let dead = List.assoc "tri" (Registry.dead_letters reg) in
+  Alcotest.(check int) "poison dead-lettered once" 1 (List.length dead);
+  let rel, tu = List.hd dead in
+  Alcotest.(check string) "dead-letter relation" "R" rel;
+  Alcotest.(check bool) "dead-letter tuple" true (D.Tuple.equal tu poison.U.tuple);
+  (* tri sees the stream minus the poison — same count as the clean run. *)
+  Alcotest.(check int) "tri recovered to the clean state"
+    (List.assoc "tri" (Registry.fingerprints clean))
+    (List.assoc "tri" (Registry.fingerprints reg));
+  Alcotest.(check bool) "dead letter surfaced in metrics" true
+    ((Metrics.view metrics "tri").Metrics.dead_letters = 1);
+  (* The base database keeps the poison (it is relation-valid there). *)
+  Alcotest.(check bool) "base db retains the tuple" true
+    (Rel.mem (D.Database.Z.find (Registry.db reg) "R") poison.U.tuple)
+
+(* self_check repairs silently corrupted view state from the base
+   database. *)
+let self_check_repairs () =
+  let db = make_triangle_db () in
+  let reg = Registry.create db in
+  register_standard_views reg;
+  Registry.apply_batch reg (edge_stream 500);
+  Alcotest.(check (list string)) "clean state passes" [] (Registry.self_check reg);
+  (* Corrupt one engine behind the registry's back: feed it an update
+     the base database never saw. *)
+  let tri = Registry.find reg "tri" in
+  tri.M.apply_batch [ U.make ~rel:"R" ~tuple:(tup [ 3; 4 ]) ~payload:5 ];
+  Alcotest.(check (list string)) "divergence detected and repaired" [ "tri" ]
+    (Registry.self_check reg);
+  Alcotest.(check (list string)) "second pass clean" [] (Registry.self_check reg)
+
 (* The acceptance criterion: a served run with a WAL and a mid-stream
    checkpoint, then kill-and-restart — restore the checkpoint, rebuild
    the views, replay the WAL suffix — must yield state identical to the
@@ -411,7 +620,7 @@ let serve_kill_restart () =
           let metrics = Metrics.create () in
           let reg = Registry.create ~metrics db in
           register_standard_views reg;
-          let wal = Wal.Z.open_log wal_path in
+          let wal = ok (Wal.Z.open_log wal_path) in
           let queue = Squeue.create ~capacity:512 Squeue.Block in
           let sched =
             Scheduler.create ~wal ~initial_batch:64 ~queue ~registry:reg ~metrics ()
@@ -424,14 +633,16 @@ let serve_kill_restart () =
                 Squeue.close queue)
           in
           let checkpointed = ref false in
-          Scheduler.run
-            ~on_epoch:(fun s ->
-              if (not !checkpointed) && Scheduler.applied s >= total / 2 then begin
-                checkpointed := true;
-                Checkpoint.Z.save ckpt_path ~db:(Registry.db reg)
-                  ~wal_offset:(Wal.Z.offset wal)
-              end)
-            sched;
+          ok
+            (Scheduler.run
+               ~on_epoch:(fun s ->
+                 if (not !checkpointed) && Scheduler.applied s >= total / 2 then begin
+                   checkpointed := true;
+                   ok
+                     (Checkpoint.Z.save ckpt_path ~db:(Registry.db reg)
+                        ~wal_offset:(Wal.Z.offset wal))
+                 end)
+               sched);
           Domain.join producer;
           Wal.Z.close wal;
           Alcotest.(check bool) "checkpoint was taken mid-stream" true !checkpointed;
@@ -439,7 +650,7 @@ let serve_kill_restart () =
           Alcotest.(check bool) "latency histogram populated" true
             (Metrics.Hist.count metrics.Metrics.latency = total);
           (* Kill-and-restart. *)
-          let restored_db, offset = Checkpoint.Z.load ckpt_path in
+          let restored_db, offset = ok (Checkpoint.Z.load ckpt_path) in
           let restored = Registry.restore reg restored_db in
           let pending = ref [] in
           let flush () =
@@ -447,9 +658,10 @@ let serve_kill_restart () =
             pending := []
           in
           ignore
-            (Wal.Z.replay wal_path ~from:offset (fun u ->
-                 pending := u :: !pending;
-                 if List.length !pending >= 256 then flush ()));
+            (ok
+               (Wal.Z.replay wal_path ~from:offset (fun u ->
+                    pending := u :: !pending;
+                    if List.length !pending >= 256 then flush ())));
           flush ();
           List.iter2
             (fun (n1, f1) (n2, f2) ->
@@ -480,6 +692,11 @@ let () =
         [
           Alcotest.test_case "policies" `Quick queue_policies;
           Alcotest.test_case "mpsc" `Quick queue_mpsc;
+          Alcotest.test_case "capacity 1, block" `Quick (queue_capacity_one Squeue.Block);
+          Alcotest.test_case "capacity 1, drop newest" `Quick
+            (queue_capacity_one Squeue.Drop_newest);
+          Alcotest.test_case "capacity 1, drop oldest" `Quick
+            (queue_capacity_one Squeue.Drop_oldest);
         ] );
       ("metrics", [ Alcotest.test_case "percentiles" `Quick metrics_percentiles ]);
       ("crash recovery", [ qt crash_recovery_z; qt crash_recovery_float ]);
@@ -488,6 +705,13 @@ let () =
       ( "scheduler",
         [
           Alcotest.test_case "coalesce" `Quick coalesce_cancels;
+          Alcotest.test_case "zero-cancel epoch" `Quick zero_cancel_epoch;
           Alcotest.test_case "serve, kill, restart" `Quick serve_kill_restart;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "quarantine isolates" `Quick quarantine_isolates;
+          Alcotest.test_case "poison dead-letter" `Quick poison_dead_letter;
+          Alcotest.test_case "self-check repairs" `Quick self_check_repairs;
         ] );
     ]
