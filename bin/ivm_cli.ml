@@ -210,6 +210,7 @@ module Views = struct
       apply_batch = (fun _ -> failwith "flaky engine: injected apply failure");
       output_count = (fun () -> 0);
       fingerprint = (fun () -> 0);
+      enumerate = (fun () -> []);
     }
 
   let register ?(flaky = false) reg =
@@ -258,7 +259,19 @@ let serve_cmd =
     Arg.(value & opt int 200 & info [ "stats-every" ] ~docv:"E"
            ~doc:"Print live stats every E epochs (0 disables).")
   in
-  let run updates nodes producers domains queue_cap policy target_ms dir stats_every =
+  let listen_arg =
+    Arg.(value & opt int (-1) & info [ "listen" ] ~docv:"PORT"
+           ~doc:"Serve the wire protocol on this TCP port (0 picks an \
+                 ephemeral port). The process then keeps serving after the \
+                 internal producers finish, until a client sends Shutdown.")
+  in
+  let handlers_arg =
+    Arg.(value & opt int 4 & info [ "handlers" ] ~docv:"H"
+           ~doc:"Connection-handler domains for --listen (bounds concurrent \
+                 connections).")
+  in
+  let run updates nodes producers domains queue_cap policy target_ms dir stats_every
+      listen handlers =
     let module G = Ivm_workload.Graph_gen in
     let module D = Ivm_data in
     let module U = D.Update in
@@ -267,8 +280,16 @@ let serve_cmd =
     let module Tri = Ivm_engine.Triangle in
     let module Tb = Ivm_engine.Triangle_batch in
     let module St = Ivm_stream in
-    if updates < 1 || producers < 1 || domains < 1 || queue_cap < 1 then begin
-      prerr_endline "--updates, --producers, --domains and --queue must be >= 1";
+    if (updates < 1 && listen < 0) || updates < 0 || producers < 1 || domains < 1
+       || queue_cap < 1
+    then begin
+      prerr_endline
+        "--producers, --domains and --queue must be >= 1; --updates must be >= 1 \
+         (>= 0 with --listen)";
+      exit 2
+    end;
+    if handlers < 1 then begin
+      prerr_endline "--handlers must be >= 1";
       exit 2
     end;
     let dir =
@@ -291,10 +312,96 @@ let serve_cmd =
         Views.register reg;
         let wal = ok_or_die "open WAL" (St.Wal.Z.open_log wal_path) in
         let queue = St.Queue.create ~capacity:queue_cap policy in
+        (* Delta subscribers are fed from the scheduler's epoch hook;
+           the server does not exist yet when the scheduler is built,
+           hence the forward reference. *)
+        let server = ref None in
+        let on_apply ~epoch batch =
+          match !server with
+          | Some srv -> Ivm_net.Server.publish_delta srv ~epoch batch
+          | None -> ()
+        in
+        (* Admin-checkpoint rendezvous: a handler wanting a checkpoint
+           must not snapshot mid-epoch (the WAL may then be ahead of the
+           applied state), so it parks on this condition and pushes a
+           zero-payload tick to force an epoch even on an idle stream;
+           the scheduler's epoch hook performs the save at the boundary,
+           where WAL offset and registry state coincide. *)
+        let ck_mutex = Mutex.create () in
+        let ck_cond = Condition.create () in
+        let ck_requested = ref false in
+        let ck_result = ref None in
+        let checkpointed = ref false in
+        let request_checkpoint () =
+          Mutex.lock ck_mutex;
+          ck_requested := true;
+          let tick =
+            U.make ~rel:"R" ~tuple:(D.Tuple.of_ints [ 0; 0 ]) ~payload:0
+          in
+          if not (St.Queue.push queue (St.Scheduler.item tick)) then begin
+            ck_requested := false;
+            Mutex.unlock ck_mutex;
+            Error "server is shutting down"
+          end
+          else begin
+            while !ck_result = None do
+              Condition.wait ck_cond ck_mutex
+            done;
+            let r = Option.get !ck_result in
+            ck_result := None;
+            Mutex.unlock ck_mutex;
+            r
+          end
+        in
+        let finish_checkpoint r =
+          Mutex.lock ck_mutex;
+          if !ck_requested then begin
+            ck_requested := false;
+            ck_result := Some r;
+            Condition.broadcast ck_cond
+          end;
+          Mutex.unlock ck_mutex
+        in
+        let epoch_checkpoint () =
+          if !ck_requested then
+            finish_checkpoint
+              (match
+                 St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg)
+                   ~wal_offset:(St.Wal.Z.offset wal)
+               with
+              | Ok () ->
+                  checkpointed := true;
+                  Ok (St.Wal.Z.offset wal)
+              | Error e -> Error (St.Errors.to_string e))
+        in
         let sched =
           St.Scheduler.create ~wal ~target_latency:(target_ms /. 1_000.) ~queue
-            ~registry:reg ~metrics ()
+            ~registry:reg ~metrics ~on_apply ()
         in
+        if listen >= 0 then begin
+          let ingest ups =
+            List.fold_left
+              (fun (a, d) u ->
+                if St.Queue.push queue (St.Scheduler.item u) then (a + 1, d)
+                else (a, d + 1))
+              (0, 0) ups
+          in
+          let srv =
+            match
+              Ivm_net.Server.start ~port:listen ~handlers ~ingest
+                ~checkpoint:request_checkpoint
+                ~on_shutdown:(fun () -> St.Queue.close queue)
+                ~registry:reg ~metrics ()
+            with
+            | Ok srv -> srv
+            | Error e ->
+                Printf.eprintf "ivm_cli: listen: %s\n" (Ivm_net.Wire.error_to_string e);
+                exit 1
+          in
+          server := Some srv;
+          Printf.printf "listening on 127.0.0.1:%d (%d handler domains)\n%!"
+            (Ivm_net.Server.port srv) handlers
+        end;
         Printf.printf
           "serving %d views | %d updates, %d producer(s), %d domain(s), queue %d (%s)\n\
            wal: %s\n%!"
@@ -318,14 +425,17 @@ let serve_cmd =
         let closer =
           Domain.spawn (fun () ->
               List.iter Domain.join producer_domains;
-              St.Queue.close queue)
+              (* With a network listener the stream outlives the internal
+                 producers: the queue closes when a client asks for
+                 Shutdown, not when the synthetic load runs out. *)
+              if listen < 0 then St.Queue.close queue)
         in
         let t0 = Unix.gettimeofday () in
-        let checkpointed = ref false in
         St.Scheduler.run
           ~on_epoch:(fun s ->
             let applied = St.Scheduler.applied s in
-            if (not !checkpointed) && applied >= updates / 2 then begin
+            epoch_checkpoint ();
+            if updates > 0 && (not !checkpointed) && applied >= updates / 2 then begin
               checkpointed := true;
               ok_or_die "save checkpoint"
                 (St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg)
@@ -342,7 +452,12 @@ let serve_cmd =
           sched
         |> ok_or_die "stream epoch";
         let dt = Unix.gettimeofday () -. t0 in
+        (* A checkpoint request racing the queue close would otherwise
+           park its handler forever — and Server.stop below waits for
+           handlers. *)
+        finish_checkpoint (Error "stream ended before the checkpoint ran");
         Domain.join closer;
+        Option.iter Ivm_net.Server.stop !server;
         St.Wal.Z.close wal;
         let applied = St.Scheduler.applied sched in
         Printf.printf
@@ -365,6 +480,8 @@ let serve_cmd =
               (St.Metrics.Hist.percentile v.St.Metrics.apply 0.5 *. 1e3)
               (St.Metrics.Hist.percentile v.St.Metrics.apply 0.99 *. 1e3))
           (St.Registry.views reg);
+        Printf.printf "\n--- metrics (Prometheus exposition, also on the stats op) ---\n%s%!"
+          (St.Metrics.render metrics);
         (* Kill-and-restart verification: rebuild from the checkpoint and
            the WAL suffix, then compare fingerprints with the live run. *)
         if !checkpointed then begin
@@ -405,7 +522,8 @@ let serve_cmd =
        ~doc:"Stream updates through the durable multi-view maintenance runtime \
              (WAL + epoch micro-batching + checkpoint/restore)")
     Term.(const run $ updates_arg $ nodes_arg $ producers_arg $ domains_arg
-          $ queue_arg $ policy_arg $ target_ms_arg $ dir_arg $ stats_every_arg)
+          $ queue_arg $ policy_arg $ target_ms_arg $ dir_arg $ stats_every_arg
+          $ listen_arg $ handlers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos: soak the serve pipeline under seeded fault schedules and
@@ -783,9 +901,274 @@ let chaos_cmd =
              verify convergence to a fault-free reference run")
     Term.(const run $ updates_arg $ nodes_arg $ seed_arg $ scenario_arg $ dir_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench-net: a YCSB-style closed-loop load generator against a running
+   [serve --listen] process. N connections, each its own domain, each
+   issuing a read/update mix — reads are CQAP point lookups with
+   Zipf-distributed keys, updates are single-edge ingests. Emits
+   BENCH_net.json with throughput and per-op-class latency tails.      *)
+
+module Bench_net = struct
+  module D = Ivm_data
+  module U = D.Update
+  module C = Ivm_net.Client
+  module W = Ivm_net.Wire
+
+  type op_stats = { count : int; p50_ms : float; p99_ms : float; max_ms : float }
+
+  type mix_result = {
+    read_pct : int;
+    conns : int;
+    ops : int;
+    duration : float;
+    throughput : float;
+    reads : op_stats;
+    updates : op_stats;
+  }
+
+  let op_stats samples =
+    match samples with
+    | [||] -> { count = 0; p50_ms = 0.; p99_ms = 0.; max_ms = 0. }
+    | s ->
+        Array.sort compare s;
+        let n = Array.length s in
+        let at q = s.(min (n - 1) (int_of_float (q *. float_of_int n))) *. 1e3 in
+        { count = n; p50_ms = at 0.5; p99_ms = at 0.99; max_ms = s.(n - 1) *. 1e3 }
+
+  (* Retry the first connection while the server is still binding. *)
+  let rec connect_retrying ~host ~port tries =
+    match C.connect ~host ~port () with
+    | Ok c -> Ok c
+    | Error _ when tries > 0 ->
+        Unix.sleepf 0.1;
+        connect_retrying ~host ~port (tries - 1)
+    | Error e -> Error e
+
+  (* One connection's closed loop; returns (read latencies, update
+     latencies) or the first hard error. *)
+  let worker ~host ~port ~view ~nodes ~skew ~ops ~read_pct ~seed () =
+    match C.connect ~host ~port () with
+    | Error e -> Error (W.error_to_string e)
+    | Ok c ->
+        let rng = Random.State.make [| seed |] in
+        let zipf = Ivm_workload.Zipf.create ~n:nodes ~s:skew in
+        let reads = ref [] and updates = ref [] in
+        let rels = [| "R"; "S"; "T" |] in
+        let rec loop i =
+          if i > ops then Ok ()
+          else begin
+            let t0 = Unix.gettimeofday () in
+            let r =
+              if Random.State.int rng 100 < read_pct then
+                match
+                  C.lookup c ~view
+                    ~prefix:(D.Tuple.of_ints [ Ivm_workload.Zipf.sample zipf rng ])
+                with
+                | Ok _ ->
+                    reads := (Unix.gettimeofday () -. t0) :: !reads;
+                    Ok ()
+                | Error e -> Error e
+              else
+                let u =
+                  U.make
+                    ~rel:rels.(Random.State.int rng 3)
+                    ~tuple:
+                      (D.Tuple.of_ints
+                         [
+                           Ivm_workload.Zipf.sample zipf rng;
+                           Ivm_workload.Zipf.sample zipf rng;
+                         ])
+                    ~payload:(if Random.State.int rng 5 = 0 then -1 else 1)
+                in
+                match C.ingest c [ u ] with
+                | Ok _ ->
+                    updates := (Unix.gettimeofday () -. t0) :: !updates;
+                    Ok ()
+                | Error e -> Error e
+            in
+            match r with Ok () -> loop (i + 1) | Error e -> Error e
+          end
+        in
+        let r = loop 1 in
+        C.close c;
+        (match r with
+        | Ok () -> Ok (Array.of_list !reads, Array.of_list !updates)
+        | Error e -> Error (W.error_to_string e))
+
+  let run_mix ~host ~port ~view ~nodes ~skew ~conns ~ops ~read_pct ~seed =
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init conns (fun i ->
+          Domain.spawn
+            (worker ~host ~port ~view ~nodes ~skew ~ops ~read_pct
+               ~seed:(seed + (101 * i))))
+    in
+    let results = List.map Domain.join domains in
+    let duration = Unix.gettimeofday () -. t0 in
+    match
+      List.find_map (function Error e -> Some e | Ok _ -> None) results
+    with
+    | Some e -> Error e
+    | None ->
+        let all = List.filter_map Result.to_option results in
+        let reads = Array.concat (List.map fst all) in
+        let updates = Array.concat (List.map snd all) in
+        let total = Array.length reads + Array.length updates in
+        Ok
+          {
+            read_pct;
+            conns;
+            ops = total;
+            duration;
+            throughput = (if duration > 0. then float_of_int total /. duration else 0.);
+            reads = op_stats reads;
+            updates = op_stats updates;
+          }
+
+  let json_of_results results out =
+    let b = Buffer.create 1024 in
+    let op name (s : op_stats) =
+      Printf.bprintf b
+        "      \"%s\": {\"count\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f}"
+        name s.count s.p50_ms s.p99_ms s.max_ms
+    in
+    Buffer.add_string b "{\n  \"bench\": \"net\",\n  \"mixes\": [\n";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Printf.bprintf b
+          "    {\n\
+          \      \"read_pct\": %d,\n\
+          \      \"connections\": %d,\n\
+          \      \"ops\": %d,\n\
+          \      \"duration_s\": %.3f,\n\
+          \      \"throughput_ops_s\": %.1f,\n"
+          r.read_pct r.conns r.ops r.duration r.throughput;
+        op "read" r.reads;
+        Buffer.add_string b ",\n";
+        op "update" r.updates;
+        Buffer.add_string b "\n    }")
+      results;
+    Buffer.add_string b "\n  ]\n}\n";
+    let oc = open_out out in
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
+
+let bench_net_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port_arg =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per connection.")
+  in
+  let mixes_arg =
+    Arg.(value & opt string "95:5,50:50" & info [ "mixes" ] ~docv:"MIXES"
+           ~doc:"Comma-separated read:update mixes, e.g. 95:5,50:50.")
+  in
+  let view_arg =
+    Arg.(value & opt string "paths-rs" & info [ "view" ] ~docv:"VIEW"
+           ~doc:"View targeted by lookups.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 200 & info [ "nodes" ] ~docv:"K" ~doc:"Key domain size.")
+  in
+  let skew_arg =
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"S" ~doc:"Zipf exponent for keys.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let out_arg =
+    Arg.(value & opt string "BENCH_net.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"JSON output path.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Send a Shutdown request to the server after the last mix.")
+  in
+  let run host port conns ops mixes view nodes skew seed out shutdown =
+    if conns < 1 || ops < 1 || nodes < 1 then begin
+      prerr_endline "--conns, --ops and --nodes must be >= 1";
+      exit 2
+    end;
+    let parse_mix s =
+      match String.split_on_char ':' (String.trim s) with
+      | [ r; u ] -> (
+          match (int_of_string_opt r, int_of_string_opt u) with
+          | Some r, Some u when r >= 0 && u >= 0 && r + u > 0 -> r * 100 / (r + u)
+          | _ -> prerr_endline ("bad mix: " ^ s); exit 2)
+      | _ -> prerr_endline ("bad mix: " ^ s); exit 2
+    in
+    let read_pcts = List.map parse_mix (String.split_on_char ',' mixes) in
+    if read_pcts = [] then begin prerr_endline "--mixes is empty"; exit 2 end;
+    (* Probe (with retries) that the server is up before spawning load. *)
+    (match Bench_net.connect_retrying ~host ~port 50 with
+    | Error e ->
+        Printf.eprintf "ivm_cli: cannot reach %s:%d: %s\n" host port
+          (Ivm_net.Wire.error_to_string e);
+        exit 1
+    | Ok c -> (
+        match Ivm_net.Client.ping c with
+        | Ok () -> Ivm_net.Client.close c
+        | Error e ->
+            Printf.eprintf "ivm_cli: ping failed: %s\n" (Ivm_net.Wire.error_to_string e);
+            exit 1));
+    Printf.printf "bench-net: %s:%d, %d conns x %d ops, mixes [%s], view %s\n%!" host
+      port conns ops mixes view;
+    let results =
+      List.map
+        (fun read_pct ->
+          match
+            Bench_net.run_mix ~host ~port ~view ~nodes ~skew ~conns ~ops ~read_pct ~seed
+          with
+          | Error e ->
+              Printf.eprintf "ivm_cli: mix %d%% reads failed: %s\n" read_pct e;
+              exit 1
+          | Ok r ->
+              Printf.printf
+                "  %3d%% reads: %7d ops in %6.2fs = %8.0f op/s | read p50 %.3fms \
+                 p99 %.3fms | update p50 %.3fms p99 %.3fms\n%!"
+                r.Bench_net.read_pct r.Bench_net.ops r.Bench_net.duration
+                r.Bench_net.throughput r.Bench_net.reads.Bench_net.p50_ms
+                r.Bench_net.reads.Bench_net.p99_ms r.Bench_net.updates.Bench_net.p50_ms
+                r.Bench_net.updates.Bench_net.p99_ms;
+              r)
+        read_pcts
+    in
+    Bench_net.json_of_results results out;
+    Printf.printf "wrote %s\n" out;
+    if shutdown then
+      match Ivm_net.Client.connect ~host ~port () with
+      | Error e ->
+          Printf.eprintf "ivm_cli: shutdown connect failed: %s\n"
+            (Ivm_net.Wire.error_to_string e);
+          exit 1
+      | Ok c -> (
+          match Ivm_net.Client.shutdown c with
+          | Ok () ->
+              Ivm_net.Client.close c;
+              print_endline "server acknowledged shutdown"
+          | Error e ->
+              Printf.eprintf "ivm_cli: shutdown failed: %s\n"
+                (Ivm_net.Wire.error_to_string e);
+              exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench-net"
+       ~doc:"Closed-loop load generator against a running 'serve --listen' \
+             process: N connections issuing read/update mixes with Zipf keys; \
+             emits BENCH_net.json with throughput and p50/p99 per op class")
+    Term.(const run $ host_arg $ port_arg $ conns_arg $ ops_arg $ mixes_arg $ view_arg
+          $ nodes_arg $ skew_arg $ seed_arg $ out_arg $ shutdown_arg)
+
 let () =
   let doc = "incremental view maintenance toolbox (PODS 2024 survey reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
-          [ classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; chaos_cmd ]))
+          [ classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd ]))

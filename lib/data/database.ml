@@ -1,9 +1,13 @@
 (** A database is a named collection of relations over the same ring
     (Sec. 2). Its size is the sum of the sizes of its relations. *)
 
+module type S = Database_intf.S
+
 module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   module Rel = Relation.Make (R)
 
+  type payload = R.t
+  type rel = Rel.t
   type t = (string, Rel.t) Hashtbl.t
 
   let create () : t = Hashtbl.create 8

@@ -1,0 +1,33 @@
+(** A database: a named collection of relations over the same ring
+    (Sec. 2). The zero-elision invariant of {!Relation} is global here
+    — {!S.apply} merges through [Relation.add_entry], so replaying a
+    stream of updates whose payloads cancel leaves the database
+    extensionally {e and} representationally where it started, which
+    is what makes checkpoint-equality checks and crash-recovery
+    fingerprint comparisons meaningful. *)
+
+module type S = Database_intf.S
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
+  (** The relation instance this database holds — the {e same}
+      applicative instance as [Relation.Make(R)], so relations move
+      freely between the two modules. *)
+  module Rel : Relation.S with type payload = R.t and type t = Relation.Make(R).t
+
+  include S with type payload = R.t and type rel = Rel.t
+end
+
+(** The default instance over integer multiplicities, with type
+    equations to [Make(Ivm_ring.Int_ring)] so [Database.Z.t] is
+    interchangeable with the checkpoint codec's and the registry's
+    view of the same application. *)
+module Z : sig
+  module Rel :
+    Relation.S with type payload = int and type t = Relation.Make(Ivm_ring.Int_ring).t
+
+  include
+    S
+      with type payload = int
+       and type rel = Rel.t
+       and type t = Make(Ivm_ring.Int_ring).t
+end

@@ -1,0 +1,37 @@
+(** The signature of {!Database.Make}'s result (minus the [Rel]
+    submodule), shared between the implementation and the interface of
+    {!Database}. *)
+
+module type S = sig
+  type payload
+  type rel
+  type t
+
+  val create : unit -> t
+
+  val add_relation : t -> string -> rel -> unit
+  (** @raise Invalid_argument on a duplicate name. *)
+
+  val declare : t -> string -> Schema.t -> rel
+  (** Create an empty relation, register it, return it.
+      @raise Invalid_argument on a duplicate name. *)
+
+  val find : t -> string -> rel
+  (** @raise Invalid_argument when absent. *)
+
+  val mem : t -> string -> bool
+  val relations : t -> (string * rel) list
+
+  val size : t -> int
+  (** Sum of the relation sizes — by zero elision, the number of live
+      entries across the database. *)
+
+  val apply : t -> payload Update.t -> unit
+  (** One single-tuple update, routed to its relation; a zero payload
+      or a cancelling merge leaves no trace. *)
+
+  val apply_batch : t -> payload Update.t list -> unit
+
+  val copy : t -> t
+  (** Deep copy: relations are copied, not shared. *)
+end

@@ -8,6 +8,8 @@
     payload the caller has already negated (possible whenever the payload
     domain is a ring). *)
 
+module type S = Relation_intf.S
+
 module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   type payload = R.t
   type t = { schema : Schema.t; data : payload Tuple.Tbl.t }

@@ -1,0 +1,33 @@
+(** Relations over a ring (Sec. 2): finite maps from tuples over a
+    schema to ring payloads, with amortized constant-time lookup,
+    insert and delete, and constant-delay enumeration.
+
+    {b The zero-elision invariant}: a relation {e never} stores a
+    zero payload. Every mutation ({!S.add_entry}, {!S.set_entry},
+    {!S.Index.update}) evicts an entry whose merged payload becomes
+    zero, so [size] counts exactly the tuples with non-zero
+    multiplicity, [mem]/[get] never see ghosts of cancelled updates,
+    extensional {!S.equal} is a plain entry-wise comparison, and the
+    order-independent fingerprints of [lib/engine] digest only live
+    entries. Everything downstream — coalescing in the scheduler,
+    checkpoint round-trips, the network snapshot protocol — leans on
+    this: an insert/delete pair is {e extensionally} a no-op, and must
+    also be {e representationally} one. *)
+
+module type S = Relation_intf.S
+
+module Make (R : Ivm_ring.Sigs.SEMIRING) : S with type payload = R.t
+(** The functor is over {!Ivm_ring.Sigs.SEMIRING}: the structure never
+    needs additive inverses — a delete is an update whose payload the
+    caller already negated (possible whenever payloads form a ring). *)
+
+(** Relations over the default ring of integer multiplicities. The
+    type equations to [Make(Ivm_ring.Int_ring)] (applicative functor
+    paths) keep [Z.t] interchangeable with every other instantiation
+    of the same application — [Database.Z], the checkpoint codecs and
+    the engines all agree on one concrete type. *)
+module Z :
+  S
+    with type payload = int
+     and type t = Make(Ivm_ring.Int_ring).t
+     and type Index.t = Make(Ivm_ring.Int_ring).Index.t

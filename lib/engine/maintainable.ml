@@ -25,6 +25,13 @@ type t = {
       (** Order-independent digest of the current output state, for
           crash-recovery equality checks: two engines over the same
           query agree iff their outputs are extensionally equal. *)
+  enumerate : unit -> (Tuple.t * int) list;
+      (** Materialize the current output — what the network layer
+          serves for snapshots and CQAP lookups. A scalar view (e.g. a
+          count) reports itself as the single entry [(Tuple.unit, v)].
+          Safe to call from concurrent reader domains: constructors
+          whose enumeration mutates engine state (lazy strategies
+          refreshing pending deltas) serialize internally. *)
 }
 
 (* Order-independent digest of a relation: summing per-entry digests
@@ -35,6 +42,8 @@ let relation_fingerprint (r : Rel.t) : int =
     r 0
   land max_int
 
+let relation_entries (r : Rel.t) = Rel.fold (fun tp p acc -> (tp, p) :: acc) r []
+
 let of_view_tree ~name (q : Cq.t) (tree : View_tree.t) : t =
   {
     name;
@@ -42,15 +51,24 @@ let of_view_tree ~name (q : Cq.t) (tree : View_tree.t) : t =
     apply_batch = (fun batch -> List.iter (View_tree.apply_update tree) batch);
     output_count = (fun () -> View_tree.output_count tree);
     fingerprint = (fun () -> relation_fingerprint (View_tree.output_relation tree));
+    enumerate = (fun () -> relation_entries (View_tree.output_relation tree));
   }
 
 let of_strategy ~name (s : Strategy.t) : t =
+  (* Lazy strategies refresh pending deltas when their output is read,
+     so every read-side closure mutates engine state. Under the
+     registry's shared read lock two handler domains may read one view
+     concurrently — the per-view mutex serializes them (writers are
+     already excluded by the registry's exclusive lock). *)
+  let m = Mutex.create () in
+  let locked f = Mutex.protect m f in
   {
     name;
     relations = Cq.relation_names (Strategy.query s);
     apply_batch = (fun batch -> Strategy.apply_batch s batch);
-    output_count = (fun () -> Strategy.count_output s);
-    fingerprint = (fun () -> relation_fingerprint (Strategy.output s));
+    output_count = (fun () -> locked (fun () -> Strategy.count_output s));
+    fingerprint = (fun () -> locked (fun () -> relation_fingerprint (Strategy.output s)));
+    enumerate = (fun () -> locked (fun () -> relation_entries (Strategy.output s)));
   }
 
 (* Triangle kernels speak (relation, a, b, multiplicity) edges over the
@@ -76,4 +94,5 @@ let of_triangle_batch (type e) ~name
     apply_batch = (fun batch -> B.apply_batch eng (List.map edge_of batch));
     output_count = (fun () -> B.count eng);
     fingerprint = (fun () -> B.count eng land max_int);
+    enumerate = (fun () -> [ (Tuple.unit, B.count eng) ]);
   }

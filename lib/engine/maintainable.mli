@@ -16,6 +16,13 @@ type t = {
       (** Order-independent digest of the current output state, for
           crash-recovery equality checks: two engines over the same
           query agree iff their outputs are extensionally equal. *)
+  enumerate : unit -> (Ivm_data.Tuple.t * int) list;
+      (** Materialize the current output — what the network layer
+          serves for snapshots and CQAP lookups. A scalar view (e.g. a
+          count) reports itself as the single entry [(Tuple.unit, v)].
+          Constructors whose enumeration mutates engine state (lazy
+          strategies) serialize internally, so concurrent readers are
+          safe; readers must still exclude writers externally. *)
 }
 
 val relation_fingerprint : Rel.t -> int

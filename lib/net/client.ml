@@ -1,0 +1,140 @@
+(** The blocking OCaml client for the {!Wire} protocol. One connection
+    per value; not domain-safe — give each domain its own connection
+    (the load harness in [bin/ivm_cli.ml] does exactly that). Every
+    call is result-typed over {!Wire.error}; a server-side [Err] frame
+    surfaces as [Error (Remote _)]. *)
+
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+
+let ( let* ) = Result.bind
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Wire.Io (Unix.error_message e))
+  | fd -> (
+      try
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        Ok { fd; closed = false }
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Wire.Io (Unix.error_message e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req =
+  if t.closed then Error Wire.Closed
+  else Wire.write_frame t.fd (Wire.encode_request req)
+
+let recv t =
+  if t.closed then Error Wire.Closed
+  else
+    let* body = Wire.read_frame t.fd in
+    Wire.decode_response body
+
+let unexpected resp =
+  Error (Wire.Decode ("unexpected response " ^ Wire.response_name resp))
+
+let rpc t req =
+  let* () = send t req in
+  recv t
+
+(* Drain [Chunk] frames until the [last] one; the first frame may be an
+   [Err] when the view is unknown. *)
+let read_entries t =
+  let rec go acc =
+    let* resp = recv t in
+    match resp with
+    | Wire.Chunk { last; entries } ->
+        let acc = List.rev_append entries acc in
+        if last then Ok (List.rev acc) else go acc
+    | Wire.Err msg -> Error (Wire.Remote msg)
+    | resp -> unexpected resp
+  in
+  go []
+
+let ping t =
+  let* resp = rpc t Wire.Ping in
+  match resp with
+  | Wire.Pong -> Ok ()
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let lookup t ~view ~prefix =
+  let* () = send t (Wire.Lookup { view; prefix }) in
+  read_entries t
+
+let snapshot t ~view =
+  let* () = send t (Wire.Snapshot { view }) in
+  read_entries t
+
+let ingest t updates =
+  let* resp = rpc t (Wire.Ingest updates) in
+  match resp with
+  | Wire.Ack { admitted; dropped } -> Ok (admitted, dropped)
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let subscribe t =
+  let* resp = rpc t Wire.Subscribe in
+  match resp with
+  | Wire.Subscribed -> Ok ()
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let next_delta t =
+  let* resp = recv t in
+  match resp with
+  | Wire.Delta { epoch; updates } -> Ok (epoch, updates)
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let stats t =
+  let* resp = rpc t Wire.Stats in
+  match resp with
+  | Wire.Text s -> Ok s
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let health t =
+  let* resp = rpc t Wire.Health in
+  match resp with
+  | Wire.Health_list hs -> Ok hs
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let fingerprints t =
+  let* resp = rpc t Wire.Fingerprints in
+  match resp with
+  | Wire.Fingerprint_list fps -> Ok fps
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let heal t =
+  let* resp = rpc t Wire.Heal in
+  match resp with
+  | Wire.Healed names -> Ok names
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let checkpoint t =
+  let* resp = rpc t Wire.Checkpoint in
+  match resp with
+  | Wire.Checkpointed { wal_offset } -> Ok wal_offset
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let shutdown t =
+  let* resp = rpc t Wire.Shutdown in
+  match resp with
+  | Wire.Bye -> Ok ()
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp

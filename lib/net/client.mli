@@ -1,0 +1,50 @@
+(** The blocking OCaml client for the view server. One connection per
+    value; not domain-safe — give each domain its own connection.
+    Every call is result-typed over {!Wire.error}; a server-reported
+    failure surfaces as [Error (Remote _)]. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, Wire.error) result
+(** Default host is loopback. *)
+
+val close : t -> unit
+(** Idempotent; further calls on the value return [Error Closed]. *)
+
+val ping : t -> (unit, Wire.error) result
+
+val lookup :
+  t -> view:string -> prefix:Ivm_data.Tuple.t -> ((Ivm_data.Tuple.t * int) list, Wire.error) result
+(** CQAP point access: entries of [view] whose first [arity prefix]
+    output columns equal [prefix], collected across chunk frames. *)
+
+val snapshot : t -> view:string -> ((Ivm_data.Tuple.t * int) list, Wire.error) result
+(** The full output of [view] at one epoch boundary. *)
+
+val ingest : t -> int Ivm_data.Update.t list -> (int * int, Wire.error) result
+(** Feed updates to the server's queue; [(admitted, dropped)]. *)
+
+val subscribe : t -> (unit, Wire.error) result
+(** Switch this connection to push mode: the server sends one [Delta]
+    frame per applied epoch from now on; read them with {!next_delta}.
+    Do not issue further requests on a subscribed connection. *)
+
+val next_delta : t -> (int * int Ivm_data.Update.t list, Wire.error) result
+(** Block for the next pushed delta: [(epoch, coalesced updates)]. *)
+
+val stats : t -> (string, Wire.error) result
+(** The server's Prometheus text exposition. *)
+
+val health : t -> ((string * string * string option) list, Wire.error) result
+(** Per view: (name, health, last error). *)
+
+val fingerprints : t -> ((string * int) list, Wire.error) result
+val heal : t -> (string list, Wire.error) result
+
+val checkpoint : t -> (int, Wire.error) result
+(** Ask the server to checkpoint durably; returns the WAL offset the
+    checkpoint is current through. *)
+
+val shutdown : t -> (unit, Wire.error) result
+(** Ask the server to shut down; [Ok ()] once the server acked with
+    [Bye]. *)

@@ -1,0 +1,420 @@
+(** The TCP view server: one accept loop plus per-connection handlers
+    scheduled over a dedicated {!Ivm_par.Domain_pool} — its own pool,
+    never the registry's, because {!Ivm_stream.Registry.apply_batch}
+    runs a barrier on the registry pool and a long-lived connection
+    handler must never ride a barrier.
+
+    Reads ([Lookup], [Snapshot]) are served from a per-view snapshot
+    cache keyed by the registry's generation counter: the snapshot is
+    materialized under {!Ivm_stream.Registry.read} — the shared side of
+    the registry's writer-preferring lock — so it is exactly one epoch
+    boundary's state, never a half-applied batch, and point lookups
+    answer from a hash index on the view's first output field. Under a
+    live producer the semantics are latest-completed-epoch with
+    stale-while-revalidate: one request per view pays the refresh,
+    concurrent ones serve the previous epoch. [Health] and
+    [Fingerprints] still read the registry directly under the shared
+    lock. Writes go through the [ingest] callback
+    into the scheduler's bounded queue, whose policy (block / drop) is
+    the server's backpressure. Delta subscribers are fed from the
+    scheduler's [on_apply] hook via {!publish_delta}; a subscriber that
+    cannot keep up past the socket send timeout is disconnected — a
+    half-written frame cannot be resynchronized, and a slow consumer
+    must not stall the maintenance loop. *)
+
+module Registry = Ivm_stream.Registry
+module Metrics = Ivm_stream.Metrics
+module M = Ivm_engine.Maintainable
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+module Update = Ivm_data.Update
+module Domain_pool = Ivm_par.Domain_pool
+
+type conn = { fd : Unix.file_descr; write_mutex : Mutex.t }
+
+(* One materialized view enumeration: the full entry list for snapshot
+   requests, plus the same entries grouped by first output field — the
+   access-pattern index that makes a bound-variable lookup O(answer)
+   instead of a scan of the whole output. *)
+type snapshot = {
+  gen : int;
+  entries : (Tuple.t * int) list;
+  by_key : (Value.t, (Tuple.t * int) list) Hashtbl.t;
+}
+
+let make_snapshot ~gen entries =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun ((tp, _) as e) ->
+      if Tuple.arity tp > 0 then begin
+        let k = Tuple.get tp 0 in
+        let group = Option.value (Hashtbl.find_opt by_key k) ~default:[] in
+        Hashtbl.replace by_key k (e :: group)
+      end)
+    entries;
+  { gen; entries; by_key }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  registry : Registry.t;
+  metrics : Metrics.t;
+  chunk_size : int;
+  snd_timeout : float;
+  ingest : (int Update.t list -> int * int) option;
+  checkpoint : (unit -> (int, string) result) option;
+  on_shutdown : (unit -> unit) option;
+  pool : Domain_pool.t;
+  (* Snapshot cache: view name -> materialized enumeration stamped with
+     the registry generation it was taken at (exact: the enumeration
+     runs under the shared lock) and indexed by first output field for
+     point lookups. A generation bump (any registry mutation) marks it
+     stale. Reads are stale-while-revalidate: at most one request per
+     view pays the re-materialization (tracked in [refreshing]);
+     concurrent reads serve the previous epoch's snapshot instead of
+     piling up behind a full enumeration per request. *)
+  cache_mutex : Mutex.t;
+  cache : (string, snapshot) Hashtbl.t;
+  refreshing : (string, unit) Hashtbl.t;
+  mutex : Mutex.t; (* guards conns, subscribers, stopping *)
+  mutable conns : conn list;
+  mutable subscribers : conn list;
+  mutable stopping : bool;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let port t = t.port
+let connections t = Mutex.protect t.mutex (fun () -> List.length t.conns)
+let subscriber_count t = Mutex.protect t.mutex (fun () -> List.length t.subscribers)
+let stopping t = Mutex.protect t.mutex (fun () -> t.stopping)
+
+(* Every socket write on a connection holds its write mutex: request
+   responses (handler domain) and pushed deltas (scheduler domain)
+   interleave only at frame boundaries. *)
+let send conn resp =
+  Mutex.protect conn.write_mutex (fun () ->
+      Wire.write_frame conn.fd (Wire.encode_response resp))
+
+let drop_conn t conn =
+  Mutex.protect t.mutex (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns;
+      t.subscribers <- List.filter (fun c -> c != conn) t.subscribers);
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* --- request handling ------------------------------------------------- *)
+
+let matches_prefix prefix tp =
+  let k = Tuple.arity prefix in
+  Tuple.arity tp >= k
+  &&
+  let rec go i = i >= k || (Value.equal (Tuple.get tp i) (Tuple.get prefix i) && go (i + 1)) in
+  go 0
+
+(* Slice an enumeration into [Chunk] frames; the empty answer is still
+   one (empty, last) chunk so the client always sees a terminator. *)
+let send_chunks t conn entries =
+  let rec go = function
+    | [] -> send conn (Wire.Chunk { last = true; entries = [] })
+    | entries ->
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | e :: rest -> take (k - 1) (e :: acc) rest
+        in
+        let chunk, rest = take t.chunk_size [] entries in
+        if rest = [] then send conn (Wire.Chunk { last = true; entries = chunk })
+        else
+          Result.bind
+            (send conn (Wire.Chunk { last = false; entries = chunk }))
+            (fun () -> go rest)
+  in
+  go entries
+
+let snapshot t view =
+  (* Lock-free hit check: [generation] is read racily, but it is a
+     monotonic counter bumped under the exclusive lock, so any observed
+     value at worst declares a still-warm snapshot stale or serves one
+     that a concurrent epoch is just now superseding — both fine under
+     latest-completed-epoch semantics. The point is that cache hits and
+     stale serves never touch the registry lock: under a continuous
+     producer the writer-preferring lock would otherwise queue every
+     read behind a full epoch apply. *)
+  let gen = Registry.generation t.registry in
+  let fresh, stale, owner =
+    Mutex.protect t.cache_mutex (fun () ->
+        match Hashtbl.find_opt t.cache view with
+        | Some snap when snap.gen = gen -> (Some snap, None, false)
+        | stale ->
+            if Hashtbl.mem t.refreshing view then (None, stale, false)
+            else (
+              Hashtbl.replace t.refreshing view ();
+              (None, stale, true)))
+  in
+  match (fresh, stale, owner) with
+  | Some snap, _, _ -> Ok snap
+  | None, Some snap, false -> Ok snap
+  | None, _, _ ->
+      (* Owner of the refresh, or first-ever enumeration racing one
+         (nothing stale to serve): materialize under the shared lock,
+         where the re-read generation is exact for the enumeration. *)
+      Fun.protect
+        ~finally:(fun () ->
+          if owner then
+            Mutex.protect t.cache_mutex (fun () ->
+                Hashtbl.remove t.refreshing view))
+        (fun () ->
+          Registry.read t.registry (fun () ->
+              match Registry.find t.registry view with
+              | exception Invalid_argument msg -> Error msg
+              | m ->
+                  let gen = Registry.generation t.registry in
+                  let snap = make_snapshot ~gen (m.M.enumerate ()) in
+                  Mutex.protect t.cache_mutex (fun () ->
+                      Hashtbl.replace t.cache view snap);
+                  Ok snap))
+
+type outcome = Continue | Close | Shutdown_server
+
+(* Handle one decoded request. Answers that need registry state are
+   materialized under the shared lock and sent after it is released
+   ([send_chunks] runs outside [Registry.read]). *)
+let handle t conn (req : Wire.request) : outcome =
+  let respond resp = match send conn resp with Ok () -> Continue | Error _ -> Close in
+  match req with
+  | Wire.Ping -> respond Wire.Pong
+  | Wire.Lookup { view; prefix } -> (
+      match snapshot t view with
+      | Error msg -> respond (Wire.Err msg)
+      | Ok snap -> (
+          let entries =
+            if Tuple.arity prefix = 0 then snap.entries
+            else
+              (* Bound first variable: answer from the access-pattern
+                 index, then filter any remaining prefix fields. *)
+              let group =
+                Option.value
+                  (Hashtbl.find_opt snap.by_key (Tuple.get prefix 0))
+                  ~default:[]
+              in
+              if Tuple.arity prefix = 1 then group
+              else List.filter (fun (tp, _) -> matches_prefix prefix tp) group
+          in
+          match send_chunks t conn entries with Ok () -> Continue | Error _ -> Close))
+  | Wire.Snapshot { view } -> (
+      match snapshot t view with
+      | Error msg -> respond (Wire.Err msg)
+      | Ok snap -> (
+          match send_chunks t conn snap.entries with
+          | Ok () -> Continue
+          | Error _ -> Close))
+  | Wire.Ingest updates -> (
+      if stopping t then respond (Wire.Err "server is shutting down")
+      else
+        match t.ingest with
+        | None -> respond (Wire.Err "server is read-only")
+        | Some ingest ->
+            let admitted, dropped = ingest updates in
+            respond (Wire.Ack { admitted; dropped }))
+  | Wire.Subscribe -> (
+      match send conn Wire.Subscribed with
+      | Error _ -> Close
+      | Ok () ->
+          (* Registered only after the ack, so the first frame a
+             subscriber reads is always [Subscribed]. *)
+          Mutex.protect t.mutex (fun () ->
+              if not (List.memq conn t.subscribers) then
+                t.subscribers <- conn :: t.subscribers);
+          Continue)
+  | Wire.Stats -> respond (Wire.Text (Metrics.render t.metrics))
+  | Wire.Health ->
+      let hs =
+        Registry.read t.registry (fun () ->
+            List.map
+              (fun (name, h) ->
+                (name, Registry.health_name h, Registry.last_error t.registry name))
+              (Registry.statuses t.registry))
+      in
+      respond (Wire.Health_list hs)
+  | Wire.Fingerprints ->
+      let fps = Registry.read t.registry (fun () -> Registry.fingerprints t.registry) in
+      respond (Wire.Fingerprint_list fps)
+  | Wire.Heal -> respond (Wire.Healed (Registry.heal t.registry))
+  | Wire.Checkpoint -> (
+      match t.checkpoint with
+      | None -> respond (Wire.Err "server has no checkpoint store")
+      | Some ck -> (
+          match ck () with
+          | Ok wal_offset -> respond (Wire.Checkpointed { wal_offset })
+          | Error msg -> respond (Wire.Err msg)))
+  | Wire.Shutdown ->
+      (* Ack first: the client's [shutdown] call deserves its [Bye] even
+         though the server starts tearing down immediately after. *)
+      (match send conn Wire.Bye with Ok () | Error _ -> ());
+      Shutdown_server
+
+(* Wake the accept loop by connecting to ourselves: closing a listening
+   socket does not reliably interrupt an [accept] blocked on another
+   domain, a loopback connection always does. *)
+let wake_accept t =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let initiate_shutdown t =
+  let first = Mutex.protect t.mutex (fun () ->
+      let first = not t.stopping in
+      t.stopping <- true;
+      first)
+  in
+  if first then begin
+    wake_accept t;
+    match t.on_shutdown with Some f -> f () | None -> ()
+  end
+
+(* --- connection handler ----------------------------------------------- *)
+
+let rec serve_conn t conn =
+  match Wire.read_frame conn.fd with
+  | Error (Wire.Eof | Wire.Truncated | Wire.Io _ | Wire.Closed) -> drop_conn t conn
+  | Error (Wire.Too_large _ as e) ->
+      (* The oversized body was never read, so the stream has lost its
+         frame alignment — tell the client why and hang up. *)
+      (match send conn (Wire.Err (Wire.error_to_string e)) with Ok () | Error _ -> ());
+      drop_conn t conn
+  | Error e ->
+      (* Checksum or opcode/body trouble inside one complete frame: the
+         boundary is intact, answer with the error and keep serving. *)
+      (match send conn (Wire.Err (Wire.error_to_string e)) with
+      | Ok () -> serve_conn t conn
+      | Error _ -> drop_conn t conn)
+  | Ok body -> (
+      match Wire.decode_request body with
+      | Error e -> (
+          match send conn (Wire.Err (Wire.error_to_string e)) with
+          | Ok () -> serve_conn t conn
+          | Error _ -> drop_conn t conn)
+      | Ok req -> (
+          let t0 = Unix.gettimeofday () in
+          let outcome = handle t conn req in
+          Metrics.record_op t.metrics (Wire.request_name req)
+            (Unix.gettimeofday () -. t0);
+          match outcome with
+          | Continue -> serve_conn t conn
+          | Close -> drop_conn t conn
+          | Shutdown_server ->
+              drop_conn t conn;
+              initiate_shutdown t))
+
+(* --- delta fan-out ---------------------------------------------------- *)
+
+let publish_delta t ~epoch updates =
+  let subs = Mutex.protect t.mutex (fun () -> t.subscribers) in
+  if subs <> [] then begin
+    let body = Wire.encode_response (Wire.Delta { epoch; updates }) in
+    List.iter
+      (fun conn ->
+        let ok =
+          Mutex.protect conn.write_mutex (fun () ->
+              match Wire.write_frame conn.fd body with Ok () -> true | Error _ -> false)
+        in
+        (* Slow-consumer policy: a send that fails or times out leaves a
+           half-written frame we cannot resynchronize — disconnect. The
+           shutdown wakes the handler's blocked read, which cleans up. *)
+        if not ok then begin
+          Mutex.protect t.mutex (fun () ->
+              t.subscribers <- List.filter (fun c -> c != conn) t.subscribers);
+          try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+        end)
+      subs
+  end
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+  | exception Unix.Unix_error (_, _, _) -> () (* listener closed: stop *)
+  | fd, _ ->
+      if stopping t then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        (* The send timeout is the slow-subscriber bound: a peer that
+           stops draining its socket for this long gets disconnected
+           rather than stalling the delta fan-out. *)
+        (if t.snd_timeout > 0. then
+           try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.snd_timeout
+           with Unix.Unix_error _ -> ());
+        let conn = { fd; write_mutex = Mutex.create () } in
+        Mutex.protect t.mutex (fun () -> t.conns <- conn :: t.conns);
+        Domain_pool.submit t.pool (fun () -> serve_conn t conn);
+        accept_loop t
+      end
+
+let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
+    ?(handlers = 4) ?ingest ?checkpoint ?on_shutdown ~registry ~metrics () =
+  if chunk_size < 1 then invalid_arg "Server.start: chunk_size < 1";
+  if handlers < 1 then invalid_arg "Server.start: handlers < 1";
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Wire.Io (Unix.error_message e))
+  | listen_fd -> (
+      try
+        Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+        Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        Unix.listen listen_fd 128;
+        let port =
+          match Unix.getsockname listen_fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> port
+        in
+        let t =
+          {
+            listen_fd;
+            port;
+            registry;
+            metrics;
+            chunk_size;
+            snd_timeout;
+            ingest;
+            checkpoint;
+            on_shutdown;
+            (* handlers worker domains: the accept loop lives on its own
+               domain and only ever submits, never executes. *)
+            pool = Domain_pool.create ~domains:(handlers + 1);
+            cache_mutex = Mutex.create ();
+            cache = Hashtbl.create 8;
+            refreshing = Hashtbl.create 8;
+            mutex = Mutex.create ();
+            conns = [];
+            subscribers = [];
+            stopping = false;
+            accept_domain = None;
+          }
+        in
+        t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+        Ok t
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        Error (Wire.Io (Unix.error_message e)))
+
+let stop t =
+  Mutex.protect t.mutex (fun () -> t.stopping <- true);
+  wake_accept t;
+  (match t.accept_domain with
+  | Some d ->
+      Domain.join d;
+      t.accept_domain <- None
+  | None -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* Wake every handler blocked in a read; they drain to EOF and drop
+     their connections before the pool joins its workers. *)
+  let conns = Mutex.protect t.mutex (fun () -> t.conns) in
+  List.iter
+    (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  Domain_pool.destroy t.pool;
+  let leftovers = Mutex.protect t.mutex (fun () -> t.conns) in
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) leftovers

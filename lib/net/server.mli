@@ -1,0 +1,65 @@
+(** The TCP view server: an accept loop plus per-connection handlers on
+    a dedicated domain pool, serving the {!Wire} protocol against a
+    {!Ivm_stream.Registry}.
+
+    Lookups and snapshots serve the latest completed materialization of
+    the view: a per-view snapshot cache keyed by the registry's
+    generation counter, refreshed stale-while-revalidate (one request
+    pays the re-enumeration under {!Ivm_stream.Registry.read}, the
+    shared side of the registry's writer-preferring lock; concurrent
+    ones serve the previous epoch's snapshot). Every answer is an
+    epoch-consistent snapshot — taken at an epoch boundary, never a
+    half-applied batch — and point lookups with a bound first variable
+    answer from a hash index on that field in O(answer). Bytes go out
+    after the lock is released. Ingested updates flow through the [ingest] callback into
+    the scheduler's bounded queue — the queue policy is the server's
+    backpressure. Delta subscribers are pushed one frame per applied
+    epoch via {!publish_delta}; a subscriber that stays unwritable past
+    the socket send timeout is disconnected (a half-written frame
+    cannot be resynchronized, and a slow consumer must not stall the
+    maintenance loop). *)
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  ?chunk_size:int ->
+  ?snd_timeout:float ->
+  ?handlers:int ->
+  ?ingest:(int Ivm_data.Update.t list -> int * int) ->
+  ?checkpoint:(unit -> (int, string) result) ->
+  ?on_shutdown:(unit -> unit) ->
+  registry:Ivm_stream.Registry.t ->
+  metrics:Ivm_stream.Metrics.t ->
+  unit ->
+  (t, Wire.error) result
+(** Bind [host] (default loopback) on [port] — [port = 0] picks an
+    ephemeral port, read back with {!port} — and start serving on
+    [handlers] (default 4) worker domains; at most that many
+    connections are served concurrently, further ones queue.
+    [chunk_size] (default 512) bounds entries per enumeration frame;
+    [snd_timeout] (default 5 s, [0.] disables) is the slow-subscriber
+    bound. [ingest] admits a batch into the update queue and reports
+    [(admitted, dropped)] — without it the server is read-only.
+    [checkpoint] runs the admin checkpoint and returns the WAL offset
+    it is current through. [on_shutdown] runs once when a [Shutdown]
+    request is accepted — typically closing the update queue so the
+    scheduler drains and the driver can call {!stop}. *)
+
+val port : t -> int
+(** The actually-bound port. *)
+
+val connections : t -> int
+val subscriber_count : t -> int
+val stopping : t -> bool
+
+val publish_delta : t -> epoch:int -> int Ivm_data.Update.t list -> unit
+(** Push one [Delta] frame to every subscriber — wire this to
+    {!Ivm_stream.Scheduler}'s [on_apply]. Runs on the caller's domain;
+    cost is one bounded socket write per subscriber. *)
+
+val stop : t -> unit
+(** Stop accepting, wake and drain every handler, join the pool. Must
+    not be called from a handler (a [Shutdown] request instead flags
+    the server and runs [on_shutdown]; the driver then calls [stop]). *)

@@ -1,0 +1,360 @@
+(** The binary wire protocol of the view server: length-prefixed,
+    CRC-framed request/response messages layered on {!Ivm_data.Codec}.
+
+    A frame is [u32 len | u32 crc | body] (little-endian, like every
+    codec in this library): [len] is the body length, [crc] the CRC-32
+    of the body. The length prefix lets a reader recover the frame
+    boundary even when the body fails its checksum, so a single
+    corrupted frame costs one error, not the connection. Bodies are
+    capped at {!max_body} — a reader never trusts the peer for its
+    allocation size.
+
+    Everything here is result-typed over {!error}: short reads,
+    truncated frames, checksum failures, unknown opcodes and malformed
+    bodies are values, never exceptions — the property harness in
+    [test/test_net.ml] feeds this module bit-flipped and cut-off bytes
+    and asserts exactly that. The pure {!decode_frame} is the testing
+    seam; {!read_frame}/{!write_frame} wrap it around blocking socket
+    I/O with partial read/write loops. *)
+
+module Codec = Ivm_data.Codec
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+
+let header_len = 8
+let max_body = 16 * 1024 * 1024
+
+type error =
+  | Eof  (** peer closed cleanly at a frame boundary *)
+  | Truncated  (** stream ended mid-frame *)
+  | Too_large of int  (** advertised body length over {!max_body} *)
+  | Crc_mismatch of { expected : int; actual : int }
+  | Bad_op of int  (** unknown opcode byte *)
+  | Decode of string  (** malformed message body *)
+  | Io of string  (** socket-level failure (includes send/recv timeouts) *)
+  | Closed  (** this endpoint was already closed locally *)
+  | Remote of string  (** the server answered with an error message *)
+
+let error_to_string = function
+  | Eof -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Too_large n -> Printf.sprintf "frame body of %d bytes exceeds %d" n max_body
+  | Crc_mismatch { expected; actual } ->
+      Printf.sprintf "frame checksum mismatch (expected %08x, got %08x)" expected actual
+  | Bad_op op -> Printf.sprintf "unknown opcode 0x%02x" op
+  | Decode msg -> "malformed message: " ^ msg
+  | Io msg -> "io error: " ^ msg
+  | Closed -> "endpoint closed"
+  | Remote msg -> "server error: " ^ msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let ( let* ) = Result.bind
+
+(* --- framing ---------------------------------------------------------- *)
+
+let frame body =
+  let len = String.length body in
+  if len > max_body then invalid_arg "Wire.frame: body too large";
+  let buf = Buffer.create (header_len + len) in
+  Codec.add_u32 buf len;
+  Codec.add_u32 buf (Codec.crc32 body ~pos:0 ~len);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode_frame buf ~pos =
+  let n = String.length buf in
+  if pos < 0 || pos > n then invalid_arg "Wire.decode_frame: position out of range";
+  if pos = n then Error Eof
+  else if n - pos < header_len then Error Truncated
+  else
+    let cur = ref pos in
+    let len = Codec.u32 buf cur in
+    let crc = Codec.u32 buf cur in
+    if len > max_body then Error (Too_large len)
+    else if n - !cur < len then Error Truncated
+    else
+      let actual = Codec.crc32 buf ~pos:!cur ~len in
+      if actual <> crc then Error (Crc_mismatch { expected = crc; actual })
+      else Ok (String.sub buf !cur len, !cur + len)
+
+(* --- blocking socket I/O ---------------------------------------------- *)
+
+let rec really_write fd s pos len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write_substring fd s pos len with
+    | 0 -> Error (Io "write returned 0")
+    | n -> really_write fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_write fd s pos len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error (Io "send timed out")
+    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+
+let write_frame fd body =
+  let s = frame body in
+  really_write fd s 0 (String.length s)
+
+(* Read exactly [n] bytes. Zero bytes at the very start is a clean EOF
+   when [clean_eof]; an EOF anywhere else is a truncated frame. *)
+let read_exact fd n ~clean_eof =
+  let buf = Bytes.create n in
+  let rec loop pos =
+    if pos = n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 -> if pos = 0 && clean_eof then Error Eof else Error Truncated
+      | k -> loop (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error (Io "receive timed out")
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  in
+  loop 0
+
+let read_frame fd =
+  let* header = read_exact fd header_len ~clean_eof:true in
+  let cur = ref 0 in
+  let len = Codec.u32 header cur in
+  let crc = Codec.u32 header cur in
+  if len > max_body then Error (Too_large len)
+  else
+    let* body = read_exact fd len ~clean_eof:false in
+    let actual = Codec.crc32 body ~pos:0 ~len in
+    if actual <> crc then Error (Crc_mismatch { expected = crc; actual }) else Ok body
+
+(* --- messages --------------------------------------------------------- *)
+
+type request =
+  | Ping
+  | Lookup of { view : string; prefix : Tuple.t }
+  | Snapshot of { view : string }
+  | Ingest of int Update.t list
+  | Subscribe
+  | Stats
+  | Health
+  | Fingerprints
+  | Heal
+  | Checkpoint
+  | Shutdown
+
+type response =
+  | Pong
+  | Chunk of { last : bool; entries : (Tuple.t * int) list }
+  | Ack of { admitted : int; dropped : int }
+  | Text of string
+  | Health_list of (string * string * string option) list
+  | Fingerprint_list of (string * int) list
+  | Healed of string list
+  | Checkpointed of { wal_offset : int }
+  | Delta of { epoch : int; updates : int Update.t list }
+  | Err of string
+  | Bye
+  | Subscribed
+
+let request_name = function
+  | Ping -> "ping"
+  | Lookup _ -> "lookup"
+  | Snapshot _ -> "snapshot"
+  | Ingest _ -> "ingest"
+  | Subscribe -> "subscribe"
+  | Stats -> "stats"
+  | Health -> "health"
+  | Fingerprints -> "fingerprints"
+  | Heal -> "heal"
+  | Checkpoint -> "checkpoint"
+  | Shutdown -> "shutdown"
+
+let response_name = function
+  | Pong -> "pong"
+  | Chunk _ -> "chunk"
+  | Ack _ -> "ack"
+  | Text _ -> "text"
+  | Health_list _ -> "health_list"
+  | Fingerprint_list _ -> "fingerprint_list"
+  | Healed _ -> "healed"
+  | Checkpointed _ -> "checkpointed"
+  | Delta _ -> "delta"
+  | Err _ -> "err"
+  | Bye -> "bye"
+  | Subscribed -> "subscribed"
+
+let int_payload = (module Codec.Int_payload : Codec.PAYLOAD with type t = int)
+
+let add_list add buf xs =
+  Codec.add_u32 buf (List.length xs);
+  List.iter (add buf) xs
+
+let read_list read s cur =
+  let n = Codec.u32 s cur in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (read s cur :: acc) in
+  go n []
+
+let add_entry buf (tp, p) =
+  Codec.add_tuple buf tp;
+  Codec.add_i64 buf p
+
+let entry s cur =
+  let tp = Codec.tuple s cur in
+  let p = Codec.i64 s cur in
+  (tp, p)
+
+let add_update buf u = Codec.add_update int_payload buf u
+let update s cur = Codec.update int_payload s cur
+
+let encode_request (r : request) : string =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Ping -> Codec.add_u8 buf 0x01
+  | Lookup { view; prefix } ->
+      Codec.add_u8 buf 0x02;
+      Codec.add_str buf view;
+      Codec.add_tuple buf prefix
+  | Snapshot { view } ->
+      Codec.add_u8 buf 0x03;
+      Codec.add_str buf view
+  | Ingest updates ->
+      Codec.add_u8 buf 0x04;
+      add_list add_update buf updates
+  | Subscribe -> Codec.add_u8 buf 0x05
+  | Stats -> Codec.add_u8 buf 0x06
+  | Health -> Codec.add_u8 buf 0x07
+  | Fingerprints -> Codec.add_u8 buf 0x08
+  | Heal -> Codec.add_u8 buf 0x09
+  | Checkpoint -> Codec.add_u8 buf 0x0A
+  | Shutdown -> Codec.add_u8 buf 0x0B);
+  Buffer.contents buf
+
+let encode_response (r : response) : string =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Pong -> Codec.add_u8 buf 0x81
+  | Chunk { last; entries } ->
+      Codec.add_u8 buf 0x82;
+      Codec.add_u8 buf (if last then 1 else 0);
+      add_list add_entry buf entries
+  | Ack { admitted; dropped } ->
+      Codec.add_u8 buf 0x83;
+      Codec.add_u32 buf admitted;
+      Codec.add_u32 buf dropped
+  | Text s ->
+      Codec.add_u8 buf 0x84;
+      Codec.add_str buf s
+  | Health_list hs ->
+      Codec.add_u8 buf 0x85;
+      add_list
+        (fun buf (name, health, err) ->
+          Codec.add_str buf name;
+          Codec.add_str buf health;
+          match err with
+          | None -> Codec.add_u8 buf 0
+          | Some e ->
+              Codec.add_u8 buf 1;
+              Codec.add_str buf e)
+        buf hs
+  | Fingerprint_list fps ->
+      Codec.add_u8 buf 0x86;
+      add_list
+        (fun buf (name, fp) ->
+          Codec.add_str buf name;
+          Codec.add_i64 buf fp)
+        buf fps
+  | Healed names ->
+      Codec.add_u8 buf 0x87;
+      add_list Codec.add_str buf names
+  | Checkpointed { wal_offset } ->
+      Codec.add_u8 buf 0x88;
+      Codec.add_i64 buf wal_offset
+  | Delta { epoch; updates } ->
+      Codec.add_u8 buf 0x89;
+      Codec.add_i64 buf epoch;
+      add_list add_update buf updates
+  | Err msg ->
+      Codec.add_u8 buf 0x8A;
+      Codec.add_str buf msg
+  | Bye -> Codec.add_u8 buf 0x8B
+  | Subscribed -> Codec.add_u8 buf 0x8C);
+  Buffer.contents buf
+
+(* Run a codec reader over a whole body: every [Codec.Corrupt] becomes a
+   [Decode] error, and trailing bytes are rejected — a frame is exactly
+   one message. *)
+let decoding body f =
+  let cur = ref 0 in
+  match f body cur with
+  | v -> if !cur = String.length body then Ok v else Error (Decode "trailing bytes")
+  | exception Codec.Corrupt msg -> Error (Decode msg)
+
+let decode_request body : (request, error) result =
+  if body = "" then Error (Decode "empty body")
+  else
+    let op = Char.code body.[0] in
+    let read body cur =
+      Codec.u8 body cur |> ignore;
+      match op with
+      | 0x01 -> Ping
+      | 0x02 ->
+          let view = Codec.str body cur in
+          let prefix = Codec.tuple body cur in
+          Lookup { view; prefix }
+      | 0x03 -> Snapshot { view = Codec.str body cur }
+      | 0x04 -> Ingest (read_list update body cur)
+      | 0x05 -> Subscribe
+      | 0x06 -> Stats
+      | 0x07 -> Health
+      | 0x08 -> Fingerprints
+      | 0x09 -> Heal
+      | 0x0A -> Checkpoint
+      | 0x0B -> Shutdown
+      | _ -> raise Exit
+    in
+    match decoding body read with exception Exit -> Error (Bad_op op) | r -> r
+
+let decode_response body : (response, error) result =
+  if body = "" then Error (Decode "empty body")
+  else
+    let op = Char.code body.[0] in
+    let read body cur =
+      Codec.u8 body cur |> ignore;
+      match op with
+      | 0x81 -> Pong
+      | 0x82 ->
+          let last = Codec.u8 body cur <> 0 in
+          let entries = read_list entry body cur in
+          Chunk { last; entries }
+      | 0x83 ->
+          let admitted = Codec.u32 body cur in
+          let dropped = Codec.u32 body cur in
+          Ack { admitted; dropped }
+      | 0x84 -> Text (Codec.str body cur)
+      | 0x85 ->
+          Health_list
+            (read_list
+               (fun body cur ->
+                 let name = Codec.str body cur in
+                 let health = Codec.str body cur in
+                 let err =
+                   if Codec.u8 body cur = 0 then None else Some (Codec.str body cur)
+                 in
+                 (name, health, err))
+               body cur)
+      | 0x86 ->
+          Fingerprint_list
+            (read_list
+               (fun body cur ->
+                 let name = Codec.str body cur in
+                 let fp = Codec.i64 body cur in
+                 (name, fp))
+               body cur)
+      | 0x87 -> Healed (read_list Codec.str body cur)
+      | 0x88 -> Checkpointed { wal_offset = Codec.i64 body cur }
+      | 0x89 ->
+          let epoch = Codec.i64 body cur in
+          let updates = read_list update body cur in
+          Delta { epoch; updates }
+      | 0x8A -> Err (Codec.str body cur)
+      | 0x8B -> Bye
+      | 0x8C -> Subscribed
+      | _ -> raise Exit
+    in
+    match decoding body read with exception Exit -> Error (Bad_op op) | r -> r

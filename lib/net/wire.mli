@@ -1,0 +1,96 @@
+(** The binary wire protocol of the view server: length-prefixed,
+    CRC-framed request/response messages layered on {!Ivm_data.Codec}.
+
+    A frame is [u32 len | u32 crc | body] (little-endian); [crc] is the
+    CRC-32 of the body, [len] its byte length, capped at {!max_body}.
+    All decoding is result-typed over {!error} — corrupt, truncated or
+    oversized input yields a value, never an exception or a hang. *)
+
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+
+val header_len : int
+(** Frame header bytes (length + checksum). *)
+
+val max_body : int
+(** Hard cap on a frame body (16 MiB): a reader never trusts the peer
+    for its allocation size. *)
+
+type error =
+  | Eof  (** peer closed cleanly at a frame boundary *)
+  | Truncated  (** stream ended mid-frame *)
+  | Too_large of int  (** advertised body length over {!max_body} *)
+  | Crc_mismatch of { expected : int; actual : int }
+  | Bad_op of int  (** unknown opcode byte *)
+  | Decode of string  (** malformed message body *)
+  | Io of string  (** socket-level failure (includes send/recv timeouts) *)
+  | Closed  (** this endpoint was already closed locally *)
+  | Remote of string  (** the server answered with an error message *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** Wrap a body into a complete frame.
+    @raise Invalid_argument over {!max_body}. *)
+
+val decode_frame : string -> pos:int -> (string * int, error) result
+(** Parse one frame starting at [pos] of a byte buffer, returning the
+    body and the position after the frame. [Error Eof] when [pos] is
+    exactly the end of the buffer; [Error Truncated] when the buffer
+    ends mid-frame. Pure — the property-testing seam under
+    {!read_frame}. *)
+
+val write_frame : Unix.file_descr -> string -> (unit, error) result
+(** Frame a body and write it fully, looping over partial writes. A
+    socket send timeout ([SO_SNDTIMEO]) surfaces as [Error (Io _)]. *)
+
+val read_frame : Unix.file_descr -> (string, error) result
+(** Read exactly one frame, looping over partial reads, and verify its
+    checksum. After a [Crc_mismatch] the stream is still aligned on a
+    frame boundary — the connection can keep serving. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Ping
+  | Lookup of { view : string; prefix : Tuple.t }
+      (** CQAP point access: bind the first [arity prefix] output
+          columns and enumerate the matching entries. *)
+  | Snapshot of { view : string }  (** full output enumeration *)
+  | Ingest of int Update.t list  (** feed the server's update queue *)
+  | Subscribe  (** push one {!Delta} per applied epoch from now on *)
+  | Stats  (** Prometheus text exposition of the server metrics *)
+  | Health
+  | Fingerprints
+  | Heal
+  | Checkpoint
+  | Shutdown
+
+type response =
+  | Pong
+  | Chunk of { last : bool; entries : (Tuple.t * int) list }
+      (** one slice of a [Lookup]/[Snapshot] enumeration *)
+  | Ack of { admitted : int; dropped : int }
+  | Text of string
+  | Health_list of (string * string * string option) list
+      (** (view, health, last error) *)
+  | Fingerprint_list of (string * int) list
+  | Healed of string list  (** names still unhealthy after healing *)
+  | Checkpointed of { wal_offset : int }
+  | Delta of { epoch : int; updates : int Update.t list }
+  | Err of string
+  | Bye
+  | Subscribed
+
+val request_name : request -> string
+(** Stable lowercase tag, the per-op latency label in {!Ivm_stream.Metrics}. *)
+
+val response_name : response -> string
+
+val encode_request : request -> string
+val decode_request : string -> (request, error) result
+val encode_response : response -> string
+val decode_response : string -> (response, error) result

@@ -109,6 +109,24 @@ let run pool tasks =
       Mutex.unlock pool.mutex;
       (match err with Some e -> raise e | None -> ())
 
+(** [submit pool task] hands [task] to a worker domain and returns
+    immediately — no barrier, no result. This is what long-lived tasks
+    (network connection handlers) use: they must never ride a {!run}
+    barrier, or the barrier would wait for the connection to close.
+    Exceptions escaping a submitted task are swallowed (there is no
+    joiner to re-raise into); the task owns its error handling. A
+    width-1 pool has no workers, so the task runs inline on the
+    submitting domain. *)
+let submit pool task =
+  let task () = try task () with _ -> () in
+  if pool.width = 1 then task ()
+  else begin
+    Mutex.lock pool.mutex;
+    Queue.push task pool.queue;
+    Condition.signal pool.has_work;
+    Mutex.unlock pool.mutex
+  end
+
 (** [fold pool ~add ~zero tasks] runs the tasks on the pool and combines
     their results with [add] in an unspecified order — sound when [add]
     is commutative and associative, which is exactly what the ring

@@ -24,6 +24,16 @@ val run : t -> (unit -> unit) list -> unit
     not contend on shared mutable state. The first exception raised by
     any task is re-raised after the barrier. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: hand one task to a worker domain and return
+    immediately. For long-lived tasks (connection handlers) that must
+    not ride a {!run} barrier. Only the [width - 1] worker domains
+    execute submitted tasks, so at most that many run concurrently; a
+    width-1 pool runs the task inline on the submitting domain.
+    Escaping exceptions are swallowed — the task owns its error
+    handling. {!destroy} drains already-submitted tasks before
+    returning. *)
+
 val fold : t -> add:('a -> 'a -> 'a) -> zero:'a -> (unit -> 'a) list -> 'a
 (** Run the tasks and combine their results with [add] in an unspecified
     order — sound when [add] is commutative and associative, which is

@@ -65,6 +65,17 @@ module Hist = struct
     into.n <- into.n + t.n;
     into.sum <- into.sum +. t.sum;
     if t.max > into.max then into.max <- t.max
+
+  let sum t = t.sum
+
+  (** The non-empty buckets as [(upper_edge_seconds, count)], ascending —
+      what a text exposition renders cumulatively. *)
+  let to_buckets t =
+    let out = ref [] in
+    for i = buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then out := (value_of i, t.counts.(i)) :: !out
+    done;
+    !out
 end
 
 (** Per-view counters: how many updates and batches this view absorbed,
@@ -87,6 +98,8 @@ type t = {
   mutable ingested : int; (* updates popped off the queue *)
   mutable coalesced : int; (* updates after per-epoch coalescing *)
   views : (string, view) Hashtbl.t;
+  ops : (string, Hist.t) Hashtbl.t; (* per-op-class service latency *)
+  ops_mutex : Mutex.t; (* ops are recorded from concurrent handler domains *)
 }
 
 let create () =
@@ -96,6 +109,8 @@ let create () =
     ingested = 0;
     coalesced = 0;
     views = Hashtbl.create 8;
+    ops = Hashtbl.create 8;
+    ops_mutex = Mutex.create ();
   }
 
 let view t name =
@@ -118,6 +133,111 @@ let view t name =
 
 let view_names t =
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.views [])
+
+let op t name =
+  Mutex.lock t.ops_mutex;
+  let h =
+    match Hashtbl.find_opt t.ops name with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.add t.ops name h;
+        h
+  in
+  Mutex.unlock t.ops_mutex;
+  h
+
+(* Op histograms are written from concurrent handler domains, so the
+   record path takes the mutex; view/latency histograms keep their
+   lock-free single-writer discipline (only the scheduler domain). *)
+let record_op t name dt =
+  Mutex.lock t.ops_mutex;
+  (match Hashtbl.find_opt t.ops name with
+  | Some h -> Hist.add h dt
+  | None ->
+      let h = Hist.create () in
+      Hist.add h dt;
+      Hashtbl.add t.ops name h);
+  Mutex.unlock t.ops_mutex
+
+let op_names t =
+  Mutex.lock t.ops_mutex;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.ops [] in
+  Mutex.unlock t.ops_mutex;
+  List.sort compare names
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition: counters as plain samples,
+   histograms as cumulative le-buckets plus _sum and _count. Served on
+   the stats wire op and dumped by `ivm_cli serve`.                    *)
+
+(* A # TYPE header appears once per metric name, before its first
+   sample, even when the metric repeats with different label sets. *)
+let typed seen buf name kind =
+  if not (Hashtbl.mem seen name) then begin
+    Hashtbl.add seen name ();
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  end
+
+let add_histogram seen buf name labels h =
+  let label extra =
+    match labels @ extra with
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+        ^ "}"
+  in
+  typed seen buf name "histogram";
+  let cum = ref 0 in
+  List.iter
+    (fun (edge, count) ->
+      cum := !cum + count;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (label [ ("le", Printf.sprintf "%g" edge) ])
+           !cum))
+    (Hist.to_buckets h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket%s %d\n" name (label [ ("le", "+Inf") ]) (Hist.count h));
+  Buffer.add_string buf (Printf.sprintf "%s_sum%s %g\n" name (label []) (Hist.sum h));
+  Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name (label []) (Hist.count h))
+
+let add_counter seen buf name labels v =
+  let label =
+    match labels with
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+        ^ "}"
+  in
+  typed seen buf name "counter";
+  Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name label v)
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 16 in
+  add_counter seen buf "ivm_epochs_total" [] t.epochs;
+  add_counter seen buf "ivm_ingested_total" [] t.ingested;
+  add_counter seen buf "ivm_coalesced_total" [] t.coalesced;
+  add_histogram seen buf "ivm_update_latency_seconds" [] t.latency;
+  List.iter
+    (fun name ->
+      let v = view t name in
+      let l = [ ("view", name) ] in
+      add_counter seen buf "ivm_view_updates_total" l v.updates;
+      add_counter seen buf "ivm_view_batches_total" l v.batches;
+      add_counter seen buf "ivm_view_failures_total" l v.failures;
+      add_counter seen buf "ivm_view_rebuilds_total" l v.rebuilds;
+      add_counter seen buf "ivm_view_dead_letters_total" l v.dead_letters;
+      add_counter seen buf "ivm_view_skipped_total" l v.skipped;
+      add_histogram seen buf "ivm_view_apply_seconds" l v.apply)
+    (view_names t);
+  List.iter
+    (fun name -> add_histogram seen buf "ivm_op_seconds" [ ("op", name) ] (op t name))
+    (op_names t);
+  Buffer.contents buf
 
 let us v = v *. 1e6
 

@@ -16,6 +16,13 @@ module Hist : sig
       holding the [q]-quantile sample; 0 when empty. *)
 
   val merge_into : into:t -> t -> unit
+
+  val sum : t -> float
+  (** Total of all recorded samples (the histogram [_sum]). *)
+
+  val to_buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper_edge_seconds, count)], ascending —
+      the raw form a text exposition renders cumulatively. *)
 end
 
 type view = {
@@ -34,6 +41,9 @@ type t = {
   mutable ingested : int;  (** updates popped off the queue *)
   mutable coalesced : int;  (** updates left after per-epoch coalescing *)
   views : (string, view) Hashtbl.t;
+  ops : (string, Hist.t) Hashtbl.t;
+      (** per-op-class service latency (network lookups, ingest, ...) *)
+  ops_mutex : Mutex.t;
 }
 
 val create : unit -> t
@@ -42,4 +52,20 @@ val view : t -> string -> view
 (** The named view's counters, created on first use. *)
 
 val view_names : t -> string list
+
+val op : t -> string -> Hist.t
+(** The named op class's latency histogram, created on first use. *)
+
+val record_op : t -> string -> float -> unit
+(** Record one service-latency sample for an op class. Safe to call
+    from concurrent handler domains (serialized on [ops_mutex]); the
+    view and latency histograms stay single-writer. *)
+
+val op_names : t -> string list
+
+val render : t -> string
+(** Prometheus-style text exposition: every counter as a plain sample,
+    every histogram as cumulative [le]-buckets plus [_sum]/[_count] —
+    served on the stats wire op and dumped by [ivm_cli serve]. *)
+
 val pp : Format.formatter -> t -> unit

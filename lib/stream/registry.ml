@@ -72,6 +72,15 @@ type t = {
   max_failures : int;
   rng : Random.State.t;
   dead_wal : Wal.Z.t option;
+  (* Epoch-consistency seam for network readers: every mutating entry
+     point (apply_batch, heal, self_check, register) holds the
+     exclusive side; [read] exposes the shared side. The read accessors
+     below do NOT lock — a concurrent reader wraps them in [read]. *)
+  lock : Rwlock.t;
+  (* Bumped under the exclusive lock by every mutating entry point, so
+     a reader holding the shared lock sees a stamp that exactly
+     identifies the state — the invalidation key for snapshot caches. *)
+  mutable generation : int;
 }
 
 let create ?pool ?metrics ?(backoff_base = 0.01) ?(max_failures = 5) ?(seed = 0) ?dead_wal db =
@@ -84,9 +93,13 @@ let create ?pool ?metrics ?(backoff_base = 0.01) ?(max_failures = 5) ?(seed = 0)
     max_failures;
     rng = Random.State.make [| 0x51e9; seed |];
     dead_wal;
+    lock = Rwlock.create ();
+    generation = 0;
   }
 
 let db t = t.db
+let read t f = Rwlock.read t.lock f
+let generation t = t.generation
 let now () = Unix.gettimeofday ()
 
 (* A placeholder installed when even the initial build fails: consumes
@@ -98,6 +111,7 @@ let stub name =
     apply_batch = (fun _ -> ());
     output_count = (fun () -> 0);
     fingerprint = (fun () -> 0);
+    enumerate = (fun () -> []);
   }
 
 let metrics_view t name = Option.map (fun m -> Metrics.view m name) t.metrics
@@ -215,22 +229,24 @@ let maybe_recover t =
 let register t ~name build =
   if List.mem_assoc name t.entries then
     invalid_arg ("Registry.register: duplicate view " ^ name);
-  let e =
-    {
-      build;
-      view = stub name;
-      health = Healthy;
-      failures = 0;
-      retry_at = 0.;
-      suspects = [];
-      dead = [];
-      last_error = None;
-    }
-  in
-  (match try_build e t.db with
-  | Some v -> e.view <- v
-  | None -> note_failure t name e "initial build failed");
-  t.entries <- (name, e) :: t.entries
+  Rwlock.write t.lock (fun () ->
+      t.generation <- t.generation + 1;
+      let e =
+        {
+          build;
+          view = stub name;
+          health = Healthy;
+          failures = 0;
+          retry_at = 0.;
+          suspects = [];
+          dead = [];
+          last_error = None;
+        }
+      in
+      (match try_build e t.db with
+      | Some v -> e.view <- v
+      | None -> note_failure t name e "initial build failed");
+      t.entries <- (name, e) :: t.entries)
 
 let views t = List.rev_map (fun (name, e) -> (name, e.view)) t.entries
 let view_count t = List.length t.entries
@@ -265,10 +281,8 @@ let sub_batch (m : M.t) batch =
   | [] -> []
   | rels -> List.filter (fun (u : int Update.t) -> List.mem u.Update.rel rels) batch
 
-let apply_batch t (batch : int Update.t list) =
-  match batch with
-  | [] -> ()
-  | batch ->
+let apply_batch_locked t (batch : int Update.t list) =
+      t.generation <- t.generation + 1;
       maybe_recover t;
       let entries = List.rev t.entries in
       (* Per-task elapsed times and caught exceptions land in
@@ -342,38 +356,49 @@ let apply_batch t (batch : int Update.t list) =
               end)
         sized
 
+let apply_batch t (batch : int Update.t list) =
+  match batch with
+  | [] -> ()
+  | batch -> Rwlock.write t.lock (fun () -> apply_batch_locked t batch)
+
 (** Force a recovery attempt on every view that is not healthy,
     ignoring backoff timers and quarantine — the convergence point a
     driver calls at end of stream (or an operator invokes by hand).
     Returns the names still not healthy afterwards. *)
 let heal t =
-  List.iter
-    (fun (name, e) -> if e.health <> Healthy then attempt_recovery t name e)
-    (List.rev t.entries);
-  List.filter_map (fun (name, e) -> if e.health <> Healthy then Some name else None) t.entries
-  |> List.rev
+  Rwlock.write t.lock (fun () ->
+      t.generation <- t.generation + 1;
+      List.iter
+        (fun (name, e) -> if e.health <> Healthy then attempt_recovery t name e)
+        (List.rev t.entries);
+      List.filter_map
+        (fun (name, e) -> if e.health <> Healthy then Some name else None)
+        t.entries
+      |> List.rev)
 
 (** Verify every healthy view's fingerprint against a fresh rebuild
     from the base state; on divergence install the rebuild. Returns the
     names that diverged. Expensive — run it off the hot path, every N
     epochs. *)
 let self_check t =
-  List.filter_map
-    (fun (name, e) ->
-      if e.health <> Healthy then None
-      else
-        match try_build e (filtered_db t e.dead) with
-        | None ->
-            note_failure t name e "self-check rebuild failed";
-            Some name
-        | Some fresh ->
-            if fresh.M.fingerprint () = e.view.M.fingerprint () then None
-            else begin
-              count_failure t name;
-              install t name e fresh;
-              Some name
-            end)
-    (List.rev t.entries)
+  Rwlock.write t.lock (fun () ->
+      t.generation <- t.generation + 1;
+      List.filter_map
+        (fun (name, e) ->
+          if e.health <> Healthy then None
+          else
+            match try_build e (filtered_db t e.dead) with
+            | None ->
+                note_failure t name e "self-check rebuild failed";
+                Some name
+            | Some fresh ->
+                if fresh.M.fingerprint () = e.view.M.fingerprint () then None
+                else begin
+                  count_failure t name;
+                  install t name e fresh;
+                  Some name
+                end)
+        (List.rev t.entries))
 
 (** [restore t db] is a fresh registry over [db] with every view rebuilt
     by its registration factory — the recovery path: pair it with a WAL
@@ -392,6 +417,8 @@ let restore ?pool ?metrics t db =
       max_failures = t.max_failures;
       rng = Random.State.copy t.rng;
       dead_wal = t.dead_wal;
+      lock = Rwlock.create ();
+      generation = 0;
     }
   in
   List.iter

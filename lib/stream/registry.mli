@@ -34,6 +34,21 @@ val create :
 
 val db : t -> Db.t
 
+val generation : t -> int
+(** Bumped under the exclusive lock by every mutating entry point
+    (apply, heal, self-check, register). Read it under {!read}: equal
+    stamps guarantee identical state — the invalidation key the network
+    server uses for its snapshot cache. *)
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run [f] under the registry's shared (read) lock: no epoch apply,
+    heal, self-check or registration runs concurrently, so [f] sees an
+    epoch-consistent snapshot of the base database and every view.
+    Concurrent [read]s proceed in parallel; the lock is
+    writer-preferring, so readers never starve the maintenance loop.
+    The plain accessors below do not lock — wrap them in [read] when
+    other domains may be applying updates. Do not nest [read] calls. *)
+
 val register : t -> name:string -> (Db.t -> M.t) -> unit
 (** Build a view from the current base database and serve it from now
     on. The factory is kept for {!restore} and for runtime recovery. A

@@ -1,0 +1,15 @@
+(** A writer-preferring read/write lock: many concurrent readers or one
+    writer. A waiting writer blocks new readers, so epoch apply latency
+    stays bounded under heavy read load. Not re-entrant — never nest
+    {!read} or {!write} calls on the same lock from one domain. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding a shared lock; concurrent {!read}s proceed,
+    {!write} is excluded. The lock is released even if [f] raises. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the exclusive lock. *)

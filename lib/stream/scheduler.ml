@@ -35,12 +35,14 @@ type t = {
   max_batch : int;
   sync_retries : int; (* extra fsync attempts before giving up an epoch *)
   self_check_every : int option; (* epochs between fingerprint self-checks *)
+  on_apply : (epoch:int -> int Update.t list -> unit) option;
+      (* delta-subscription fan-out: the coalesced batch just applied *)
   mutable limit : int; (* the adaptive batch cap *)
   mutable applied : int; (* updates applied so far (pre-coalescing) *)
 }
 
 let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536)
-    ?initial_batch ?(sync_retries = 3) ?self_check_every ~queue ~registry ~metrics () =
+    ?initial_batch ?(sync_retries = 3) ?self_check_every ?on_apply ~queue ~registry ~metrics () =
   if min_batch < 1 || max_batch < min_batch then
     invalid_arg "Scheduler.create: need 1 <= min_batch <= max_batch";
   let limit =
@@ -58,6 +60,7 @@ let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536
     max_batch;
     sync_retries;
     self_check_every;
+    on_apply;
     limit;
     applied = 0;
   }
@@ -138,6 +141,12 @@ let step t : (bool, Errors.t) result =
       t.metrics.Metrics.ingested <- t.metrics.Metrics.ingested + n;
       t.metrics.Metrics.coalesced <- t.metrics.Metrics.coalesced + List.length batch;
       t.applied <- t.applied + n;
+      (* Fan the applied epoch out to delta subscribers after the views
+         have absorbed it, so a subscriber that re-reads the server
+         never observes a delta before the state reflecting it. *)
+      (match t.on_apply with
+      | Some f when batch <> [] -> f ~epoch:t.metrics.Metrics.epochs batch
+      | Some _ | None -> ());
       if dt > 1.5 *. t.target then t.limit <- max t.min_batch (t.limit / 2)
       else if dt < 0.5 *. t.target && n >= t.limit then
         t.limit <- min t.max_batch (t.limit * 2);

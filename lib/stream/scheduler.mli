@@ -20,6 +20,7 @@ val create :
   ?initial_batch:int ->
   ?sync_retries:int ->
   ?self_check_every:int ->
+  ?on_apply:(epoch:int -> int Ivm_data.Update.t list -> unit) ->
   queue:item Queue.t ->
   registry:Registry.t ->
   metrics:Metrics.t ->
@@ -30,7 +31,10 @@ val create :
     in-memory only. A failed WAL fsync is retried [sync_retries]
     (default 3) times before the epoch errors out. With
     [self_check_every], the registry fingerprint self-check runs every
-    that many epochs. *)
+    that many epochs. [on_apply] is called after every non-empty epoch
+    with the coalesced batch the views just absorbed — the delta
+    subscription fan-out of the network server; it runs on the
+    scheduler domain, so it must be fast and must not raise. *)
 
 val batch_limit : t -> int
 (** The current adaptive batch cap. *)

@@ -1,0 +1,706 @@
+(* The network layer: pure frame-codec properties (roundtrip,
+   truncation, bit flips — typed errors, never exceptions or hangs),
+   message roundtrips, fault-injected framing through Fault.Io, the
+   Prometheus metrics exposition, and the end-to-end loopback server:
+   concurrent clients whose answers agree with a single-process
+   reference registry, including across a checkpointed
+   kill-and-restart. *)
+
+module D = Ivm_data
+module S = D.Schema
+module U = D.Update
+module Rel = D.Relation.Z
+module Wire = Ivm_net.Wire
+module Server = Ivm_net.Server
+module Client = Ivm_net.Client
+module Squeue = Ivm_stream.Queue
+module Metrics = Ivm_stream.Metrics
+module Registry = Ivm_stream.Registry
+module Scheduler = Ivm_stream.Scheduler
+module Checkpoint = Ivm_stream.Checkpoint
+module Wal = Ivm_stream.Wal
+module M = Ivm_engine.Maintainable
+module Tri = Ivm_engine.Triangle
+module Tb = Ivm_engine.Triangle_batch
+module Failpoint = Ivm_fault.Failpoint
+module Fio = Ivm_fault.Io
+
+let tup = D.Tuple.of_ints
+
+let ok_wire = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected wire error: %s" (Wire.error_to_string e)
+
+let ok_stream = function
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "unexpected durability error: %s" (Ivm_stream.Errors.to_string e)
+
+let tmp_path suffix =
+  let path = Filename.temp_file "ivm_net" suffix in
+  Sys.remove path;
+  path
+
+let with_tmp suffix f =
+  let path = tmp_path suffix in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* --- framing: pure properties ---------------------------------------- *)
+
+let body_gen = QCheck.Gen.(string_size ~gen:char (int_range 0 2000))
+
+let frame_roundtrip =
+  QCheck.Test.make ~name:"frame/decode roundtrip" ~count:200
+    (QCheck.make ~print:String.escaped body_gen) (fun body ->
+      match Wire.decode_frame (Wire.frame body) ~pos:0 with
+      | Ok (decoded, next) ->
+          decoded = body && next = Wire.header_len + String.length body
+      | Error _ -> false)
+
+let frame_concat =
+  QCheck.Test.make ~name:"concatenated frames decode in sequence" ~count:100
+    QCheck.(pair (make ~print:String.escaped body_gen) (make ~print:String.escaped body_gen))
+    (fun (b1, b2) ->
+      let buf = Wire.frame b1 ^ Wire.frame b2 in
+      match Wire.decode_frame buf ~pos:0 with
+      | Error _ -> false
+      | Ok (d1, pos) -> (
+          d1 = b1
+          &&
+          match Wire.decode_frame buf ~pos with
+          | Error _ -> false
+          | Ok (d2, pos) -> d2 = b2 && Wire.decode_frame buf ~pos = Error Wire.Eof))
+
+let frame_truncation =
+  QCheck.Test.make ~name:"every strict prefix is Truncated, never an exception"
+    ~count:200
+    QCheck.(pair (make ~print:String.escaped body_gen) (float_bound_exclusive 1.0))
+    (fun (body, frac) ->
+      let full = Wire.frame body in
+      let cut = int_of_float (frac *. float_of_int (String.length full)) in
+      let cut = max 0 (min cut (String.length full - 1)) in
+      match Wire.decode_frame (String.sub full 0 cut) ~pos:0 with
+      | Error Wire.Eof -> cut = 0
+      | Error Wire.Truncated -> cut > 0
+      | Error _ | Ok _ -> false)
+
+let frame_bit_flip =
+  QCheck.Test.make ~name:"any single bit flip yields a typed error" ~count:300
+    QCheck.(pair (make ~print:String.escaped body_gen) (int_bound 100_000))
+    (fun (body, i) ->
+      let full = Bytes.of_string (Wire.frame body) in
+      let bit = i mod (8 * Bytes.length full) in
+      let byte = bit / 8 in
+      Bytes.set full byte (Char.chr (Char.code (Bytes.get full byte) lxor (1 lsl (bit mod 8))));
+      (* A flip in the length field can surface as Truncated or
+         Too_large, one anywhere else as Crc_mismatch — but never Ok
+         and never an exception. *)
+      match Wire.decode_frame (Bytes.to_string full) ~pos:0 with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let oversized_rejected () =
+  (match Wire.frame (String.make (Wire.max_body + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frame over max_body must be rejected");
+  (* A header advertising an oversized body is refused before any
+     allocation: build one by hand. *)
+  let b = Bytes.create Wire.header_len in
+  Bytes.set_int32_le b 0 (Int32.of_int (Wire.max_body + 1));
+  Bytes.set_int32_le b 4 0l;
+  match Wire.decode_frame (Bytes.to_string b) ~pos:0 with
+  | Error (Wire.Too_large n) ->
+      Alcotest.(check int) "advertised size reported" (Wire.max_body + 1) n
+  | Error e -> Alcotest.failf "expected Too_large, got %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized header accepted"
+
+(* --- messages --------------------------------------------------------- *)
+
+let sample_updates =
+  [
+    U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:3;
+    U.make ~rel:"S" ~tuple:(tup [ 4; 5 ]) ~payload:(-1);
+  ]
+
+let all_requests =
+  [
+    Wire.Ping;
+    Wire.Lookup { view = "paths-rs"; prefix = tup [ 7 ] };
+    Wire.Lookup { view = "v"; prefix = D.Tuple.unit };
+    Wire.Snapshot { view = "tri" };
+    Wire.Ingest sample_updates;
+    Wire.Ingest [];
+    Wire.Subscribe;
+    Wire.Stats;
+    Wire.Health;
+    Wire.Fingerprints;
+    Wire.Heal;
+    Wire.Checkpoint;
+    Wire.Shutdown;
+  ]
+
+let all_responses =
+  [
+    Wire.Pong;
+    Wire.Chunk { last = false; entries = [ (tup [ 1; 2 ], 3); (tup [], 5) ] };
+    Wire.Chunk { last = true; entries = [] };
+    Wire.Ack { admitted = 10; dropped = 2 };
+    Wire.Text "# TYPE x counter\nx 1\n";
+    Wire.Health_list [ ("a", "healthy", None); ("b", "degraded", Some "boom") ];
+    Wire.Fingerprint_list [ ("a", 123); ("b", -7) ];
+    Wire.Healed [ "flaky" ];
+    Wire.Healed [];
+    Wire.Checkpointed { wal_offset = 99 };
+    Wire.Delta { epoch = 42; updates = sample_updates };
+    Wire.Err "no such view";
+    Wire.Bye;
+    Wire.Subscribed;
+  ]
+
+let request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Wire.decode_request (Wire.encode_request req) with
+      | Ok req' ->
+          Alcotest.(check bool)
+            ("request roundtrip " ^ Wire.request_name req)
+            true (req = req')
+      | Error e ->
+          Alcotest.failf "request %s failed to decode: %s" (Wire.request_name req)
+            (Wire.error_to_string e))
+    all_requests
+
+let response_roundtrip () =
+  List.iter
+    (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Ok resp' ->
+          Alcotest.(check bool)
+            ("response roundtrip " ^ Wire.response_name resp)
+            true (resp = resp')
+      | Error e ->
+          Alcotest.failf "response %s failed to decode: %s" (Wire.response_name resp)
+            (Wire.error_to_string e))
+    all_responses
+
+let garbage_bodies =
+  QCheck.Test.make ~name:"garbage bodies decode to typed errors, never raise"
+    ~count:300
+    (QCheck.make ~print:String.escaped body_gen)
+    (fun body ->
+      let forced = function Ok _ | Error _ -> true in
+      forced (Wire.decode_request body) && forced (Wire.decode_response body))
+
+let unknown_opcode () =
+  (match Wire.decode_request "\xee" with
+  | Error (Wire.Bad_op 0xee) -> ()
+  | _ -> Alcotest.fail "unknown request opcode must be Bad_op");
+  match Wire.decode_response "\x05" with
+  | Error (Wire.Bad_op 0x05) -> ()
+  | _ -> Alcotest.fail "unknown response opcode must be Bad_op"
+
+let truncated_message () =
+  (* A valid message cut mid-body: the frame layer passes it through
+     (its checksum is computed over the cut body by the writer in this
+     scenario), so the message decoder must report it as Decode. *)
+  let body = Wire.encode_request (Wire.Lookup { view = "paths"; prefix = tup [ 1; 2 ] }) in
+  for cut = 1 to String.length body - 1 do
+    match Wire.decode_request (String.sub body 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated message body accepted at %d" cut
+  done
+
+(* --- framing through Fault.Io ---------------------------------------- *)
+
+let with_failpoints f =
+  Failpoint.enable ~seed:7 ();
+  Fun.protect ~finally:Failpoint.reset f
+
+let faulty_short_write () =
+  with_failpoints (fun () ->
+      with_tmp ".frame" (fun path ->
+          let body = Wire.encode_request (Wire.Snapshot { view = "tri" }) in
+          let full = Wire.frame body in
+          Failpoint.arm "netio.write" (Failpoint.Short_write (String.length full / 2));
+          let out =
+            match Fio.open_trunc ~tag:"netio" path with
+            | Ok o -> o
+            | Error e -> Alcotest.failf "open: %s" (Fio.error_to_string e)
+          in
+          (match Fio.write out full with
+          | Error { injected = true; _ } -> ()
+          | Error e -> Alcotest.failf "expected injected error: %s" (Fio.error_to_string e)
+          | Ok () -> Alcotest.fail "short write must report the fault");
+          Fio.close_noerr out;
+          let on_disk =
+            match Fio.read_file ~tag:"netio" path with
+            | Ok s -> s
+            | Error e -> Alcotest.failf "read: %s" (Fio.error_to_string e)
+          in
+          Alcotest.(check int) "torn tail on disk" (String.length full / 2)
+            (String.length on_disk);
+          match Wire.decode_frame on_disk ~pos:0 with
+          | Error Wire.Truncated -> ()
+          | Error e -> Alcotest.failf "expected Truncated, got %s" (Wire.error_to_string e)
+          | Ok _ -> Alcotest.fail "torn frame accepted"))
+
+let faulty_bit_flip () =
+  with_failpoints (fun () ->
+      with_tmp ".frame" (fun path ->
+          let body = Wire.encode_request (Wire.Snapshot { view = "tri" }) in
+          let full = Wire.frame body in
+          (* Flip the first bit of the body: the length field stays
+             intact, so the corruption is exactly what the CRC covers. *)
+          Failpoint.arm "netio.write" (Failpoint.Bit_flip (8 * Wire.header_len));
+          let out =
+            match Fio.open_trunc ~tag:"netio" path with
+            | Ok o -> o
+            | Error e -> Alcotest.failf "open: %s" (Fio.error_to_string e)
+          in
+          (match Fio.write out full with
+          | Ok () -> () (* silent corruption: the write succeeds *)
+          | Error e -> Alcotest.failf "bit flip must succeed: %s" (Fio.error_to_string e));
+          (match Fio.close out with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "close: %s" (Fio.error_to_string e));
+          let on_disk =
+            match Fio.read_file ~tag:"netio" path with
+            | Ok s -> s
+            | Error e -> Alcotest.failf "read: %s" (Fio.error_to_string e)
+          in
+          match Wire.decode_frame on_disk ~pos:0 with
+          | Error (Wire.Crc_mismatch _) -> ()
+          | Error e ->
+              Alcotest.failf "expected Crc_mismatch, got %s" (Wire.error_to_string e)
+          | Ok _ -> Alcotest.fail "checksum missed a flipped bit"))
+
+(* --- Prometheus exposition -------------------------------------------- *)
+
+let metrics_render () =
+  let m = Metrics.create () in
+  Metrics.Hist.add m.Metrics.latency 0.004;
+  m.Metrics.epochs <- 3;
+  m.Metrics.ingested <- 40;
+  List.iter (fun v -> Metrics.record_op m "lookup" v) [ 0.001; 0.002; 0.25 ];
+  Metrics.record_op m "ingest" 0.01;
+  ignore (Metrics.view m "tri");
+  let text = Metrics.render m in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true (contains needle))
+    [
+      "# TYPE ivm_epochs_total counter";
+      "ivm_epochs_total 3";
+      "ivm_ingested_total 40";
+      "# TYPE ivm_update_latency_seconds histogram";
+      "ivm_update_latency_seconds_count 1";
+      "# TYPE ivm_op_seconds histogram";
+      "ivm_op_seconds_count{op=\"lookup\"} 3";
+      "ivm_op_seconds_count{op=\"ingest\"} 1";
+      "le=\"+Inf\"";
+      "ivm_view_updates_total{view=\"tri\"} 0";
+    ];
+  (* One # TYPE header per metric name, even with several op labels. *)
+  let count_type =
+    let needle = "# TYPE ivm_op_seconds histogram" in
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length text then acc
+      else go (i + 1) (if String.sub text i nl = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one TYPE line for ivm_op_seconds" 1 count_type
+
+(* --- end-to-end loopback ---------------------------------------------- *)
+
+let q_rs =
+  Ivm_query.Cq.make ~name:"Q" ~free:[ "B"; "A"; "C" ]
+    [ Ivm_query.Cq.atom "R" [ "A"; "B" ]; Ivm_query.Cq.atom "S" [ "B"; "C" ] ]
+
+let triangle_schemas = [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "A" ]) ]
+
+let make_triangle_db () =
+  let db = D.Database.Z.create () in
+  List.iter
+    (fun (n, vars) -> ignore (D.Database.Z.declare db n (S.of_list vars)))
+    triangle_schemas;
+  db
+
+let tri_factory (db : D.Database.Z.t) : M.t =
+  let eng = Tb.Delta.create () in
+  List.iter
+    (fun name ->
+      let rel = match name with "R" -> Tri.R | "S" -> Tri.S | _ -> Tri.T in
+      Rel.iter
+        (fun t p ->
+          Tb.Delta.update eng rel
+            ~a:(D.Value.to_int (D.Tuple.get t 0))
+            ~b:(D.Value.to_int (D.Tuple.get t 1))
+            p)
+        (D.Database.Z.find db name))
+    [ "R"; "S"; "T" ];
+  M.of_triangle_batch ~name:"tri" (module Tb.Delta) eng
+
+let paths_factory (db : D.Database.Z.t) : M.t =
+  let forest = Option.get (Ivm_query.Variable_order.canonical q_rs) in
+  M.of_view_tree ~name:"paths-rs" q_rs (Ivm_engine.View_tree.build q_rs forest db)
+
+let register_views reg =
+  Registry.register reg ~name:"tri" tri_factory;
+  Registry.register reg ~name:"paths-rs" paths_factory
+
+let edge_stream ?(seed = 11) n =
+  let gen =
+    Ivm_workload.Graph_gen.create ~seed
+      { Ivm_workload.Graph_gen.nodes = 12; skew = 0.; delete_ratio = 0.3 }
+  in
+  List.init n (fun _ ->
+      let e = Ivm_workload.Graph_gen.next gen in
+      let rel = match e.Ivm_workload.Graph_gen.rel with 0 -> "R" | 1 -> "S" | _ -> "T" in
+      U.make ~rel
+        ~tuple:(tup [ e.Ivm_workload.Graph_gen.src; e.Ivm_workload.Graph_gen.dst ])
+        ~payload:e.Ivm_workload.Graph_gen.mult)
+
+(* The reference: the same stream applied directly in-process. *)
+let reference_fingerprints stream =
+  let db = make_triangle_db () in
+  let reg = Registry.create db in
+  register_views reg;
+  Registry.apply_batch reg stream;
+  ignore (Registry.heal reg);
+  Registry.read reg (fun () -> Registry.fingerprints reg)
+
+(* A running server over a live scheduler; [f] gets the server and a
+   function that blocks until [n] updates have been applied. *)
+let with_server ?wal ?checkpoint ~total f =
+  let db = make_triangle_db () in
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics db in
+  register_views reg;
+  let queue = Squeue.create ~capacity:1024 Squeue.Block in
+  let server = ref None in
+  let on_apply ~epoch batch =
+    match !server with Some s -> Server.publish_delta s ~epoch batch | None -> ()
+  in
+  let sched = Scheduler.create ?wal ~initial_batch:64 ~on_apply ~queue ~registry:reg ~metrics () in
+  let runner = Domain.spawn (fun () -> Scheduler.run sched) in
+  let ingest updates =
+    List.fold_left
+      (fun (a, d) u ->
+        if Squeue.push queue (Scheduler.item u) then (a + 1, d) else (a, d + 1))
+      (0, 0) updates
+  in
+  let srv =
+    ok_wire
+      (Server.start ~port:0 ~handlers:4 ~chunk_size:64 ~ingest ?checkpoint
+         ~on_shutdown:(fun () -> Squeue.close queue)
+         ~registry:reg ~metrics ())
+  in
+  server := Some srv;
+  let await_applied n =
+    let deadline = Unix.gettimeofday () +. 30. in
+    while Scheduler.applied sched < n && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.005
+    done;
+    Alcotest.(check int) "stream drained" n (Scheduler.applied sched)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Squeue.close queue;
+      ignore (Domain.join runner);
+      Server.stop srv)
+    (fun () ->
+      let r = f srv reg await_applied in
+      ignore total;
+      r)
+
+let e2e_concurrent_clients () =
+  let total = 3_000 in
+  let stream = edge_stream total in
+  let reference = reference_fingerprints stream in
+  with_server ~total (fun srv reg await_applied ->
+      let port = Server.port srv in
+      (* Four ingesting clients, each feeding a partition — sound
+         because ring updates commute across batches. *)
+      let parts = List.init 4 (fun k -> List.filteri (fun i _ -> i mod 4 = k) stream) in
+      let writers =
+        List.map
+          (fun part ->
+            Domain.spawn (fun () ->
+                let c = ok_wire (Client.connect ~port ()) in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    let rec feed = function
+                      | [] -> ()
+                      | us ->
+                          let batch, rest =
+                            let rec take k acc = function
+                              | rest when k = 0 -> (List.rev acc, rest)
+                              | [] -> (List.rev acc, [])
+                              | u :: rest -> take (k - 1) (u :: acc) rest
+                            in
+                            take 100 [] us
+                          in
+                          let admitted, dropped = ok_wire (Client.ingest c batch) in
+                          Alcotest.(check int) "all admitted" (List.length batch) admitted;
+                          Alcotest.(check int) "none dropped" 0 dropped;
+                          feed rest
+                    in
+                    feed part)))
+          parts
+      in
+      (* Readers hammer lookups and snapshots while the writers run:
+         every answer must decode; sizes are checked after quiescence. *)
+      let readers =
+        List.init 2 (fun k ->
+            Domain.spawn (fun () ->
+                let c = ok_wire (Client.connect ~port ()) in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    for i = 0 to 30 do
+                      ignore (ok_wire (Client.lookup c ~view:"paths-rs" ~prefix:(tup [ (i + k) mod 12 ])));
+                      ignore (ok_wire (Client.snapshot c ~view:"tri"))
+                    done)))
+      in
+      List.iter Domain.join writers;
+      List.iter Domain.join readers;
+      await_applied total;
+      let c = ok_wire (Client.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ok_wire (Client.ping c);
+          Alcotest.(check (list string)) "heal converges" [] (ok_wire (Client.heal c));
+          let fps = ok_wire (Client.fingerprints c) in
+          Alcotest.(check (list (pair string int)))
+            "served fingerprints = single-process reference" reference fps;
+          (* The snapshot agrees with a direct enumeration, and a bound
+             first variable serves exactly the matching slice. *)
+          let direct =
+            Registry.read reg (fun () -> (Registry.find reg "paths-rs").M.enumerate ())
+          in
+          let served = ok_wire (Client.snapshot c ~view:"paths-rs") in
+          (* Entry order is unspecified and [Tuple.t] memoizes its hash
+             in a mutable field, so compare as sorted multisets with the
+             structural comparators. *)
+          let norm l =
+            List.sort
+              (fun (t1, p1) (t2, p2) ->
+                match D.Tuple.compare t1 t2 with 0 -> Int.compare p1 p2 | c -> c)
+              l
+          in
+          let entries_equal a b =
+            List.equal
+              (fun (t1, p1) (t2, p2) -> D.Tuple.equal t1 t2 && p1 = p2)
+              (norm a) (norm b)
+          in
+          Alcotest.(check bool) "snapshot = direct enumeration" true
+            (entries_equal direct served);
+          let key = 3 in
+          let looked = ok_wire (Client.lookup c ~view:"paths-rs" ~prefix:(tup [ key ])) in
+          let expected =
+            List.filter (fun (tp, _) -> D.Value.to_int (D.Tuple.get tp 0) = key) direct
+          in
+          Alcotest.(check bool) "lookup = filtered enumeration" true
+            (entries_equal looked expected);
+          (* Unknown views are a remote error, not a hang-up. *)
+          (match Client.snapshot c ~view:"nope" with
+          | Error (Wire.Remote _) -> ()
+          | Error e -> Alcotest.failf "expected Remote, got %s" (Wire.error_to_string e)
+          | Ok _ -> Alcotest.fail "unknown view must error");
+          (* The stats op serves the exposition with per-op labels. *)
+          let stats = ok_wire (Client.stats c) in
+          Alcotest.(check bool) "stats exposition has op labels" true
+            (let needle = "ivm_op_seconds_count{op=\"lookup\"}" in
+             let nl = String.length needle in
+             let rec go i =
+               i + nl <= String.length stats && (String.sub stats i nl = needle || go (i + 1))
+             in
+             go 0)))
+
+let e2e_subscribe () =
+  let total = 200 in
+  let stream = edge_stream total in
+  with_server ~total (fun srv _reg await_applied ->
+      let port = Server.port srv in
+      let sub = ok_wire (Client.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close sub)
+        (fun () ->
+          ok_wire (Client.subscribe sub);
+          let writer = ok_wire (Client.connect ~port ()) in
+          Fun.protect
+            ~finally:(fun () -> Client.close writer)
+            (fun () -> ignore (ok_wire (Client.ingest writer stream)));
+          let epoch, updates = ok_wire (Client.next_delta sub) in
+          Alcotest.(check bool) "epoch counted from one" true (epoch >= 1);
+          Alcotest.(check bool) "delta carries coalesced updates" true (updates <> []);
+          List.iter
+            (fun u ->
+              Alcotest.(check bool) "delta rel is a base relation" true
+                (List.mem u.U.rel [ "R"; "S"; "T" ]))
+            updates;
+          await_applied total))
+
+let e2e_kill_restart () =
+  let total = 2_000 in
+  let stream = edge_stream total in
+  let reference = reference_fingerprints stream in
+  let half = total / 2 in
+  let first, second =
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | u :: rest -> split (k - 1) (u :: acc) rest
+    in
+    split half [] stream
+  in
+  with_tmp ".wal" (fun wal_path ->
+      with_tmp ".ckpt" (fun ckpt_path ->
+          (* First life: serve with a WAL; a client ingests half, asks
+             for a durable checkpoint, then the server dies. *)
+          let wal = ok_stream (Wal.Z.open_log wal_path) in
+          let reg_holder = ref None in
+          let checkpoint () =
+            match !reg_holder with
+            | None -> Error "no registry"
+            | Some reg ->
+                Registry.read reg (fun () ->
+                    let offset = Wal.Z.offset wal in
+                    match
+                      Checkpoint.Z.save ckpt_path ~db:(Registry.db reg) ~wal_offset:offset
+                    with
+                    | Ok () -> Ok offset
+                    | Error e -> Error (Ivm_stream.Errors.to_string e))
+          in
+          with_server ~wal ~checkpoint ~total:half (fun srv reg await_applied ->
+              reg_holder := Some reg;
+              let port = Server.port srv in
+              let c = ok_wire (Client.connect ~port ()) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  ignore (ok_wire (Client.ingest c first));
+                  (* Quiesce before checkpointing so the WAL offset and
+                     the applied state line up — the rendezvous the CLI
+                     runs at an epoch boundary, done here by draining. *)
+                  await_applied half;
+                  let offset = ok_wire (Client.checkpoint c) in
+                  Alcotest.(check bool) "checkpoint covers the ingested half" true (offset > 0)));
+          Wal.Z.close wal;
+          (* Crash: the registry and server are gone. Restore from the
+             checkpoint, replay the (empty) WAL suffix, apply the rest
+             of the stream, and serve again. *)
+          let restored_db, offset = ok_stream (Checkpoint.Z.load ckpt_path) in
+          let seed_reg = Registry.create (make_triangle_db ()) in
+          register_views seed_reg;
+          let restored = Registry.restore seed_reg restored_db in
+          let pending = ref [] in
+          ignore
+            (ok_stream
+               (Wal.Z.replay wal_path ~from:offset (fun u -> pending := u :: !pending)));
+          Registry.apply_batch restored (List.rev !pending);
+          Registry.apply_batch restored second;
+          ignore (Registry.heal restored);
+          let metrics2 = Metrics.create () in
+          let srv2 =
+            ok_wire
+              (Server.start ~port:0 ~handlers:2 ~registry:restored ~metrics:metrics2 ())
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.stop srv2)
+            (fun () ->
+              let c = ok_wire (Client.connect ~port:(Server.port srv2) ()) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  let fps = ok_wire (Client.fingerprints c) in
+                  Alcotest.(check (list (pair string int)))
+                    "fingerprints survive kill-and-restart" reference fps;
+                  (* A read-only server refuses writes but keeps reading. *)
+                  (match Client.ingest c (edge_stream ~seed:5 3) with
+                  | Error (Wire.Remote _) -> ()
+                  | Error e -> Alcotest.failf "expected Remote, got %s" (Wire.error_to_string e)
+                  | Ok _ -> Alcotest.fail "read-only server must refuse ingest");
+                  ignore (ok_wire (Client.snapshot c ~view:"tri"))))))
+
+let e2e_corrupt_frame_keeps_serving () =
+  with_server ~total:0 (fun srv _reg _await ->
+      let port = Server.port srv in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          (* A frame whose body bit was flipped after framing: the
+             server must answer Err and keep the connection. *)
+          let body = Wire.encode_request Wire.Ping in
+          let full = Bytes.of_string (Wire.frame body) in
+          let i = Wire.header_len in
+          Bytes.set full i (Char.chr (Char.code (Bytes.get full i) lxor 1));
+          let s = Bytes.to_string full in
+          let n = Unix.write_substring fd s 0 (String.length s) in
+          Alcotest.(check int) "corrupt frame sent" (String.length s) n;
+          (match Wire.read_frame fd with
+          | Ok reply -> (
+              match Wire.decode_response reply with
+              | Ok (Wire.Err _) -> ()
+              | Ok r -> Alcotest.failf "expected Err, got %s" (Wire.response_name r)
+              | Error e -> Alcotest.failf "reply decode: %s" (Wire.error_to_string e))
+          | Error e -> Alcotest.failf "no reply to corrupt frame: %s" (Wire.error_to_string e));
+          (* The stream is still aligned: a clean Ping works. *)
+          ok_wire (Wire.write_frame fd (Wire.encode_request Wire.Ping));
+          match Wire.read_frame fd with
+          | Ok reply -> (
+              match Wire.decode_response reply with
+              | Ok Wire.Pong -> ()
+              | Ok r -> Alcotest.failf "expected Pong, got %s" (Wire.response_name r)
+              | Error e -> Alcotest.failf "pong decode: %s" (Wire.error_to_string e))
+          | Error e -> Alcotest.failf "connection dropped after Err: %s" (Wire.error_to_string e)))
+
+let qt t = QCheck_alcotest.to_alcotest ~long:false t
+
+let () =
+  Alcotest.run ~and_exit:false "net"
+    [
+      ( "framing",
+        [
+          qt frame_roundtrip;
+          qt frame_concat;
+          qt frame_truncation;
+          qt frame_bit_flip;
+          Alcotest.test_case "oversized rejected" `Quick oversized_rejected;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "request roundtrip" `Quick request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick response_roundtrip;
+          qt garbage_bodies;
+          Alcotest.test_case "unknown opcode" `Quick unknown_opcode;
+          Alcotest.test_case "truncated message" `Quick truncated_message;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "short write -> Truncated" `Quick faulty_short_write;
+          Alcotest.test_case "bit flip -> Crc_mismatch" `Quick faulty_bit_flip;
+        ] );
+      ("metrics", [ Alcotest.test_case "Prometheus exposition" `Quick metrics_render ]);
+      ( "loopback",
+        [
+          Alcotest.test_case "concurrent clients = reference" `Quick e2e_concurrent_clients;
+          Alcotest.test_case "subscribe receives deltas" `Quick e2e_subscribe;
+          Alcotest.test_case "kill and restart" `Quick e2e_kill_restart;
+          Alcotest.test_case "corrupt frame keeps serving" `Quick
+            e2e_corrupt_frame_keeps_serving;
+        ] );
+    ]

@@ -508,6 +508,7 @@ let flaky_view name : D.Database.Z.t -> M.t =
     apply_batch = (fun _ -> failwith "flaky: injected apply failure");
     output_count = (fun () -> 0);
     fingerprint = (fun () -> 0);
+    enumerate = (fun () -> []);
   }
 
 (* A view whose engine keeps failing is quarantined while the healthy
