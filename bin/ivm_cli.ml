@@ -1166,9 +1166,103 @@ let bench_net_cmd =
     Term.(const run $ host_arg $ port_arg $ conns_arg $ ops_arg $ mixes_arg $ view_arg
           $ nodes_arg $ skew_arg $ seed_arg $ out_arg $ shutdown_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: the differential oracle harness of lib/check.                 *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let module Ck = Ivm_check in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Master seed; with --runs 1 the case seed itself, so a \
+                 reported failure replays exactly.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Cases to execute.")
+  in
+  let minutes_arg =
+    Arg.(value & opt float 0. & info [ "minutes" ] ~docv:"M"
+           ~doc:"Wall-clock budget; 0 means unbounded. The loop stops at \
+                 whichever of --runs/--minutes is hit first.")
+  in
+  let engines_arg =
+    Arg.(value & opt string "" & info [ "engines" ] ~docv:"E1,E2"
+           ~doc:"Restrict the matrix to these engines (comma-separated; \
+                 default: every engine applicable to each case).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "" & info [ "corpus-dir" ] ~docv:"DIR"
+           ~doc:"Write shrunk reproducers (*.repro) here.")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject" ]
+           ~doc:"Arm the check.drop_delete failpoint (susceptible engines \
+                 silently lose deletes) and demand the harness catches it: \
+                 exit 0 iff at least one divergence was found and shrunk to \
+                 a small reproducer.")
+  in
+  let run seed runs minutes engines corpus_dir inject =
+    let select =
+      if engines = "" then []
+      else String.split_on_char ',' engines |> List.map String.trim
+           |> List.filter (fun s -> s <> "")
+    in
+    let unknown = List.filter (fun e -> not (List.mem e Ck.Engines.all_names)) select in
+    if unknown <> [] then begin
+      Printf.eprintf "ivm_cli: unknown engines: %s (known: %s)\n"
+        (String.concat ", " unknown)
+        (String.concat ", " Ck.Engines.all_names);
+      exit 2
+    end;
+    if inject then begin
+      Ivm_fault.Failpoint.enable ~seed ();
+      Ivm_fault.Failpoint.arm Ck.Engines.bug_failpoint ~times:max_int
+        Ivm_fault.Failpoint.Fail
+    end;
+    let minutes = if minutes <= 0. then None else Some minutes in
+    let corpus_dir = if corpus_dir = "" then None else Some corpus_dir in
+    let t0 = Unix.gettimeofday () in
+    let s = Ck.Fuzz.run ?minutes ?corpus_dir ~runs ~select ~log:print_endline ~seed () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "fuzz: seed %d, %d case(s) in %.1fs, %d failure(s)\n" seed s.Ck.Fuzz.runs
+      dt
+      (List.length s.Ck.Fuzz.failures);
+    if inject then begin
+      Ivm_fault.Failpoint.reset ();
+      match s.Ck.Fuzz.failures with
+      | [] ->
+          print_endline "FUZZ-INJECT: FAIL (the armed delete-dropping bug went undetected)";
+          exit 1
+      | fs ->
+          let best = List.fold_left (fun acc f -> min acc f.Ck.Fuzz.updates) max_int fs in
+          Printf.printf
+            "FUZZ-INJECT: OK (%d catch(es); smallest reproducer: %d update(s))\n"
+            (List.length fs) best;
+          exit 0
+    end
+    else if s.Ck.Fuzz.failures <> [] then begin
+      List.iter
+        (fun (f : Ck.Fuzz.failure) ->
+          Printf.printf "FUZZ-FAIL seed=%d family=%s updates=%d\n" f.Ck.Fuzz.case_seed
+            f.Ck.Fuzz.family f.Ck.Fuzz.updates)
+        s.Ck.Fuzz.failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random workloads checked across every \
+             maintenance engine against a from-scratch oracle; divergences \
+             are delta-debugged to minimal reproducers")
+    Term.(const run $ seed_arg $ runs_arg $ minutes_arg $ engines_arg $ corpus_arg
+          $ inject_arg)
+
 let () =
   let doc = "incremental view maintenance toolbox (PODS 2024 survey reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
-          [ classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd ]))
+          [
+            classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd;
+            fuzz_cmd;
+          ]))

@@ -1,0 +1,105 @@
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+module Value = Ivm_data.Value
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+module Db = Ivm_data.Database.Z
+module Schema = Ivm_data.Schema
+
+type family = Join | Triangle | Kclique | Static_dynamic
+
+let family_name = function
+  | Join -> "join"
+  | Triangle -> "triangle"
+  | Kclique -> "kclique"
+  | Static_dynamic -> "static-dynamic"
+
+let family_of_name = function
+  | "join" -> Some Join
+  | "triangle" -> Some Triangle
+  | "kclique" -> Some Kclique
+  | "static-dynamic" -> Some Static_dynamic
+  | _ -> None
+
+type row = { rel : string; values : Value.t list; payload : int }
+
+type t = {
+  family : family;
+  seed : Seed.t;
+  query : Cq.t option;
+  order : Vo.forest option;
+  k : int;
+  schemas : (string * string list) list;
+  init : row list;
+  stream : row list list;
+}
+
+let update_of_row (r : row) : int Update.t =
+  Update.make ~rel:r.rel ~tuple:(Tuple.of_list r.values) ~payload:r.payload
+
+let row_of_update (u : int Update.t) : row =
+  { rel = u.Update.rel; values = Tuple.to_list u.Update.tuple; payload = u.Update.payload }
+
+let stream_length t = List.fold_left (fun acc e -> acc + List.length e) 0 t.stream
+
+let db_of t =
+  let db = Db.create () in
+  List.iter (fun (n, vars) -> ignore (Db.declare db n (Schema.of_list vars))) t.schemas;
+  List.iter (fun r -> Db.apply db (update_of_row r)) t.init;
+  db
+
+(* Validity is checked against a live multiset threaded through init and
+   the stream in order, so dropping any subset of updates upstream still
+   leaves a valid case — the property the shrinker relies on. *)
+let sanitize t =
+  let live : (string * Value.t list, int) Hashtbl.t = Hashtbl.create 64 in
+  let get k = Option.value (Hashtbl.find_opt live k) ~default:0 in
+  let merge k p =
+    let m = get k + p in
+    if m = 0 then Hashtbl.remove live k else Hashtbl.replace live k m
+  in
+  let keep (r : row) =
+    match t.family with
+    | Kclique ->
+        (* Simple undirected graph: edges normalized to (min, max), no
+           loops, inserts only of absent edges, deletes only of present
+           ones. *)
+        (match r.values with
+        | [ Value.Int u; Value.Int v ] when u <> v ->
+            let u, v = if u < v then (u, v) else (v, u) in
+            let values = [ Value.Int u; Value.Int v ] in
+            let k = (r.rel, values) in
+            if r.payload = 1 && get k = 0 then (merge k 1; Some { r with values })
+            else if r.payload = -1 && get k = 1 then (merge k (-1); Some { r with values })
+            else None
+        | _ -> None)
+    | Join | Triangle | Static_dynamic ->
+        let static = t.family = Static_dynamic && r.rel = "T" in
+        let k = (r.rel, r.values) in
+        if r.payload = 0 || static then None
+        else if r.payload < 0 && get k < -r.payload then None
+        else (merge k r.payload; Some r)
+  in
+  (* Init rows are unconditional inserts (positive multiplicities). *)
+  let init = List.filter (fun r -> r.payload > 0) t.init in
+  List.iter (fun (r : row) -> merge (r.rel, r.values) r.payload) init;
+  (* Static relations never change, but their *initial* contents are
+     legitimate — only stream updates are filtered above. *)
+  let stream = List.map (List.filter_map keep) t.stream in
+  { t with init; stream }
+
+let row_equal (a : row) (b : row) =
+  a.rel = b.rel && a.payload = b.payload && List.equal Value.equal a.values b.values
+
+let equal a b =
+  a.family = b.family && a.seed = b.seed && a.k = b.k
+  && Option.equal (fun (p : Cq.t) (q : Cq.t) -> p = q) a.query b.query
+  && Option.equal (fun (p : Vo.forest) (q : Vo.forest) -> p = q) a.order b.order
+  && a.schemas = b.schemas
+  && List.equal row_equal a.init b.init
+  && List.equal (List.equal row_equal) a.stream b.stream
+
+let pp fmt t =
+  Format.fprintf fmt "%s case (seed %a): %d relations, %d init rows, %d updates in %d epochs"
+    (family_name t.family) Seed.pp t.seed (List.length t.schemas) (List.length t.init)
+    (stream_length t) (List.length t.stream)

@@ -1,0 +1,253 @@
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+module Value = Ivm_data.Value
+
+let magic = "ivm-repro v1"
+
+(* --- value tokens ----------------------------------------------------
+   i<int>, f<%h float> (hex float roundtrips exactly), s<pct-encoded>.
+   Percent-encoding keeps every token free of spaces and newlines, so a
+   line splits on blanks unambiguously. *)
+
+let enc_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let dec_string s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+let enc_value = function
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Str s -> "s" ^ enc_string s
+  | Value.Real f -> Printf.sprintf "f%h" f
+
+let dec_value tok =
+  if tok = "" then Error "empty value token"
+  else
+    let body = String.sub tok 1 (String.length tok - 1) in
+    match tok.[0] with
+    | 'i' -> (try Ok (Value.Int (int_of_string body)) with _ -> Error ("bad int: " ^ tok))
+    | 's' -> (try Ok (Value.Str (dec_string body)) with _ -> Error ("bad str: " ^ tok))
+    | 'f' -> (try Ok (Value.Real (float_of_string body)) with _ -> Error ("bad float: " ^ tok))
+    | _ -> Error ("unknown value token: " ^ tok)
+
+(* --- forest as v0(v1 v2(v3)) ----------------------------------------- *)
+
+let rec enc_tree (t : Vo.t) =
+  match t.Vo.children with
+  | [] -> t.Vo.var
+  | cs -> t.Vo.var ^ "(" ^ String.concat " " (List.map enc_tree cs) ^ ")"
+
+let enc_forest f = String.concat " " (List.map enc_tree f)
+
+exception Parse of string
+
+let dec_forest s : Vo.forest =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () = while !pos < n && s.[!pos] = ' ' do incr pos done in
+  let ident () =
+    let start = !pos in
+    while
+      !pos < n && (match s.[!pos] with ' ' | '(' | ')' -> false | _ -> true)
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Parse ("expected variable at " ^ string_of_int start));
+    String.sub s start (!pos - start)
+  in
+  let rec tree () =
+    let var = ident () in
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+        incr pos;
+        let children = trees () in
+        skip_ws ();
+        (match peek () with
+        | Some ')' ->
+            incr pos;
+            { Vo.var; children }
+        | _ -> raise (Parse "expected )"))
+    | _ -> { Vo.var; children = [] }
+  and trees () =
+    skip_ws ();
+    match peek () with
+    | None | Some ')' -> []
+    | Some _ ->
+        let t = tree () in
+        t :: trees ()
+  in
+  let f = trees () in
+  skip_ws ();
+  if !pos <> n then raise (Parse "trailing input in order");
+  f
+
+(* --- writing ---------------------------------------------------------- *)
+
+let to_string (case : Case.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  line "seed %d" case.Case.seed;
+  line "family %s" (Case.family_name case.Case.family);
+  if case.Case.k > 0 then line "k %d" case.Case.k;
+  (match case.Case.query with
+  | None -> ()
+  | Some q ->
+      line "name %s" (enc_string q.Cq.name);
+      line "free %s" (String.concat " " q.Cq.free);
+      List.iter
+        (fun (a : Cq.atom) -> line "atom %s %s" a.Cq.rel (String.concat " " a.Cq.vars))
+        q.Cq.atoms);
+  (match case.Case.order with None -> () | Some f -> line "order %s" (enc_forest f));
+  List.iter
+    (fun (rel, vars) -> line "schema %s %s" rel (String.concat " " vars))
+    case.Case.schemas;
+  let row kw (r : Case.row) =
+    line "%s %s %d %s" kw r.Case.rel r.Case.payload
+      (String.concat " " (List.map enc_value r.Case.values))
+  in
+  List.iter (row "init") case.Case.init;
+  List.iter
+    (fun rows ->
+      line "epoch";
+      List.iter (row "up") rows)
+    case.Case.stream;
+  line "end";
+  Buffer.contents b
+
+(* --- reading ---------------------------------------------------------- *)
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let of_string text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    (match lines with
+    | m :: _ when m = magic -> ()
+    | _ -> raise (Parse ("missing magic line \"" ^ magic ^ "\"")));
+    let seed = ref 0 and family = ref None and k = ref 0 in
+    let name = ref "Q" and free = ref [] and atoms = ref [] and order = ref None in
+    let schemas = ref [] and init = ref [] in
+    let stream = ref [] and cur_epoch = ref None and finished = ref false in
+    let value_row rest =
+      match rest with
+      | rel :: payload :: toks ->
+          let payload =
+            try int_of_string payload with _ -> raise (Parse ("bad payload: " ^ payload))
+          in
+          let values =
+            List.map (fun t -> match dec_value t with Ok v -> v | Error e -> raise (Parse e)) toks
+          in
+          { Case.rel; values; payload }
+      | _ -> raise (Parse "row needs: <rel> <payload> <values...>")
+    in
+    List.iteri
+      (fun i line ->
+        if i = 0 || !finished then ()
+        else
+          let payload_of kw = String.sub line (String.length kw + 1) (String.length line - String.length kw - 1) in
+          match split_ws line with
+          | "seed" :: v :: _ -> seed := int_of_string v
+          | "family" :: v :: _ -> (
+              match Case.family_of_name v with
+              | Some f -> family := Some f
+              | None -> raise (Parse ("unknown family: " ^ v)))
+          | "k" :: v :: _ -> k := int_of_string v
+          | "name" :: v :: _ -> name := dec_string v
+          | "free" :: vs -> free := vs
+          | "atom" :: rel :: vars -> atoms := Cq.atom rel vars :: !atoms
+          | "order" :: _ -> order := Some (dec_forest (payload_of "order"))
+          | "schema" :: rel :: vars -> schemas := (rel, vars) :: !schemas
+          | "init" :: rest -> init := value_row rest :: !init
+          | "epoch" :: _ ->
+              (match !cur_epoch with
+              | Some rows -> stream := List.rev rows :: !stream
+              | None -> ());
+              cur_epoch := Some []
+          | "up" :: rest -> (
+              match !cur_epoch with
+              | Some rows -> cur_epoch := Some (value_row rest :: rows)
+              | None -> raise (Parse "up line outside an epoch"))
+          | "end" :: _ -> finished := true
+          | tok :: _ -> raise (Parse ("unknown directive: " ^ tok))
+          | [] -> ())
+      lines;
+    if not !finished then raise (Parse "missing end line");
+    (match !cur_epoch with Some rows -> stream := List.rev rows :: !stream | None -> ());
+    let family =
+      match !family with Some f -> f | None -> raise (Parse "missing family line")
+    in
+    let query =
+      match (family, List.rev !atoms) with
+      | (Case.Join | Case.Static_dynamic), [] -> raise (Parse "query family without atoms")
+      | (Case.Join | Case.Static_dynamic), atoms ->
+          Some (Cq.make ~name:!name ~free:!free atoms)
+      | _ -> None
+    in
+    Ok
+      {
+        Case.family;
+        seed = !seed;
+        query;
+        order = !order;
+        k = !k;
+        schemas = List.rev !schemas;
+        init = List.rev !init;
+        stream = List.rev !stream;
+      }
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error msg
+  | Failure msg -> Error msg
+
+let save path case =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (to_string case);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      of_string text
+
+let files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []

@@ -1,0 +1,25 @@
+(** Replayable reproducer files ([*.repro]): a line-based, diff-friendly
+    serialization of {!Case.t}, checked into [test/corpus/] whenever the
+    fuzzer shrinks a divergence. [test/test_corpus.ml] replays every
+    file there against the full engine matrix on each [dune runtest].
+
+    Format ("ivm-repro v1"): one directive per line —
+    [seed]/[family]/[k], then for query families [name]/[free]/[atom]
+    and [order] (forest as [v0(v1 v2(v3))]), then [schema] lines, [init]
+    rows, and [epoch]/[up] lines for the stream. Values are tokens:
+    [i<int>], [f<hex float>], [s<pct-encoded string>]. *)
+
+val magic : string
+(** First line of every reproducer file. *)
+
+val to_string : Case.t -> string
+val of_string : string -> (Case.t, string) result
+
+val save : string -> Case.t -> unit
+(** Write atomically (temp + rename). *)
+
+val load : string -> (Case.t, string) result
+
+val files : string -> string list
+(** The [*.repro] files directly under a directory, sorted; [] when the
+    directory does not exist. *)

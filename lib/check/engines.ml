@@ -1,0 +1,387 @@
+module D = Ivm_data
+module U = D.Update
+module Db = D.Database.Z
+module Rel = D.Relation.Z
+module Cq = Ivm_query.Cq
+module M = Ivm_engine.Maintainable
+module View_tree = Ivm_engine.View_tree
+module Strategy = Ivm_engine.Strategy
+module Tri = Ivm_engine.Triangle
+module Tb = Ivm_engine.Triangle_batch
+module Kc = Ivm_engine.Kclique
+module Sd = Ivm_engine.Static_dynamic_engine
+module St = Ivm_stream
+module N = Ivm_net
+module Fp = Ivm_fault.Failpoint
+
+type driver = {
+  name : string;
+  apply : int U.t list -> unit;
+  enumerate : unit -> (D.Tuple.t * int) list;
+  self_check : unit -> string option;
+  finish : unit -> unit;
+}
+
+let bug_failpoint = "check.drop_delete"
+
+(* The injectable engine bug: when the failpoint is armed, the wrapped
+   driver silently ignores deletes — the canonical polarity regression
+   the harness must catch, shrink and file. *)
+let maybe_drop_deletes batch =
+  match Fp.hit bug_failpoint with
+  | Some _ -> List.filter (fun (u : int U.t) -> u.U.payload >= 0) batch
+  | None -> batch
+
+let entries rel = Rel.fold (fun tp p acc -> (tp, p) :: acc) rel []
+let norm = Oracle.normalize
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ St.Errors.to_string e)
+
+let ok_wire what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ N.Wire.error_to_string e)
+
+let no_check () = None
+
+let plain name apply enumerate =
+  { name; apply; enumerate; self_check = no_check; finish = ignore }
+
+(* --- join family ----------------------------------------------------- *)
+
+let view_tree_driver (case : Case.t) =
+  let q = Option.get case.Case.query and order = Option.get case.Case.order in
+  let vt = View_tree.build q order (Case.db_of case) in
+  plain "view-tree"
+    (fun batch -> List.iter (View_tree.apply_update vt) (maybe_drop_deletes batch))
+    (fun () -> norm (entries (View_tree.output_relation vt)))
+
+let strategy_driver (case : Case.t) kind =
+  let q = Option.get case.Case.query and order = Option.get case.Case.order in
+  let s = Strategy.create kind q order (Case.db_of case) in
+  plain (Strategy.kind_name kind)
+    (fun batch -> Strategy.apply_batch s batch)
+    (fun () -> norm (entries (Strategy.output s)))
+
+let strategy_pool_driver (case : Case.t) kind =
+  let q = Option.get case.Case.query and order = Option.get case.Case.order in
+  let pool = Ivm_par.Domain_pool.create ~domains:3 in
+  let s = Strategy.create kind q order (Case.db_of case) in
+  {
+    name = Strategy.kind_name kind ^ "-pool";
+    apply = (fun batch -> Strategy.apply_batch ~pool s batch);
+    enumerate = (fun () -> norm (entries (Strategy.output s)));
+    self_check = no_check;
+    finish = (fun () -> Ivm_par.Domain_pool.destroy pool);
+  }
+
+(* --- graph engines --------------------------------------------------- *)
+
+let tri_rel (u : int U.t) =
+  match u.U.rel with
+  | "R" -> Tri.R
+  | "S" -> Tri.S
+  | "T" -> Tri.T
+  | r -> failwith ("triangle driver: unknown relation " ^ r)
+
+let edge_ints (u : int U.t) =
+  (D.Value.to_int (D.Tuple.get u.U.tuple 0), D.Value.to_int (D.Tuple.get u.U.tuple 1))
+
+let scalar_enum count () = norm [ (D.Tuple.unit, count ()) ]
+
+let tri_engine_driver (type e) name ~bug (module E : Tri.ENGINE with type t = e) =
+  let eng = E.create () in
+  plain name
+    (fun batch ->
+      let batch = if bug then maybe_drop_deletes batch else batch in
+      List.iter
+        (fun u ->
+          let a, b = edge_ints u in
+          E.update eng (tri_rel u) ~a ~b u.U.payload)
+        batch)
+    (scalar_enum (fun () -> E.count eng))
+
+let tri_batch_driver (type e) name ?pool (module B : Tb.BATCH_ENGINE with type t = e)
+    ~finish () =
+  let eng = B.create ?pool () in
+  let edge_of u =
+    let a, b = edge_ints u in
+    (tri_rel u, a, b, u.U.payload)
+  in
+  {
+    name;
+    apply = (fun batch -> B.apply_batch eng (List.map edge_of batch));
+    enumerate = scalar_enum (fun () -> B.count eng);
+    self_check = no_check;
+    finish;
+  }
+
+let kclique_driver (case : Case.t) ~recompute =
+  let g = Kc.create ~k:case.Case.k in
+  plain (if recompute then "kclique-recompute" else "kclique")
+    (fun batch ->
+      List.iter
+        (fun u ->
+          let a, b = edge_ints u in
+          if u.U.payload > 0 then ignore (Kc.insert g a b) else ignore (Kc.delete g a b))
+        batch)
+    (scalar_enum (fun () -> if recompute then Kc.recompute g else Kc.count g))
+
+(* --- static/dynamic -------------------------------------------------- *)
+
+let sd_driver (case : Case.t) =
+  let e = Sd.create (Case.db_of case) in
+  plain "static-dynamic"
+    (fun batch -> List.iter (Sd.apply_update e) batch)
+    (fun () -> norm (entries (Sd.output e)))
+
+let all_dynamic_driver (case : Case.t) =
+  let e = Sd.All_dynamic.create (Case.db_of case) in
+  plain "all-dynamic"
+    (fun batch -> List.iter (Sd.All_dynamic.apply_update e) batch)
+    (fun () -> norm (entries (Sd.All_dynamic.output e)))
+
+let sd_view_tree_driver (case : Case.t) =
+  let vt = View_tree.build Sd.query Sd.order (Case.db_of case) in
+  plain "sd-view-tree"
+    (fun batch -> List.iter (View_tree.apply_update vt) batch)
+    (fun () -> norm (entries (View_tree.output_relation vt)))
+
+(* --- maintainable factories for the streaming and net paths ---------- *)
+
+let join_factory (case : Case.t) : Db.t -> M.t =
+  let q = Option.get case.Case.query and order = Option.get case.Case.order in
+  fun db -> M.of_view_tree ~name:"v" q (View_tree.build q order db)
+
+let tri_factory (_ : Case.t) : Db.t -> M.t =
+ fun db ->
+  let eng = Tb.Delta.create () in
+  List.iter
+    (fun name ->
+      let rel = match name with "R" -> Tri.R | "S" -> Tri.S | _ -> Tri.T in
+      Rel.iter
+        (fun t p ->
+          Tb.Delta.update eng rel ~a:(D.Value.to_int (D.Tuple.get t 0))
+            ~b:(D.Value.to_int (D.Tuple.get t 1))
+            p)
+        (Db.find db name))
+    [ "R"; "S"; "T" ];
+  M.of_triangle_batch ~name:"v" (module Tb.Delta) eng
+
+(* --- the streaming path: WAL + epoch scheduler + supervised registry,
+   driven synchronously one epoch at a time. self_check replays the
+   durable state two ways — full WAL from the initial database, and
+   checkpoint + WAL suffix — and demands both equal the live run. ------ *)
+
+let stream_driver ~dir ~factory (case : Case.t) =
+  let wal_path = Filename.concat dir "stream.wal" in
+  let ckpt_path = Filename.concat dir "stream.ckpt" in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ wal_path; ckpt_path ];
+  let metrics = St.Metrics.create () in
+  let reg = St.Registry.create ~metrics (Case.db_of case) in
+  St.Registry.register reg ~name:"v" factory;
+  let wal = ok "wal open" (St.Wal.Z.open_log wal_path) in
+  let queue = St.Queue.create ~capacity:8192 St.Queue.Block in
+  let sched = St.Scheduler.create ~wal ~queue ~registry:reg ~metrics () in
+  let save_ckpt () =
+    ok "checkpoint save"
+      (St.Checkpoint.Z.save ckpt_path ~db:(St.Registry.db reg)
+         ~wal_offset:(St.Wal.Z.offset wal))
+  in
+  (* An initial checkpoint, so a stream short enough to never reach the
+     mid-stream save still exercises restore-from-preprocessing. *)
+  save_ckpt ();
+  let mid = max 1 (List.length case.Case.stream / 2) in
+  let epoch = ref 0 in
+  let target = ref 0 in
+  let enum_of r = norm ((St.Registry.find r "v").M.enumerate ()) in
+  let apply batch =
+    incr epoch;
+    if batch <> [] then begin
+      List.iter (fun u -> ignore (St.Queue.push queue (St.Scheduler.item u))) batch;
+      target := !target + List.length batch;
+      while St.Scheduler.applied sched < !target do
+        match St.Scheduler.step sched with
+        | Ok true -> ()
+        | Ok false -> failwith "stream driver: queue ended early"
+        | Error e -> failwith ("stream driver epoch: " ^ St.Errors.to_string e)
+      done
+    end;
+    if !epoch = mid then save_ckpt ()
+  in
+  let self_check () =
+    match St.Wal.Z.sync wal with
+    | Error e -> Some ("wal sync: " ^ St.Errors.to_string e)
+    | Ok () -> (
+        let live = enum_of reg in
+        (* Kill-and-replay 1: the whole WAL over the initial database. *)
+        let scratch = St.Registry.create (Case.db_of case) in
+        St.Registry.register scratch ~name:"v" factory;
+        let pending = ref [] in
+        match
+          St.Wal.Z.replay wal_path ~from:St.Wal.header_len (fun u ->
+              pending := u :: !pending)
+        with
+        | Error e -> Some ("wal replay: " ^ St.Errors.to_string e)
+        | Ok _ -> (
+            St.Registry.apply_batch scratch (List.rev !pending);
+            if not (Oracle.equal_entries (enum_of scratch) live) then
+              Some "full WAL replay diverges from the live run"
+            else
+              (* Kill-and-replay 2: checkpoint + WAL suffix. *)
+              match St.Checkpoint.Z.load ckpt_path with
+              | Error e -> Some ("checkpoint load: " ^ St.Errors.to_string e)
+              | Ok (db, offset) -> (
+                  let restored = St.Registry.restore reg db in
+                  let suffix = ref [] in
+                  match
+                    St.Wal.Z.replay wal_path ~from:offset (fun u -> suffix := u :: !suffix)
+                  with
+                  | Error e -> Some ("wal suffix replay: " ^ St.Errors.to_string e)
+                  | Ok _ ->
+                      St.Registry.apply_batch restored (List.rev !suffix);
+                      if not (Oracle.equal_entries (enum_of restored) live) then
+                        Some "checkpoint + WAL suffix replay diverges from the live run"
+                      else None)))
+  in
+  {
+    name = "stream";
+    apply;
+    enumerate = (fun () -> enum_of reg);
+    self_check;
+    finish = (fun () -> St.Wal.Z.close wal);
+  }
+
+(* --- the net loopback path: a real TCP server over a live scheduler,
+   epochs ingested and outputs snapshotted through a Net.Client. ------- *)
+
+let net_driver ~factory (case : Case.t) =
+  let metrics = St.Metrics.create () in
+  let reg = St.Registry.create ~metrics (Case.db_of case) in
+  St.Registry.register reg ~name:"v" factory;
+  let queue = St.Queue.create ~capacity:8192 St.Queue.Block in
+  let sched = St.Scheduler.create ~initial_batch:64 ~queue ~registry:reg ~metrics () in
+  let runner = Domain.spawn (fun () -> St.Scheduler.run sched) in
+  let ingest updates =
+    List.fold_left
+      (fun (a, d) u ->
+        if St.Queue.push queue (St.Scheduler.item u) then (a + 1, d) else (a, d + 1))
+      (0, 0) updates
+  in
+  let stop_runner () =
+    St.Queue.close queue;
+    ignore (Domain.join runner)
+  in
+  let srv =
+    try
+      ok_wire "server start"
+        (N.Server.start ~port:0 ~handlers:2 ~chunk_size:64 ~ingest
+           ~on_shutdown:(fun () -> St.Queue.close queue)
+           ~registry:reg ~metrics ())
+    with e ->
+      stop_runner ();
+      raise e
+  in
+  let client =
+    try ok_wire "client connect" (N.Client.connect ~port:(N.Server.port srv) ())
+    with e ->
+      stop_runner ();
+      N.Server.stop srv;
+      raise e
+  in
+  let target = ref 0 in
+  let apply batch =
+    if batch <> [] then begin
+      let admitted, dropped = ok_wire "ingest" (N.Client.ingest client batch) in
+      if dropped > 0 then failwith "net driver: server dropped updates";
+      target := !target + admitted;
+      let deadline = Unix.gettimeofday () +. 30. in
+      while St.Scheduler.applied sched < !target && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.0005
+      done;
+      if St.Scheduler.applied sched < !target then failwith "net driver: apply timed out"
+    end
+  in
+  {
+    name = "net";
+    apply;
+    enumerate = (fun () -> norm (ok_wire "snapshot" (N.Client.snapshot client ~view:"v")));
+    self_check = no_check;
+    finish =
+      (fun () ->
+        N.Client.close client;
+        stop_runner ();
+        N.Server.stop srv);
+  }
+
+(* --- the matrix ------------------------------------------------------ *)
+
+let join_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("view-tree", fun ~dir:_ c -> view_tree_driver c);
+    ("eager-fact", fun ~dir:_ c -> strategy_driver c Strategy.Eager_fact);
+    ("eager-list", fun ~dir:_ c -> strategy_driver c Strategy.Eager_list);
+    ("lazy-fact", fun ~dir:_ c -> strategy_driver c Strategy.Lazy_fact);
+    ("lazy-list", fun ~dir:_ c -> strategy_driver c Strategy.Lazy_list);
+    ("lazy-fact-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_fact);
+    ("lazy-list-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_list);
+    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(join_factory c) c);
+    ("net", fun ~dir:_ c -> net_driver ~factory:(join_factory c) c);
+  ]
+
+let triangle_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("tri-delta", fun ~dir:_ _ -> tri_engine_driver "tri-delta" ~bug:true (module Tri.Delta));
+    ( "tri-one-view",
+      fun ~dir:_ _ -> tri_engine_driver "tri-one-view" ~bug:false (module Tri.One_view) );
+    ( "tri-eps",
+      fun ~dir:_ _ ->
+        tri_engine_driver "tri-eps" ~bug:false (module Ivm_eps.Triangle_count.Half) );
+    ( "tri-batch-delta",
+      fun ~dir:_ _ -> tri_batch_driver "tri-batch-delta" (module Tb.Delta) ~finish:ignore () );
+    ( "tri-batch-one-view",
+      fun ~dir:_ _ ->
+        tri_batch_driver "tri-batch-one-view" (module Tb.One_view) ~finish:ignore () );
+    ( "tri-batch-pool",
+      fun ~dir:_ _ ->
+        let pool = Ivm_par.Domain_pool.create ~domains:3 in
+        tri_batch_driver "tri-batch-pool" ~pool
+          (module Tb.Delta)
+          ~finish:(fun () -> Ivm_par.Domain_pool.destroy pool)
+          () );
+    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(tri_factory c) c);
+    ("net", fun ~dir:_ c -> net_driver ~factory:(tri_factory c) c);
+  ]
+
+let kclique_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("kclique", fun ~dir:_ c -> kclique_driver c ~recompute:false);
+    ("kclique-recompute", fun ~dir:_ c -> kclique_driver c ~recompute:true);
+  ]
+
+let sd_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("static-dynamic", fun ~dir:_ c -> sd_driver c);
+    ("all-dynamic", fun ~dir:_ c -> all_dynamic_driver c);
+    ("sd-view-tree", fun ~dir:_ c -> sd_view_tree_driver c);
+  ]
+
+let builders (case : Case.t) =
+  match case.Case.family with
+  | Case.Join -> join_builders
+  | Case.Triangle -> triangle_builders
+  | Case.Kclique -> kclique_builders
+  | Case.Static_dynamic -> sd_builders
+
+let names case = List.map fst (builders case)
+
+let all_names =
+  List.sort_uniq compare
+    (List.concat_map (List.map fst)
+       [ join_builders; triangle_builders; kclique_builders; sd_builders ])
+
+let build ~dir ?(select = []) (case : Case.t) =
+  builders case
+  |> List.filter (fun (n, _) -> select = [] || List.mem n select)
+  |> List.map (fun (n, f) -> (n, fun () -> f ~dir case))

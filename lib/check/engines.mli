@@ -1,0 +1,48 @@
+(** The differential engine matrix: every maintenance implementation in
+    the library wrapped as a uniform driver the harness can feed one
+    epoch at a time and enumerate in canonical form. Per family:
+
+    - [Join]: the factorized view tree; the four Fig. 4 strategies
+      (sequential) and the two lazy kinds again over a domain pool; the
+      [Scheduler]+[Registry] streaming path (WAL + mid-stream checkpoint,
+      with a kill-and-replay {!driver.self_check}); a loopback
+      [Net.Client] against a real TCP server.
+    - [Triangle]: first-order delta and single-view kernels, IVM^ε, the
+      polarized batch fronts (sequential and pooled), streaming and net.
+    - [Kclique]: the maintained count and its from-scratch recompute.
+    - [Static_dynamic]: the Sec. 4.5 engine, its all-dynamic twin, and a
+      plain view tree over the same order.
+
+    The deliberately injectable bug: while the {!bug_failpoint} is armed
+    (via [Ivm_fault.Failpoint]), the [view-tree] and [tri-delta] drivers
+    silently drop delete-polarity updates — the regression the fuzz
+    smoke proves it can catch and shrink. *)
+
+type driver = {
+  name : string;
+  apply : int Ivm_data.Update.t list -> unit;  (** absorb one epoch *)
+  enumerate : unit -> (Ivm_data.Tuple.t * int) list;
+      (** current output, already {!Oracle.normalize}d *)
+  self_check : unit -> string option;
+      (** end-of-stream internal cross-checks (durability paths);
+          [Some msg] is reported as a divergence of this engine *)
+  finish : unit -> unit;  (** release pools, sockets, domains, files *)
+}
+
+val bug_failpoint : string
+(** ["check.drop_delete"] — arm it with [times:max_int] to make the
+    susceptible drivers lose deletes. *)
+
+val names : Case.t -> string list
+(** The engines applicable to a case's family, in build order. *)
+
+val all_names : string list
+
+val build :
+  dir:string -> ?select:string list -> Case.t -> (string * (unit -> driver)) list
+(** The matrix over the case's initial database, as named constructors —
+    deferred so a crashing build is a recordable divergence of that one
+    engine, not a harness failure. [dir] is a scratch directory for
+    WAL/checkpoint files (the caller owns its lifecycle). [select] keeps
+    only the named engines (unknown names are ignored; an empty
+    selection builds everything). *)

@@ -1,0 +1,75 @@
+type failure = {
+  case_seed : Seed.t;
+  family : string;
+  divergences : Harness.divergence list;
+  minimized : Case.t;
+  updates : int;
+  corpus_file : string option;
+}
+
+type summary = { seed : Seed.t; runs : int; failures : failure list }
+
+let run ?(runs = 100) ?minutes ?(select = []) ?corpus_dir ?(log = ignore) ~seed () =
+  let started = Unix.gettimeofday () in
+  let out_of_time () =
+    match minutes with
+    | None -> false
+    | Some m -> Unix.gettimeofday () -. started >= m *. 60.
+  in
+  let failures = ref [] in
+  let executed = ref 0 in
+  let i = ref 0 in
+  while !i < runs && ((not (out_of_time ())) || !executed = 0) do
+    (* runs = 1 replays the master seed itself — the reproduce contract. *)
+    let case_seed = if runs = 1 then seed else Seed.case seed !i in
+    let rng = Seed.rng case_seed in
+    let case = Gen.case ~rng ~seed:case_seed in
+    incr executed;
+    (match Harness.run ~select case with
+    | Harness.Agree -> ()
+    | Harness.Diverged ds ->
+        log
+          (Format.asprintf "seed %a (%s): %d divergence(s); first: %a" Seed.pp case_seed
+             (Case.family_name case.Case.family)
+             (List.length ds) Harness.pp_divergence (List.hd ds));
+        log
+          (Format.asprintf "  reproduce with: ivm_cli fuzz --seed %a --runs 1" Seed.pp
+             case_seed);
+        let minimized =
+          Shrink.minimize ~failing:(fun c -> Harness.diverges ~select c) case
+        in
+        let updates = Case.stream_length minimized in
+        log
+          (Format.asprintf "  shrunk to %d update(s) over %d init row(s)" updates
+             (List.length minimized.Case.init));
+        let corpus_file =
+          match corpus_dir with
+          | None -> None
+          | Some dir ->
+              if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+              let file =
+                Filename.concat dir
+                  (Printf.sprintf "%s-%d.repro"
+                     (Case.family_name minimized.Case.family)
+                     case_seed)
+              in
+              Corpus.save file minimized;
+              log ("  reproducer written to " ^ file);
+              Some file
+        in
+        failures :=
+          {
+            case_seed;
+            family = Case.family_name case.Case.family;
+            divergences = ds;
+            minimized;
+            updates;
+            corpus_file;
+          }
+          :: !failures);
+    if !executed mod 20 = 0 && !executed < runs then
+      log (Printf.sprintf "... %d/%d cases, %d failure(s)" !executed runs
+             (List.length !failures));
+    incr i
+  done;
+  { seed; runs = !executed; failures = List.rev !failures }

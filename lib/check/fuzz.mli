@@ -1,0 +1,35 @@
+(** The fuzz loop: generate a case per seed, run the differential
+    harness, and on divergence shrink to a 1-minimal reproducer and file
+    it in the corpus directory. Everything is reproducible from the
+    master seed alone: case [i] of run [--seed S] uses [Seed.case S i],
+    and a single-case run ([--runs 1]) uses [S] directly — so the
+    "reproduce with" line a failure prints replays exactly. *)
+
+type failure = {
+  case_seed : Seed.t;
+  family : string;
+  divergences : Harness.divergence list;  (** of the un-shrunk case *)
+  minimized : Case.t;
+  updates : int;  (** stream length of the minimized case *)
+  corpus_file : string option;  (** where the reproducer was written *)
+}
+
+type summary = {
+  seed : Seed.t;
+  runs : int;  (** cases executed (may stop early on time budget) *)
+  failures : failure list;
+}
+
+val run :
+  ?runs:int ->
+  ?minutes:float ->
+  ?select:string list ->
+  ?corpus_dir:string ->
+  ?log:(string -> unit) ->
+  seed:Seed.t ->
+  unit ->
+  summary
+(** Defaults: 100 runs, no time budget, full engine matrix, no corpus
+    writes, silent. With [minutes] the loop also stops once the wall
+    clock budget is spent (at least one case always runs). [log]
+    receives one line per failure and a progress line every 20 cases. *)

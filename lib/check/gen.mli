@@ -1,0 +1,44 @@
+(** Seeded generators for fuzz cases: schemas, ring-valued databases and
+    polarized update streams, plus the adversarial value/tuple/update
+    distributions the codec round-trip properties reuse. All draws come
+    from the caller's [~rng] (see {!Seed}); the same (seed, index) pair
+    regenerates the identical case. *)
+
+val join : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** A random executable q-hierarchical workload
+    ({!Ivm_workload.Random_queries.executable}) with: per-variable value
+    domains of 1–4 points (15% string-typed, the rest ints, so joins
+    collide often), an initial database of up to 7 rows per relation
+    with multiplicities 1–3, and an update stream of up to 40 updates
+    whose delete share is drawn from \{0, 0.3, 0.6\} (insert-only /
+    mixed / delete-heavy), split into epochs of 1–6 updates. Deletes
+    target live tuples, so streams are valid after {!Case.sanitize}. *)
+
+val triangle : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** An edge stream over the fixed R(A,B), S(B,C), T(C,A) schema: 2–7
+    nodes (small, to force heavy keys), up to 80 ±1-multiplicity
+    updates, the same polarity mix as {!join}, epochs of 1–8. *)
+
+val kclique : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** A simple-graph edge stream (k ∈ \{3, 4\}, 3–7 nodes, up to 60
+    inserts/deletes maintaining the no-loop/no-duplicate invariant). *)
+
+val static_dynamic : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** The Sec. 4.5 mixed workload: random initial contents for R, S and
+    the static T, then a stream touching only the dynamic R and S. *)
+
+val case : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** Draw a family (join 45%, triangle 25%, kclique 15%,
+    static-dynamic 15%) and generate a case of it. *)
+
+(** {1 Adversarial primitive distributions}
+
+    These deliberately cover the codec's edge cases: empty tuples and
+    strings, [min_int]/[max_int] payloads, long high-byte strings,
+    negative and huge floats. They are plain [Random.State.t -> 'a]
+    functions, which is exactly QCheck's generator type — the round-trip
+    properties in [test/test_check.ml] consume them directly. *)
+
+val value : Random.State.t -> Ivm_data.Value.t
+val tuple : Random.State.t -> Ivm_data.Tuple.t
+val update : Random.State.t -> int Ivm_data.Update.t

@@ -1,0 +1,109 @@
+module Tuple = Ivm_data.Tuple
+
+type divergence = { engine : string; epoch : int; detail : string }
+type outcome = Agree | Diverged of divergence list
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "[%s] epoch %d: %s" d.engine d.epoch d.detail
+
+let pp_entries fmt entries =
+  let n = List.length entries in
+  let shown = List.filteri (fun i _ -> i < 6) entries in
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (t, p) ->
+      Format.fprintf fmt "%s%a->%d" (if i = 0 then "" else ", ") Tuple.pp t p)
+    shown;
+  if n > 6 then Format.fprintf fmt ", ... %d more" (n - 6);
+  Format.fprintf fmt "}"
+
+let mismatch expected got =
+  Format.asprintf "output %a, oracle expects %a" pp_entries got pp_entries expected
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec pick n =
+    let d = Filename.concat base (Printf.sprintf "ivm-check-%d-%d" (Unix.getpid ()) n) in
+    if Sys.file_exists d then pick (n + 1) else d
+  in
+  let d = pick 0 in
+  Unix.mkdir d 0o700;
+  d
+
+let remove_dir d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ()) (Sys.readdir d);
+    try Unix.rmdir d with Unix.Unix_error _ -> ()
+  end
+
+let run ?dir ?(select = []) (case : Case.t) =
+  let case = Case.sanitize case in
+  let dir, owns_dir = match dir with Some d -> (d, false) | None -> (fresh_dir (), true) in
+  let divergences = ref [] in
+  let report engine epoch detail = divergences := { engine; epoch; detail } :: !divergences in
+  Fun.protect
+    ~finally:(fun () -> if owns_dir then remove_dir dir)
+    (fun () ->
+      let oracle = Oracle.create case in
+      (* A driver whose build raises is itself a divergence (the oracle
+         accepted the same case), not a harness crash. *)
+      let drivers =
+        Engines.build ~dir ~select case
+        |> List.filter_map (fun (name, build) ->
+               match build () with
+               | d -> Some d
+               | exception e ->
+                   report name 0 ("build raised: " ^ Printexc.to_string e);
+                   None)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun (d : Engines.driver) -> try d.Engines.finish () with _ -> ()) drivers)
+        (fun () ->
+          (* A driver that raised is dead: it stops absorbing epochs so
+             one exception yields one divergence, not one per epoch. *)
+          let dead = Hashtbl.create 8 in
+          let compare_all epoch =
+            let expected = Oracle.enumerate oracle in
+            List.iter
+              (fun (d : Engines.driver) ->
+                if not (Hashtbl.mem dead d.Engines.name) then
+                  match d.Engines.enumerate () with
+                  | got ->
+                      if not (Oracle.equal_entries got expected) then
+                        report d.Engines.name epoch (mismatch expected got)
+                  | exception e ->
+                      Hashtbl.replace dead d.Engines.name ();
+                      report d.Engines.name epoch ("enumerate raised: " ^ Printexc.to_string e))
+              drivers
+          in
+          compare_all 0;
+          List.iteri
+            (fun i rows ->
+              let epoch = i + 1 in
+              let batch = List.map Case.update_of_row rows in
+              Oracle.apply oracle batch;
+              List.iter
+                (fun (d : Engines.driver) ->
+                  if not (Hashtbl.mem dead d.Engines.name) then
+                    try d.Engines.apply batch
+                    with e ->
+                      Hashtbl.replace dead d.Engines.name ();
+                      report d.Engines.name epoch ("apply raised: " ^ Printexc.to_string e))
+                drivers;
+              compare_all epoch)
+            case.Case.stream;
+          let final = List.length case.Case.stream in
+          List.iter
+            (fun (d : Engines.driver) ->
+              if not (Hashtbl.mem dead d.Engines.name) then
+                match d.Engines.self_check () with
+                | None -> ()
+                | Some msg -> report d.Engines.name final ("self-check: " ^ msg)
+                | exception e ->
+                    report d.Engines.name final ("self-check raised: " ^ Printexc.to_string e))
+            drivers));
+  match List.rev !divergences with [] -> Agree | ds -> Diverged ds
+
+let diverges ?dir ?select case =
+  match run ?dir ?select case with Agree -> false | Diverged _ -> true

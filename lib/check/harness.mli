@@ -1,0 +1,26 @@
+(** The differential executor: one case, the oracle, and every
+    applicable engine, stepped epoch by epoch in lockstep. After the
+    build (epoch 0) and after every absorbed epoch the normalized
+    enumerations are compared; at end of stream each engine's
+    {!Engines.driver.self_check} runs (durability replay paths). Any
+    mismatch, self-check failure or raised exception is a divergence. *)
+
+type divergence = {
+  engine : string;
+  epoch : int;  (** 0 = right after build, i = after epoch i *)
+  detail : string;
+}
+
+type outcome = Agree | Diverged of divergence list
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val run : ?dir:string -> ?select:string list -> Case.t -> outcome
+(** Sanitizes the case, builds oracle and drivers, drives the stream.
+    [dir] is the scratch directory for WAL/checkpoint files (a fresh
+    temp directory is created and removed when omitted); [select]
+    restricts the engine matrix as in {!Engines.build}. Driver [finish]
+    hooks always run, even on exceptions. *)
+
+val diverges : ?dir:string -> ?select:string list -> Case.t -> bool
+(** [run] collapsed to a predicate — the shrinker's test function. *)

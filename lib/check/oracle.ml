@@ -1,0 +1,80 @@
+module Cq = Ivm_query.Cq
+module Value = Ivm_data.Value
+module Tuple = Ivm_data.Tuple
+module Update = Ivm_data.Update
+module Db = Ivm_data.Database.Z
+module Rel = Ivm_data.Relation.Z
+module Eval = Ivm_engine.Eval
+module View = Ivm_engine.View
+
+type t = { case : Case.t; db : Db.t }
+
+let create (case : Case.t) = { case; db = Case.db_of case }
+let apply t batch = Db.apply_batch t.db batch
+
+let normalize entries =
+  List.filter (fun (_, p) -> p <> 0) entries
+  |> List.sort (fun (a, pa) (b, pb) ->
+         match Tuple.compare a b with 0 -> compare pa pb | c -> c)
+
+let equal_entries a b =
+  List.equal (fun (ta, pa) (tb, pb) -> pa = pb && Tuple.equal ta tb) a b
+
+let entries_of rel = Rel.fold (fun tp p acc -> (tp, p) :: acc) rel []
+
+(* Fresh per-recompute views: indexes are rebuilt each epoch, so the
+   oracle never maintains anything incrementally. *)
+let recompute_query t q =
+  let out = Eval.aggregate q ~lookup:(fun name -> View.of_relation (Db.find t.db name)) in
+  entries_of out
+
+let scalar v = if v = 0 then [] else [ (Tuple.unit, v) ]
+
+(* Triangle count by explicit join over the base relations. *)
+let triangle_count t =
+  let r = Db.find t.db "R" and s = Db.find t.db "S" and tt = Db.find t.db "T" in
+  Rel.fold
+    (fun rt rm acc ->
+      let a = Tuple.get rt 0 and b = Tuple.get rt 1 in
+      Rel.fold
+        (fun st sm acc ->
+          if Value.equal (Tuple.get st 0) b then
+            let c = Tuple.get st 1 in
+            acc + (rm * sm * Rel.get tt (Tuple.of_list [ c; a ]))
+          else acc)
+        s acc)
+    r 0
+
+(* k-clique count by exhaustive subset enumeration — fine for the tiny
+   graphs the generator produces. *)
+let kclique_count t k =
+  let e = Db.find t.db "E" in
+  let nodes = Hashtbl.create 16 in
+  Rel.iter
+    (fun tp _ ->
+      Hashtbl.replace nodes (Value.to_int (Tuple.get tp 0)) ();
+      Hashtbl.replace nodes (Value.to_int (Tuple.get tp 1)) ())
+    e;
+  let vs = Hashtbl.fold (fun v () acc -> v :: acc) nodes [] |> List.sort compare in
+  let adjacent u v =
+    let a, b = if u < v then (u, v) else (v, u) in
+    Rel.mem e (Tuple.of_ints [ a; b ])
+  in
+  let rec choose acc rest count =
+    match rest with
+    | _ when List.length acc = k -> count + 1
+    | [] -> count
+    | v :: tl ->
+        let count =
+          if List.for_all (adjacent v) acc then choose (v :: acc) tl count else count
+        in
+        choose acc tl count
+  in
+  choose [] vs 0
+
+let enumerate t =
+  normalize
+    (match t.case.Case.family with
+    | Case.Join | Case.Static_dynamic -> recompute_query t (Option.get t.case.Case.query)
+    | Case.Triangle -> scalar (triangle_count t)
+    | Case.Kclique -> scalar (kclique_count t t.case.Case.k))

@@ -1,0 +1,30 @@
+(** The reference model of the differential harness: a plain database
+    plus from-scratch recomputation after every epoch ({!Ivm_engine.Eval}
+    for join queries, brute-force counting for the graph families).
+    O(N) per epoch and trivially correct — every maintenance engine must
+    match it exactly. *)
+
+type t
+
+val create : Case.t -> t
+(** The oracle over the case's initial database. *)
+
+val apply : t -> int Ivm_data.Update.t list -> unit
+(** Absorb one epoch (base updates only — nothing incremental here). *)
+
+val enumerate : t -> (Ivm_data.Tuple.t * int) list
+(** The recomputed view output in canonical form (see {!normalize}).
+    Scalar outputs (counts) appear as [(Tuple.unit, v)] with the [v = 0]
+    entry elided, matching zero elision on relations. *)
+
+val normalize : (Ivm_data.Tuple.t * int) list -> (Ivm_data.Tuple.t * int) list
+(** The fingerprint-comparison form used across the harness: drop
+    zero-payload entries (zero elision), then sort by tuple. Two engines
+    agree iff their normalized enumerations are {!equal_entries} — an
+    order-independent, extensional comparison. *)
+
+val equal_entries :
+  (Ivm_data.Tuple.t * int) list -> (Ivm_data.Tuple.t * int) list -> bool
+(** Entry-wise equality on normalized enumerations, via {!Tuple.equal} —
+    never structural [=], which would compare the tuples' memoized hash
+    caches (unfilled on wire-decoded tuples). *)

@@ -1,0 +1,17 @@
+type t = int
+
+(* splitmix64-style finalizer: adjacent seeds and similar labels must
+   yield decorrelated states, or every case of a run would explore
+   near-identical shapes. *)
+let mix (x : int) : int =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545f4914f6cdd1d in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14d049bb133111eb in
+  x lxor (x lsr 31)
+
+let rng (s : t) = Random.State.make [| mix s; mix (s + 0x9e3779b9) |]
+let derive (s : t) label = Random.State.make [| mix s; mix (Hashtbl.hash label) |]
+let case (s : t) i = mix ((s * 1_000_003) + i) land max_int
+let split rng = Random.State.bits rng land max_int
+let pp fmt (s : t) = Format.fprintf fmt "%d" s

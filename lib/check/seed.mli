@@ -1,0 +1,29 @@
+(** The single seeding authority of the fuzzing harness. Every random
+    decision anywhere in a fuzz run — query shapes, database contents,
+    update polarity, epoch boundaries, fault schedules — descends from
+    one integer through this module, so a failure is reproduced by
+    re-running with the seed printed in the failure report and nothing
+    else. Components never call [Random.State.make] themselves; they
+    take a [~rng] derived here. *)
+
+type t = int
+(** A master seed. *)
+
+val rng : t -> Random.State.t
+(** The root generator of a run. *)
+
+val derive : t -> string -> Random.State.t
+(** An independent substream for a named component ("query", "stream",
+    ...). Streams for different labels are decorrelated even for
+    adjacent seeds, so adding a consumer never perturbs the draws an
+    existing one sees. *)
+
+val case : t -> int -> t
+(** [case seed i] is the seed of the [i]-th case of a run — what the
+    failure report prints, and what reproduces that case alone. *)
+
+val split : Random.State.t -> t
+(** Draw a fresh seed from a generator, for handing a sub-component its
+    own independent stream. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+(* Classic ddmin (Zeller & Hildebrandt 2002): partition into n chunks,
+   try each chunk and each complement, refine granularity on failure to
+   reduce. *)
+let ddmin ~failing items =
+  let split_into n l =
+    let len = List.length l in
+    let base = len / n and extra = len mod n in
+    let rec take k l acc = if k = 0 then (List.rev acc, l)
+      else match l with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    let rec go i l =
+      if l = [] then []
+      else
+        let k = base + if i < extra then 1 else 0 in
+        let chunk, rest = take k l [] in
+        chunk :: go (i + 1) rest
+    in
+    go 0 l
+  in
+  let rec loop items n =
+    if List.length items <= 1 then items
+    else
+      let chunks = split_into n items in
+      let rec subsets = function
+        | [] -> None
+        | c :: rest -> if failing c then Some c else subsets rest
+      in
+      match subsets chunks with
+      | Some c -> loop c 2
+      | None ->
+          let rec complements i =
+            if i >= List.length chunks then None
+            else
+              let comp = List.concat (List.filteri (fun j _ -> j <> i) chunks) in
+              if failing comp then Some comp else complements (i + 1)
+          in
+          (match complements 0 with
+          | Some comp -> loop comp (max (n - 1) 2)
+          | None ->
+              if n < List.length items then loop items (min (List.length items) (2 * n))
+              else items)
+  in
+  if items = [] then [] else loop items 2
+
+(* The stream is shrunk as a flat (epoch index, row) list; rebuilding
+   keeps surviving rows in their original epochs so batch-boundary
+   bugs stay reproduced, and drops epochs that became empty. *)
+let flatten_stream stream =
+  List.concat (List.mapi (fun i rows -> List.map (fun r -> (i, r)) rows) stream)
+
+let rebuild_stream n_epochs flat =
+  let buckets = Array.make (max n_epochs 1) [] in
+  List.iter (fun (i, r) -> buckets.(i) <- r :: buckets.(i)) flat;
+  Array.to_list buckets |> List.filter_map (function [] -> None | l -> Some (List.rev l))
+
+let minimize ?(budget = 600) ~failing (case : Case.t) =
+  let calls = ref 0 in
+  let check c =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      failing c
+    end
+  in
+  if not (failing case) then case
+  else begin
+    let current = ref case in
+    let progress = ref true in
+    while !progress && !calls < budget do
+      progress := false;
+      let c = !current in
+      (* 1. stream rows *)
+      let n = List.length c.Case.stream in
+      let flat = flatten_stream c.Case.stream in
+      let kept =
+        ddmin ~failing:(fun f -> check { c with Case.stream = rebuild_stream n f }) flat
+      in
+      let c =
+        if List.length kept < List.length flat then begin
+          progress := true;
+          { c with Case.stream = rebuild_stream n kept }
+        end
+        else c
+      in
+      (* 2. init rows *)
+      let kept = ddmin ~failing:(fun init -> check { c with Case.init }) c.Case.init in
+      let c =
+        if List.length kept < List.length c.Case.init then begin
+          progress := true;
+          { c with Case.init = kept }
+        end
+        else c
+      in
+      (* 3. polish: drop single remaining rows ddmin's granularity
+         schedule may have pinned. *)
+      let drop_one_stream c =
+        let n = List.length c.Case.stream in
+        let flat = flatten_stream c.Case.stream in
+        let rec try_at i =
+          if i >= List.length flat then None
+          else
+            let f = List.filteri (fun j _ -> j <> i) flat in
+            let cand = { c with Case.stream = rebuild_stream n f } in
+            if check cand then Some cand else try_at (i + 1)
+        in
+        try_at 0
+      in
+      let rec polish c =
+        match drop_one_stream c with
+        | Some c' ->
+            progress := true;
+            polish c'
+        | None -> c
+      in
+      current := polish c
+    done;
+    Case.sanitize !current
+  end

@@ -1,0 +1,18 @@
+(** Delta-debugging minimization of diverging cases. Soundness rests on
+    {!Case.sanitize} being stable under subset removal: dropping any
+    updates from a valid case and re-sanitizing yields another valid
+    case, so the shrinker may delete freely and let the harness judge.
+
+    The loop: ddmin over the flattened stream (epoch structure is
+    rebuilt, empty epochs dropped), then ddmin over the init rows, then
+    single-update polish — iterated to a fixpoint under a predicate-call
+    budget. *)
+
+val ddmin : failing:('a list -> bool) -> 'a list -> 'a list
+(** Zeller–Hildebrandt ddmin: a 1-minimal sublist still satisfying
+    [failing]. [failing] must hold on the input list. *)
+
+val minimize : ?budget:int -> failing:(Case.t -> bool) -> Case.t -> Case.t
+(** The smallest case found within [budget] (default 600) predicate
+    calls. The result always satisfies [failing]; if the input does not,
+    it is returned unchanged. *)

@@ -23,10 +23,10 @@ type t = {
   live_list : (int * int * int) Vec.t option; (* absent: no deletes *)
 }
 
-let create ?(seed = 7) (spec : spec) =
+let create ?(seed = 7) ?rng (spec : spec) =
   {
     spec;
-    rng = Random.State.make [| seed |];
+    rng = (match rng with Some r -> r | None -> Random.State.make [| seed |]);
     zipf = (if spec.skew > 0. then Some (Zipf.create ~n:spec.nodes ~s:spec.skew) else None);
     live = Hashtbl.create 1024;
     live_list = (if spec.delete_ratio > 0. then Some (Vec.create ()) else None);

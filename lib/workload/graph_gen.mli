@@ -1,0 +1,34 @@
+(** Random-graph update streams for the triangle workloads (Sec. 3):
+    edges over the three binary relations R(A,B), S(B,C), T(C,A). *)
+
+type edge = { rel : int;  (** 0 = R, 1 = S, 2 = T *) src : int; dst : int; mult : int }
+
+type spec = {
+  nodes : int;  (** endpoints are drawn from [1, nodes] *)
+  skew : float;  (** Zipf exponent over the node ids; [0.] = uniform *)
+  delete_ratio : float;  (** probability an update deletes a live edge *)
+}
+
+val default : spec
+(** 1000 uniform nodes, insert-only. *)
+
+type t
+
+val create : ?seed:int -> ?rng:Random.State.t -> spec -> t
+(** Seeding contract: with [~rng] (derive it with [Ivm_check.Seed]) the
+    stream is a pure function of that generator and draws from it
+    sequentially; otherwise a private state is built from [seed]
+    (default 7). The relation, both endpoints and the insert/delete
+    decision of every update come from this one stream. *)
+
+val next : t -> edge
+(** The next update: an insert of a random edge (endpoints i.i.d.
+    uniform or Zipf-[skew]), or with probability [delete_ratio] a delete
+    of a currently live edge (rejection-sampled from the live set, so
+    multiplicities never go negative — a valid stream in the Sec. 2
+    sense). When no live edge can be found, an insert is produced
+    instead. *)
+
+val prefill : t -> int -> (edge -> unit) -> unit
+(** [prefill t k f] feeds [k] stream updates to [f] — used to build an
+    initial database of a target size before measuring. *)

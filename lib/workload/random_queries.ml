@@ -58,8 +58,7 @@ type fraction = { total : int; q_hier : int; q_hier_fd : int }
 
 (** Generate [n] queries and report how many are q-hierarchical as
     written and under their FDs. *)
-let measure ?(seed = 99) ~n () : fraction =
-  let rng = Random.State.make [| seed |] in
+let measure ~rng ~n () : fraction =
   let qs = List.init n (fun id -> generate ~rng ~id) in
   let module H = Ivm_query.Hierarchical in
   {
@@ -69,3 +68,80 @@ let measure ?(seed = 99) ~n () : fraction =
       List.length
         (List.filter (fun g -> H.is_q_hierarchical (Fd.sigma_reduct g.fds g.query)) qs);
   }
+
+module Vo = Ivm_query.Variable_order
+
+type exec = { query : Cq.t; order : Vo.forest }
+
+(* Random q-hierarchical-by-construction queries: grow a random variable
+   forest, then place every atom on a root-to-node path (the validity
+   condition of a variable order) and pick the free variables as an
+   upward-closed set (a connex top fragment, so enumeration is
+   constant-delay). Unlike {!generate}, whose snowflakes need FD
+   rewriting before they are maintainable, these run as written on every
+   engine — the executable workloads of the differential fuzzer. *)
+let executable ~rng ~id : exec =
+  let module R = Random.State in
+  let attempt () =
+    let k = 2 + R.int rng 5 in
+    let parent =
+      Array.init k (fun i ->
+          if i = 0 then -1 else if R.int rng 4 = 0 then -1 else R.int rng i)
+    in
+    let children = Array.make k [] in
+    for i = k - 1 downto 1 do
+      if parent.(i) >= 0 then children.(parent.(i)) <- i :: children.(parent.(i))
+    done;
+    let nodes = List.init k Fun.id in
+    let roots = List.filter (fun i -> parent.(i) < 0) nodes in
+    let var i = Printf.sprintf "v%d" i in
+    let rec path i = if i < 0 then [] else path parent.(i) @ [ i ] in
+    let leaves = List.filter (fun i -> children.(i) = []) nodes in
+    (* One atom per leaf over its full root path covers every variable;
+       extra atoms over random sub-paths add sharing and self-join-free
+       overlap. *)
+    let atoms =
+      ref
+        (List.mapi
+           (fun j l -> Cq.atom (Printf.sprintf "R%d" j) (List.map var (path l)))
+           leaves)
+    in
+    for e = 0 to R.int rng 3 - 1 do
+      let n = R.int rng k in
+      let sub = List.filter (fun i -> i = n || R.bool rng) (path n) in
+      atoms := Cq.atom (Printf.sprintf "E%d" e) (List.map var sub) :: !atoms
+    done;
+    let free = Array.make k false in
+    let rec mark p i =
+      if R.float rng 1.0 < p then begin
+        free.(i) <- true;
+        List.iter (mark (p *. 0.7)) children.(i)
+      end
+    in
+    List.iter (mark 0.9) roots;
+    if not (Array.exists Fun.id free) then free.(List.hd roots) <- true;
+    let rec tree_of i = { Vo.var = var i; children = List.map tree_of (List.rev children.(i)) } in
+    let order = List.map tree_of roots in
+    let q =
+      Cq.make
+        ~name:(Printf.sprintf "X%d" id)
+        ~free:(List.filter (fun i -> free.(i)) nodes |> List.map var)
+        !atoms
+    in
+    match Vo.validate q order with
+    | Ok () when Vo.free_top q order -> Some { query = q; order }
+    | Ok () | Error _ -> None
+  in
+  let rec retry n = match attempt () with
+    | Some w -> w
+    | None when n > 0 -> retry (n - 1)
+    | None ->
+        (* Statically valid fallback; not expected to be reached. *)
+        let q =
+          Cq.make ~name:(Printf.sprintf "X%d" id) ~free:[ "a" ]
+            [ Cq.atom "R0" [ "a"; "b" ]; Cq.atom "E0" [ "a" ] ]
+        in
+        { query = q;
+          order = [ { Vo.var = "a"; children = [ { Vo.var = "b"; children = [] } ] } ] }
+  in
+  retry 20

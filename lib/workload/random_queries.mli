@@ -1,0 +1,48 @@
+(** Random CQ workload generators.
+
+    Two distributions share this module:
+
+    - {!generate}/{!measure}: snowflake-shaped join queries with
+      key-style FDs, reproducing the Sec. 4.4 observation that FDs turn
+      a large fraction of a real workload q-hierarchical. These are
+      classification workloads — non-hierarchical as written.
+    - {!executable}: q-hierarchical-by-construction queries paired with
+      a valid free-top variable order, runnable as written on every
+      maintenance engine — the workloads the differential fuzzer
+      ([lib/check]) drives through the whole engine matrix.
+
+    Seeding contract: every function takes an explicit [~rng] (derive it
+    with [Ivm_check.Seed]); this module never constructs generator state
+    itself, so a workload is reproducible from the one integer a fuzz
+    failure prints. Draws consume [rng] sequentially — two calls with
+    the same state yield different (but deterministic) workloads. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+module Vo = Ivm_query.Variable_order
+
+type generated = { query : Cq.t; fds : Fd.t list }
+
+val generate : rng:Random.State.t -> id:int -> generated
+(** One random snowflake: a fact relation with 1–3 dimension branches
+    (70% single-branch chains), each branch deepened to length 2 with
+    probability 1/2, plus the key FDs of that shape. Chains become
+    q-hierarchical under their FDs; multi-branch stars stay amortized
+    (Ex. 4.13). *)
+
+type fraction = { total : int; q_hier : int; q_hier_fd : int }
+
+val measure : rng:Random.State.t -> n:int -> unit -> fraction
+(** Generate [n] snowflakes and count how many are q-hierarchical as
+    written and under their FDs. *)
+
+type exec = { query : Cq.t; order : Vo.forest }
+
+val executable : rng:Random.State.t -> id:int -> exec
+(** One random executable workload: 2–6 variables grown into a random
+    forest (new roots with probability 1/4), one atom per leaf covering
+    its full root path, up to two extra atoms on random sub-paths, and
+    an upward-closed free set (each root free with probability 0.9,
+    decaying by 0.7 per level, never empty). The returned order is
+    always valid for the query and free-top, so [View_tree.build],
+    every [Strategy] kind and constant-delay enumeration accept it. *)

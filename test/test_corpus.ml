@@ -1,0 +1,30 @@
+(* Regression replay: every minimized reproducer checked into
+   test/corpus/ — each one a shrunk, once-diverging case — runs against
+   the full engine matrix and must now agree with the oracle. A failure
+   here means an old bug came back (or a new one landed on the exact
+   shape an old one had). *)
+
+module Ck = Ivm_check
+
+let corpus_dir = "corpus"
+
+let replay path () =
+  match Ck.Corpus.load path with
+  | Error e -> Alcotest.failf "%s: unparseable reproducer: %s" path e
+  | Ok case -> (
+      match Ck.Harness.run case with
+      | Ck.Harness.Agree -> ()
+      | Ck.Harness.Diverged ds ->
+          Alcotest.failf "%s (%a): %s" path Ck.Seed.pp case.Ck.Case.seed
+            (String.concat "; "
+               (List.map (Format.asprintf "%a" Ck.Harness.pp_divergence) ds)))
+
+let () =
+  let files = Ck.Corpus.files corpus_dir in
+  if files = [] then failwith ("no reproducers under " ^ corpus_dir);
+  Alcotest.run "corpus"
+    [
+      ( "replay",
+        List.map (fun f -> Alcotest.test_case (Filename.basename f) `Quick (replay f)) files
+      );
+    ]

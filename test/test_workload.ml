@@ -127,7 +127,7 @@ let job_batches_valid () =
     live_mc
 
 let random_queries_fraction () =
-  let f = W.Random_queries.measure ~n:500 () in
+  let f = W.Random_queries.measure ~rng:(Random.State.make [| 99 |]) ~n:500 () in
   checki "none q-hierarchical as written" 0 f.W.Random_queries.q_hier;
   (* The chain share of the generator's mix (~70%) becomes q-hierarchical
      under FDs — the Sec. 4.4 RelationalAI observation. *)
