@@ -24,6 +24,11 @@ module Tri = E.Triangle
 let fast = ref false
 let tup = D.Tuple.of_ints
 
+(* Filled by the stream experiment: minor words allocated per update in
+   the no-wal config — the metric the [--check-alloc] CI gate compares
+   against its checked-in baseline. *)
+let stream_minor_words_per_update : float option ref = ref None
+
 (* ---------------------------------------------------------------- *)
 (* fig2: the worked example of Fig. 2 -- exact payload verification. *)
 (* ---------------------------------------------------------------- *)
@@ -893,11 +898,21 @@ let stream_bench () =
           done;
           St.Queue.close queue)
     in
+    (* [Gc.minor_words ()] reads the allocation pointer directly;
+       [quick_stat]'s minor counter only advances at collections. Major
+       words and compactions do come from [quick_stat]. *)
+    let w0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
     let (), dt = U.time (fun () -> St.Errors.get_ok (St.Scheduler.run sched)) in
+    let g1 = Gc.quick_stat () in
+    let w1 = Gc.minor_words () in
     Domain.join producer;
     Option.iter St.Wal.Z.close wal;
     if Sys.file_exists wal_path then Sys.remove wal_path;
-    (metrics, reg, dt)
+    let gc =
+      (w1 -. w0, g1.Gc.major_words -. g0.Gc.major_words, g1.Gc.compactions - g0.Gc.compactions)
+    in
+    (metrics, reg, dt, gc)
   in
   let configs =
     List.map
@@ -905,10 +920,16 @@ let stream_bench () =
       [ ("wal", true); ("no-wal", false) ]
   in
   let p hist q = St.Metrics.Hist.percentile hist q *. 1e3 in
+  (* GC columns: allocation pressure of the whole maintenance loop —
+     the storage rework's target metric alongside raw throughput. *)
   U.table
-    ~header:[ "config"; "upd/s"; "epochs"; "coalesced"; "p50 ms"; "p99 ms" ]
+    ~header:
+      [
+        "config"; "upd/s"; "epochs"; "coalesced"; "p50 ms"; "p99 ms"; "minor w/upd";
+        "major Mw"; "compact";
+      ]
     (List.map
-       (fun (name, ((m : St.Metrics.t), _, dt)) ->
+       (fun (name, ((m : St.Metrics.t), _, dt, (minor, major, compact))) ->
          [
            name;
            U.rate total dt;
@@ -916,10 +937,17 @@ let stream_bench () =
            string_of_int m.St.Metrics.coalesced;
            Printf.sprintf "%.3f" (p m.St.Metrics.latency 0.5);
            Printf.sprintf "%.3f" (p m.St.Metrics.latency 0.99);
+           Printf.sprintf "%.1f" (minor /. float_of_int total);
+           Printf.sprintf "%.2f" (major /. 1e6);
+           string_of_int compact;
          ])
        configs);
-  let _, reg_wal, dt_wal = List.assoc "wal" configs in
-  let m_wal, _, _ = List.assoc "wal" configs in
+  (match List.assoc_opt "no-wal" configs with
+  | Some (_, _, _, (minor, _, _)) ->
+      stream_minor_words_per_update := Some (minor /. float_of_int total)
+  | None -> ());
+  let _, reg_wal, dt_wal, _ = List.assoc "wal" configs in
+  let m_wal, _, _, _ = List.assoc "wal" configs in
   Printf.printf "\nper-view (wal config):\n";
   U.table
     ~header:[ "view"; "updates"; "batches"; "apply p50 ms"; "apply p99 ms" ]
@@ -943,7 +971,7 @@ let stream_bench () =
          ( "configs",
            U.List
              (List.map
-                (fun (name, ((m : St.Metrics.t), reg, dt)) ->
+                (fun (name, ((m : St.Metrics.t), reg, dt, (minor, major, compact))) ->
                   U.Obj
                     [
                       ("name", U.Str name);
@@ -953,6 +981,11 @@ let stream_bench () =
                       ("coalesced", U.Int m.St.Metrics.coalesced);
                       ("latency_p50_ms", U.Float (p m.St.Metrics.latency 0.5));
                       ("latency_p99_ms", U.Float (p m.St.Metrics.latency 0.99));
+                      ("gc_minor_words", U.Float minor);
+                      ("gc_major_words", U.Float major);
+                      ("gc_compactions", U.Int compact);
+                      ( "gc_minor_words_per_update",
+                        U.Float (minor /. float_of_int total) );
                       ( "views",
                         U.List
                           (List.map
@@ -1129,6 +1162,146 @@ let recovery () =
        ])
 
 (* --------------------------------------------------- *)
+(* storage: flat table vs chained Hashtbl.              *)
+(* --------------------------------------------------- *)
+
+(* Allocation-profile microbench of the storage layer itself: the new
+   open-addressing {!Ivm_data.Flat_tbl} against the chained stdlib
+   [Hashtbl] it replaced ([Tuple.Tbl]), on insert / probe / delete /
+   churn mixes at three sizes. Times are wall-clock ns per operation;
+   "minor w/op" is minor-heap words allocated per operation (the number
+   the rework drives down: stdlib pays a bucket cons per insert and an
+   option per probe). *)
+let storage () =
+  U.section "storage: flat open-addressing table vs chained Hashtbl (lib/data)";
+  let module Flat = D.Flat_tbl in
+  let sizes = if !fast then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  (* [Gc.minor_words ()] reads the allocation pointer directly —
+     [quick_stat]'s counter only advances at minor collections, which a
+     short allocation-free loop never triggers. *)
+  let measured n f =
+    let w0 = Gc.minor_words () in
+    let t0 = U.now () in
+    f ();
+    let dt = U.now () -. t0 in
+    let w1 = Gc.minor_words () in
+    let per = float_of_int n in
+    (dt *. 1e9 /. per, (w1 -. w0) /. per)
+  in
+  let rows = ref [] in
+  let record ~size ~mix ~impl (ns, words) ~probe_dist =
+    rows := (size, mix, impl, ns, words, probe_dist) :: !rows
+  in
+  List.iter
+    (fun n ->
+      (* Keys (and a disjoint miss set) are preallocated so the
+         measurement sees only table work, never tuple construction. *)
+      let keys = Array.init n (fun i -> tup [ i; (i * 7) + 1 ]) in
+      let misses = Array.init n (fun i -> tup [ -i - 1; i ]) in
+      Array.iter (fun k -> ignore (D.Tuple.hash k)) keys;
+      Array.iter (fun k -> ignore (D.Tuple.hash k)) misses;
+      (* flat table *)
+      let ft = Flat.create ~size:16 (-1) in
+      let insert_flat =
+        measured n (fun () ->
+            for i = 0 to n - 1 do
+              Flat.set ft keys.(i) i
+            done)
+      in
+      record ~size:n ~mix:"insert" ~impl:"flat" insert_flat
+        ~probe_dist:(Some (Flat.mean_probe_distance ft));
+      let sink = ref 0 in
+      record ~size:n ~mix:"probe" ~impl:"flat"
+        (measured (2 * n) (fun () ->
+             for i = 0 to n - 1 do
+               sink := !sink + Flat.find_default ft keys.(i) 0;
+               sink := !sink + Flat.find_default ft misses.(i) 0
+             done))
+        ~probe_dist:None;
+      record ~size:n ~mix:"churn" ~impl:"flat"
+        (measured (2 * n) (fun () ->
+             for i = 0 to n - 1 do
+               Flat.remove ft keys.(i);
+               Flat.set ft keys.(i) i
+             done))
+        ~probe_dist:None;
+      record ~size:n ~mix:"delete" ~impl:"flat"
+        (measured n (fun () ->
+             for i = 0 to n - 1 do
+               Flat.remove ft keys.(i)
+             done))
+        ~probe_dist:None;
+      (* chained stdlib Hashtbl over the same keys *)
+      let ht = D.Tuple.Tbl.create 16 in
+      record ~size:n ~mix:"insert" ~impl:"hashtbl"
+        (measured n (fun () ->
+             for i = 0 to n - 1 do
+               D.Tuple.Tbl.replace ht keys.(i) i
+             done))
+        ~probe_dist:None;
+      record ~size:n ~mix:"probe" ~impl:"hashtbl"
+        (measured (2 * n) (fun () ->
+             for i = 0 to n - 1 do
+               (match D.Tuple.Tbl.find_opt ht keys.(i) with
+               | Some v -> sink := !sink + v
+               | None -> ());
+               match D.Tuple.Tbl.find_opt ht misses.(i) with
+               | Some v -> sink := !sink + v
+               | None -> ()
+             done))
+        ~probe_dist:None;
+      record ~size:n ~mix:"churn" ~impl:"hashtbl"
+        (measured (2 * n) (fun () ->
+             for i = 0 to n - 1 do
+               D.Tuple.Tbl.remove ht keys.(i);
+               D.Tuple.Tbl.replace ht keys.(i) i
+             done))
+        ~probe_dist:None;
+      record ~size:n ~mix:"delete" ~impl:"hashtbl"
+        (measured n (fun () ->
+             for i = 0 to n - 1 do
+               D.Tuple.Tbl.remove ht keys.(i)
+             done))
+        ~probe_dist:None;
+      ignore !sink)
+    sizes;
+  let rows = List.rev !rows in
+  U.table
+    ~header:[ "size"; "mix"; "impl"; "ns/op"; "minor w/op"; "probe dist" ]
+    (List.map
+       (fun (size, mix, impl, ns, words, pd) ->
+         [
+           string_of_int size;
+           mix;
+           impl;
+           Printf.sprintf "%.0f" ns;
+           Printf.sprintf "%.2f" words;
+           (match pd with Some d -> Printf.sprintf "%.2f" d | None -> "-");
+         ])
+       rows);
+  U.emit_json ~name:"storage"
+    (U.Obj
+       [
+         ("experiment", U.Str "storage");
+         ( "rows",
+           U.List
+             (List.map
+                (fun (size, mix, impl, ns, words, pd) ->
+                  U.Obj
+                    ([
+                       ("size", U.Int size);
+                       ("mix", U.Str mix);
+                       ("impl", U.Str impl);
+                       ("ns_per_op", U.Float ns);
+                       ("minor_words_per_op", U.Float words);
+                     ]
+                    @ match pd with
+                      | Some d -> [ ("mean_probe_distance", U.Float d) ]
+                      | None -> []))
+                rows) );
+       ])
+
+(* --------------------------------------------------- *)
 (* micro: Bechamel per-operation latencies.             *)
 (* --------------------------------------------------- *)
 
@@ -1239,11 +1412,46 @@ let experiments =
     ("par-scaling", par_scaling);
     ("stream", stream_bench);
     ("recovery", recovery);
+    ("storage", storage);
     ("micro", micro);
   ]
 
+(* The CI allocation gate: compare the stream experiment's no-wal minor
+   words per update against a checked-in baseline, failing on a >25%
+   regression. The baseline file holds one float (regenerate it with
+   the value this prints when the improvement is intentional). *)
+let check_alloc baseline_file =
+  match !stream_minor_words_per_update with
+  | None ->
+      Printf.eprintf "--check-alloc: stream experiment did not run\n";
+      exit 2
+  | Some measured -> (
+      match
+        let ic = open_in baseline_file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> float_of_string (String.trim (input_line ic)))
+      with
+      | exception Sys_error msg ->
+          Printf.eprintf "--check-alloc: cannot read %s: %s\n" baseline_file msg;
+          exit 2
+      | exception _ ->
+          Printf.eprintf "--check-alloc: %s does not hold a float\n" baseline_file;
+          exit 2
+      | baseline ->
+          let limit = baseline *. 1.25 in
+          Printf.printf
+            "\nalloc gate: %.1f minor words/update (baseline %.1f, limit %.1f)\n"
+            measured baseline limit;
+          if measured > limit then begin
+            Printf.eprintf
+              "--check-alloc: minor allocation per update regressed more than 25%%\n";
+            exit 1
+          end)
+
 let () =
   let only = ref None in
+  let alloc_baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--only" :: x :: rest ->
@@ -1252,11 +1460,16 @@ let () =
     | "--fast" :: rest ->
         fast := true;
         parse rest
+    | "--check-alloc" :: file :: rest ->
+        alloc_baseline := Some file;
+        parse rest
     | "--list" :: _ ->
         List.iter (fun (n, _) -> print_endline n) experiments;
         exit 0
     | x :: _ ->
-        Printf.eprintf "unknown argument %s (try --list, --only <id>, --fast)\n" x;
+        Printf.eprintf
+          "unknown argument %s (try --list, --only <id>, --fast, --check-alloc <file>)\n"
+          x;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -1265,4 +1478,5 @@ let () =
     (fun (name, f) ->
       match !only with Some o when o <> name -> () | Some _ | None -> f ())
     experiments;
+  Option.iter check_alloc !alloc_baseline;
   Printf.printf "\ntotal wall time: %.1fs\n" (U.now () -. t0)

@@ -924,6 +924,11 @@ module Bench_net = struct
     throughput : float;
     reads : op_stats;
     updates : op_stats;
+    (* client-process GC pressure over the mix: encode/decode work per
+       op on this side of the wire *)
+    gc_minor_words : float;
+    gc_major_words : float;
+    gc_compactions : int;
   }
 
   let op_stats samples =
@@ -945,8 +950,11 @@ module Bench_net = struct
     | Error e -> Error e
 
   (* One connection's closed loop; returns (read latencies, update
-     latencies) or the first hard error. *)
+     latencies, minor words allocated by this domain) or the first hard
+     error. Minor words are per-domain in OCaml 5, so each worker
+     reports its own and [run_mix] sums them. *)
   let worker ~host ~port ~view ~nodes ~skew ~ops ~read_pct ~seed () =
+    let mw0 = Gc.minor_words () in
     match C.connect ~host ~port () with
     | Error e -> Error (W.error_to_string e)
     | Ok c ->
@@ -992,11 +1000,19 @@ module Bench_net = struct
         let r = loop 1 in
         C.close c;
         (match r with
-        | Ok () -> Ok (Array.of_list !reads, Array.of_list !updates)
+        | Ok () ->
+            Ok
+              ( Array.of_list !reads,
+                Array.of_list !updates,
+                Gc.minor_words () -. mw0 )
         | Error e -> Error (W.error_to_string e))
 
   let run_mix ~host ~port ~view ~nodes ~skew ~conns ~ops ~read_pct ~seed =
     let t0 = Unix.gettimeofday () in
+    (* Minor words come from the workers (per-domain counters); major
+       words and compactions are process-wide, read here via
+       [quick_stat]. *)
+    let g0 = Gc.quick_stat () in
     let domains =
       List.init conns (fun i ->
           Domain.spawn
@@ -1004,6 +1020,7 @@ module Bench_net = struct
                ~seed:(seed + (101 * i))))
     in
     let results = List.map Domain.join domains in
+    let g1 = Gc.quick_stat () in
     let duration = Unix.gettimeofday () -. t0 in
     match
       List.find_map (function Error e -> Some e | Ok _ -> None) results
@@ -1011,8 +1028,9 @@ module Bench_net = struct
     | Some e -> Error e
     | None ->
         let all = List.filter_map Result.to_option results in
-        let reads = Array.concat (List.map fst all) in
-        let updates = Array.concat (List.map snd all) in
+        let reads = Array.concat (List.map (fun (r, _, _) -> r) all) in
+        let updates = Array.concat (List.map (fun (_, u, _) -> u) all) in
+        let minor = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. all in
         let total = Array.length reads + Array.length updates in
         Ok
           {
@@ -1023,6 +1041,9 @@ module Bench_net = struct
             throughput = (if duration > 0. then float_of_int total /. duration else 0.);
             reads = op_stats reads;
             updates = op_stats updates;
+            gc_minor_words = minor;
+            gc_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+            gc_compactions = g1.Gc.compactions - g0.Gc.compactions;
           }
 
   let json_of_results results out =
@@ -1042,8 +1063,14 @@ module Bench_net = struct
           \      \"connections\": %d,\n\
           \      \"ops\": %d,\n\
           \      \"duration_s\": %.3f,\n\
-          \      \"throughput_ops_s\": %.1f,\n"
-          r.read_pct r.conns r.ops r.duration r.throughput;
+          \      \"throughput_ops_s\": %.1f,\n\
+          \      \"gc_minor_words\": %.0f,\n\
+          \      \"gc_minor_words_per_op\": %.2f,\n\
+          \      \"gc_major_words\": %.0f,\n\
+          \      \"gc_compactions\": %d,\n"
+          r.read_pct r.conns r.ops r.duration r.throughput r.gc_minor_words
+          (if r.ops > 0 then r.gc_minor_words /. float_of_int r.ops else 0.)
+          r.gc_major_words r.gc_compactions;
         op "read" r.reads;
         Buffer.add_string b ",\n";
         op "update" r.updates;

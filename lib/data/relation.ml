@@ -1,45 +1,51 @@
-(** Relations over a ring (Sec. 2): finite maps from tuples over a schema
-    to non-zero ring payloads, implemented as hash maps with amortized
-    constant-time lookup, insert and delete, and constant-delay
-    enumeration of entries.
+(** Relations over a ring (Sec. 2): finite maps from tuples over a
+    schema to non-zero ring payloads, implemented on {!Flat_tbl} — flat
+    open-addressing robin-hood tables with the tuples' memoized hashes
+    stored inline — with amortized constant-time lookup, insert and
+    delete, and constant-delay enumeration of entries.
 
     The functor is over {!Ivm_ring.Sigs.SEMIRING}: the relation structure
     itself never needs additive inverses — a delete is an update whose
     payload the caller has already negated (possible whenever the payload
-    domain is a ring). *)
+    domain is a ring). The ring zero doubles as the table's empty-slot
+    dummy: by zero elision a stored payload is never zero, so the
+    allocation-free {!Flat_tbl.find_default} with default zero reads
+    "absent" without boxing an option. *)
 
 module type S = Relation_intf.S
 
 module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   type payload = R.t
-  type t = { schema : Schema.t; data : payload Tuple.Tbl.t }
+  type t = { schema : Schema.t; data : payload Flat_tbl.t }
 
-  let create ?(size = 16) schema = { schema; data = Tuple.Tbl.create size }
+  let create ?(size = 16) schema = { schema; data = Flat_tbl.create ~size R.zero }
   let schema r = r.schema
-  let size r = Tuple.Tbl.length r.data
-
-  let get r t = match Tuple.Tbl.find_opt r.data t with Some p -> p | None -> R.zero
-  let mem r t = Tuple.Tbl.mem r.data t
+  let size r = Flat_tbl.length r.data
+  let get r t = Flat_tbl.find_default r.data t R.zero
+  let mem r t = Flat_tbl.mem r.data t
 
   (* [add_entry r t p] merges payload [p] into the entry for [t],
      evicting the entry if the merged payload is zero. This is the
      single-tuple update of the paper: insert for positive [p], delete
-     for negative [p]. *)
+     for negative [p]. The probe reads through [find_default]: zero
+     elision makes a zero read mean "absent", so the hot path allocates
+     nothing. *)
   let add_entry r t p =
-    if not (R.is_zero p) then
-      match Tuple.Tbl.find_opt r.data t with
-      | None -> Tuple.Tbl.replace r.data t p
-      | Some q ->
-          let s = R.add q p in
-          if R.is_zero s then Tuple.Tbl.remove r.data t else Tuple.Tbl.replace r.data t s
+    if not (R.is_zero p) then begin
+      let q = Flat_tbl.find_default r.data t R.zero in
+      if R.is_zero q then Flat_tbl.set r.data t p
+      else
+        let s = R.add q p in
+        if R.is_zero s then Flat_tbl.remove r.data t else Flat_tbl.set r.data t s
+    end
 
   let set_entry r t p =
-    if R.is_zero p then Tuple.Tbl.remove r.data t else Tuple.Tbl.replace r.data t p
+    if R.is_zero p then Flat_tbl.remove r.data t else Flat_tbl.set r.data t p
 
-  let clear r = Tuple.Tbl.reset r.data
-  let iter f r = Tuple.Tbl.iter f r.data
-  let fold f r acc = Tuple.Tbl.fold f r.data acc
-  let to_seq r = Tuple.Tbl.to_seq r.data
+  let clear r = Flat_tbl.clear r.data
+  let iter f r = Flat_tbl.iter f r.data
+  let fold f r acc = Flat_tbl.fold f r.data acc
+  let to_seq r = Flat_tbl.to_seq r.data
 
   let of_list schema entries =
     let r = create ~size:(2 * List.length entries + 1) schema in
@@ -47,16 +53,20 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
     r
 
   let of_tuples schema tuples = of_list schema (List.map (fun t -> (t, R.one)) tuples)
-  let copy r = { schema = r.schema; data = Tuple.Tbl.copy r.data }
+  let copy r = { schema = r.schema; data = Flat_tbl.copy r.data }
 
   (* Extensional equality: same schema as sets is not required, only same
-     variable order, since tuples are positional. The traversal stops at
-     the first mismatch (exception-based: [Tuple.Tbl] has no
-     short-circuiting fold). *)
+     variable order, since tuples are positional. The size guard is the
+     cheap short-circuit (it also makes the one-sided scan sound: equal
+     supports + equal payloads on [a]'s support = equal maps); the
+     traversal stops at the first mismatch (exception-based: the table
+     has no short-circuiting fold). *)
   let equal a b =
     a.schema = b.schema && size a = size b
     &&
-    match Tuple.Tbl.iter (fun t p -> if not (R.equal (get b t) p) then raise_notrace Exit) a.data with
+    match
+      Flat_tbl.iter (fun t p -> if not (R.equal (get b t) p) then raise_notrace Exit) a.data
+    with
     | () -> true
     | exception Exit -> false
 
@@ -68,7 +78,11 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
 
   (** [join a b] is the paper's [·] over the union schema: the payload of
       an output tuple is the product of the payloads of its projections.
-      Implemented by hashing [b] on the shared variables. *)
+      Implemented by hashing [b] on the shared variables into an
+      arena-chained index: entries live in three parallel growable
+      arrays and groups are singly linked through an [next] int array,
+      so building the index allocates no per-entry chain cells and
+      probing a group is an int-indexed walk. *)
   let join a b =
     let shared = Schema.inter a.schema b.schema in
     let out_schema = Schema.union a.schema b.schema in
@@ -76,30 +90,45 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
     let b_shared = Schema.projection b.schema shared in
     let b_rest_schema = Schema.diff b.schema a.schema in
     let b_rest = Schema.projection b.schema b_rest_schema in
-    (* The index is pre-sized to [b] (no rehash growth while building)
-       and buckets are mutable cells, so extending a group costs one
-       probe instead of a find-then-replace pair. *)
-    let index : (Tuple.t * payload) list ref Tuple.Tbl.t =
-      Tuple.Tbl.create (max 16 (size b))
-    in
+    (* Arena: entry [e] is (rest tuple, payload, index of next entry in
+       its group, or -1). [heads] maps a shared-key projection to its
+       group's first entry. Pre-sized to [b] so the build never grows. *)
+    let n = max 16 (size b) in
+    let ent_rest = ref (Array.make n Tuple.unit) in
+    let ent_pay = ref (Array.make n R.zero) in
+    let ent_next = ref (Array.make n (-1)) in
+    let count = ref 0 in
+    let heads : int Flat_tbl.t = Flat_tbl.create ~size:n (-1) in
     iter
       (fun t p ->
+        let e = !count in
+        if e = Array.length !ent_rest then begin
+          let grow ar fill =
+            let ar' = Array.make (2 * e) fill in
+            Array.blit !ar 0 ar' 0 e;
+            ar := ar'
+          in
+          grow ent_rest Tuple.unit;
+          grow ent_pay R.zero;
+          grow ent_next (-1)
+        end;
         let k = Tuple.project t b_shared in
-        let entry = (Tuple.project t b_rest, p) in
-        match Tuple.Tbl.find_opt index k with
-        | Some bucket -> bucket := entry :: !bucket
-        | None -> Tuple.Tbl.add index k (ref [ entry ]))
+        !ent_rest.(e) <- Tuple.project t b_rest;
+        !ent_pay.(e) <- p;
+        !ent_next.(e) <- Flat_tbl.find_default heads k (-1);
+        Flat_tbl.set heads k e;
+        incr count)
       b;
+    let ent_rest = !ent_rest and ent_pay = !ent_pay and ent_next = !ent_next in
     let out = create ~size:(size a) out_schema in
     iter
       (fun t p ->
         let k = Tuple.project t a_shared in
-        match Tuple.Tbl.find_opt index k with
-        | None -> ()
-        | Some matches ->
-            List.iter
-              (fun (rest, q) -> add_entry out (Tuple.append t rest) (R.mul p q))
-              !matches)
+        let e = ref (Flat_tbl.find_default heads k (-1)) in
+        while !e >= 0 do
+          add_entry out (Tuple.append t ent_rest.(!e)) (R.mul p ent_pay.(!e));
+          e := ent_next.(!e)
+        done)
       a;
     out
 
@@ -146,39 +175,68 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   (** Secondary group index (Sec. 2): for a sub-schema [key] of the
       relation schema, enumerate with constant delay all tuples that
       agree on a given key projection, with amortized constant-time
-      entry insertion and deletion. *)
+      entry insertion and deletion. Both levels are flat tables: the
+      outer maps key projections to per-group tables, the inner holds
+      the group's full tuples with their payloads. *)
   module Index = struct
     type nonrec t = {
       rel_schema : Schema.t;
       key : Schema.t;
       proj : int array;
-      groups : payload Tuple.Tbl.t Tuple.Tbl.t;
+      groups : payload Flat_tbl.t Flat_tbl.t;
+      empty : payload Flat_tbl.t;
+          (* shared read-only dummy for vacated outer slots *)
+      probe : Tuple.t;
+          (* owned scratch key for [update]'s group lookup: mutation is
+             single-writer by the table's contract, so one buffer per
+             index suffices and the hot existing-group path allocates
+             no projection *)
     }
 
     let create ~rel_schema ~key =
       if not (Schema.subset key rel_schema) then invalid_arg "Index.create: key not in schema";
-      { rel_schema; key; proj = Schema.projection rel_schema key; groups = Tuple.Tbl.create 64 }
+      let empty = Flat_tbl.create ~size:0 R.zero in
+      let proj = Schema.projection rel_schema key in
+      {
+        rel_schema;
+        key;
+        proj;
+        groups = Flat_tbl.create ~size:64 empty;
+        empty;
+        probe = Tuple.scratch (Array.length proj);
+      }
 
     let key_schema ix = ix.key
 
-    (* [update ix t p] merges delta payload [p] for tuple [t]. *)
+    (* [update ix t p] merges delta payload [p] for tuple [t]. The
+       outer probe fills the owned scratch key and reads through the
+       shared [empty] dummy: since a stored group is never empty (it is
+       removed with its last entry), physical equality with [empty]
+       means "no group yet" — only that cold path pays a real
+       projection, because the scratch buffer must never be stored. *)
     let update ix t p =
       if not (R.is_zero p) then begin
-        let k = Tuple.project t ix.proj in
+        let k = ix.probe in
+        Array.iteri (fun i s -> Tuple.set k i (Tuple.get t s)) ix.proj;
         let group =
-          match Tuple.Tbl.find_opt ix.groups k with
-          | Some g -> g
-          | None ->
-              let g = Tuple.Tbl.create 4 in
-              Tuple.Tbl.replace ix.groups k g;
-              g
+          let g = Flat_tbl.find_default ix.groups k ix.empty in
+          if g != ix.empty then g
+          else begin
+            let g = Flat_tbl.create ~size:8 R.zero in
+            Flat_tbl.set ix.groups (Tuple.project t ix.proj) g;
+            g
+          end
         in
-        (match Tuple.Tbl.find_opt group t with
-        | None -> Tuple.Tbl.replace group t p
-        | Some q ->
-            let s = R.add q p in
-            if R.is_zero s then Tuple.Tbl.remove group t else Tuple.Tbl.replace group t s);
-        if Tuple.Tbl.length group = 0 then Tuple.Tbl.remove ix.groups k
+        let q = Flat_tbl.find_default group t R.zero in
+        if R.is_zero q then Flat_tbl.set group t p
+        else begin
+          let s = R.add q p in
+          if R.is_zero s then begin
+            Flat_tbl.remove group t;
+            if Flat_tbl.length group = 0 then Flat_tbl.remove ix.groups k
+          end
+          else Flat_tbl.set group t s
+        end
       end
 
     let of_relation ~key r =
@@ -186,30 +244,30 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
       iter (fun t p -> update ix t p) r;
       ix
 
-    let clear ix = Tuple.Tbl.reset ix.groups
-    let group_count ix = Tuple.Tbl.length ix.groups
+    let clear ix = Flat_tbl.clear ix.groups
+    let group_count ix = Flat_tbl.length ix.groups
 
     let group_size ix k =
-      match Tuple.Tbl.find_opt ix.groups k with None -> 0 | Some g -> Tuple.Tbl.length g
+      match Flat_tbl.find_opt ix.groups k with None -> 0 | Some g -> Flat_tbl.length g
 
     let iter_group ix k f =
-      match Tuple.Tbl.find_opt ix.groups k with
+      match Flat_tbl.find_opt ix.groups k with
       | None -> ()
-      | Some g -> Tuple.Tbl.iter f g
+      | Some g -> Flat_tbl.iter f g
 
     let seq_group ix k =
-      match Tuple.Tbl.find_opt ix.groups k with
+      match Flat_tbl.find_opt ix.groups k with
       | None -> Seq.empty
-      | Some g -> Tuple.Tbl.to_seq g
+      | Some g -> Flat_tbl.to_seq g
 
     let fold_group ix k f acc =
-      match Tuple.Tbl.find_opt ix.groups k with
+      match Flat_tbl.find_opt ix.groups k with
       | None -> acc
-      | Some g -> Tuple.Tbl.fold f g acc
+      | Some g -> Flat_tbl.fold f g acc
 
-    let iter_keys ix f = Tuple.Tbl.iter (fun k _ -> f k) ix.groups
-    let seq_keys ix = Seq.map fst (Tuple.Tbl.to_seq ix.groups)
-    let mem_key ix k = Tuple.Tbl.mem ix.groups k
+    let iter_keys ix f = Flat_tbl.iter (fun k _ -> f k) ix.groups
+    let seq_keys ix = Seq.map fst (Flat_tbl.to_seq ix.groups)
+    let mem_key ix k = Flat_tbl.mem ix.groups k
   end
 end
 

@@ -8,14 +8,21 @@
     find then replace) and rehashed wholesale on every table resize;
     with the cache each of those costs one int read instead of a
     traversal of the value array. The cache is filled lazily on first
-    {!hash} so tuples that are only ever enumerated never pay for it. *)
+    {!hash} so tuples that are only ever enumerated never pay for it.
+
+    {!scratch} buffers are the one mutable exception: probe keys filled
+    in place between lookups. The [is_scratch] flag marks them so the
+    storage layer ({!Flat_tbl}, and through it {!Relation}) can refuse
+    to store one as a table key — a stored scratch tuple would keep
+    mutating under the table's feet and silently corrupt it. *)
 
 type t = {
   vals : Value.t array;
   mutable h : int; (* memoized hash; negative = not yet computed *)
+  is_scratch : bool; (* mutable probe buffer: must never be stored *)
 }
 
-let wrap vals = { vals; h = -1 }
+let wrap vals = { vals; h = -1; is_scratch = false }
 let unit : t = wrap [||]
 let of_list vs = wrap (Array.of_list vs)
 let to_list t = Array.to_list t.vals
@@ -23,6 +30,7 @@ let of_ints is = wrap (Array.of_list (List.map Value.of_int is))
 let init n f = wrap (Array.init n f)
 let arity t = Array.length t.vals
 let get t i = t.vals.(i)
+let is_scratch t = t.is_scratch
 
 let hash t =
   if t.h >= 0 then t.h
@@ -54,7 +62,9 @@ let compare a b =
     in
     go 0
 
-(* [project t idxs] picks the fields of [t] at positions [idxs]. *)
+(* [project t idxs] picks the fields of [t] at positions [idxs]. Always
+   a fresh immutable tuple, even when [t] is a scratch buffer — so
+   projections of probe keys are safe to store. *)
 let project t (idxs : int array) : t =
   wrap (Array.map (fun i -> t.vals.(i)) idxs)
 
@@ -62,9 +72,9 @@ let append a b : t = wrap (Array.append a.vals b.vals)
 
 (* Reusable probe buffers: a scratch tuple is mutated in place between
    lookups, so the hot enumeration loops allocate nothing per probe.
-   [set] invalidates the memoized hash; a scratch tuple must never be
-   *stored* as a hash-table key while it can still be mutated. *)
-let scratch n : t = wrap (Array.make n (Value.Int 0))
+   [set] invalidates the memoized hash; the [is_scratch] flag lets the
+   storage layer reject any attempt to *store* one as a table key. *)
+let scratch n : t = { vals = Array.make n (Value.Int 0); h = -1; is_scratch = true }
 
 let set t i v =
   t.vals.(i) <- v;

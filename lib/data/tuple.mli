@@ -36,9 +36,21 @@ val append : t -> t -> t
 val scratch : int -> t
 (** A mutable probe buffer of arity [n] (fields initialised to [Int 0]).
     Fill it with {!set} and use it as a lookup key; reusing one buffer
-    across probes keeps hot enumeration loops allocation-free. A scratch
-    tuple must not be stored as a hash-table key while it may still be
-    mutated. *)
+    across probes keeps hot enumeration loops allocation-free.
+
+    {b Invariant}: a scratch tuple must {e never} be stored as a
+    hash-table key — it keeps mutating after the store, which would
+    leave the entry unreachable under its stale inline hash and corrupt
+    the table. The storage layer enforces this: {!Flat_tbl.set} (and so
+    {!Relation.S.add_entry}/{!Relation.S.set_entry} and the group
+    indexes) raises [Invalid_argument] on a key for which {!is_scratch}
+    is true. Probing ([get]/[mem]/index lookups) is always fine, and
+    {!project}/{!append} return fresh immutable tuples that are safe to
+    store. *)
+
+val is_scratch : t -> bool
+(** Whether this tuple is a mutable {!scratch} buffer. One field read;
+    checked by {!Flat_tbl} on every store. *)
 
 val set : t -> int -> Value.t -> unit
 (** [set t i v] overwrites field [i] (invalidating the cached hash).

@@ -1,6 +1,15 @@
 (** Binary relations over integer keys with group indexes on both
     columns — the storage shared by all triangle engines (Sec. 3) and by
-    the heavy/light partitions of IVM^ε (Sec. 3.3). *)
+    the heavy/light partitions of IVM^ε (Sec. 3.3).
+
+    Probes ([get], degrees, adjacency iteration, [intersect]) go through
+    domain-local scratch tuples: the triangle delta loops issue one
+    probe per neighbour, and a reused buffer keeps them allocation-free
+    apart from the two boxed field values. Domain-local (rather than
+    per-[t]) buffers make the read-only probes safe under the
+    chunk-parallel batch fronts, which probe one shared [Edges] from
+    many domains at once. Updates still allocate a fresh immutable
+    tuple — stored keys must never be scratch buffers. *)
 
 module Rel = Ivm_data.Relation.Z
 module Schema = Ivm_data.Schema
@@ -17,20 +26,39 @@ let create name_fst name_snd =
 
 let tup2 a b = Tuple.of_list [ Value.of_int a; Value.of_int b ]
 let key1 a = Tuple.of_list [ Value.of_int a ]
-let update e a b m = View.update e.view (tup2 a b) m
-let get e a b = View.get e.view (tup2 a b)
-let size e = View.size e.view
-let deg_fst e a = Rel.Index.group_size e.by_fst (key1 a)
-let deg_snd e b = Rel.Index.group_size e.by_snd (key1 b)
 
-(* Iterate the tuples with first column = a, as (a, b, payload). *)
+(* Domain-local probe buffers, one per arity. A probe fills the buffer,
+   looks up, and never retains it past the call. *)
+let probe2_key = Domain.DLS.new_key (fun () -> Tuple.scratch 2)
+let probe1_key = Domain.DLS.new_key (fun () -> Tuple.scratch 1)
+
+let probe2 a b =
+  let t = Domain.DLS.get probe2_key in
+  Tuple.set t 0 (Value.of_int a);
+  Tuple.set t 1 (Value.of_int b);
+  t
+
+let probe1 a =
+  let t = Domain.DLS.get probe1_key in
+  Tuple.set t 0 (Value.of_int a);
+  t
+
+let update e a b m = View.update e.view (tup2 a b) m
+let get e a b = View.get e.view (probe2 a b)
+let size e = View.size e.view
+let deg_fst e a = Rel.Index.group_size e.by_fst (probe1 a)
+let deg_snd e b = Rel.Index.group_size e.by_snd (probe1 b)
+
+(* Iterate the tuples with first column = a, as (a, b, payload). The
+   probe buffer is released before the callbacks run (the group lookup
+   happens first), so callbacks may themselves probe. *)
 let iter_fst e a f =
-  Rel.Index.iter_group e.by_fst (key1 a) (fun t p ->
+  Rel.Index.iter_group e.by_fst (probe1 a) (fun t p ->
       f (Value.to_int (Tuple.get t 1)) p)
 
 (* Iterate the tuples with second column = b, as their first column. *)
 let iter_snd e b f =
-  Rel.Index.iter_group e.by_snd (key1 b) (fun t p ->
+  Rel.Index.iter_group e.by_snd (probe1 b) (fun t p ->
       f (Value.to_int (Tuple.get t 0)) p)
 
 let iter e f =

@@ -35,14 +35,46 @@ type conn = { fd : Unix.file_descr; write_mutex : Mutex.t }
 (* One materialized view enumeration: the full entry list for snapshot
    requests, plus the same entries grouped by first output field — the
    access-pattern index that makes a bound-variable lookup O(answer)
-   instead of a scan of the whole output. *)
+   instead of a scan of the whole output.
+
+   Both access paths are also preserialized at cache-fill time:
+   [frames] is the full enumeration already sliced into complete
+   length-prefixed, CRC-stamped chunk frames, and [key_frames] the same
+   per first-field group. Serving a cache hit is then a single write of
+   prebuilt bytes per chunk — zero per-request encoding or checksums.
+   Only multi-field prefix lookups (rare: they need filtering) still
+   encode per request. *)
 type snapshot = {
   gen : int;
   entries : (Tuple.t * int) list;
   by_key : (Value.t, (Tuple.t * int) list) Hashtbl.t;
+  frames : Bytes.t list;
+  key_frames : (Value.t, Bytes.t list) Hashtbl.t;
 }
 
-let make_snapshot ~gen entries =
+(* Slice an enumeration into prebuilt [Chunk] frames; the empty answer
+   is still one (empty, last) chunk so the client always sees a
+   terminator. *)
+let build_frames ~chunk_size entries =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | e :: rest -> take (k - 1) (e :: acc) rest
+  in
+  let rec go acc entries =
+    let chunk, rest = take chunk_size [] entries in
+    let last = rest = [] in
+    let f = Wire.frame_bytes (Wire.encode_response (Wire.Chunk { last; entries = chunk })) in
+    if last then List.rev (f :: acc) else go (f :: acc) rest
+  in
+  go [] entries
+
+(* The shared terminator served to every lookup that finds no group —
+   one buffer for the whole server's lifetime. *)
+let empty_answer : Bytes.t list =
+  [ Wire.frame_bytes (Wire.encode_response (Wire.Chunk { last = true; entries = [] })) ]
+
+let make_snapshot ~gen ~chunk_size entries =
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun ((tp, _) as e) ->
@@ -52,7 +84,11 @@ let make_snapshot ~gen entries =
         Hashtbl.replace by_key k (e :: group)
       end)
     entries;
-  { gen; entries; by_key }
+  let key_frames = Hashtbl.create (Hashtbl.length by_key) in
+  Hashtbl.iter
+    (fun k group -> Hashtbl.replace key_frames k (build_frames ~chunk_size group))
+    by_key;
+  { gen; entries; by_key; frames = build_frames ~chunk_size entries; key_frames }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -95,6 +131,15 @@ let send conn resp =
   Mutex.protect conn.write_mutex (fun () ->
       Wire.write_frame conn.fd (Wire.encode_response resp))
 
+(* The zero-copy send: the whole answer's prebuilt frames go out under
+   one hold of the write mutex (frames of one answer must not
+   interleave with pushed deltas), each as a single write loop. *)
+let send_frames conn frames =
+  Mutex.protect conn.write_mutex (fun () ->
+      List.fold_left
+        (fun acc f -> Result.bind acc (fun () -> Wire.write_prebuilt conn.fd f))
+        (Ok ()) frames)
+
 let drop_conn t conn =
   Mutex.protect t.mutex (fun () ->
       t.conns <- List.filter (fun c -> c != conn) t.conns;
@@ -111,25 +156,9 @@ let matches_prefix prefix tp =
   let rec go i = i >= k || (Value.equal (Tuple.get tp i) (Tuple.get prefix i) && go (i + 1)) in
   go 0
 
-(* Slice an enumeration into [Chunk] frames; the empty answer is still
-   one (empty, last) chunk so the client always sees a terminator. *)
-let send_chunks t conn entries =
-  let rec go = function
-    | [] -> send conn (Wire.Chunk { last = true; entries = [] })
-    | entries ->
-        let rec take k acc = function
-          | rest when k = 0 -> (List.rev acc, rest)
-          | [] -> (List.rev acc, [])
-          | e :: rest -> take (k - 1) (e :: acc) rest
-        in
-        let chunk, rest = take t.chunk_size [] entries in
-        if rest = [] then send conn (Wire.Chunk { last = true; entries = chunk })
-        else
-          Result.bind
-            (send conn (Wire.Chunk { last = false; entries = chunk }))
-            (fun () -> go rest)
-  in
-  go entries
+(* The slow path for answers that must be assembled per request
+   (multi-field prefix filters): encode and frame each chunk now. *)
+let send_chunks t conn entries = send_frames conn (build_frames ~chunk_size:t.chunk_size entries)
 
 let snapshot t view =
   (* Lock-free hit check: [generation] is read racily, but it is a
@@ -169,10 +198,21 @@ let snapshot t view =
               | exception Invalid_argument msg -> Error msg
               | m ->
                   let gen = Registry.generation t.registry in
-                  let snap = make_snapshot ~gen (m.M.enumerate ()) in
+                  let snap = make_snapshot ~gen ~chunk_size:t.chunk_size (m.M.enumerate ()) in
                   Mutex.protect t.cache_mutex (fun () ->
                       Hashtbl.replace t.cache view snap);
                   Ok snap))
+
+(* Test seam for the zero-copy property: the exact prebuilt buffers a
+   cache-hit answer writes. Physical identity of these across requests
+   at an unchanged generation is what "zero per-request encoding"
+   means, and what [test_net] asserts. *)
+let snapshot_frames t view = Result.map (fun snap -> snap.frames) (snapshot t view)
+
+let lookup_frames t view key =
+  Result.map
+    (fun snap -> Option.value (Hashtbl.find_opt snap.key_frames key) ~default:empty_answer)
+    (snapshot t view)
 
 type outcome = Continue | Close | Shutdown_server
 
@@ -186,26 +226,33 @@ let handle t conn (req : Wire.request) : outcome =
   | Wire.Lookup { view; prefix } -> (
       match snapshot t view with
       | Error msg -> respond (Wire.Err msg)
-      | Ok snap -> (
-          let entries =
-            if Tuple.arity prefix = 0 then snap.entries
+      | Ok snap ->
+          let sent =
+            if Tuple.arity prefix = 0 then send_frames conn snap.frames
+            else if Tuple.arity prefix = 1 then
+              (* Bound first variable: the whole answer is already
+                 framed per key — serve the prebuilt bytes (or the
+                 shared empty terminator). *)
+              send_frames conn
+                (Option.value
+                   (Hashtbl.find_opt snap.key_frames (Tuple.get prefix 0))
+                   ~default:empty_answer)
             else
-              (* Bound first variable: answer from the access-pattern
-                 index, then filter any remaining prefix fields. *)
+              (* Longer prefixes need filtering — the one per-request
+                 encoding path left. *)
               let group =
                 Option.value
                   (Hashtbl.find_opt snap.by_key (Tuple.get prefix 0))
                   ~default:[]
               in
-              if Tuple.arity prefix = 1 then group
-              else List.filter (fun (tp, _) -> matches_prefix prefix tp) group
+              send_chunks t conn (List.filter (fun (tp, _) -> matches_prefix prefix tp) group)
           in
-          match send_chunks t conn entries with Ok () -> Continue | Error _ -> Close))
+          (match sent with Ok () -> Continue | Error _ -> Close))
   | Wire.Snapshot { view } -> (
       match snapshot t view with
       | Error msg -> respond (Wire.Err msg)
       | Ok snap -> (
-          match send_chunks t conn snap.entries with
+          match send_frames conn snap.frames with
           | Ok () -> Continue
           | Error _ -> Close))
   | Wire.Ingest updates -> (

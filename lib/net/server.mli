@@ -54,6 +54,17 @@ val connections : t -> int
 val subscriber_count : t -> int
 val stopping : t -> bool
 
+val snapshot_frames : t -> string -> (Bytes.t list, string) result
+(** The preserialized chunk frames a cache-hit [Snapshot] answer
+    writes, refreshing the cache exactly as a request would. While the
+    registry generation is unchanged, repeated calls return the {e
+    physically} same buffers — the zero-copy property; exposed so tests
+    can assert it. *)
+
+val lookup_frames : t -> string -> Ivm_data.Value.t -> (Bytes.t list, string) result
+(** Same, for a [Lookup] with bound first field [key]; a key with no
+    group returns the server-lifetime shared empty terminator frame. *)
+
 val publish_delta : t -> epoch:int -> int Ivm_data.Update.t list -> unit
 (** Push one [Delta] frame to every subscriber — wire this to
     {!Ivm_stream.Scheduler}'s [on_apply]. Runs on the caller's domain;

@@ -62,6 +62,12 @@ let frame body =
   Buffer.add_string buf body;
   Buffer.contents buf
 
+(* A complete frame (header, CRC, body) preserialized into one buffer:
+   the zero-copy currency of the server's snapshot cache. Building it
+   once at cache-fill time makes serving a cache hit a single [write]
+   of these bytes — no per-request encoding, no per-request CRC. *)
+let frame_bytes body = Bytes.unsafe_of_string (frame body)
+
 let decode_frame buf ~pos =
   let n = String.length buf in
   if pos < 0 || pos > n then invalid_arg "Wire.decode_frame: position out of range";
@@ -94,6 +100,23 @@ let rec really_write fd s pos len =
 let write_frame fd body =
   let s = frame body in
   really_write fd s 0 (String.length s)
+
+(* The zero-copy send: one partial-write loop straight out of a
+   prebuilt frame, no staging buffer. *)
+let write_prebuilt fd b =
+  let len = Bytes.length b in
+  let rec go pos len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write fd b pos len with
+      | 0 -> Error (Io "write returned 0")
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error (Io "send timed out")
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  in
+  go 0 len
 
 (* Read exactly [n] bytes. Zero bytes at the very start is a clean EOF
    when [clean_eof]; an EOF anywhere else is a truncated frame. *)

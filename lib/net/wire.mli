@@ -36,6 +36,13 @@ val frame : string -> string
 (** Wrap a body into a complete frame.
     @raise Invalid_argument over {!max_body}. *)
 
+val frame_bytes : string -> Bytes.t
+(** A complete frame (header, CRC, body) preserialized into one buffer
+    — the zero-copy currency of the server's snapshot cache: build once
+    at cache-fill time, serve with {!write_prebuilt}. Treat the result
+    as immutable.
+    @raise Invalid_argument over {!max_body}. *)
+
 val decode_frame : string -> pos:int -> (string * int, error) result
 (** Parse one frame starting at [pos] of a byte buffer, returning the
     body and the position after the frame. [Error Eof] when [pos] is
@@ -46,6 +53,10 @@ val decode_frame : string -> pos:int -> (string * int, error) result
 val write_frame : Unix.file_descr -> string -> (unit, error) result
 (** Frame a body and write it fully, looping over partial writes. A
     socket send timeout ([SO_SNDTIMEO]) surfaces as [Error (Io _)]. *)
+
+val write_prebuilt : Unix.file_descr -> Bytes.t -> (unit, error) result
+(** Write a {!frame_bytes}-prebuilt frame fully, looping over partial
+    writes — no staging buffer, no re-encoding, no re-CRC. *)
 
 val read_frame : Unix.file_descr -> (string, error) result
 (** Read exactly one frame, looping over partial reads, and verify its

@@ -12,6 +12,7 @@
 
 module Tuple = Ivm_data.Tuple
 module Schema = Ivm_data.Schema
+module Flat_tbl = Ivm_data.Flat_tbl
 
 module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   module Rel = Ivm_data.Relation.Make (R)
@@ -21,7 +22,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   type t = {
     schema : Schema.t;
     mask : int; (* shard count - 1; shard count is a power of two *)
-    shards : payload Tuple.Tbl.t array;
+    shards : payload Flat_tbl.t array;
   }
 
   let next_pow2 n =
@@ -33,7 +34,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
     {
       schema;
       mask = count - 1;
-      shards = Array.init count (fun _ -> Tuple.Tbl.create (max 1 (size / count)));
+      shards = Array.init count (fun _ -> Flat_tbl.create ~size:(max 1 (size / count)) R.zero);
     }
 
   let schema t = t.schema
@@ -45,32 +46,30 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   let shard_of t tuple = (Tuple.hash tuple lsr 16) land t.mask
   let shard t i = t.shards.(i)
 
-  let size t = Array.fold_left (fun acc s -> acc + Tuple.Tbl.length s) 0 t.shards
+  let size t = Array.fold_left (fun acc s -> acc + Flat_tbl.length s) 0 t.shards
+  let get t tuple = Flat_tbl.find_default t.shards.(shard_of t tuple) tuple R.zero
+  let mem t tuple = Flat_tbl.mem t.shards.(shard_of t tuple) tuple
 
-  let get t tuple =
-    match Tuple.Tbl.find_opt t.shards.(shard_of t tuple) tuple with
-    | Some p -> p
-    | None -> R.zero
-
-  let mem t tuple = Tuple.Tbl.mem t.shards.(shard_of t tuple) tuple
-
-  (* Identical merge-and-elide semantics to [Relation.add_entry]. *)
+  (* Identical merge-and-elide semantics to [Relation.add_entry]; the
+     probe reads through zero elision, so the hot path allocates
+     nothing. *)
   let add_to_table table tuple p =
-    if not (R.is_zero p) then
-      match Tuple.Tbl.find_opt table tuple with
-      | None -> Tuple.Tbl.replace table tuple p
-      | Some q ->
-          let s = R.add q p in
-          if R.is_zero s then Tuple.Tbl.remove table tuple
-          else Tuple.Tbl.replace table tuple s
+    if not (R.is_zero p) then begin
+      let q = Flat_tbl.find_default table tuple R.zero in
+      if R.is_zero q then Flat_tbl.set table tuple p
+      else
+        let s = R.add q p in
+        if R.is_zero s then Flat_tbl.remove table tuple
+        else Flat_tbl.set table tuple s
+    end
 
   let add_entry t tuple p = add_to_table t.shards.(shard_of t tuple) tuple p
-  let iter f t = Array.iter (Tuple.Tbl.iter f) t.shards
+  let iter f t = Array.iter (Flat_tbl.iter f) t.shards
 
   let fold f t acc =
-    Array.fold_left (fun acc s -> Tuple.Tbl.fold f s acc) acc t.shards
+    Array.fold_left (fun acc s -> Flat_tbl.fold f s acc) acc t.shards
 
-  let clear t = Array.iter Tuple.Tbl.reset t.shards
+  let clear t = Array.iter Flat_tbl.clear t.shards
 
   let of_relation ?shards r =
     let t = create ?shards ~size:(Rel.size r) (Rel.schema r) in

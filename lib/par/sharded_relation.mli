@@ -8,6 +8,7 @@
 
 module Tuple = Ivm_data.Tuple
 module Schema = Ivm_data.Schema
+module Flat_tbl = Ivm_data.Flat_tbl
 
 module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
   module Rel : module type of Ivm_data.Relation.Make (R)
@@ -27,7 +28,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
       consume the lower bits) stay uniformly filled. Computing it also
       memoizes the tuple's hash for the parallel probe phase. *)
 
-  val shard : t -> int -> payload Tuple.Tbl.t
+  val shard : t -> int -> payload Flat_tbl.t
   (** The [i]th shard table. Callers mutating it directly (as
       {!Par_batch} does) must ensure a single writer per shard. *)
 
@@ -39,7 +40,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
 
   val mem : t -> Tuple.t -> bool
 
-  val add_to_table : payload Tuple.Tbl.t -> Tuple.t -> payload -> unit
+  val add_to_table : payload Flat_tbl.t -> Tuple.t -> payload -> unit
   (** Merge-and-elide into one shard table: identical semantics to
       [Relation.add_entry] — add with [R.add], drop entries that reach
       [R.zero]. *)

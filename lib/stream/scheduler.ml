@@ -18,6 +18,7 @@
 
 module Update = Ivm_data.Update
 module Tuple = Ivm_data.Tuple
+module Flat_tbl = Ivm_data.Flat_tbl
 
 let ( let* ) = Result.bind
 
@@ -37,6 +38,11 @@ type t = {
   self_check_every : int option; (* epochs between fingerprint self-checks *)
   on_apply : (epoch:int -> int Update.t list -> unit) option;
       (* delta-subscription fan-out: the coalesced batch just applied *)
+  coalescer : (string, int Flat_tbl.t) Hashtbl.t;
+      (* per-relation coalescing accumulators, reused across epochs: a
+         capacity-preserving [Flat_tbl.clear] after each emit keeps the
+         tables' arrays alive, so steady-state epochs allocate no fresh
+         buffers for coalescing *)
   mutable limit : int; (* the adaptive batch cap *)
   mutable applied : int; (* updates applied so far (pre-coalescing) *)
 }
@@ -61,6 +67,7 @@ let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536
     sync_retries;
     self_check_every;
     on_apply;
+    coalescer = Hashtbl.create 4;
     limit;
     applied = 0;
   }
@@ -73,29 +80,36 @@ let registry t = t.registry
 (* Coalesce an epoch per (relation, tuple): nested tables because the
    outer generic Hashtbl must never key on Tuple.t directly (its
    memoized-hash field breaks structural hashing). Zero sums are elided
-   — an insert/delete pair inside one epoch vanishes entirely. *)
-let coalesce (items : item list) : int Update.t list =
-  let per_rel : (string, int ref Tuple.Tbl.t) Hashtbl.t = Hashtbl.create 4 in
+   incrementally — an insert/delete pair inside one epoch vanishes
+   entirely, and because stored sums are never zero the default-0 probe
+   is unambiguous. The accumulators live in [t] and are cleared
+   (capacity preserved) after the emit, so an epoch at steady state
+   reuses last epoch's buffers instead of reallocating them. *)
+let coalesce t (items : item list) : int Update.t list =
+  let per_rel = t.coalescer in
   List.iter
     (fun { update = u; _ } ->
       let table =
         match Hashtbl.find_opt per_rel u.Update.rel with
         | Some tbl -> tbl
         | None ->
-            let tbl = Tuple.Tbl.create 64 in
+            let tbl = Flat_tbl.create ~size:64 0 in
             Hashtbl.add per_rel u.Update.rel tbl;
             tbl
       in
-      match Tuple.Tbl.find_opt table u.Update.tuple with
-      | Some cell -> cell := !cell + u.Update.payload
-      | None -> Tuple.Tbl.add table u.Update.tuple (ref u.Update.payload))
+      let tuple = u.Update.tuple in
+      let s = Flat_tbl.find_default table tuple 0 + u.Update.payload in
+      if s = 0 then Flat_tbl.remove table tuple else Flat_tbl.set table tuple s)
     items;
   Hashtbl.fold
     (fun rel table acc ->
-      Tuple.Tbl.fold
-        (fun tuple cell acc ->
-          if !cell = 0 then acc else Update.make ~rel ~tuple ~payload:!cell :: acc)
-        table acc)
+      let acc =
+        Flat_tbl.fold
+          (fun tuple p acc -> Update.make ~rel ~tuple ~payload:p :: acc)
+          table acc
+      in
+      Flat_tbl.clear table;
+      acc)
     per_rel []
 
 (* A failed fsync does not mean lost data — the bytes are still in the
@@ -128,7 +142,7 @@ let step t : (bool, Errors.t) result =
             sync_retrying w t.sync_retries
         | None -> Ok ()
       in
-      let batch = coalesce items in
+      let batch = coalesce t items in
       let t0 = Unix.gettimeofday () in
       Registry.apply_batch t.registry batch;
       let applied_at = Unix.gettimeofday () in

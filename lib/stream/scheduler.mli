@@ -45,9 +45,10 @@ val applied : t -> int
 val metrics : t -> Metrics.t
 val registry : t -> Registry.t
 
-val coalesce : item list -> int Ivm_data.Update.t list
-(** Per-(relation, tuple) ring-add coalescing with zero elision;
-    exposed for tests. *)
+val coalesce : t -> item list -> int Ivm_data.Update.t list
+(** Per-(relation, tuple) ring-add coalescing with zero elision. The
+    accumulators are owned by the scheduler and reused across epochs
+    (capacity-preserving clear after each emit); exposed for tests. *)
 
 val step : t -> (bool, Errors.t) result
 (** Run one epoch; [Ok false] means the stream ended (queue closed and

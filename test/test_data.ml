@@ -8,6 +8,7 @@ module S = Ivm_data.Schema
 module Rel = Ivm_data.Relation.Z
 module Db = Ivm_data.Database.Z
 module U = Ivm_data.Update
+module Flat = Ivm_data.Flat_tbl
 
 let tup = T.of_ints
 
@@ -94,6 +95,68 @@ let index_unit () =
   upd (tup [ 2; 12 ]) (-1);
   Alcotest.(check bool) "empty group removed" false (Rel.Index.mem_key ix (tup [ 2 ]));
   Alcotest.(check int) "group count" 1 (Rel.Index.group_count ix)
+
+let scratch_store_rejected () =
+  (* The scratch footgun (tuple.mli): a mutable probe buffer stored as
+     a key would keep mutating under its stale inline hash and corrupt
+     the table — the storage layer must refuse it at every entry. *)
+  let k = T.scratch 2 in
+  T.set k 0 (V.of_int 1);
+  T.set k 1 (V.of_int 2);
+  Alcotest.(check bool) "is_scratch" true (T.is_scratch k);
+  Alcotest.(check bool) "fresh tuples are not scratch" false (T.is_scratch (tup [ 1; 2 ]));
+  let tbl = Flat.create ~size:8 0 in
+  Alcotest.check_raises "Flat_tbl.set rejects scratch"
+    (Invalid_argument "Flat_tbl.set: scratch tuples must not be stored as table keys")
+    (fun () -> Flat.set tbl k 7);
+  let r = Rel.create (S.of_list [ "A"; "B" ]) in
+  Alcotest.check_raises "Relation.add_entry rejects scratch"
+    (Invalid_argument "Flat_tbl.set: scratch tuples must not be stored as table keys")
+    (fun () -> Rel.add_entry r k 1);
+  (* Probing with a scratch buffer is the whole point — always fine. *)
+  Rel.add_entry r (tup [ 1; 2 ]) 5;
+  Alcotest.(check int) "scratch probe reads" 5 (Rel.get r k);
+  Alcotest.(check bool) "scratch mem reads" true (Rel.mem r k);
+  (* project returns a fresh immutable tuple, safe to store. *)
+  let proj = T.project k [| 0; 1 |] in
+  Alcotest.(check bool) "projection of scratch is storable" false (T.is_scratch proj);
+  Flat.set tbl proj 7;
+  Alcotest.(check int) "stored projection" 7 (Flat.find_default tbl (tup [ 1; 2 ]) 0)
+
+let equal_asymmetric_sizes () =
+  (* Regression: [equal] scans only [a]'s support, so without the size
+     guard a strict subset with matching payloads would pass. *)
+  let s = S.of_list [ "A"; "B" ] in
+  let small = Rel.of_list s [ (tup [ 1; 2 ], 3) ] in
+  let big = Rel.of_list s [ (tup [ 1; 2 ], 3); (tup [ 4; 5 ], 1) ] in
+  Alcotest.(check bool) "subset is not equal" false (Rel.equal small big);
+  Alcotest.(check bool) "superset is not equal" false (Rel.equal big small);
+  Alcotest.(check bool) "reflexive" true (Rel.equal big (Rel.copy big))
+
+let flat_tbl_resize_churn () =
+  (* March a table through several resize boundaries (initial capacity
+     8, grow at 7/8 load), then delete most of it and reuse — the
+     backward-shift path must leave every survivor reachable. *)
+  let tbl = Flat.create ~size:0 (-1) in
+  for i = 0 to 199 do
+    Flat.set tbl (tup [ i; i * 7 ]) i
+  done;
+  Alcotest.(check int) "all inserted" 200 (Flat.length tbl);
+  for i = 0 to 199 do
+    if i mod 2 = 0 then Flat.remove tbl (tup [ i; i * 7 ])
+  done;
+  Alcotest.(check int) "half deleted" 100 (Flat.length tbl);
+  for i = 0 to 199 do
+    let expect = if i mod 2 = 0 then -1 else i in
+    Alcotest.(check int)
+      (Printf.sprintf "survivor %d" i)
+      expect
+      (Flat.find_default tbl (tup [ i; i * 7 ]) (-1))
+  done;
+  Flat.clear tbl;
+  Alcotest.(check int) "cleared" 0 (Flat.length tbl);
+  Flat.set tbl (tup [ 3; 4 ]) 9;
+  Alcotest.(check int) "reusable after clear" 9 (Flat.find_default tbl (tup [ 3; 4 ]) (-1))
 
 let database_unit () =
   let db = Db.create () in
@@ -208,6 +271,81 @@ let index_consistent_with_relation =
              = Rel.fold (fun t _ acc -> if V.to_int (T.get t 0) = a then acc + 1 else acc) r 0)
         dom)
 
+(* --- Flat_tbl vs stdlib Hashtbl oracle ------------------------------- *)
+
+(* Drive the open-addressing table and a stdlib [Hashtbl.Make] oracle
+   through the same operation sequence, then demand full agreement
+   through every read path. The key space is small so sequences revisit
+   keys (overwrites, delete/re-insert) and long enough to cross the
+   8 → 16 → 32 → 64 resize boundaries. *)
+let agree flat oracle =
+  Flat.length flat = T.Tbl.length oracle
+  && T.Tbl.fold
+       (fun k v ok ->
+         ok && Flat.find_opt flat k = Some v
+         && Flat.find_default flat k min_int = v
+         && Flat.mem flat k)
+       oracle true
+  && Flat.fold (fun k v ok -> ok && T.Tbl.find_opt oracle k = Some v) flat true
+  && List.length (List.of_seq (Flat.to_seq flat)) = Flat.length flat
+
+let apply_op flat oracle (a, b, sel) ~remove_bias =
+  let k = tup [ a; b ] in
+  if sel < remove_bias then begin
+    Flat.remove flat k;
+    T.Tbl.remove oracle k
+  end
+  else begin
+    Flat.set flat k sel;
+    T.Tbl.replace oracle k sel
+  end
+
+let gen_ops =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 400)
+    (QCheck.triple (QCheck.int_range 0 5) (QCheck.int_range 0 5) (QCheck.int_range 0 9))
+
+let lockstep_of ~name ~remove_bias =
+  QCheck.Test.make ~name gen_ops (fun ops ->
+      let flat = Flat.create ~size:0 min_int in
+      let oracle = T.Tbl.create 16 in
+      List.iter (fun op -> apply_op flat oracle op ~remove_bias) ops;
+      agree flat oracle)
+
+let flat_lockstep = lockstep_of ~name:"Flat_tbl lockstep with Hashtbl oracle" ~remove_bias:3
+
+let flat_lockstep_churn =
+  (* Deletion-heavy mix: backward-shift deletion dominates, so chains
+     are repeatedly compacted while inserts re-displace them. *)
+  lockstep_of ~name:"Flat_tbl lockstep under deletion churn" ~remove_bias:6
+
+let flat_copy_independent =
+  QCheck.Test.make ~name:"Flat_tbl.copy is a snapshot" gen_ops (fun ops ->
+      let flat = Flat.create ~size:0 min_int in
+      let oracle = T.Tbl.create 16 in
+      let n = List.length ops / 2 in
+      List.iteri (fun i op -> if i < n then apply_op flat oracle op ~remove_bias:3) ops;
+      let snap = Flat.copy flat in
+      let snap_oracle = T.Tbl.copy oracle in
+      List.iteri (fun i op -> if i >= n then apply_op flat oracle op ~remove_bias:3) ops;
+      (* The copy must reflect the midpoint exactly, whatever happened
+         to the original afterwards — and the original must agree too. *)
+      agree snap snap_oracle && agree flat oracle)
+
+let flat_iter_matches_fold =
+  QCheck.Test.make ~name:"Flat_tbl iter/fold visit each entry once" gen_ops (fun ops ->
+      let flat = Flat.create ~size:0 min_int in
+      let oracle = T.Tbl.create 16 in
+      List.iter (fun op -> apply_op flat oracle op ~remove_bias:3) ops;
+      let sum_iter = ref 0 and count = ref 0 in
+      Flat.iter
+        (fun _ v ->
+          sum_iter := !sum_iter + v;
+          incr count)
+        flat;
+      let sum_fold = Flat.fold (fun _ v acc -> acc + v) flat 0 in
+      let sum_oracle = T.Tbl.fold (fun _ v acc -> acc + v) oracle 0 in
+      !count = Flat.length flat && !sum_iter = sum_fold && sum_fold = sum_oracle)
+
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
 let () =
@@ -223,6 +361,16 @@ let () =
           Alcotest.test_case "aggregation with lifting" `Quick aggregate_lift_unit;
           Alcotest.test_case "group index" `Quick index_unit;
           Alcotest.test_case "database" `Quick database_unit;
+          Alcotest.test_case "scratch keys rejected by storage" `Quick scratch_store_rejected;
+          Alcotest.test_case "equal with asymmetric sizes" `Quick equal_asymmetric_sizes;
+          Alcotest.test_case "flat table resize and churn" `Quick flat_tbl_resize_churn;
+        ] );
+      ( "storage properties",
+        [
+          qt flat_lockstep;
+          qt flat_lockstep_churn;
+          qt flat_copy_independent;
+          qt flat_iter_matches_fold;
         ] );
       ( "properties",
         [

@@ -668,6 +668,73 @@ let e2e_corrupt_frame_keeps_serving () =
               | Error e -> Alcotest.failf "pong decode: %s" (Wire.error_to_string e))
           | Error e -> Alcotest.failf "connection dropped after Err: %s" (Wire.error_to_string e)))
 
+(* The zero-copy contract: once the snapshot cache is warm, a Snapshot
+   (or bound-first-field Lookup) answer is served straight from the
+   preserialized frames built at cache-fill time — repeated requests at
+   an unchanged generation return the *physically* same buffers, and
+   the bytes on the wire are exactly those buffers, CRC included. *)
+let e2e_zero_copy_snapshot () =
+  let total = 500 in
+  let stream = edge_stream total in
+  with_server ~total (fun srv _reg await_applied ->
+      let port = Server.port srv in
+      let c = ok_wire (Client.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let admitted, dropped = ok_wire (Client.ingest c stream) in
+          Alcotest.(check int) "admitted" total admitted;
+          Alcotest.(check int) "dropped" 0 dropped;
+          await_applied total;
+          let ok_msg = function Ok v -> v | Error msg -> Alcotest.fail msg in
+          let frames view = ok_msg (Server.snapshot_frames srv view) in
+          (* First call fills the cache; the second must return the
+             physically same prebuilt buffers — zero per-request
+             encoding. *)
+          let f1 = frames "paths-rs" in
+          let f2 = frames "paths-rs" in
+          Alcotest.(check int) "frame lists same length" (List.length f1) (List.length f2);
+          Alcotest.(check bool) "snapshot frames are physically cached" true
+            (List.for_all2 (fun a b -> a == b) f1 f2);
+          (* Same for a lookup with bound first field, through the
+             per-key prebuilt frames. *)
+          let entries = ok_wire (Client.snapshot c ~view:"paths-rs") in
+          (match entries with
+          | [] -> Alcotest.fail "paths-rs is empty"
+          | (tp, _) :: _ ->
+              let k = D.Tuple.get tp 0 in
+              let l1 = ok_msg (Server.lookup_frames srv "paths-rs" k) in
+              let l2 = ok_msg (Server.lookup_frames srv "paths-rs" k) in
+              Alcotest.(check bool) "lookup frames are physically cached" true
+                (List.for_all2 (fun a b -> a == b) l1 l2));
+          (* Misses share the server-lifetime empty terminator. *)
+          let m1 = ok_msg (Server.lookup_frames srv "paths-rs" (D.Value.of_int (-999))) in
+          let m2 = ok_msg (Server.lookup_frames srv "paths-rs" (D.Value.of_int (-998))) in
+          Alcotest.(check bool) "missing keys share one terminator frame" true
+            (match (m1, m2) with [ a ], [ b ] -> a == b | _ -> false);
+          (* And the wire bytes of a Snapshot answer are exactly the
+             cached buffers, byte for byte. *)
+          let expected = String.concat "" (List.map Bytes.to_string f1) in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              ok_wire
+                (Wire.write_frame fd
+                   (Wire.encode_request (Wire.Snapshot { view = "paths-rs" })));
+              let n = String.length expected in
+              let buf = Bytes.create n in
+              let rec fill pos =
+                if pos < n then
+                  match Unix.read fd buf pos (n - pos) with
+                  | 0 -> Alcotest.fail "connection closed mid-answer"
+                  | k -> fill (pos + k)
+              in
+              fill 0;
+              Alcotest.(check bool) "wire bytes = cached frames" true
+                (Bytes.to_string buf = expected))))
+
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
 let () =
@@ -700,6 +767,7 @@ let () =
           Alcotest.test_case "concurrent clients = reference" `Quick e2e_concurrent_clients;
           Alcotest.test_case "subscribe receives deltas" `Quick e2e_subscribe;
           Alcotest.test_case "kill and restart" `Quick e2e_kill_restart;
+          Alcotest.test_case "zero-copy snapshot serving" `Quick e2e_zero_copy_snapshot;
           Alcotest.test_case "corrupt frame keeps serving" `Quick
             e2e_corrupt_frame_keeps_serving;
         ] );

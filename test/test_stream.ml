@@ -440,6 +440,11 @@ let registry_matches_direct () =
 (* --- scheduler ------------------------------------------------------- *)
 
 let coalesce_cancels () =
+  let db = make_triangle_db () in
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics db in
+  let queue = Squeue.create ~capacity:4 Squeue.Block in
+  let sched = Scheduler.create ~queue ~registry:reg ~metrics () in
   let items =
     List.map Scheduler.item
       [
@@ -449,11 +454,17 @@ let coalesce_cancels () =
         U.make ~rel:"S" ~tuple:(tup [ 3; 4 ]) ~payload:3;
       ]
   in
-  match Scheduler.coalesce items with
-  | [ u ] ->
-      Alcotest.(check string) "surviving relation" "S" u.U.rel;
-      Alcotest.(check int) "summed payload" 5 u.U.payload
-  | l -> Alcotest.failf "expected one coalesced update, got %d" (List.length l)
+  let check_once () =
+    match Scheduler.coalesce sched items with
+    | [ u ] ->
+        Alcotest.(check string) "surviving relation" "S" u.U.rel;
+        Alcotest.(check int) "summed payload" 5 u.U.payload
+    | l -> Alcotest.failf "expected one coalesced update, got %d" (List.length l)
+  in
+  (* Twice through the same scheduler: the second epoch reuses the
+     cleared accumulators and must see none of the first's state. *)
+  check_once ();
+  check_once ()
 
 (* An epoch whose payloads cancel to zero entirely must still count as
    an epoch (durably logged, applied-counter advanced, adaptive limit
