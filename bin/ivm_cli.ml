@@ -310,6 +310,45 @@ let serve_cmd =
         let metrics = St.Metrics.create () in
         let reg = St.Registry.create ?pool ~metrics (Views.make_db ()) in
         Views.register reg;
+        (* SQL session grafted onto the serving registry: the wire's
+           Create_view/Explain ops execute against it. Handler domains
+           may issue SQL concurrently and the session catalog is not
+           domain-safe, so the callbacks serialize on one mutex. The
+           planner's read/write mix comes from the live metrics. *)
+        let sql_session =
+          Ivm_sql.Exec.create ~registry:reg
+            ~stats:(fun () ->
+              let count name = St.Metrics.Hist.count (St.Metrics.op metrics name) in
+              { Ivm_sql.Planner.reads = count "lookup" + count "snapshot";
+                writes = metrics.St.Metrics.ingested })
+            ()
+        in
+        let sql_mutex = Mutex.create () in
+        let with_sql f =
+          Mutex.lock sql_mutex;
+          Fun.protect ~finally:(fun () -> Mutex.unlock sql_mutex) f
+        in
+        let sql_create sql =
+          with_sql (fun () ->
+              match Ivm_sql.Exec.exec_text sql_session sql with
+              | Ok outs ->
+                  Ok (String.concat "\n" (List.map Ivm_sql.Exec.render outs))
+              | Error e -> Error e)
+        in
+        let sql_explain sql =
+          with_sql (fun () ->
+              match Ivm_sql.Parser.stmt sql with
+              | Error e -> Error e
+              | Ok stmt ->
+                  let stmt =
+                    match stmt with
+                    | Ivm_sql.Ast.Explain _ -> stmt
+                    | s -> Ivm_sql.Ast.Explain s
+                  in
+                  (match Ivm_sql.Exec.exec sql_session stmt with
+                  | Ok out -> Ok (Ivm_sql.Exec.render out)
+                  | Error e -> Error e))
+        in
         let wal = ok_or_die "open WAL" (St.Wal.Z.open_log wal_path) in
         let queue = St.Queue.create ~capacity:queue_cap policy in
         (* Delta subscribers are fed from the scheduler's epoch hook;
@@ -389,7 +428,8 @@ let serve_cmd =
           let srv =
             match
               Ivm_net.Server.start ~port:listen ~handlers ~ingest
-                ~checkpoint:request_checkpoint
+                ~checkpoint:request_checkpoint ~create_view:sql_create
+                ~explain:sql_explain
                 ~on_shutdown:(fun () -> St.Queue.close queue)
                 ~registry:reg ~metrics ()
             with
@@ -1284,6 +1324,163 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ runs_arg $ minutes_arg $ engines_arg $ corpus_arg
           $ inject_arg)
 
+let sql_cmd =
+  let module Sql = Ivm_sql in
+  let module V = Ivm_data.Value in
+  let e_arg =
+    Arg.(value & opt (some string) None & info [ "e"; "execute" ] ~docv:"SQL"
+           ~doc:"Execute this SQL text and exit.")
+  in
+  let file_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Read SQL from this file ('-' for stdin). Without $(docv) \
+                 and $(b,-e), reads statements interactively from stdin.")
+  in
+  let connect_arg =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"Run against a live server over the wire protocol instead \
+                 of an in-process session. DDL/DML go through the \
+                 create_view op, EXPLAIN through the explain op; SELECT is \
+                 served by the lookup/snapshot ops and is not routed here.")
+  in
+  let params_arg =
+    Arg.(value & opt_all string [] & info [ "param" ] ~docv:"V"
+           ~doc:"Value for the next ? placeholder, in order (repeatable). \
+                 Parsed as an integer or real when possible, else a string.")
+  in
+  let parse_param s =
+    match int_of_string_opt s with
+    | Some i -> V.Int i
+    | None -> (
+        match float_of_string_opt s with Some f -> V.Real f | None -> V.Str s)
+  in
+  let run e file connect params =
+    let params = List.map parse_param params in
+    let fail msg =
+      Printf.eprintf "ivm_cli: %s\n" msg;
+      exit 2
+    in
+    let text =
+      match (e, file) with
+      | Some s, _ -> Some s
+      | None, Some "-" -> Some (In_channel.input_all stdin)
+      | None, Some f -> (
+          match In_channel.with_open_text f In_channel.input_all with
+          | s -> Some s
+          | exception Sys_error m -> fail m)
+      | None, None -> None
+    in
+    let remote =
+      match connect with
+      | None -> None
+      | Some hp ->
+          let host, port =
+            match String.rindex_opt hp ':' with
+            | Some i ->
+                let h = String.sub hp 0 i in
+                let p = String.sub hp (i + 1) (String.length hp - i - 1) in
+                ( (if h = "" then "127.0.0.1" else h),
+                  match int_of_string_opt p with
+                  | Some p -> p
+                  | None -> fail ("bad --connect port: " ^ p) )
+            | None -> (
+                ( "127.0.0.1",
+                  match int_of_string_opt hp with
+                  | Some p -> p
+                  | None -> fail ("bad --connect (want HOST:PORT): " ^ hp) ))
+          in
+          (match Ivm_net.Client.connect ~host ~port () with
+          | Ok c -> Some c
+          | Error err -> fail (Ivm_net.Wire.error_to_string err))
+    in
+    let ok = ref true in
+    let exec_text =
+      match remote with
+      | Some c ->
+          fun text ->
+            (match Sql.Parser.script text with
+            | Error e ->
+                Printf.eprintf "error: %s\n%!" e;
+                ok := false
+            | Ok stmts ->
+                List.iter
+                  (fun stmt ->
+                    if !ok then
+                      let r =
+                        match stmt with
+                        | Sql.Ast.Explain _ ->
+                            Ivm_net.Client.explain c (Sql.Ast.print stmt)
+                        | Sql.Ast.Select _ ->
+                            Error
+                              (Ivm_net.Wire.Remote
+                                 "SELECT over --connect is not routed through \
+                                  the SQL ops; use the lookup/snapshot wire \
+                                  ops against the view name")
+                        | _ -> Ivm_net.Client.create_view c (Sql.Ast.print stmt)
+                      in
+                      match r with
+                      | Ok out -> print_endline out
+                      | Error err ->
+                          Printf.eprintf "error: %s\n%!"
+                            (Ivm_net.Wire.error_to_string err);
+                          ok := false)
+                  stmts)
+      | None ->
+          let sess = Sql.Exec.create () in
+          fun text ->
+            (match Sql.Exec.exec_text sess ~params text with
+            | Ok outs ->
+                List.iter (fun o -> print_endline (Sql.Exec.render o)) outs
+            | Error e ->
+                Printf.eprintf "error: %s\n%!" e;
+                ok := false)
+    in
+    (match text with
+    | Some t -> exec_text t
+    | None ->
+        (* Line-oriented REPL: a statement is submitted once the buffer
+           ends with ';'. Also serves piped stdin with no prompts. *)
+        let interactive = Unix.isatty Unix.stdin in
+        let buf = Buffer.create 256 in
+        let prompt () =
+          if interactive then begin
+            print_string (if Buffer.length buf = 0 then "sql> " else "...> ");
+            flush stdout
+          end
+        in
+        let rec loop () =
+          prompt ();
+          match In_channel.input_line stdin with
+          | None -> if interactive then print_newline ()
+          | Some line ->
+              let trimmed = String.trim line in
+              if
+                Buffer.length buf = 0
+                && (trimmed = "\\q" || trimmed = "quit" || trimmed = "exit")
+              then ()
+              else begin
+                Buffer.add_string buf line;
+                Buffer.add_char buf '\n';
+                let s = String.trim (Buffer.contents buf) in
+                if s <> "" && s.[String.length s - 1] = ';' then begin
+                  Buffer.clear buf;
+                  exec_text s;
+                  if interactive then ok := true
+                end;
+                loop ()
+              end
+        in
+        loop ());
+    Option.iter Ivm_net.Client.close remote;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"SQL front end: CREATE TABLE / CREATE MATERIALIZED VIEW / \
+             INSERT / DELETE / SELECT / EXPLAIN against an in-process \
+             session, or against a live server via --connect")
+    Term.(const run $ e_arg $ file_arg $ connect_arg $ params_arg)
+
 let () =
   let doc = "incremental view maintenance toolbox (PODS 2024 survey reproduction)" in
   exit
@@ -1291,5 +1488,5 @@ let () =
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
           [
             classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd;
-            fuzz_cmd;
+            fuzz_cmd; sql_cmd;
           ]))

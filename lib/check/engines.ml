@@ -315,6 +315,65 @@ let net_driver ~factory (case : Case.t) =
         N.Server.stop srv);
   }
 
+(* --- the SQL front end path: the case rendered as SQL text and pushed
+   through lib/sql end to end — lexer, parser, lowering, cost-based
+   planner and engine compilation all sit inside the checked loop, and
+   the planner is free to pick any engine it likes; the oracle then
+   holds it to the same answer as every hand-built driver. Data flows
+   through printed INSERT/DELETE statements, so DML parsing and the
+   executor's mutation path are fuzzed too. -------------------------- *)
+
+let sql_value_literal = function
+  | D.Value.Int i -> string_of_int i
+  | D.Value.Real r -> Printf.sprintf "%.12g" r
+  | D.Value.Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let sql_of_update (u : int U.t) =
+  let row =
+    "(" ^ String.concat ", " (List.map sql_value_literal (D.Tuple.to_list u.U.tuple)) ^ ")"
+  in
+  let rows = String.concat ", " (List.init (abs u.U.payload) (fun _ -> row)) in
+  if u.U.payload > 0 then Printf.sprintf "INSERT INTO %s VALUES %s;" u.U.rel rows
+  else Printf.sprintf "DELETE FROM %s VALUES %s;" u.U.rel rows
+
+let sql_view_text (case : Case.t) =
+  match case.Case.family with
+  | Case.Triangle -> "CREATE MATERIALIZED VIEW v AS SELECT COUNT(*) FROM R, S, T;"
+  | _ ->
+      let q = Option.get case.Case.query in
+      let items =
+        match q.Ivm_query.Cq.free with
+        | [] -> "COUNT(*)"
+        | fs -> String.concat ", " fs
+      in
+      Printf.sprintf "CREATE MATERIALIZED VIEW v AS SELECT %s FROM %s;" items
+        (String.concat ", "
+           (List.map (fun (a : Cq.atom) -> a.Cq.rel) q.Ivm_query.Cq.atoms))
+
+let sql_driver (case : Case.t) =
+  let sess = Ivm_sql.Exec.create () in
+  let run what text =
+    match Ivm_sql.Exec.exec_text sess text with
+    | Ok _ -> ()
+    | Error e -> failwith ("sql driver " ^ what ^ ": " ^ e)
+  in
+  List.iter
+    (fun (rel, cols) ->
+      run "create table"
+        (Printf.sprintf "CREATE TABLE %s (%s);" rel (String.concat ", " cols)))
+    case.Case.schemas;
+  (* Initial rows land before the view exists, exercising the initial
+     load of whatever engine the planner compiles the view onto. *)
+  List.iter (fun r -> run "init" (sql_of_update (Case.update_of_row r))) case.Case.init;
+  run "create view" (sql_view_text case);
+  plain "sql"
+    (fun batch ->
+      List.iter (fun u -> if u.U.payload <> 0 then run "dml" (sql_of_update u)) batch)
+    (fun () ->
+      match Ivm_sql.Exec.view_entries sess "v" with
+      | Ok es -> norm es
+      | Error e -> failwith ("sql driver enumerate: " ^ e))
+
 (* --- the matrix ------------------------------------------------------ *)
 
 let join_builders : (string * (dir:string -> Case.t -> driver)) list =
@@ -328,6 +387,7 @@ let join_builders : (string * (dir:string -> Case.t -> driver)) list =
     ("lazy-list-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_list);
     ("stream", fun ~dir c -> stream_driver ~dir ~factory:(join_factory c) c);
     ("net", fun ~dir:_ c -> net_driver ~factory:(join_factory c) c);
+    ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 
 let triangle_builders : (string * (dir:string -> Case.t -> driver)) list =
@@ -352,6 +412,7 @@ let triangle_builders : (string * (dir:string -> Case.t -> driver)) list =
           () );
     ("stream", fun ~dir c -> stream_driver ~dir ~factory:(tri_factory c) c);
     ("net", fun ~dir:_ c -> net_driver ~factory:(tri_factory c) c);
+    ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 
 let kclique_builders : (string * (dir:string -> Case.t -> driver)) list =

@@ -9,7 +9,11 @@ module Update = Ivm_data.Update
 
 let ( let* ) = Result.bind
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+  mutable peer_version : int option;  (** cached [Version] probe result *)
+}
 
 let connect ?(host = "127.0.0.1") ~port () =
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -18,7 +22,7 @@ let connect ?(host = "127.0.0.1") ~port () =
       try
         Unix.setsockopt fd Unix.TCP_NODELAY true;
         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-        Ok { fd; closed = false }
+        Ok { fd; closed = false; peer_version = None }
       with Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error (Wire.Io (Unix.error_message e)))
@@ -138,3 +142,39 @@ let shutdown t =
   | Wire.Bye -> Ok ()
   | Wire.Err msg -> Error (Wire.Remote msg)
   | resp -> unexpected resp
+
+(* A v1 server answers [Version] with an unknown-opcode [Err] frame —
+   report that peer as version 1 rather than an error, and cache the
+   answer so the probe costs one round trip per connection. *)
+let version t =
+  match t.peer_version with
+  | Some v -> Ok v
+  | None ->
+      let* resp = rpc t Wire.Version in
+      let* v =
+        match resp with
+        | Wire.Version_info { version } -> Ok version
+        | Wire.Err _ -> Ok 1
+        | resp -> unexpected resp
+      in
+      t.peer_version <- Some v;
+      Ok v
+
+(* The v2 text ops share one shape: probe the peer first so talking to
+   an old server yields a clean, explanatory [Remote] error instead of
+   its raw unknown-opcode message. *)
+let sql_text_op t ~opname req =
+  let* v = version t in
+  if v < 2 then
+    Error
+      (Wire.Remote
+         (Printf.sprintf "server speaks protocol v%d, %s needs v2" v opname))
+  else
+    let* resp = rpc t req in
+    match resp with
+    | Wire.Text s -> Ok s
+    | Wire.Err msg -> Error (Wire.Remote msg)
+    | resp -> unexpected resp
+
+let create_view t sql = sql_text_op t ~opname:"create_view" (Wire.Create_view sql)
+let explain t sql = sql_text_op t ~opname:"explain" (Wire.Explain sql)

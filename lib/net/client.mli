@@ -48,3 +48,19 @@ val checkpoint : t -> (int, Wire.error) result
 val shutdown : t -> (unit, Wire.error) result
 (** Ask the server to shut down; [Ok ()] once the server acked with
     [Bye]. *)
+
+val version : t -> (int, Wire.error) result
+(** The peer's protocol version, probed once per connection and cached.
+    A v1 server (which answers the probe with an unknown-opcode error)
+    reports as [Ok 1]. *)
+
+val create_view : t -> string -> (string, Wire.error) result
+(** Execute a SQL script ([CREATE TABLE]/[CREATE MATERIALIZED VIEW]/
+    [INSERT]/...) on the server; returns the acknowledgement text.
+    Probes {!version} first: against a v1 server this fails with a
+    clean [Remote] error naming the required protocol version. *)
+
+val explain : t -> string -> (string, Wire.error) result
+(** Run SQL [EXPLAIN] on the server: the chosen engine plus the
+    classification facts. Same version-probe behaviour as
+    {!create_view}. *)

@@ -99,6 +99,8 @@ type t = {
   snd_timeout : float;
   ingest : (int Update.t list -> int * int) option;
   checkpoint : (unit -> (int, string) result) option;
+  create_view : (string -> (string, string) result) option;
+  explain : (string -> (string, string) result) option;
   on_shutdown : (unit -> unit) option;
   pool : Domain_pool.t;
   (* Snapshot cache: view name -> materialized enumeration stamped with
@@ -294,6 +296,23 @@ let handle t conn (req : Wire.request) : outcome =
           match ck () with
           | Ok wal_offset -> respond (Wire.Checkpointed { wal_offset })
           | Error msg -> respond (Wire.Err msg)))
+  | Wire.Version -> respond (Wire.Version_info { version = Wire.protocol_version })
+  | Wire.Create_view sql -> (
+      if stopping t then respond (Wire.Err "server is shutting down")
+      else
+        match t.create_view with
+        | None -> respond (Wire.Err "server has no SQL session")
+        | Some f -> (
+            match f sql with
+            | Ok msg -> respond (Wire.Text msg)
+            | Error msg -> respond (Wire.Err msg)))
+  | Wire.Explain sql -> (
+      match t.explain with
+      | None -> respond (Wire.Err "server has no SQL session")
+      | Some f -> (
+          match f sql with
+          | Ok report -> respond (Wire.Text report)
+          | Error msg -> respond (Wire.Err msg)))
   | Wire.Shutdown ->
       (* Ack first: the client's [shutdown] call deserves its [Bye] even
          though the server starts tearing down immediately after. *)
@@ -402,7 +421,8 @@ let rec accept_loop t =
       end
 
 let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
-    ?(handlers = 4) ?ingest ?checkpoint ?on_shutdown ~registry ~metrics () =
+    ?(handlers = 4) ?ingest ?checkpoint ?create_view ?explain ?on_shutdown
+    ~registry ~metrics () =
   if chunk_size < 1 then invalid_arg "Server.start: chunk_size < 1";
   if handlers < 1 then invalid_arg "Server.start: handlers < 1";
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -427,6 +447,8 @@ let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
             snd_timeout;
             ingest;
             checkpoint;
+            create_view;
+            explain;
             on_shutdown;
             (* handlers worker domains: the accept loop lives on its own
                domain and only ever submits, never executes. *)

@@ -29,6 +29,8 @@ val start :
   ?handlers:int ->
   ?ingest:(int Ivm_data.Update.t list -> int * int) ->
   ?checkpoint:(unit -> (int, string) result) ->
+  ?create_view:(string -> (string, string) result) ->
+  ?explain:(string -> (string, string) result) ->
   ?on_shutdown:(unit -> unit) ->
   registry:Ivm_stream.Registry.t ->
   metrics:Ivm_stream.Metrics.t ->
@@ -43,8 +45,11 @@ val start :
     bound. [ingest] admits a batch into the update queue and reports
     [(admitted, dropped)] — without it the server is read-only.
     [checkpoint] runs the admin checkpoint and returns the WAL offset
-    it is current through. [on_shutdown] runs once when a [Shutdown]
-    request is accepted — typically closing the update queue so the
+    it is current through. [create_view] executes a [Create_view] SQL
+    script against the server's SQL session and returns the
+    acknowledgement text; [explain] answers [Explain] with the planner
+    report — without them the corresponding ops answer [Err].
+    [on_shutdown] runs once when a [Shutdown] request is accepted — typically closing the update queue so the
     scheduler drains and the driver can call {!stop}. *)
 
 val port : t -> int

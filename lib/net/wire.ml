@@ -24,6 +24,14 @@ module Update = Ivm_data.Update
 let header_len = 8
 let max_body = 16 * 1024 * 1024
 
+(* Version 1 was the initial opcode set (0x01-0x0B); version 2 added
+   [Version], [Create_view] and [Explain]. A v1 server answers any of
+   the new opcodes with [Err "unknown opcode ..."] at the message layer
+   (its framing already recovers from unknown opcodes), which clients
+   surface as a clean [Remote] error — so the probe itself degrades
+   gracefully against old servers. *)
+let protocol_version = 2
+
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
   | Truncated  (** stream ended mid-frame *)
@@ -160,6 +168,9 @@ type request =
   | Heal
   | Checkpoint
   | Shutdown
+  | Version
+  | Create_view of string
+  | Explain of string
 
 type response =
   | Pong
@@ -174,6 +185,7 @@ type response =
   | Err of string
   | Bye
   | Subscribed
+  | Version_info of { version : int }
 
 let request_name = function
   | Ping -> "ping"
@@ -187,6 +199,9 @@ let request_name = function
   | Heal -> "heal"
   | Checkpoint -> "checkpoint"
   | Shutdown -> "shutdown"
+  | Version -> "version"
+  | Create_view _ -> "create_view"
+  | Explain _ -> "explain"
 
 let response_name = function
   | Pong -> "pong"
@@ -201,6 +216,7 @@ let response_name = function
   | Err _ -> "err"
   | Bye -> "bye"
   | Subscribed -> "subscribed"
+  | Version_info _ -> "version_info"
 
 let int_payload = (module Codec.Int_payload : Codec.PAYLOAD with type t = int)
 
@@ -245,7 +261,14 @@ let encode_request (r : request) : string =
   | Fingerprints -> Codec.add_u8 buf 0x08
   | Heal -> Codec.add_u8 buf 0x09
   | Checkpoint -> Codec.add_u8 buf 0x0A
-  | Shutdown -> Codec.add_u8 buf 0x0B);
+  | Shutdown -> Codec.add_u8 buf 0x0B
+  | Version -> Codec.add_u8 buf 0x0C
+  | Create_view sql ->
+      Codec.add_u8 buf 0x0D;
+      Codec.add_str buf sql
+  | Explain sql ->
+      Codec.add_u8 buf 0x0E;
+      Codec.add_str buf sql);
   Buffer.contents buf
 
 let encode_response (r : response) : string =
@@ -296,7 +319,10 @@ let encode_response (r : response) : string =
       Codec.add_u8 buf 0x8A;
       Codec.add_str buf msg
   | Bye -> Codec.add_u8 buf 0x8B
-  | Subscribed -> Codec.add_u8 buf 0x8C);
+  | Subscribed -> Codec.add_u8 buf 0x8C
+  | Version_info { version } ->
+      Codec.add_u8 buf 0x8D;
+      Codec.add_u32 buf version);
   Buffer.contents buf
 
 (* Run a codec reader over a whole body: every [Codec.Corrupt] becomes a
@@ -329,6 +355,9 @@ let decode_request body : (request, error) result =
       | 0x09 -> Heal
       | 0x0A -> Checkpoint
       | 0x0B -> Shutdown
+      | 0x0C -> Version
+      | 0x0D -> Create_view (Codec.str body cur)
+      | 0x0E -> Explain (Codec.str body cur)
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r
@@ -378,6 +407,7 @@ let decode_response body : (response, error) result =
       | 0x8A -> Err (Codec.str body cur)
       | 0x8B -> Bye
       | 0x8C -> Subscribed
+      | 0x8D -> Version_info { version = Codec.u32 body cur }
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r

@@ -16,6 +16,12 @@ val max_body : int
 (** Hard cap on a frame body (16 MiB): a reader never trusts the peer
     for its allocation size. *)
 
+val protocol_version : int
+(** Version 2: adds [Version], [Create_view] and [Explain] to the v1
+    opcode set. A v1 server answers the new opcodes with a clean
+    [Err] frame (unknown opcode at the message layer), so clients probe
+    with [Version] and degrade gracefully. *)
+
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
   | Truncated  (** stream ended mid-frame *)
@@ -79,6 +85,13 @@ type request =
   | Heal
   | Checkpoint
   | Shutdown
+  | Version  (** negotiate: the server answers {!Version_info} *)
+  | Create_view of string
+      (** SQL [CREATE TABLE ...; CREATE MATERIALIZED VIEW ... AS
+          SELECT ...] text, executed against the server's registry *)
+  | Explain of string
+      (** SQL [EXPLAIN ...] text; answers [Text] with the engine choice
+          and the classification facts *)
 
 type response =
   | Pong
@@ -95,6 +108,7 @@ type response =
   | Err of string
   | Bye
   | Subscribed
+  | Version_info of { version : int }
 
 val request_name : request -> string
 (** Stable lowercase tag, the per-op latency label in {!Ivm_stream.Metrics}. *)

@@ -6,54 +6,101 @@
             a head of [()] or empty is a Boolean query. The [|] part is
             optional (then all head variables are plain free variables).
     fds:    [A -> B; C, D -> E]
-    adornment: [R: dynamic; S: static] *)
+    adornment: [R: dynamic; S: static]
 
-let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+    Every error message carries the character offset (and line/column)
+    of the offending fragment in the input string, mirroring the SQL
+    front end's positioned errors. *)
 
 let trim = String.trim
 
-let split_top (sep : char) (s : string) : string list =
-  (* Split on [sep] at parenthesis depth 0. *)
-  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
-  String.iter
-    (fun c ->
+(* "offset 12 (line 1, column 13)" for [off] within [text] — the same
+   rendering the SQL lexer uses, so CLI users see one error shape. *)
+let where text off =
+  let off = min off (String.length text) in
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < off && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  Printf.sprintf "offset %d (line %d, column %d)" off !line (off - !bol + 1)
+
+let fail text off fmt =
+  Printf.ksprintf (fun s -> Error (Printf.sprintf "%s at %s" s (where text off))) fmt
+
+(* Split on [sep] at parenthesis depth 0, keeping each trimmed part's
+   start offset relative to [base] (the offset of [s] in the full
+   input) so errors can point into the original string. *)
+let split_top ?(base = 0) (sep : char) (s : string) : (int * string) list =
+  let parts = ref [] and start = ref 0 and depth = ref 0 in
+  String.iteri
+    (fun i c ->
       if c = '(' then incr depth;
       if c = ')' then decr depth;
       if c = sep && !depth = 0 then begin
-        parts := Buffer.contents buf :: !parts;
-        Buffer.clear buf
-      end
-      else Buffer.add_char buf c)
+        parts := (!start, String.sub s !start (i - !start)) :: !parts;
+        start := i + 1
+      end)
     s;
-  parts := Buffer.contents buf :: !parts;
-  List.rev_map trim !parts
+  parts := (!start, String.sub s !start (String.length s - !start)) :: !parts;
+  List.rev_map
+    (fun (off, part) ->
+      let lead = ref 0 in
+      let n = String.length part in
+      while
+        !lead < n
+        && (let c = part.[!lead] in
+            c = ' ' || c = '\t' || c = '\n' || c = '\r')
+      do
+        incr lead
+      done;
+      (base + off + !lead, trim part))
+    !parts
 
 let ident_ok s =
   String.length s > 0
   && String.for_all (fun c -> c = '_' || c = '\'' || (c >= '0' && c <= '9')
                               || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) s
 
-let parse_var_list s =
+let leading_blanks s =
+  let n = String.length s in
+  let i = ref 0 in
+  while
+    !i < n
+    && (let c = s.[!i] in
+        c = ' ' || c = '\t' || c = '\n' || c = '\r')
+  do
+    incr i
+  done;
+  !i
+
+let parse_var_list ~text ~at s =
+  let at = at + leading_blanks s in
   let s = trim s in
   if s = "" || s = "." then Ok []
   else
-    let vars = split_top ',' s in
-    if List.for_all ident_ok vars then Ok vars
-    else fail "bad variable list: %s" s
+    let vars = split_top ~base:at ',' s in
+    match List.find_opt (fun (_, v) -> not (ident_ok v)) vars with
+    | None -> Ok (List.map snd vars)
+    | Some (off, v) -> fail text off "bad variable name '%s'" v
 
-(* "R(A, B)" -> atom *)
-let parse_atom (s : string) : (Cq.atom, string) result =
+(* "R(A, B)" -> atom; [at] is the offset of [s] in [text]. *)
+let parse_atom ~text ~at (s : string) : (Cq.atom, string) result =
   match String.index_opt s '(' with
-  | None -> fail "expected atom Rel(vars): %s" s
+  | None -> fail text at "expected atom Rel(vars), got '%s'" s
   | Some i ->
       let rel = trim (String.sub s 0 i) in
-      if not (ident_ok rel) then fail "bad relation name: %s" rel
+      if not (ident_ok rel) then fail text at "bad relation name '%s'" rel
       else if String.length s = 0 || s.[String.length s - 1] <> ')' then
-        fail "missing ) in atom: %s" s
+        fail text at "missing ')' in atom '%s'" s
       else
         let inner = String.sub s (i + 1) (String.length s - i - 2) in
-        Result.bind (parse_var_list inner) (fun vars ->
-            try Ok (Cq.atom rel vars) with Invalid_argument m -> Error m)
+        Result.bind (parse_var_list ~text ~at:(at + i + 1) inner) (fun vars ->
+            try Ok (Cq.atom rel vars)
+            with Invalid_argument m -> fail text at "%s" m)
 
 type parsed = { cq : Cq.t; input : string list }
 
@@ -61,65 +108,76 @@ type parsed = { cq : Cq.t; input : string list }
     access pattern was given). *)
 let query (s : string) : (parsed, string) result =
   match split_top '=' s with
-  | [ head; body ] -> (
+  | [ (head_at, head); (body_at, body) ] -> (
       let atoms_r =
         List.fold_right
-          (fun a acc ->
-            Result.bind acc (fun atoms -> Result.map (fun x -> x :: atoms) (parse_atom a)))
-          (split_top ',' body) (Ok [])
+          (fun (at, a) acc ->
+            Result.bind acc (fun atoms ->
+                Result.map (fun x -> x :: atoms) (parse_atom ~text:s ~at a)))
+          (split_top ~base:body_at ',' body)
+          (Ok [])
       in
       match atoms_r with
       | Error e -> Error e
       | Ok atoms -> (
           match String.index_opt head '(' with
-          | None -> fail "expected head Q(vars): %s" head
+          | None -> fail s head_at "expected head Q(vars), got '%s'" head
           | Some i ->
               let name = trim (String.sub head 0 i) in
               if String.length head = 0 || head.[String.length head - 1] <> ')' then
-                fail "missing ) in head: %s" head
+                fail s head_at "missing ')' in head '%s'" head
               else
                 let inner = String.sub head (i + 1) (String.length head - i - 2) in
+                let inner_at = head_at + i + 1 in
                 let out_part, in_part =
                   match String.index_opt inner '|' with
-                  | None -> (inner, "")
+                  | None -> ((inner_at, inner), (inner_at + String.length inner, ""))
                   | Some j ->
-                      ( String.sub inner 0 j,
-                        String.sub inner (j + 1) (String.length inner - j - 1) )
+                      ( (inner_at, String.sub inner 0 j),
+                        ( inner_at + j + 1,
+                          String.sub inner (j + 1) (String.length inner - j - 1) ) )
                 in
-                Result.bind (parse_var_list out_part) (fun out ->
-                    Result.bind (parse_var_list in_part) (fun input ->
+                let at_out, out_s = out_part and at_in, in_s = in_part in
+                Result.bind (parse_var_list ~text:s ~at:at_out out_s) (fun out ->
+                    Result.bind (parse_var_list ~text:s ~at:at_in in_s) (fun input ->
                         try Ok { cq = Cq.make ~name ~free:(out @ input) atoms; input }
-                        with Invalid_argument m -> Error m))))
-  | _ -> fail "expected: Head(vars) = Atom(vars), ..."
+                        with Invalid_argument m -> fail s head_at "%s" m))))
+  | _ -> Error "expected: Head(vars) = Atom(vars), ..."
 
 (** Parse a semicolon-separated FD list: "A -> B; C, D -> E". *)
 let fds (s : string) : (Fd.t list, string) result =
-  let s = trim s in
-  if s = "" then Ok []
+  let t = trim s in
+  if t = "" then Ok []
   else
     List.fold_right
-      (fun part acc ->
+      (fun (at, part) acc ->
         Result.bind acc (fun fds ->
             match Str_split.arrow part with
-            | Some (lhs, rhs) ->
-                Result.bind (parse_var_list lhs) (fun l ->
-                    Result.bind (parse_var_list rhs) (fun r -> Ok (Fd.make l r :: fds)))
-            | None -> fail "expected lhs -> rhs: %s" part))
+            | Some _ ->
+                (* '-' cannot occur in an identifier, so the first one
+                   starts the arrow; rhs begins right after it. *)
+                let i = Option.get (String.index_opt part '-') in
+                let lhs = String.sub part 0 i in
+                let rhs = String.sub part (i + 2) (String.length part - i - 2) in
+                Result.bind (parse_var_list ~text:s ~at lhs) (fun l ->
+                    Result.bind (parse_var_list ~text:s ~at:(at + i + 2) rhs)
+                      (fun r -> Ok (Fd.make l r :: fds)))
+            | None -> fail s at "expected lhs -> rhs, got '%s'" part))
       (split_top ';' s) (Ok [])
 
 (** Parse an adornment list: "R: static; S: dynamic". *)
 let adornment (s : string) : (Static_dynamic.adornment, string) result =
-  let s = trim s in
-  if s = "" then Ok []
+  let t = trim s in
+  if t = "" then Ok []
   else
     List.fold_right
-      (fun part acc ->
+      (fun (at, part) acc ->
         Result.bind acc (fun ad ->
-            match split_top ':' part with
-            | [ rel; kind ] -> (
-                match String.lowercase_ascii (trim kind) with
-                | "static" | "s" -> Ok ((trim rel, Static_dynamic.Static) :: ad)
-                | "dynamic" | "d" -> Ok ((trim rel, Static_dynamic.Dynamic) :: ad)
-                | k -> fail "unknown kind %s (want static|dynamic)" k)
-            | _ -> fail "expected Rel: static|dynamic in %s" part))
+            match split_top ~base:at ':' part with
+            | [ (_, rel); (kind_at, kind) ] -> (
+                match String.lowercase_ascii kind with
+                | "static" | "s" -> Ok ((rel, Static_dynamic.Static) :: ad)
+                | "dynamic" | "d" -> Ok ((rel, Static_dynamic.Dynamic) :: ad)
+                | k -> fail s kind_at "unknown kind '%s' (want static|dynamic)" k)
+            | _ -> fail s at "expected Rel: static|dynamic, got '%s'" part))
       (split_top ';' s) (Ok [])

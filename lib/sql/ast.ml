@@ -1,0 +1,145 @@
+module Value = Ivm_data.Value
+
+type rhs = Const of Value.t | Param of int | Col of string
+
+type pred = { col : string; rhs : rhs }
+
+type item = Star | Column of string | Count | Sum of string
+
+type select = {
+  items : item list;
+  from : string list;
+  where : pred list;
+  group_by : string list;
+}
+
+type view_opt = Insert_only | Static of string
+
+type fd = { lhs : string list; rhs_col : string }
+
+type stmt =
+  | Create_table of { table : string; cols : string list; fds : fd list }
+  | Create_view of { view : string; opts : view_opt list; select : select }
+  | Insert of { table : string; rows : Value.t list list }
+  | Delete of { table : string; rows : Value.t list list }
+  | Select of select
+  | Explain of stmt
+
+(* --- printing --------------------------------------------------------- *)
+
+let print_value = function
+  | Value.Int n -> string_of_int n
+  | Value.Str s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | Value.Real f ->
+      (* The lexer only reads [digits.digits]: render without exponent
+         and with a forced decimal point so every printed real re-lexes
+         as a real. *)
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s 'e' || String.contains s 'n' (* nan/inf *) then
+        Printf.sprintf "%.1f" f
+      else if String.contains s '.' then s
+      else s ^ ".0"
+
+let print_item = function
+  | Star -> "*"
+  | Column c -> c
+  | Count -> "COUNT(*)"
+  | Sum c -> Printf.sprintf "SUM(%s)" c
+
+let print_rhs = function
+  | Const v -> print_value v
+  | Param _ -> "?"
+  | Col c -> c
+
+let print_pred (p : pred) = Printf.sprintf "%s = %s" p.col (print_rhs p.rhs)
+
+let print_select (s : select) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "SELECT ";
+  Buffer.add_string b (String.concat ", " (List.map print_item s.items));
+  Buffer.add_string b " FROM ";
+  Buffer.add_string b (String.concat ", " s.from);
+  if s.where <> [] then begin
+    Buffer.add_string b " WHERE ";
+    Buffer.add_string b (String.concat " AND " (List.map print_pred s.where))
+  end;
+  if s.group_by <> [] then begin
+    Buffer.add_string b " GROUP BY ";
+    Buffer.add_string b (String.concat ", " s.group_by)
+  end;
+  Buffer.contents b
+
+let print_view_opt = function
+  | Insert_only -> "INSERT ONLY"
+  | Static t -> "STATIC " ^ t
+
+let print_fd (fd : fd) =
+  Printf.sprintf "FD %s -> %s" (String.concat ", " fd.lhs) fd.rhs_col
+
+let rec print = function
+  | Create_table { table; cols; fds } ->
+      Printf.sprintf "CREATE TABLE %s (%s)" table
+        (String.concat ", " (cols @ List.map print_fd fds))
+  | Create_view { view; opts; select } ->
+      let with_clause =
+        if opts = [] then ""
+        else Printf.sprintf " WITH (%s)" (String.concat ", " (List.map print_view_opt opts))
+      in
+      Printf.sprintf "CREATE MATERIALIZED VIEW %s%s AS %s" view with_clause
+        (print_select select)
+  | Insert { table; rows } ->
+      Printf.sprintf "INSERT INTO %s VALUES %s" table (print_rows rows)
+  | Delete { table; rows } ->
+      Printf.sprintf "DELETE FROM %s VALUES %s" table (print_rows rows)
+  | Select s -> print_select s
+  | Explain st -> "EXPLAIN " ^ print st
+
+and print_rows rows =
+  String.concat ", "
+    (List.map
+       (fun row -> Printf.sprintf "(%s)" (String.concat ", " (List.map print_value row)))
+       rows)
+
+(* --- equality --------------------------------------------------------- *)
+
+let equal_rhs a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Param i, Param j -> i = j
+  | Col x, Col y -> x = y
+  | (Const _ | Param _ | Col _), _ -> false
+
+let equal_pred (a : pred) (b : pred) = a.col = b.col && equal_rhs a.rhs b.rhs
+
+let equal_list eq a b = List.length a = List.length b && List.for_all2 eq a b
+
+let equal_select (a : select) (b : select) =
+  equal_list ( = ) a.items b.items
+  && a.from = b.from
+  && equal_list equal_pred a.where b.where
+  && a.group_by = b.group_by
+
+let equal_rows = equal_list (equal_list Value.equal)
+
+let rec equal a b =
+  match (a, b) with
+  | Create_table a, Create_table b ->
+      a.table = b.table && a.cols = b.cols && a.fds = b.fds
+  | Create_view a, Create_view b ->
+      a.view = b.view && a.opts = b.opts && equal_select a.select b.select
+  | Insert a, Insert b -> a.table = b.table && equal_rows a.rows b.rows
+  | Delete a, Delete b -> a.table = b.table && equal_rows a.rows b.rows
+  | Select a, Select b -> equal_select a b
+  | Explain a, Explain b -> equal a b
+  | ( ( Create_table _ | Create_view _ | Insert _ | Delete _ | Select _
+      | Explain _ ),
+      _ ) ->
+      false

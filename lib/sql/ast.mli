@@ -1,0 +1,54 @@
+(** The typed AST of the SQL subset, with a canonical pretty-printer.
+    The printer and {!Parser} are exact inverses on well-formed
+    statements — [parse (print stmt) = stmt] is a qcheck property in
+    [test/test_sql.ml] — which is what lets the fuzz driver round-trip
+    generated queries through concrete SQL text. *)
+
+module Value = Ivm_data.Value
+
+type rhs =
+  | Const of Value.t
+  | Param of int  (** [?], numbered 1.. in order of appearance *)
+  | Col of string  (** column-to-column equality (a join condition) *)
+
+type pred = { col : string; rhs : rhs }
+
+type item =
+  | Star
+  | Column of string
+  | Count  (** ["COUNT(*)"] *)
+  | Sum of string  (** [SUM(col)] *)
+
+type select = {
+  items : item list;
+  from : string list;
+  where : pred list;  (** conjunction *)
+  group_by : string list;
+}
+
+type view_opt =
+  | Insert_only  (** [WITH (INSERT ONLY)]: enable monotone engines *)
+  | Static of string  (** [WITH (STATIC t)]: [t] never changes after load *)
+
+type fd = { lhs : string list; rhs_col : string }
+(** [FD a, b -> c]; a multi-column right-hand side is written as several
+    FD clauses (keeps the clause grammar unambiguous inside the
+    comma-separated CREATE TABLE body). *)
+
+type stmt =
+  | Create_table of { table : string; cols : string list; fds : fd list }
+  | Create_view of { view : string; opts : view_opt list; select : select }
+  | Insert of { table : string; rows : Value.t list list }
+  | Delete of { table : string; rows : Value.t list list }
+  | Select of select
+  | Explain of stmt
+
+val print_select : select -> string
+val print : stmt -> string
+(** Canonical concrete syntax: uppercase keywords, single spaces, no
+    trailing semicolon. *)
+
+val equal_select : select -> select -> bool
+val equal : stmt -> stmt -> bool
+(** Structural equality, except [Value.t] payloads are compared with
+    {!Ivm_data.Value.equal} (NaN-safe for reals). *)

@@ -1,0 +1,28 @@
+(** From a plan to a running engine: build the {!Ivm_engine.Maintainable}
+    handle the registry / server / CLI host for a SQL-created view.
+
+    The wrapper around the chosen engine owns the SQL-specific residue:
+
+    - constant-predicate {e filters} are applied to the initial load and
+      to every incoming update (selections commute with deltas);
+    - updates to [STATIC] relations are dropped (and the handle's
+      [relations] list omits them, so the registry never routes them);
+    - for the fixed-schema kernels (triangle, monotone path) updates are
+      translated from table names and column orders onto the kernel's
+      R/S/T slots, flipping binary tuples where the declaration order is
+      reversed;
+    - a [SUM(c)] view folds [Σ c·multiplicity] out of the trailing free
+      column at read time, so [enumerate]/[output_count]/[fingerprint]
+      describe the user-visible grouped sums. SUM columns must hold
+      integers. *)
+
+type source = (string * Ivm_data.Relation.Z.t) list
+(** Current table contents, keyed by table name; tuple fields are in
+    declaration (column) order. *)
+
+val build :
+  name:string ->
+  Lower.t ->
+  Planner.plan ->
+  source ->
+  (Ivm_engine.Maintainable.t, string) result

@@ -1,0 +1,137 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Real of float
+  | Str of string
+  | Punct of char
+  | Arrow
+  | Eof
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Real f -> Printf.sprintf "number %g" f
+  | Str s -> Printf.sprintf "string '%s'" s
+  | Punct c -> Printf.sprintf "'%c'" c
+  | Arrow -> "'->'"
+  | Eof -> "end of input"
+
+exception Error of { msg : string; offset : int }
+
+let describe text offset =
+  let offset = min offset (String.length text) in
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < offset && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  Printf.sprintf "offset %d (line %d, column %d)" offset !line (offset - !bol + 1)
+
+type t = {
+  text : string;
+  mutable pos : int;  (** frontier: first unconsumed character *)
+  mutable tok : token;
+  mutable tok_pos : int;  (** offset the current token starts at *)
+}
+
+let fail offset fmt = Printf.ksprintf (fun msg -> raise (Error { msg; offset })) fmt
+
+let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Skip whitespace and [-- line comments]; leaves [t.pos] on the first
+   character of the next token (or at end of input). *)
+let rec skip t =
+  let n = String.length t.text in
+  if t.pos < n then
+    match t.text.[t.pos] with
+    | ' ' | '\t' | '\r' | '\n' ->
+        t.pos <- t.pos + 1;
+        skip t
+    | '-' when t.pos + 1 < n && t.text.[t.pos + 1] = '-' ->
+        while t.pos < n && t.text.[t.pos] <> '\n' do
+          t.pos <- t.pos + 1
+        done;
+        skip t
+    | _ -> ()
+
+let scan t : token =
+  skip t;
+  let n = String.length t.text in
+  t.tok_pos <- t.pos;
+  if t.pos >= n then Eof
+  else
+    let c = t.text.[t.pos] in
+    if is_ident_start c then begin
+      let start = t.pos in
+      while t.pos < n && is_ident_char t.text.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      Ident (String.sub t.text start (t.pos - start))
+    end
+    else if is_digit c then begin
+      let start = t.pos in
+      while t.pos < n && is_digit t.text.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      if t.pos < n && t.text.[t.pos] = '.' && t.pos + 1 < n && is_digit t.text.[t.pos + 1]
+      then begin
+        t.pos <- t.pos + 1;
+        while t.pos < n && is_digit t.text.[t.pos] do
+          t.pos <- t.pos + 1
+        done;
+        Real (float_of_string (String.sub t.text start (t.pos - start)))
+      end
+      else
+        match int_of_string_opt (String.sub t.text start (t.pos - start)) with
+        | Some v -> Int v
+        | None -> fail start "integer literal out of range"
+    end
+    else
+      match c with
+      | '\'' ->
+          (* Single-quoted string; '' escapes a quote. *)
+          let buf = Buffer.create 16 in
+          let start = t.pos in
+          t.pos <- t.pos + 1;
+          let rec go () =
+            if t.pos >= n then fail start "unterminated string literal"
+            else
+              match t.text.[t.pos] with
+              | '\'' when t.pos + 1 < n && t.text.[t.pos + 1] = '\'' ->
+                  Buffer.add_char buf '\'';
+                  t.pos <- t.pos + 2;
+                  go ()
+              | '\'' ->
+                  t.pos <- t.pos + 1;
+                  Str (Buffer.contents buf)
+              | ch ->
+                  Buffer.add_char buf ch;
+                  t.pos <- t.pos + 1;
+                  go ()
+          in
+          go ()
+      | '-' when t.pos + 1 < n && t.text.[t.pos + 1] = '>' ->
+          t.pos <- t.pos + 2;
+          Arrow
+      | '(' | ')' | ',' | ';' | '=' | '*' | '?' | '-' ->
+          t.pos <- t.pos + 1;
+          Punct c
+      | c -> fail t.pos "unexpected character %C" c
+
+let create text =
+  let t = { text; pos = 0; tok = Eof; tok_pos = 0 } in
+  t.tok <- scan t;
+  t
+
+let pos t = t.tok_pos
+let peek t = t.tok
+
+let next t =
+  let tok = t.tok in
+  t.tok <- scan t;
+  tok

@@ -1,0 +1,38 @@
+(** A hand-written lexer for the SQL subset of {!Parser}. Every token
+    carries the character offset it starts at, so parse errors can point
+    into the source text ("at offset 17, column 18"). Keywords are
+    case-insensitive and recognized by the parser; the lexer only
+    produces identifiers, literals and punctuation. *)
+
+type token =
+  | Ident of string  (** bare identifier; keyword recognition is the parser's *)
+  | Int of int
+  | Real of float
+  | Str of string  (** ['single quoted'], [''] escaping a quote *)
+  | Punct of char  (** one of [( ) , ; = * ? -] *)
+  | Arrow  (** [->], used by FD clauses in CREATE TABLE *)
+  | Eof
+
+val token_name : token -> string
+(** Human form for error messages ("identifier", "','", ...). *)
+
+type t
+
+val create : string -> t
+
+val pos : t -> int
+(** Offset of the current (peeked) token. *)
+
+val peek : t -> token
+(** Current token without consuming it.
+    @raise Error on malformed input at the lexing frontier. *)
+
+val next : t -> token
+(** Consume and return the current token.
+    @raise Error on malformed input. *)
+
+exception Error of { msg : string; offset : int }
+
+val describe : string -> int -> string
+(** [describe text offset] renders a position as
+    ["offset N (line L, column C)"] for error messages. *)

@@ -1,0 +1,50 @@
+(** Lowering SELECT onto the paper's CQAP/CQ representation
+    ({!Ivm_query.Cq}) plus the residue CQ cannot express:
+
+    - Columns sharing a name across FROM tables become one query
+      variable (natural-join convention — exactly how the fuzz
+      generator's schemas name atom variables). [WHERE a = b] unifies
+      two further columns (union-find; the representative is the
+      first-occurring name).
+    - [WHERE a = const] becomes a per-relation {e filter}
+      [(relation, column index, value)] applied to the initial database
+      and to every incoming update — selections commute with deltas, so
+      filtering the input stream is exact.
+    - [WHERE a = ?] makes [a] an {e input variable} — {!Ivm_query.Parse}'s
+      access-pattern convention: the CQ's free list is output columns
+      then input variables.
+    - [SUM(c)] appends [c] as a trailing free variable; the engine
+      maintains the grouped multiplicities and {!Compile} folds
+      [Σ value·multiplicity] out of the trailing column at read time.
+      ["COUNT(*)"] is the ring payload itself and needs no residue. *)
+
+module Cq = Ivm_query.Cq
+module Value = Ivm_data.Value
+
+type catalog = (string * string list) list
+(** Table name -> column names, in declaration order. *)
+
+type filter = { rel : string; index : int; value : Value.t }
+
+type t = {
+  cq : Cq.t;
+  input : string list;  (** CQAP input variables (free = output @ input) *)
+  filters : filter list;
+  output_cols : string list;
+      (** header the user sees: plain columns in item order, then the
+          aggregate (if any) — matching the tuple-then-payload layout *)
+  param_vars : (int * string) list;
+      (** each ['?'] parameter with the query variable it binds *)
+  sum : bool;  (** the last CQ free variable is a summed column *)
+}
+
+val select :
+  catalog -> ?fds:(string * Ivm_query.Fd.t list) list -> name:string ->
+  Ast.select -> (t * Ivm_query.Fd.t list, string) result
+(** Lower one SELECT. The returned FD list is the union of the declared
+    FDs of the FROM tables, variable-renamed alongside the query — the
+    planner's Σ-reduct input. *)
+
+val subst_params : Value.t list -> Ast.select -> (Ast.select, string) result
+(** Replace [Param i] with the [i]-th value; [Error] on an unbound
+    parameter. *)

@@ -1,0 +1,301 @@
+module L = Lexer
+module Value = Ivm_data.Value
+
+exception Fail of { msg : string; offset : int }
+
+let fail offset fmt = Printf.ksprintf (fun msg -> raise (Fail { msg; offset })) fmt
+
+type t = { lex : L.t; mutable params : int }
+
+(* --- token helpers ---------------------------------------------------- *)
+
+let keyword_of = function
+  | L.Ident s -> Some (String.uppercase_ascii s)
+  | _ -> None
+
+let is_kw t kw = keyword_of (L.peek t.lex) = Some kw
+
+let expect_kw t kw =
+  if is_kw t kw then ignore (L.next t.lex)
+  else
+    fail (L.pos t.lex) "expected %s, got %s" kw (L.token_name (L.peek t.lex))
+
+let expect_punct t c =
+  match L.peek t.lex with
+  | L.Punct p when p = c -> ignore (L.next t.lex)
+  | tok -> fail (L.pos t.lex) "expected '%c', got %s" c (L.token_name tok)
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "CREATE"; "TABLE";
+    "MATERIALIZED"; "VIEW"; "AS"; "WITH"; "INSERT"; "INTO"; "VALUES"; "DELETE";
+    "ONLY"; "STATIC"; "COUNT"; "SUM"; "EXPLAIN"; "FD" ]
+
+(* An identifier that is not a reserved keyword. *)
+let ident t =
+  match L.peek t.lex with
+  | L.Ident s when not (List.mem (String.uppercase_ascii s) keywords) ->
+      ignore (L.next t.lex);
+      s
+  | L.Ident s -> fail (L.pos t.lex) "reserved keyword %s cannot name things" s
+  | tok -> fail (L.pos t.lex) "expected an identifier, got %s" (L.token_name tok)
+
+let comma_list t elt =
+  let rec go acc =
+    let x = elt t in
+    match L.peek t.lex with
+    | L.Punct ',' ->
+        ignore (L.next t.lex);
+        go (x :: acc)
+    | _ -> List.rev (x :: acc)
+  in
+  go []
+
+(* --- values ----------------------------------------------------------- *)
+
+let value t : Value.t =
+  let negated =
+    match L.peek t.lex with
+    | L.Punct '-' ->
+        ignore (L.next t.lex);
+        true
+    | _ -> false
+  in
+  match L.peek t.lex with
+  | L.Int n ->
+      ignore (L.next t.lex);
+      Value.Int (if negated then -n else n)
+  | L.Real f ->
+      ignore (L.next t.lex);
+      Value.Real (if negated then -.f else f)
+  | L.Str s when not negated ->
+      ignore (L.next t.lex);
+      Value.Str s
+  | tok -> fail (L.pos t.lex) "expected a literal, got %s" (L.token_name tok)
+
+(* --- select ----------------------------------------------------------- *)
+
+let item t : Ast.item =
+  match L.peek t.lex with
+  | L.Punct '*' ->
+      ignore (L.next t.lex);
+      Ast.Star
+  | L.Ident _ when is_kw t "COUNT" ->
+      ignore (L.next t.lex);
+      expect_punct t '(';
+      expect_punct t '*';
+      expect_punct t ')';
+      Ast.Count
+  | L.Ident _ when is_kw t "SUM" ->
+      ignore (L.next t.lex);
+      expect_punct t '(';
+      let c = ident t in
+      expect_punct t ')';
+      Ast.Sum c
+  | _ -> Ast.Column (ident t)
+
+let pred t : Ast.pred =
+  let col = ident t in
+  expect_punct t '=';
+  let rhs =
+    match L.peek t.lex with
+    | L.Punct '?' ->
+        ignore (L.next t.lex);
+        t.params <- t.params + 1;
+        Ast.Param t.params
+    | L.Int _ | L.Real _ | L.Str _ | L.Punct '-' -> Ast.Const (value t)
+    | L.Ident _ -> Ast.Col (ident t)
+    | tok ->
+        fail (L.pos t.lex) "expected a literal, '?' or a column, got %s"
+          (L.token_name tok)
+  in
+  { Ast.col; rhs }
+
+let select t : Ast.select =
+  expect_kw t "SELECT";
+  let items = comma_list t item in
+  if List.mem Ast.Star items && items <> [ Ast.Star ] then
+    fail (L.pos t.lex) "'*' cannot be combined with other select items";
+  expect_kw t "FROM";
+  let from = comma_list t ident in
+  let where =
+    if is_kw t "WHERE" then begin
+      ignore (L.next t.lex);
+      let rec go acc =
+        let p = pred t in
+        if is_kw t "AND" then begin
+          ignore (L.next t.lex);
+          go (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let group_by =
+    if is_kw t "GROUP" then begin
+      ignore (L.next t.lex);
+      expect_kw t "BY";
+      comma_list t ident
+    end
+    else []
+  in
+  { Ast.items; from; where; group_by }
+
+(* --- statements ------------------------------------------------------- *)
+
+let view_opt t : Ast.view_opt =
+  if is_kw t "INSERT" then begin
+    ignore (L.next t.lex);
+    expect_kw t "ONLY";
+    Ast.Insert_only
+  end
+  else if is_kw t "STATIC" then begin
+    ignore (L.next t.lex);
+    Ast.Static (ident t)
+  end
+  else
+    fail (L.pos t.lex) "expected INSERT ONLY or STATIC, got %s"
+      (L.token_name (L.peek t.lex))
+
+let row t : Value.t list =
+  expect_punct t '(';
+  let vs = comma_list t value in
+  expect_punct t ')';
+  vs
+
+(* CREATE TABLE body: a comma-separated mix of plain columns and FD
+   clauses. An FD left-hand side runs to the '->'; the right-hand side
+   is a single column, so a following ',' always starts the next body
+   element. *)
+let table_body t =
+  expect_punct t '(';
+  let cols = ref [] and fds = ref [] in
+  let fd_clause () =
+    let rec lhs acc =
+      let c = ident t in
+      match L.peek t.lex with
+      | L.Punct ',' ->
+          ignore (L.next t.lex);
+          lhs (c :: acc)
+      | L.Arrow ->
+          ignore (L.next t.lex);
+          List.rev (c :: acc)
+      | tok ->
+          fail (L.pos t.lex) "expected ',' or '->' in FD, got %s" (L.token_name tok)
+    in
+    let lhs = lhs [] in
+    let rhs_col = ident t in
+    fds := { Ast.lhs; rhs_col } :: !fds
+  in
+  let rec go () =
+    (if is_kw t "FD" then begin
+       ignore (L.next t.lex);
+       fd_clause ()
+     end
+     else cols := ident t :: !cols);
+    match L.peek t.lex with
+    | L.Punct ',' ->
+        ignore (L.next t.lex);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  expect_punct t ')';
+  (List.rev !cols, List.rev !fds)
+
+let rec stmt_p t : Ast.stmt =
+  if is_kw t "EXPLAIN" then begin
+    ignore (L.next t.lex);
+    Ast.Explain (stmt_p t)
+  end
+  else if is_kw t "CREATE" then begin
+    ignore (L.next t.lex);
+    if is_kw t "TABLE" then begin
+      ignore (L.next t.lex);
+      let table = ident t in
+      let cols, fds = table_body t in
+      if cols = [] then fail (L.pos t.lex) "table %s has no columns" table;
+      Ast.Create_table { table; cols; fds }
+    end
+    else begin
+      expect_kw t "MATERIALIZED";
+      expect_kw t "VIEW";
+      let view = ident t in
+      let opts =
+        if is_kw t "WITH" then begin
+          ignore (L.next t.lex);
+          expect_punct t '(';
+          let os = comma_list t view_opt in
+          expect_punct t ')';
+          os
+        end
+        else []
+      in
+      expect_kw t "AS";
+      Ast.Create_view { view; opts; select = select t }
+    end
+  end
+  else if is_kw t "INSERT" then begin
+    ignore (L.next t.lex);
+    expect_kw t "INTO";
+    let table = ident t in
+    expect_kw t "VALUES";
+    Ast.Insert { table; rows = comma_list t row }
+  end
+  else if is_kw t "DELETE" then begin
+    ignore (L.next t.lex);
+    expect_kw t "FROM";
+    let table = ident t in
+    expect_kw t "VALUES";
+    Ast.Delete { table; rows = comma_list t row }
+  end
+  else if is_kw t "SELECT" then Ast.Select (select t)
+  else
+    fail (L.pos t.lex)
+      "expected SELECT, CREATE, INSERT, DELETE or EXPLAIN, got %s"
+      (L.token_name (L.peek t.lex))
+
+(* --- entry points ----------------------------------------------------- *)
+
+let run text f =
+  let t = { lex = L.create text; params = 0 } in
+  match f t with
+  | v -> Ok v
+  | exception Fail { msg; offset } ->
+      Error (Printf.sprintf "%s at %s" msg (L.describe text offset))
+  | exception L.Error { msg; offset } ->
+      Error (Printf.sprintf "%s at %s" msg (L.describe text offset))
+
+let eat_semi t =
+  match L.peek t.lex with
+  | L.Punct ';' ->
+      ignore (L.next t.lex);
+      true
+  | _ -> false
+
+let at_eof t = L.peek t.lex = L.Eof
+
+let stmt text =
+  run text (fun t ->
+      let s = stmt_p t in
+      ignore (eat_semi t);
+      if not (at_eof t) then
+        fail (L.pos t.lex) "trailing input after statement: %s"
+          (L.token_name (L.peek t.lex));
+      s)
+
+let script text =
+  run text (fun t ->
+      let rec go acc =
+        if at_eof t then List.rev acc
+        else begin
+          let s = stmt_p t in
+          let semi = eat_semi t in
+          if (not semi) && not (at_eof t) then
+            fail (L.pos t.lex) "expected ';' between statements, got %s"
+              (L.token_name (L.peek t.lex));
+          go (s :: acc)
+        end
+      in
+      go [])

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for the SQL subset. Grammar (keywords
+    case-insensitive, identifiers case-sensitive, [--] line comments):
+
+    {v
+    script  := stmt (';' stmt)* ';'? EOF
+    stmt    := EXPLAIN stmt
+             | CREATE TABLE name '(' col (',' col)* (',' fd)* ')'
+             | CREATE MATERIALIZED VIEW name [WITH '(' opt (',' opt)* ')']
+               AS select
+             | INSERT INTO name VALUES row (',' row)*
+             | DELETE FROM name VALUES row (',' row)*
+             | select
+    fd      := FD col (',' col)* '->' col (',' col)*
+    opt     := INSERT ONLY | STATIC name
+    select  := SELECT items FROM name (',' name)*
+               [WHERE pred (AND pred)*] [GROUP BY col (',' col)*]
+    items   := '*' | item (',' item)*
+    item    := COUNT '(' '*' ')' | SUM '(' col ')' | col
+    pred    := col '=' (value | '?' | col)
+    row     := '(' value (',' value)* ')'
+    value   := ['-'] INT | ['-'] REAL | STRING
+    v}
+
+    All errors are positioned: the [Error] string ends with
+    ["at offset N (line L, column C)"]. *)
+
+val stmt : string -> (Ast.stmt, string) result
+(** Parse exactly one statement (an optional trailing [';'] is allowed). *)
+
+val script : string -> (Ast.stmt list, string) result
+(** Parse a [';']-separated script. *)

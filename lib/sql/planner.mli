@@ -1,0 +1,72 @@
+(** The cost-based strategy planner: given a lowered query, the declared
+    FDs, the view options and (optionally) the observed read/write mix,
+    pick the maintenance engine and a witness variable order, and record
+    the classification facts that justify the choice — the substance of
+    [EXPLAIN].
+
+    Decision table (first match wins):
+
+    + [WITH (STATIC t)] and an exhaustive search (≤
+      {!Ivm_query.Static_dynamic.max_search_vars} variables) finds a
+      variable order under which every dynamic update propagates in
+      constant time with a connex free top → static/dynamic view tree
+      over that order (Sec. 4.5); static relations are loaded once and
+      excluded from the update stream.
+    + [WITH (INSERT ONLY)] and the query is the 3-path full join
+      [R(A,B), S(B,C), T(C,D)] → the monotone activation engine:
+      amortized O(1) per insert despite the query not being
+      q-hierarchical (Sec. 4.6).
+    + The query is the triangle count
+      ["COUNT(*)" over R(A,B), S(B,C), T(C,A)] → the IVMε batch kernel
+      with polarized higher-order deltas (Sec. 3).
+    + q-hierarchical → a Fig. 4 delta strategy over the canonical
+      free-top order: eager-fact normally, lazy-fact when the observed
+      workload is write-heavy (reads < ~1/8 of writes) — lazy defers all
+      view work to the rare enumeration points.
+    + The Σ-reduct under the declared FDs is q-hierarchical
+      (Thm. 4.11) → eager-fact over a free-first chain.
+    + Otherwise → factorized view tree over a free-first chain order
+      (always valid, free-top by construction); updates may cost more
+      than O(1) but enumeration stays constant-delay. *)
+
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+module Sd = Ivm_query.Static_dynamic
+
+type role = { rel : string; flipped : bool }
+(** A base table playing one of a kernel's fixed relation slots;
+    [flipped] when the table's column order is the reverse of the
+    kernel's schema for that slot. *)
+
+type choice =
+  | Delta of Ivm_engine.Strategy.kind * Vo.forest
+  | Tree of Vo.forest
+  | Triangle of { r : role; s : role; t : role }
+      (** IVMε batch kernel: roles R(A,B), S(B,C), T(C,A). *)
+  | Monotone_path of { r : role; s : role; t : role }
+      (** Insert-only path join: roles R(A,B), S(B,C), T(C,D). *)
+
+type stats = { reads : int; writes : int }
+(** Observed workload mix, e.g. from {!Ivm_stream.Metrics} op counters. *)
+
+type plan = {
+  choice : choice;
+  static : string list;  (** relations excluded from the update stream *)
+  facts : string list;  (** classification facts justifying [choice] *)
+}
+
+val engine_name : plan -> string
+
+val plan :
+  ?stats:stats ->
+  ?sizes:(string * int) list ->
+  ?fds:Ivm_query.Fd.t list ->
+  opts:Ast.view_opt list ->
+  Lower.t ->
+  (plan, string) result
+(** [sizes] are current base-relation cardinalities (recorded as a
+    planning fact); [stats] the observed read/write mix steering the
+    eager/lazy choice. *)
+
+val explain : plan -> string
+(** Multi-line report: [engine: <name>] then one [- fact] per line. *)

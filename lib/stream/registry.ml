@@ -248,6 +248,20 @@ let register t ~name build =
       | None -> note_failure t name e "initial build failed");
       t.entries <- (name, e) :: t.entries)
 
+(* Declare a new empty base relation under the exclusive lock — the
+   seam the SQL front end's CREATE TABLE goes through: the registry owns
+   the authoritative base database, so table DDL must take the same lock
+   (and bump the same generation stamp) as every other mutation. *)
+let declare_table t name schema =
+  Rwlock.write t.lock (fun () ->
+      if Db.mem t.db name then
+        Error (Printf.sprintf "relation %s already exists" name)
+      else begin
+        t.generation <- t.generation + 1;
+        ignore (Db.declare t.db name schema);
+        Ok ()
+      end)
+
 let views t = List.rev_map (fun (name, e) -> (name, e.view)) t.entries
 let view_count t = List.length t.entries
 

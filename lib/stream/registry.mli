@@ -56,6 +56,11 @@ val register : t -> name:string -> (Db.t -> M.t) -> unit
     the registry broken.
     @raise Invalid_argument on a duplicate name. *)
 
+val declare_table : t -> string -> Ivm_data.Schema.t -> (unit, string) result
+(** Declare a new empty base relation in the authoritative database,
+    under the exclusive lock with a generation bump — what the SQL front
+    end's [CREATE TABLE] goes through. [Error] on a duplicate name. *)
+
 val views : t -> (string * M.t) list
 (** In registration order. *)
 

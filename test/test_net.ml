@@ -139,6 +139,9 @@ let all_requests =
     Wire.Heal;
     Wire.Checkpoint;
     Wire.Shutdown;
+    Wire.Version;
+    Wire.Create_view "CREATE TABLE R (a, b); CREATE MATERIALIZED VIEW v AS SELECT a FROM R";
+    Wire.Explain "EXPLAIN SELECT a, b FROM R";
   ]
 
 let all_responses =
@@ -157,6 +160,7 @@ let all_responses =
     Wire.Err "no such view";
     Wire.Bye;
     Wire.Subscribed;
+    Wire.Version_info { version = Wire.protocol_version };
   ]
 
 let request_roundtrip () =
@@ -735,6 +739,159 @@ let e2e_zero_copy_snapshot () =
               Alcotest.(check bool) "wire bytes = cached frames" true
                 (Bytes.to_string buf = expected))))
 
+(* --- the v2 SQL ops over TCP ------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* A server whose create_view/explain callbacks run a SQL session over
+   its own registry, exactly as [ivm_cli serve --listen] wires them. The
+   view a wire-delivered script creates must serve Lookup and Snapshot
+   answers identical to the same query built directly on the engine
+   layer from the same data. *)
+let e2e_sql_over_tcp () =
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics (D.Database.Z.create ()) in
+  let sess = Ivm_sql.Exec.create ~registry:reg () in
+  let mu = Mutex.create () in
+  let run_sql sql =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        match Ivm_sql.Exec.exec_text sess sql with
+        | Ok outs -> Ok (String.concat "\n" (List.map Ivm_sql.Exec.render outs))
+        | Error e -> Error e)
+  in
+  let srv =
+    ok_wire
+      (Server.start ~port:0 ~handlers:2 ~create_view:run_sql ~explain:run_sql
+         ~registry:reg ~metrics ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = ok_wire (Client.connect ~port:(Server.port srv) ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check int) "peer speaks v2" Wire.protocol_version
+            (ok_wire (Client.version c));
+          let ack =
+            ok_wire
+              (Client.create_view c
+                 "CREATE TABLE R (a, b); CREATE TABLE S (b, c); CREATE \
+                  MATERIALIZED VIEW paths AS SELECT a, c FROM R, S;")
+          in
+          Alcotest.(check bool) "ack names the engine" true (contains ack "engine:");
+          ignore
+            (ok_wire
+               (Client.create_view c
+                  "INSERT INTO R VALUES (1, 2), (3, 2), (5, 9); INSERT INTO S \
+                   VALUES (2, 7), (2, 8), (9, 1); DELETE FROM R VALUES (5, 9);"));
+          (* The same query and data built directly on the engine layer. *)
+          let q =
+            Ivm_query.Cq.make ~name:"paths" ~free:[ "a"; "c" ]
+              [ Ivm_query.Cq.atom "R" [ "a"; "b" ]; Ivm_query.Cq.atom "S" [ "b"; "c" ] ]
+          in
+          let db = D.Database.Z.create () in
+          List.iter
+            (fun (n, vars) -> ignore (D.Database.Z.declare db n (S.of_list vars)))
+            [ ("R", [ "a"; "b" ]); ("S", [ "b"; "c" ]) ];
+          List.iter
+            (fun (rel, a, b) ->
+              D.Database.Z.apply db (U.make ~rel ~tuple:(tup [ a; b ]) ~payload:1))
+            [ ("R", 1, 2); ("R", 3, 2); ("S", 2, 7); ("S", 2, 8); ("S", 9, 1) ];
+          let vt =
+            Ivm_engine.View_tree.build q
+              [ Ivm_query.Variable_order.chain [ "a"; "c"; "b" ] ]
+              db
+          in
+          (* Tuple.t memoizes its hash, so order entries by their value
+             lists, never by polymorphic compare on the tuples. *)
+          let canon entries =
+            List.sort compare
+              (List.map (fun (tp, p) -> (D.Tuple.to_list tp, p)) entries)
+          in
+          let expected =
+            canon
+              (Rel.fold
+                 (fun tp p acc -> (tp, p) :: acc)
+                 (Ivm_engine.View_tree.output_relation vt) [])
+          in
+          let got = canon (ok_wire (Client.snapshot c ~view:"paths")) in
+          Alcotest.(check bool) "snapshot = direct engine build" true (got = expected);
+          let looked =
+            canon (ok_wire (Client.lookup c ~view:"paths" ~prefix:(tup [ 1 ])))
+          in
+          let expected_1 =
+            List.filter (fun (vs, _) -> List.hd vs = D.Value.of_int 1) expected
+          in
+          Alcotest.(check bool) "lookup = filtered direct build" true
+            (looked = expected_1);
+          let report = ok_wire (Client.explain c "EXPLAIN SELECT a, c FROM R, S") in
+          Alcotest.(check bool) "explain names an engine" true
+            (contains report "engine: ");
+          let facts =
+            List.filter
+              (fun l -> String.length l > 3 && String.sub l 0 4 = "  - ")
+              (String.split_on_char '\n' report)
+          in
+          Alcotest.(check bool) "explain carries >= 2 facts" true
+            (List.length facts >= 2)))
+
+(* A v1 peer: answers every request with the message-layer Err an old
+   server produces for an unknown opcode. The client must degrade
+   cleanly — report version 1 and fail the SQL ops with an explanatory
+   Remote error, not a raw opcode message. *)
+let v1_server_clean_error () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 1;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  let stub =
+    Domain.spawn (fun () ->
+        let conn, _ = Unix.accept lfd in
+        let rec serve () =
+          match Wire.read_frame conn with
+          | Ok _ -> (
+              match
+                Wire.write_frame conn
+                  (Wire.encode_response (Wire.Err "bad request: unknown opcode 0x0c"))
+              with
+              | Ok () -> serve ()
+              | Error _ -> ())
+          | Error _ -> ()
+        in
+        serve ();
+        try Unix.close conn with Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Domain.join stub);
+      try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = ok_wire (Client.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check int) "v1 peer detected" 1 (ok_wire (Client.version c));
+          match Client.create_view c "CREATE TABLE R (a)" with
+          | Error (Wire.Remote msg) ->
+              Alcotest.(check bool) "error names the required version" true
+                (contains msg "needs v2")
+          | Ok _ -> Alcotest.fail "create_view against a v1 peer must fail"
+          | Error e ->
+              Alcotest.failf "want a clean Remote error, got %s"
+                (Wire.error_to_string e)))
+
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
 let () =
@@ -768,6 +925,9 @@ let () =
           Alcotest.test_case "subscribe receives deltas" `Quick e2e_subscribe;
           Alcotest.test_case "kill and restart" `Quick e2e_kill_restart;
           Alcotest.test_case "zero-copy snapshot serving" `Quick e2e_zero_copy_snapshot;
+          Alcotest.test_case "SQL view over TCP = direct build" `Quick e2e_sql_over_tcp;
+          Alcotest.test_case "v1 server -> clean Remote error" `Quick
+            v1_server_clean_error;
           Alcotest.test_case "corrupt frame keeps serving" `Quick
             e2e_corrupt_frame_keeps_serving;
         ] );

@@ -315,6 +315,32 @@ let sd_all_dynamic_iff_qh =
 
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
+let parser_positions () =
+  let module P = Ivm_query.Parse in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let err = function
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "malformed input must be rejected"
+  in
+  let e = err (P.query "Q(A,B) = R(A,B), S(B C)") in
+  checkb "bad variable carries its offset" true
+    (contains e "'B C'" && contains e "offset 19" && contains e "column 20");
+  let e = err (P.query "Q(A,B) = R(A,B), S(B,C") in
+  checkb "unclosed atom points at the atom" true
+    (contains e "missing ')'" && contains e "offset 17");
+  let e = err (P.query "Q(A) =\n R(A,\n x!)") in
+  checkb "multi-line input reports line and column" true
+    (contains e "line 3" && contains e "column 2");
+  let e = err (P.fds "A -> B; C, D -> E F") in
+  checkb "FD rhs error is positioned" true (contains e "'E F'" && contains e "offset 16");
+  let e = err (P.adornment "R: static; S: bogus") in
+  checkb "adornment kind error is positioned" true
+    (contains e "'bogus'" && contains e "offset 14")
+
 let () =
   Alcotest.run "query"
     [
@@ -331,6 +357,7 @@ let () =
           Alcotest.test_case "cascading rewriting (Ex. 4.5)" `Quick rewrite_cascade;
           Alcotest.test_case "static/dynamic (Ex. 4.14)" `Quick static_dynamic;
           Alcotest.test_case "parser" `Quick parser;
+          Alcotest.test_case "parser errors carry positions" `Quick parser_positions;
         ] );
       ( "properties",
         [

@@ -1,0 +1,327 @@
+(* The SQL front end: printer/parser round-trip properties, positioned
+   syntax errors, the cost-based planner's engine decisions on fixture
+   queries from the paper's taxonomy, executor semantics (maintained
+   views, parameterized lookups, aggregates), and multi-seed oracle
+   agreement of SQL-created views inside the differential harness. *)
+
+module Sql = Ivm_sql
+module Ast = Sql.Ast
+module Parser = Sql.Parser
+module Lower = Sql.Lower
+module Planner = Sql.Planner
+module Exec = Sql.Exec
+module Value = Ivm_data.Value
+module Ck = Ivm_check
+
+let checkb = Alcotest.(check bool)
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- printer/parser round trip ---------------------------------------- *)
+
+let gen_ident = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d"; "r1"; "s2"; "t_3"; "zip" ]
+
+(* Reals restricted to dyadic rationals so the decimal rendering
+   re-parses to the identical float. *)
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Value.Int n) (int_range (-100) 100);
+        map (fun s -> Value.Str s) (oneofl [ ""; "x"; "it's"; "a''b"; "s p c" ]);
+        map (fun n -> Value.Real (float_of_int n /. 4.)) (int_range (-40) 40);
+      ])
+
+let gen_rhs =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Ast.Const v) gen_value;
+        return (Ast.Param 0) (* renumbered below to appearance order *);
+        map (fun c -> Ast.Col c) gen_ident;
+      ])
+
+let gen_pred =
+  QCheck.Gen.(
+    let* col = gen_ident in
+    let* rhs = gen_rhs in
+    return { Ast.col; rhs })
+
+(* The parser numbers '?' by appearance, so the generator must too. *)
+let renumber_params (s : Ast.select) =
+  let n = ref 0 in
+  let where =
+    List.map
+      (fun (p : Ast.pred) ->
+        match p.Ast.rhs with
+        | Ast.Param _ ->
+            incr n;
+            { p with Ast.rhs = Ast.Param !n }
+        | _ -> p)
+      s.Ast.where
+  in
+  { s with Ast.where }
+
+let gen_select =
+  QCheck.Gen.(
+    let* from = list_size (int_range 1 3) gen_ident in
+    let* items =
+      oneof
+        [
+          return [ Ast.Star ];
+          return [ Ast.Count ];
+          (let* cols = list_size (int_range 1 3) (map (fun c -> Ast.Column c) gen_ident) in
+           let* agg =
+             oneof [ return []; return [ Ast.Count ]; map (fun c -> [ Ast.Sum c ]) gen_ident ]
+           in
+           return (cols @ agg));
+        ]
+    in
+    let* where = list_size (int_range 0 3) gen_pred in
+    let* group_by = oneof [ return []; list_size (int_range 1 2) gen_ident ] in
+    return (renumber_params { Ast.items; from; where; group_by }))
+
+let gen_stmt =
+  QCheck.Gen.(
+    let base =
+      oneof
+        [
+          (let* table = gen_ident in
+           let* cols = list_size (int_range 1 4) gen_ident in
+           let* fds =
+             oneof
+               [
+                 return [];
+                 (let* lhs = list_size (int_range 1 2) gen_ident in
+                  let* rhs_col = gen_ident in
+                  return [ { Ast.lhs; rhs_col } ]);
+               ]
+           in
+           return (Ast.Create_table { table; cols; fds }));
+          (let* view = gen_ident in
+           let* opts =
+             oneof
+               [
+                 return [];
+                 return [ Ast.Insert_only ];
+                 map (fun t -> [ Ast.Static t ]) gen_ident;
+               ]
+           in
+           let* select = gen_select in
+           return (Ast.Create_view { view; opts; select }));
+          (let* table = gen_ident in
+           let* rows = list_size (int_range 1 3) (list_size (int_range 1 3) gen_value) in
+           return (Ast.Insert { table; rows }));
+          (let* table = gen_ident in
+           let* rows = list_size (int_range 1 2) (list_size (int_range 1 3) gen_value) in
+           return (Ast.Delete { table; rows }));
+          map (fun s -> Ast.Select s) gen_select;
+        ]
+    in
+    let* wrap = bool in
+    let* st = base in
+    return (if wrap then Ast.Explain st else st))
+
+let arb_stmt = QCheck.make ~print:Ast.print gen_stmt
+
+let parse_print_roundtrip =
+  QCheck.Test.make ~name:"parse (print ast) = ast" ~count:500 arb_stmt (fun st ->
+      match Parser.stmt (Ast.print st) with
+      | Ok st' -> Ast.equal st st'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e (Ast.print st))
+
+(* --- positioned errors ------------------------------------------------ *)
+
+let err text =
+  match Parser.stmt text with
+  | Error e -> e
+  | Ok st -> Alcotest.failf "expected a syntax error, parsed %s" (Ast.print st)
+
+let sql_errors_positioned () =
+  let e = err "SELECT a FROM R WHERE b = " in
+  checkb "truncated WHERE carries an offset" true (contains e "at offset 26");
+  let e = err "CREATE TABLE R (a,, b)" in
+  checkb "double comma points at the hole" true
+    (contains e "offset 18" && contains e "column 19");
+  let e = err "SELECT a\nFROM R,\n  5" in
+  checkb "multi-line errors report line and column" true
+    (contains e "line 3" && contains e "column 3");
+  let e = err "SELECT *, a FROM R" in
+  checkb "star mixed with items is rejected" true (contains e "'*'")
+
+let script_errors_numbered () =
+  let sess = Exec.create () in
+  (match Exec.exec_text sess "CREATE TABLE R (a, b); INSERT INTO missing VALUES (1);" with
+  | Ok _ -> Alcotest.fail "insert into a missing table must fail"
+  | Error e ->
+      checkb "execution error names the failing statement" true (contains e "statement 2"));
+  match Exec.exec_text sess "CREATE TABLE S (a); SELECT FROM S;" with
+  | Ok _ -> Alcotest.fail "malformed second statement must fail"
+  | Error e -> checkb "parse error in a script carries an offset" true (contains e "offset")
+
+(* --- the planner on fixture queries ----------------------------------- *)
+
+let explain_of sess text =
+  match ok (Exec.exec sess (Ast.Explain (ok (Parser.stmt text)))) with
+  | Exec.Explained s -> s
+  | _ -> Alcotest.fail "EXPLAIN must return a report"
+
+let facts_of report =
+  List.filter
+    (fun l -> String.length l > 3 && String.sub l 0 4 = "  - ")
+    (String.split_on_char '\n' report)
+
+(* Fig. 3's q-hierarchical query: eager delta-query maintenance. *)
+let planner_q_hierarchical () =
+  let sess = Exec.create () in
+  ignore (ok (Exec.exec_text sess "CREATE TABLE R (y, x); CREATE TABLE S (y, z);"));
+  let report = explain_of sess "SELECT y, x, z FROM R, S" in
+  checkb "q-hierarchical -> eager delta strategy" true
+    (contains report "engine: eager-fact delta strategy");
+  checkb "carries at least 2 facts" true (List.length (facts_of report) >= 2);
+  checkb "names q-hierarchical" true (contains report "q-hierarchical: true")
+
+(* The A-C path with both endpoints free: hierarchical but not
+   free-connex, so constant-delay maintenance is impossible (Thm. 4.1)
+   and the planner must fall back to the factorized view tree. *)
+let planner_non_free_connex () =
+  let sess = Exec.create () in
+  ignore (ok (Exec.exec_text sess "CREATE TABLE R (a, b); CREATE TABLE S (b, c);"));
+  let report = explain_of sess "SELECT a, c FROM R, S" in
+  checkb "non-free-connex -> view tree" true
+    (contains report "engine: factorized view tree");
+  checkb "says free-connex: false" true (contains report "free-connex: false");
+  checkb "carries at least 2 facts" true (List.length (facts_of report) >= 2)
+
+(* A view whose WITH clause adorns a relation static: the planner must
+   pick the static/dynamic split of Sec. 4.5. *)
+let planner_static_dynamic () =
+  let sess = Exec.create () in
+  ignore
+    (ok
+       (Exec.exec_text sess
+          "CREATE TABLE R (a, d); CREATE TABLE S (a, b); CREATE TABLE T (b, c);"));
+  let report =
+    explain_of sess
+      "CREATE MATERIALIZED VIEW v WITH (STATIC T) AS SELECT a, b, c FROM R, S, T"
+  in
+  checkb "static adornment -> static/dynamic view tree" true
+    (contains report "engine: static/dynamic view tree");
+  checkb "names the static relation" true (contains report "T");
+  checkb "carries at least 2 facts" true (List.length (facts_of report) >= 2)
+
+(* The triangle count lands on the IVMeps batch kernel. *)
+let planner_triangle () =
+  let sess = Exec.create () in
+  ignore
+    (ok
+       (Exec.exec_text sess
+          "CREATE TABLE R (a, b); CREATE TABLE S (b, c); CREATE TABLE T (c, a);"));
+  let report = explain_of sess "SELECT COUNT(*) FROM R, S, T" in
+  checkb "triangle count -> IVMeps kernel" true
+    (contains report "engine: IVMeps triangle batch kernel");
+  checkb "carries at least 2 facts" true (List.length (facts_of report) >= 2)
+
+(* --- executor semantics ----------------------------------------------- *)
+
+let exec_view_and_lookup () =
+  let sess = Exec.create () in
+  let script =
+    "CREATE TABLE R (a, b); CREATE TABLE S (b, c);\n\
+     CREATE MATERIALIZED VIEW v AS SELECT a, c FROM R, S WHERE a = ?;\n\
+     INSERT INTO R VALUES (1, 2), (3, 2);\n\
+     INSERT INTO S VALUES (2, 7), (2, 8);"
+  in
+  ignore (ok (Exec.exec_text sess script));
+  let rows ?params text =
+    match ok (Exec.exec sess ?params (ok (Parser.stmt text))) with
+    | Exec.Rows r -> r.Exec.rows
+    | _ -> Alcotest.fail "expected rows"
+  in
+  let got =
+    rows ~params:[ Value.Int 1 ] "SELECT a, c FROM R, S WHERE a = ?"
+  in
+  checkb "parameterized lookup answers from the view" true
+    (got = [ ([ Value.Int 1; Value.Int 7 ], 1); ([ Value.Int 1; Value.Int 8 ], 1) ]);
+  let missing = rows ~params:[ Value.Int 9 ] "SELECT a, c FROM R, S WHERE a = ?" in
+  checkb "unbound key yields no rows" true (missing = []);
+  (* One-shot aggregate over the base tables, and the SQL scalar rule:
+     a COUNT over an empty result is 0, not absent. *)
+  let count = rows "SELECT COUNT(*) FROM R, S" in
+  checkb "count aggregates multiplicities" true (count = [ ([], 4) ]);
+  let zero = rows "SELECT COUNT(*) FROM R, S WHERE a = 42" in
+  checkb "empty count is a 0 row" true (zero = [ ([], 0) ])
+
+let exec_sum_group_by () =
+  let sess = Exec.create () in
+  ignore
+    (ok
+       (Exec.exec_text sess
+          "CREATE TABLE R (k, v);\n\
+           CREATE MATERIALIZED VIEW s AS SELECT k, SUM(v) FROM R GROUP BY k;\n\
+           INSERT INTO R VALUES (1, 10), (1, 32), (2, 5);\n\
+           DELETE FROM R VALUES (2, 5);"));
+  match ok (Exec.exec sess (ok (Parser.stmt "SELECT k, SUM(v) FROM R GROUP BY k"))) with
+  | Exec.Rows r ->
+      checkb "SUM folds and deletes retract" true
+        (r.Exec.rows = [ ([ Value.Int 1 ], 42) ])
+  | _ -> Alcotest.fail "expected rows"
+
+(* --- oracle agreement across seeds ------------------------------------ *)
+
+(* Every case builds the SQL driver: tables created and data mutated
+   through printed SQL text, the view planned and compiled by lib/sql
+   onto whatever engine the planner picks — and the harness demands the
+   exact oracle answer after every epoch. 30 join + 10 triangle seeds. *)
+let sql_driver_agrees_with_oracle () =
+  let run ~family ~gen seeds =
+    List.iter
+      (fun seed ->
+        let case = gen ~rng:(Ck.Seed.rng seed) ~seed in
+        match Ck.Harness.run ~select:[ "sql" ] case with
+        | Ck.Harness.Agree -> ()
+        | Ck.Harness.Diverged ds ->
+            Alcotest.failf "%s seed %d: %s" family seed
+              (String.concat "; "
+                 (List.map (Format.asprintf "%a" Ck.Harness.pp_divergence) ds)))
+      seeds
+  in
+  run ~family:"join" ~gen:Ck.Gen.join (List.init 30 (fun i -> 1000 + i));
+  run ~family:"triangle" ~gen:Ck.Gen.triangle (List.init 10 (fun i -> 2000 + i))
+
+let qt t = QCheck_alcotest.to_alcotest ~long:false t
+
+let () =
+  Alcotest.run ~and_exit:false "sql"
+    [
+      ( "syntax",
+        [
+          qt parse_print_roundtrip;
+          Alcotest.test_case "positioned errors" `Quick sql_errors_positioned;
+          Alcotest.test_case "script errors numbered" `Quick script_errors_numbered;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "q-hierarchical -> eager delta" `Quick
+            planner_q_hierarchical;
+          Alcotest.test_case "non-free-connex -> view tree" `Quick
+            planner_non_free_connex;
+          Alcotest.test_case "static adornment -> static/dynamic" `Quick
+            planner_static_dynamic;
+          Alcotest.test_case "triangle -> IVMeps kernel" `Quick planner_triangle;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "view + parameterized lookup" `Quick exec_view_and_lookup;
+          Alcotest.test_case "SUM with GROUP BY" `Quick exec_sum_group_by;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "sql driver agrees over 40 seeds" `Slow
+            sql_driver_agrees_with_oracle;
+        ] );
+    ]
