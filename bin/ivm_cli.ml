@@ -866,6 +866,612 @@ module Chaos = struct
         else Ok c
 end
 
+(* ------------------------------------------------------------------ *)
+(* cluster: the sharded deployment path. A router partitions the
+   standard Views workload across N loopback nodes, merges partial ring
+   payloads on reads, and survives killed primaries via checkpoint+WAL
+   promotion. Shared by `ivm_cli cluster`, `bench-cluster` and
+   `chaos --cluster`.                                                  *)
+
+module Cluster_cli = struct
+  module D = Ivm_data
+  module U = D.Update
+  module M = Ivm_engine.Maintainable
+  module St = Ivm_stream
+  module Cl = Ivm_cluster
+  module Fp = Ivm_fault.Failpoint
+
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+
+  let ( let* ) = Result.bind
+
+  (* Placement for the standard Views workload. R(A,B) and S(B,C)
+     co-partition on the join column B, so every R join S match is
+     shard-local; T is broadcast, sound because each view uses T in a
+     single atom (views are multilinear: split several relations on a
+     shared key, or at most one by arbitrary hash). paths-rs and
+     paths-rs-eager enumerate B first, so bound-prefix reads go
+     straight to B's owner (Keyed); tri-count and paths-st fan out and
+     ring-sum (Scattered). *)
+  let topology ~shards =
+    Cl.Topology.create ~shards
+      ~policies:
+        [
+          ("R", Cl.Topology.Hash_col 1);
+          ("S", Cl.Topology.Hash_col 0);
+          ("T", Cl.Topology.Broadcast);
+        ]
+      ~routes:
+        [
+          ("tri-count", Cl.Topology.Scattered);
+          ("paths-rs", Cl.Topology.Keyed);
+          ("paths-st", Cl.Topology.Scattered);
+          ("paths-rs-eager", Cl.Topology.Keyed);
+        ]
+
+  let declare ?(flaky = false) reg =
+    List.iter
+      (fun (n, cols) ->
+        ignore (St.Registry.declare_table reg n (Ivm_data.Schema.of_list cols)))
+      Views.schemas;
+    Views.register ~flaky reg
+
+  let view_names = List.map fst Views.standard
+
+  (* The fault-free single-node reference: the same updates through one
+     registry, no WAL, no network, no faults. Ring updates commute, so
+     whatever interleaving the cluster admitted must produce these
+     entries. *)
+  let reference_fingerprints ?(flaky = false) updates =
+    let reg = St.Registry.create (Views.make_db ()) in
+    Views.register ~flaky reg;
+    let rec chunks = function
+      | [] -> ()
+      | us ->
+          let rec split k acc = function
+            | rest when k = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | u :: rest -> split (k - 1) (u :: acc) rest
+          in
+          let batch, rest = split 512 [] us in
+          St.Registry.apply_batch reg batch;
+          chunks rest
+    in
+    chunks updates;
+    (* Same convergence point as the cluster run: a view degraded by a
+       poison update is rebuilt (with the poison isolated and
+       dead-lettered) before its state counts as the reference. *)
+    (match St.Registry.heal reg with
+    | [] -> ()
+    | leftover ->
+        failwith ("reference views still unhealthy after heal: "
+                  ^ String.concat ", " leftover));
+    List.map
+      (fun name ->
+        (* Same canonical form as merged cluster reads: no explicit
+           zero-payload entries. *)
+        let entries =
+          List.filter (fun (_, p) -> p <> 0) ((St.Registry.find reg name).M.enumerate ())
+        in
+        (name, M.entries_fingerprint entries))
+      view_names
+
+  let print_status router =
+    List.iter
+      (fun (s : Cl.Router.shard_status) ->
+        Printf.printf
+          "  shard %d: port %-5d %-7s %-16s sent %-8d applied %-8d failovers %d%s%s\n"
+          s.Cl.Router.shard s.Cl.Router.port
+          (if s.Cl.Router.alive then "alive" else "dead")
+          s.Cl.Router.node_health s.Cl.Router.sent s.Cl.Router.applied
+          s.Cl.Router.failovers
+          (match s.Cl.Router.standby_lag with
+          | Some lag when s.Cl.Router.has_standby -> Printf.sprintf " standby(lag %d)" lag
+          | _ -> if s.Cl.Router.has_standby then " standby" else "")
+          (if s.Cl.Router.lost_ranges <> [] then " LOST" else ""))
+      (Cl.Router.status router)
+
+  (* --- ivm_cli cluster: spawn, route, kill, verify ------------------ *)
+
+  let run_demo ~shards ~updates ~nodes ~standby ~kill ~dir ~seed =
+    let dir =
+      if dir <> "" then dir
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ivm_cluster_%d" (Unix.getpid ()))
+    in
+    rm_rf dir;
+    let router =
+      match
+        Cl.Router.start ~standby
+          ~checkpoint_every:(max 256 (updates / 5))
+          ~seed ~base_dir:dir ~topology:(topology ~shards) ~declare:(declare ~flaky:false)
+          ()
+      with
+      | Ok r -> r
+      | Error m ->
+          Printf.eprintf "ivm_cli: cluster start failed: %s\n" m;
+          exit 1
+    in
+    Printf.printf "cluster: %d shard(s) up under %s\n" (Cl.Router.shard_count router) dir;
+    print_status router;
+    let stream = Chaos.make_stream ~updates ~nodes ~poison:false in
+    let n = Array.length stream in
+    let batch_size = 256 in
+    let mid = n / 2 in
+    let fed = ref 0 in
+    let fail msg =
+      Printf.eprintf "ivm_cli: %s\n" msg;
+      Cl.Router.stop router;
+      exit 1
+    in
+    while !fed < n do
+      let len = min batch_size (n - !fed) in
+      let batch = Array.to_list (Array.sub stream !fed len) in
+      (match Cl.Router.ingest router batch with
+      | Ok (_, 0) -> ()
+      | Ok (_, d) -> fail (Printf.sprintf "%d update(s) dead-lettered" d)
+      | Error m -> fail ("ingest: " ^ m));
+      let was = !fed in
+      fed := !fed + len;
+      if kill >= 0 && was < mid && !fed >= mid then begin
+        Printf.printf "killing shard %d's primary at update %d (quiesced)...\n%!" kill !fed;
+        match
+          Cl.Router.quiesced router (fun () ->
+              Cl.Router.kill_primary router ~shard:kill;
+              Cl.Router.fail_over router ~shard:kill)
+        with
+        | Ok (Ok (dt, recovered)) ->
+            Printf.printf "promoted replacement in %.1f ms (%d records recovered)\n"
+              (dt *. 1e3) recovered;
+            if Cl.Router.take_lost router ~shard:kill <> [] then
+              fail "quiesced kill lost acked records"
+        | Ok (Error m) -> fail ("failover: " ^ m)
+        | Error m -> fail ("barrier: " ^ m)
+      end
+    done;
+    Printf.printf "\nview                 entries    fingerprint  vs single-node reference\n";
+    let reference = reference_fingerprints (Array.to_list stream) in
+    let bad = ref 0 in
+    List.iter
+      (fun (name, ref_fp) ->
+        match Cl.Router.snapshot router ~view:name with
+        | Error m -> fail (Printf.sprintf "snapshot %s: %s" name m)
+        | Ok entries ->
+            let fp = M.entries_fingerprint entries in
+            let same = fp = ref_fp in
+            if not same then incr bad;
+            Printf.printf "%-20s %-10d %-12d %s\n" name (List.length entries) fp
+              (if same then "match" else Printf.sprintf "MISMATCH (reference %d)" ref_fp))
+      reference;
+    print_newline ();
+    print_status router;
+    let dead = Cl.Router.dead_letter_count router in
+    if dead > 0 then Printf.printf "dead letters: %d\n" dead;
+    Cl.Router.stop router;
+    if !bad > 0 then begin
+      Printf.printf "%d view(s) diverged from the single-node reference\n" !bad;
+      exit 1
+    end
+    else Printf.printf "all views match the single-node reference\n"
+
+  (* --- chaos --cluster: the six fault scenarios against the router --- *)
+
+  type outcome = {
+    fingerprints : (string * int) list;
+    failovers : int;
+    dead_lettered : int;
+    flaky_quarantined : bool;
+    shard_accounts : (int * int * int) array;
+        (* per shard: (stream updates owned, send-log length, node absorbed) —
+           printed on divergence to separate lost records from duplicates *)
+    status_lines : string list;
+  }
+
+  (* Like [Chaos.run_stream] but through the router, with per-shard
+     send logs for exactly-once re-send: an abrupt node death can lose
+     an acked-but-unsynced tail, promotion reports the durable count,
+     and [reconcile] re-sends exactly the lost log range to that one
+     shard. Re-sent batches may interleave with fresh ones — sound
+     because ring batches commute. *)
+  let run_stream_cluster ~label ~dir ~stream ~flaky () : (outcome, string) result =
+    let base = Filename.concat dir (label ^ ".cluster") in
+    rm_rf base;
+    let shards = 2 in
+    let n = Array.length stream in
+    let* router =
+      Cl.Router.start ~standby:false ~probe_interval:0.02 ~probe_failures:2
+        ~checkpoint_every:(max 1 (n / 5))
+        ~timeout:5.0 ~base_dir:base ~topology:(topology ~shards) ~declare:(declare ~flaky)
+        ()
+    in
+    let finish r =
+      Cl.Router.stop router;
+      r
+    in
+    let logs = Array.init shards (fun _ -> ref []) (* newest first *) in
+    let append i batch = List.iter (fun u -> logs.(i) := u :: !(logs.(i))) batch in
+    let trace_on = Sys.getenv_opt "IVM_CLUSTER_TRACE" <> None in
+    let trace msg =
+      if trace_on then
+        Printf.eprintf "[%.4f harness] %s\n%!" (Unix.gettimeofday ()) (msg ())
+    in
+    let rec take k = function
+      | u :: rest when k > 0 -> u :: take (k - 1) rest
+      | _ -> []
+    in
+    let rec drop k = function
+      | xs when k <= 0 -> xs
+      | [] -> []
+      | _ :: rest -> drop (k - 1) rest
+    in
+    (* Send with bounded retry: admission can come up short only while
+       a node is dying (its queue closed before its server stopped);
+       the next attempt runs after reconciliation, against the promoted
+       node. *)
+    let rec send_shard ~tries i batch =
+      if batch = [] then Ok ()
+      else
+        match Cl.Router.ingest_shard router ~shard:i batch with
+        | Ok admitted ->
+            append i (take admitted batch);
+            if admitted < List.length batch then
+              trace (fun () ->
+                  Printf.sprintf "shard %d short ack: batch=%d admitted=%d len=%d" i
+                    (List.length batch) admitted
+                    (List.length !(logs.(i))));
+            let rest = drop admitted batch in
+            if rest = [] then Ok ()
+            else if tries = 0 then Error "shard kept dropping admissions"
+            else begin
+              Unix.sleepf 0.01;
+              let* () = reconcile ~tries:3 i in
+              send_shard ~tries:(tries - 1) i rest
+            end
+        | Error m ->
+            (* A transport error is ambiguous: the node may have
+               admitted the batch before the connection died, so a
+               blind retry would duplicate records. Ask the router for
+               the shard's authoritative absorbed count and re-send
+               only the part that provably never landed. *)
+            if tries = 0 then Error m
+            else begin
+              trace (fun () ->
+                  Printf.sprintf "shard %d send error: batch=%d len=%d err=%s" i
+                    (List.length batch)
+                    (List.length !(logs.(i)))
+                    m);
+              Unix.sleepf 0.02;
+              let* absorbed = resolve ~tries:3 i in
+              let len = List.length !(logs.(i)) in
+              if absorbed < len then
+                Error "shard absorbed fewer records than logged"
+              else begin
+                let landed = min (absorbed - len) (List.length batch) in
+                trace (fun () ->
+                    Printf.sprintf "shard %d resolved: absorbed=%d len=%d landed=%d" i
+                      absorbed len landed);
+                append i (take landed batch);
+                send_shard ~tries:(tries - 1) i (drop landed batch)
+              end
+            end
+    and reconcile ~tries i =
+      match Cl.Router.take_lost router ~shard:i with
+      | [] -> Ok ()
+      | ranges -> cut ~tries i ranges
+    and cut ~tries i ranges =
+      (* The log mirrors the order the shard's WAL admitted our
+         sends; each [from, upto) died unsynced. Cut the range out
+         and re-send it as fresh records. Oldest range first: each
+         cut re-aligns log indices with the router's post-promotion
+         send counter, which is the index space the next range was
+         recorded in (appends never shift indices below them). *)
+      let rec cut_ranges = function
+        | [] -> Ok ()
+        | (from, upto) :: rest ->
+            let arr = Array.of_list (List.rev !(logs.(i))) in
+            let durable = ref [] and lost = ref [] in
+            Array.iteri
+              (fun j u ->
+                if j >= from && j < upto then lost := u :: !lost
+                else durable := u :: !durable)
+              arr;
+            logs.(i) := !durable;
+            trace (fun () ->
+                Printf.sprintf "shard %d cut (%d,%d): len=%d resending=%d" i from upto
+                  (List.length !durable) (List.length !lost));
+            let* () = send_shard ~tries i (List.rev !lost) in
+            cut_ranges rest
+      in
+      cut_ranges ranges
+    and resolve ~tries i =
+      (* Settle the shard onto a live primary with an authoritative
+         send count: cut any published lost ranges, fence via
+         [reconcile_sent], and loop if the fence itself triggered a
+         promotion that published more ranges. *)
+      let* () = reconcile ~tries:3 i in
+      match Cl.Router.reconcile_sent router ~shard:i with
+      | Error m ->
+          if tries = 0 then Error m
+          else begin
+            Unix.sleepf 0.05;
+            resolve ~tries:(tries - 1) i
+          end
+      | Ok absorbed -> (
+          match Cl.Router.take_lost router ~shard:i with
+          | [] -> Ok absorbed
+          | ranges ->
+              let* () = cut ~tries:3 i ranges in
+              if tries = 0 then Error "shard would not settle on a live primary"
+              else resolve ~tries:(tries - 1) i)
+    in
+    let topo = Cl.Router.topology router in
+    let rec feed fed =
+      if fed >= n then Ok ()
+      else begin
+        let len = min 256 (n - fed) in
+        let buckets = Array.make shards [] in
+        for j = fed + len - 1 downto fed do
+          let u = stream.(j) in
+          match Cl.Topology.owners topo ~rel:u.U.rel u.U.tuple with
+          | None -> () (* unknown relation: router would dead-letter it *)
+          | Some os -> List.iter (fun i -> buckets.(i) <- u :: buckets.(i)) os
+        done;
+        let rec shards_go i =
+          if i >= shards then Ok ()
+          else begin
+            let* () = reconcile ~tries:3 i in
+            let* () = send_shard ~tries:5 i buckets.(i) in
+            shards_go (i + 1)
+          end
+        in
+        let* () = shards_go 0 in
+        feed (fed + len)
+      end
+    in
+    (* Settle: promote anything dead, re-send anything lost, and fence;
+       repeat until a fence passes with no new losses (the fault
+       schedule is finite, so this converges). *)
+    let rec settle tries =
+      if tries = 0 then Error "cluster did not settle after the fault schedule"
+      else begin
+        let rec reconcile_all i =
+          if i >= shards then Ok ()
+          else
+            let* () = reconcile ~tries:3 i in
+            reconcile_all (i + 1)
+        in
+        let* () = reconcile_all 0 in
+        match Cl.Router.barrier router with
+        | Error _ ->
+            (* A node that crashed after feed (applied lag means the
+               armed fault can fire during settle, not mid-stream)
+               fails the fence instantly — connection refused costs
+               microseconds, while the prober needs two probe
+               intervals to declare it dead and promote. Burning all
+               the retries before detection is a false "did not
+               settle": pace the loop instead. *)
+            Unix.sleepf 0.05;
+            settle (tries - 1)
+        | Ok _ ->
+            (* A draining [take_lost] here would discard any range a
+               prober promotion published after [reconcile_all] ran —
+               peek without consuming and let the retry's reconcile
+               cut and re-send it. *)
+            if List.exists
+                 (fun i -> Cl.Router.has_lost router ~shard:i)
+                 (List.init shards Fun.id)
+            then settle (tries - 1)
+            else Ok ()
+      end
+    in
+    (* Quarantine needs [max_failures] failed applies, each gated by the
+       supervisor's backoff — a stream that ends first leaves the flaky
+       view merely degraded. Nudge it over the threshold with net-zero
+       ring traffic (an insert cancelled by its delete in the same
+       batch): every nudge batch fails flaky's apply, while the
+       cancellation leaves every real view's state untouched, so the
+       final fingerprints still match the fault-free reference. *)
+    let nudge_flaky () =
+      let quarantined () =
+        List.exists
+          (fun i ->
+            List.exists
+              (fun (name, h) -> name = "flaky" && h = St.Registry.Quarantined)
+              (St.Registry.statuses
+                 (Ivm_cluster.Node.registry (Cl.Router.primary router ~shard:i))))
+          (List.init shards Fun.id)
+      in
+      let tuple = D.Tuple.of_ints [ 0; 1 ] in
+      let shard =
+        match Cl.Topology.owners topo ~rel:"R" tuple with Some (i :: _) -> i | _ -> 0
+      in
+      (* The insert and its cancelling delete must land in different
+         epochs — the scheduler ring-coalesces per (relation, tuple),
+         and a batch summing to zero never reaches any view. The
+         barrier in between forces the epoch break (and the backoff
+         lapse happens while we wait on it). *)
+      let send payload =
+        let* () = send_shard ~tries:3 shard [ U.make ~rel:"R" ~tuple ~payload ] in
+        match Cl.Router.barrier router with
+        | Ok _ -> Ok ()
+        | Error m -> Error ("flaky nudge barrier: " ^ m)
+      in
+      let rec go tries =
+        if quarantined () then Ok ()
+        else if tries = 0 then Ok () (* leave the verdict to the scenario check *)
+        else begin
+          let* () = send 1 in
+          let* () = send (-1) in
+          Unix.sleepf 0.03; (* let the backoff lapse so the next apply is attempted *)
+          go (tries - 1)
+        end
+      in
+      go 50
+    in
+    (* The end-of-stream convergence point, mirroring the single-node
+       harness: force a recovery attempt on every unhealthy view
+       (isolating and dead-lettering poison), so final snapshots read
+       rebuilt views, not degraded stubs mid-backoff. Runs after the
+       quarantine verdict is captured — heal un-quarantines the flaky
+       view (its build succeeds), which must not erase the evidence. *)
+    let heal_all () =
+      let rec go i =
+        if i >= shards then Ok ()
+        else
+          let reg = Ivm_cluster.Node.registry (Cl.Router.primary router ~shard:i) in
+          match St.Registry.heal reg with
+          | [] -> go (i + 1)
+          | leftover ->
+              Error
+                (Printf.sprintf "shard %d views still unhealthy after heal: %s" i
+                   (String.concat ", " leftover))
+      in
+      go 0
+    in
+    (match
+       let* () = feed 0 in
+       let* () = settle 10 in
+       let* () = if flaky then nudge_flaky () else Ok () in
+       let per_primary f =
+         List.exists
+           (fun i -> f (Cl.Router.primary router ~shard:i))
+           (List.init shards Fun.id)
+       in
+       let flaky_quarantined =
+         per_primary (fun node ->
+             List.exists
+               (fun (name, h) -> name = "flaky" && h = St.Registry.Quarantined)
+               (St.Registry.statuses (Ivm_cluster.Node.registry node)))
+       in
+       let* () = heal_all () in
+       let* () = settle 10 in
+       let rec snaps acc = function
+         | [] -> Ok (List.rev acc)
+         | name :: rest ->
+             let* entries = Cl.Router.snapshot router ~view:name in
+             snaps ((name, M.entries_fingerprint entries) :: acc) rest
+       in
+       let* fingerprints = snaps [] view_names in
+       let failovers =
+         List.fold_left
+           (fun acc (s : Cl.Router.shard_status) -> acc + s.Cl.Router.failovers)
+           0 (Cl.Router.status router)
+       in
+       let dead_lettered =
+         List.fold_left
+           (fun acc i ->
+             let reg = Ivm_cluster.Node.registry (Cl.Router.primary router ~shard:i) in
+             List.fold_left
+               (fun acc (_, ds) -> acc + List.length ds)
+               acc (St.Registry.dead_letters reg))
+           0 (List.init shards Fun.id)
+       in
+       let shard_accounts =
+         Array.init shards (fun i ->
+             let owned =
+               Array.fold_left
+                 (fun acc (u : int U.t) ->
+                   match Cl.Topology.owners topo ~rel:u.U.rel u.U.tuple with
+                   | Some os when List.mem i os -> acc + 1
+                   | _ -> acc)
+                 0 stream
+             in
+             let node = Cl.Router.primary router ~shard:i in
+             ( owned,
+               List.length !(logs.(i)),
+               Ivm_cluster.Node.recovered node + Ivm_cluster.Node.applied node ))
+       in
+       let status_lines =
+         List.map
+           (fun (s : Cl.Router.shard_status) ->
+             Printf.sprintf
+               "shard %d: health=%s failovers=%d sent=%d applied=%d lost_ranges=[%s]"
+               s.Cl.Router.shard s.Cl.Router.node_health s.Cl.Router.failovers
+               s.Cl.Router.sent s.Cl.Router.applied
+               (String.concat ";"
+                  (List.map
+                     (fun (a, b) -> Printf.sprintf "%d,%d" a b)
+                     s.Cl.Router.lost_ranges)))
+           (Cl.Router.status router)
+       in
+       Ok
+         {
+           fingerprints;
+           failovers;
+           dead_lettered;
+           flaky_quarantined;
+           shard_accounts;
+           status_lines;
+         }
+     with
+    | r -> finish r
+    | exception e -> finish (Error (Printexc.to_string e)))
+
+  (* The single-node schedules mostly carry over; bit-flip's fsync
+     burst is lengthened so one node's retry run (3 retries) is beaten
+     even when the global hit sequence interleaves both nodes. *)
+  let scenarios ~updates =
+    List.map
+      (fun (sc : Chaos.scenario) ->
+        if sc.Chaos.sname = "bit-flip" then
+          {
+            sc with
+            Chaos.arm =
+              (fun ~updates ->
+                Fp.arm "wal.write" ~after:(updates / 3) ~times:1 (Fp.Bit_flip 12);
+                Fp.arm "wal.fsync" ~after:(updates / 2 / 256) ~times:8 Fp.Fail);
+          }
+        else sc)
+      (Chaos.scenarios ~updates)
+
+  let run_scenario_cluster ~dir ~updates ~nodes ~seed (sc : Chaos.scenario) =
+    let stream = Chaos.make_stream ~updates ~nodes ~poison:sc.Chaos.poison in
+    Fp.reset ();
+    let reference = reference_fingerprints ~flaky:sc.Chaos.flaky (Array.to_list stream) in
+    Fp.enable ~seed ();
+    sc.Chaos.arm ~updates;
+    let armed = List.map fst (Fp.armed ()) in
+    let chaotic =
+      run_stream_cluster ~label:sc.Chaos.sname ~dir ~stream ~flaky:sc.Chaos.flaky ()
+    in
+    let vacuous = List.filter (fun name -> Fp.fired name = 0) armed in
+    Fp.reset ();
+    match chaotic with
+    | Error e -> Error ("cluster chaos run failed: " ^ e)
+    | Ok c ->
+        if vacuous <> [] then
+          Error ("armed failpoints never fired: " ^ String.concat ", " vacuous)
+        else if sc.Chaos.expect_crash && c.failovers = 0 then
+          Error "expected at least one failover, saw none"
+        else if c.fingerprints <> reference then begin
+          List.iter2
+            (fun (name, a) (_, b) ->
+              if a <> b then
+                Printf.eprintf "  %s: cluster fingerprint %d vs reference %d\n" name a b)
+            c.fingerprints reference;
+          Array.iteri
+            (fun i (owned, logged, absorbed) ->
+              Printf.eprintf
+                "  shard %d: %d stream updates owned, %d logged as sent, %d absorbed by node\n"
+                i owned logged absorbed)
+            c.shard_accounts;
+          List.iter (fun l -> Printf.eprintf "  %s\n" l) c.status_lines;
+          Error "final fingerprints diverge from the fault-free reference"
+        end
+        else if sc.Chaos.poison && c.dead_lettered = 0 then
+          Error "poison update was not dead-lettered"
+        else if sc.Chaos.flaky && not c.flaky_quarantined then
+          Error "flaky view was never quarantined on any shard"
+        else Ok c
+end
+
 let chaos_cmd =
   let updates_arg =
     Arg.(value & opt int 20_000 & info [ "updates" ] ~docv:"N" ~doc:"Stream length.")
@@ -887,7 +1493,13 @@ let chaos_cmd =
            ~doc:"Working directory (default: a fresh directory under the \
                  system temp dir).")
   in
-  let run updates nodes seed scenario dir =
+  let cluster_arg =
+    Arg.(value & flag & info [ "cluster" ]
+           ~doc:"Run the same fault scenarios against the sharded router path \
+                 (2 loopback nodes, failover on node death, per-shard send-log \
+                 re-send) instead of the single-process pipeline.")
+  in
+  let run updates nodes seed scenario dir cluster =
     if updates < 100 then begin
       prerr_endline "--updates must be >= 100";
       exit 2
@@ -899,7 +1511,9 @@ let chaos_cmd =
           (Printf.sprintf "ivm_chaos_%d" (Unix.getpid ()))
     in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let all = Chaos.scenarios ~updates in
+    let all =
+      if cluster then Cluster_cli.scenarios ~updates else Chaos.scenarios ~updates
+    in
     let chosen =
       if scenario = "all" then all
       else
@@ -916,17 +1530,27 @@ let chaos_cmd =
       (fun i (sc : Chaos.scenario) ->
         let seed = seed + i in
         Printf.printf "[%-11s] seed %-3d %s ...%!" sc.Chaos.sname seed sc.Chaos.describe;
-        match Chaos.run_scenario ~dir ~updates ~nodes ~seed sc with
-        | Ok c ->
-            Printf.printf
-              " PASS (%d crash-recoveries, %d dead-lettered%s)\n%!"
-              c.Chaos.crashes c.Chaos.dead_lettered
-              (if c.Chaos.quarantined_seen <> [] then
-                 ", quarantined: " ^ String.concat "," c.Chaos.quarantined_seen
-               else "")
-        | Error msg ->
-            incr failures;
-            Printf.printf " FAIL: %s\n%!" msg)
+        if cluster then
+          match Cluster_cli.run_scenario_cluster ~dir ~updates ~nodes ~seed sc with
+          | Ok c ->
+              Printf.printf " PASS (%d failover(s), %d dead-lettered%s)\n%!"
+                c.Cluster_cli.failovers c.Cluster_cli.dead_lettered
+                (if c.Cluster_cli.flaky_quarantined then ", flaky quarantined" else "")
+          | Error msg ->
+              incr failures;
+              Printf.printf " FAIL: %s\n%!" msg
+        else
+          match Chaos.run_scenario ~dir ~updates ~nodes ~seed sc with
+          | Ok c ->
+              Printf.printf
+                " PASS (%d crash-recoveries, %d dead-lettered%s)\n%!"
+                c.Chaos.crashes c.Chaos.dead_lettered
+                (if c.Chaos.quarantined_seen <> [] then
+                   ", quarantined: " ^ String.concat "," c.Chaos.quarantined_seen
+                 else "")
+          | Error msg ->
+              incr failures;
+              Printf.printf " FAIL: %s\n%!" msg)
       chosen;
     if !failures > 0 then begin
       Printf.printf "%d scenario(s) failed\n" !failures;
@@ -939,7 +1563,8 @@ let chaos_cmd =
        ~doc:"Soak the durable serving pipeline under seeded fault injection \
              (torn writes, failed fsyncs, bit flips, poison updates) and \
              verify convergence to a fault-free reference run")
-    Term.(const run $ updates_arg $ nodes_arg $ seed_arg $ scenario_arg $ dir_arg)
+    Term.(const run $ updates_arg $ nodes_arg $ seed_arg $ scenario_arg $ dir_arg
+          $ cluster_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-net: a YCSB-style closed-loop load generator against a running
@@ -1234,6 +1859,326 @@ let bench_net_cmd =
           $ nodes_arg $ skew_arg $ seed_arg $ out_arg $ shutdown_arg)
 
 (* ------------------------------------------------------------------ *)
+(* cluster: spawn a sharded loopback cluster, route a workload through
+   the fault-tolerant router, optionally kill a primary mid-run, and
+   verify against a single-node reference.                             *)
+
+let cluster_cmd =
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count \
+           (rounded up to a power of two).")
+  in
+  let updates_arg =
+    Arg.(value & opt int 50_000 & info [ "updates" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 200 & info [ "nodes" ] ~docv:"K" ~doc:"Graph node count.")
+  in
+  let no_standby_arg =
+    Arg.(value & flag & info [ "no-standby" ]
+           ~doc:"Do not keep a warm standby per shard.")
+  in
+  let kill_arg =
+    Arg.(value & opt int 0 & info [ "kill" ] ~docv:"SHARD"
+           ~doc:"Kill this shard's primary halfway through and promote a \
+                 replacement; -1 disables the kill.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Cluster state directory (default: fresh under the temp dir).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Retry-jitter seed.")
+  in
+  let run shards updates nodes no_standby kill dir seed =
+    Cluster_cli.run_demo ~shards ~updates ~nodes ~standby:(not no_standby) ~kill ~dir
+      ~seed
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Spawn an N-shard loopback cluster behind the fault-tolerant \
+             router, stream the standard graph workload through it (killing \
+             and failing over one primary mid-run), and verify every view \
+             against a single-node reference")
+    Term.(const run $ shards_arg $ updates_arg $ nodes_arg $ no_standby_arg $ kill_arg
+          $ dir_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-cluster: closed-loop mixed load against an in-process sharded
+   cluster; a primary is killed mid-run under a quiesced fence and the
+   recovery time plus p99/p999 tails land in BENCH_cluster.json.       *)
+
+module Bench_cluster = struct
+  module D = Ivm_data
+  module U = D.Update
+  module Cl = Ivm_cluster
+  module G = Ivm_workload.Graph_gen
+
+  type op_stats = {
+    count : int;
+    p50_ms : float;
+    p99_ms : float;
+    p999_ms : float;
+    max_ms : float;
+  }
+
+  let op_stats samples =
+    match samples with
+    | [||] -> { count = 0; p50_ms = 0.; p99_ms = 0.; p999_ms = 0.; max_ms = 0. }
+    | s ->
+        Array.sort compare s;
+        let n = Array.length s in
+        let at q = s.(min (n - 1) (int_of_float (q *. float_of_int n))) *. 1e3 in
+        {
+          count = n;
+          p50_ms = at 0.5;
+          p99_ms = at 0.99;
+          p999_ms = at 0.999;
+          max_ms = s.(n - 1) *. 1e3;
+        }
+
+  (* One closed-loop worker. Updates come from a per-worker graph
+     generator (valid delete patterns), reads are 4:1 keyed point
+     lookups vs scattered merges. Returns latency samples and the
+     updates it sent, for the post-run reference replay. *)
+  let worker ~router ~ops ~read_pct ~nodes ~skew ~seed ~progress ~completed () =
+    let rng = Random.State.make [| seed |] in
+    let zipf = Ivm_workload.Zipf.create ~n:nodes ~s:skew in
+    let gen = G.create ~seed { G.nodes; skew; delete_ratio = 0.2 } in
+    let reads = ref [] and upd_lat = ref [] and sent = ref [] in
+    let rec loop i =
+      if i > ops then Ok ()
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let r =
+          if Random.State.int rng 100 < read_pct then
+            let res =
+              if Random.State.int rng 5 > 0 then
+                (* Two bound columns keep the answer fan small; the
+                   first still routes to B's owner shard. *)
+                Cl.Router.lookup router ~view:"paths-rs"
+                  ~prefix:
+                    (D.Tuple.of_ints
+                       [
+                         Ivm_workload.Zipf.sample zipf rng;
+                         Ivm_workload.Zipf.sample zipf rng;
+                       ])
+              else Cl.Router.lookup router ~view:"tri-count" ~prefix:(D.Tuple.of_ints [])
+            in
+            match res with
+            | Ok _ ->
+                reads := (Unix.gettimeofday () -. t0) :: !reads;
+                Ok ()
+            | Error e -> Error e
+          else begin
+            let e = G.next gen in
+            let rel = match e.G.rel with 0 -> "R" | 1 -> "S" | _ -> "T" in
+            let u =
+              U.make ~rel ~tuple:(D.Tuple.of_ints [ e.G.src; e.G.dst ]) ~payload:e.G.mult
+            in
+            match Cl.Router.ingest router [ u ] with
+            | Ok _ ->
+                sent := u :: !sent;
+                upd_lat := (Unix.gettimeofday () -. t0) :: !upd_lat;
+                Ok ()
+            | Error m -> Error m
+          end
+        in
+        Atomic.incr progress;
+        match r with Ok () -> loop (i + 1) | Error e -> Error e
+      end
+    in
+    let r = loop 1 in
+    Atomic.incr completed;
+    match r with
+    | Ok () -> Ok (Array.of_list !reads, Array.of_list !upd_lat, !sent)
+    | Error e -> Error e
+
+  let json_out ~out ~shards ~conns ~read_pct ~total_ops ~duration ~throughput
+      ~kill_shard ~recovery_ms ~pause_ms ~failovers ~fingerprint_match ~reads ~updates =
+    let b = Buffer.create 1024 in
+    let op name (s : op_stats) =
+      Printf.bprintf b
+        "  \"%s\": {\"count\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": \
+         %.4f, \"max_ms\": %.4f}"
+        name s.count s.p50_ms s.p99_ms s.p999_ms s.max_ms
+    in
+    Printf.bprintf b
+      "{\n\
+      \  \"bench\": \"cluster\",\n\
+      \  \"shards\": %d,\n\
+      \  \"connections\": %d,\n\
+      \  \"read_pct\": %d,\n\
+      \  \"ops\": %d,\n\
+      \  \"duration_s\": %.3f,\n\
+      \  \"throughput_ops_s\": %.1f,\n\
+      \  \"kill_shard\": %d,\n\
+      \  \"recovery_ms\": %.2f,\n\
+      \  \"pause_ms\": %.2f,\n\
+      \  \"failovers\": %d,\n\
+      \  \"fingerprint_match\": %b,\n"
+      shards conns read_pct total_ops duration throughput kill_shard recovery_ms
+      pause_ms failovers fingerprint_match;
+    op "reads" reads;
+    Buffer.add_string b ",\n";
+    op "updates" updates;
+    Buffer.add_string b "\n}\n";
+    let oc = open_out out in
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
+
+let bench_cluster_cmd =
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"C" ~doc:"Worker domains.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 4_000 & info [ "ops" ] ~docv:"N" ~doc:"Ops per worker.")
+  in
+  let read_pct_arg =
+    Arg.(value & opt int 50 & info [ "read-pct" ] ~docv:"P" ~doc:"Read percentage.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 200 & info [ "nodes" ] ~docv:"K" ~doc:"Graph node count.")
+  in
+  let skew_arg =
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"S" ~doc:"Zipf skew.")
+  in
+  let kill_arg =
+    Arg.(value & opt int 0 & info [ "kill" ] ~docv:"SHARD"
+           ~doc:"Kill this shard's primary once half the ops are done \
+                 (quiesced); -1 disables.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Cluster state directory (default: fresh under the temp dir).")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Seed.") in
+  let out_arg =
+    Arg.(value & opt string "BENCH_cluster.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"JSON output path.")
+  in
+  let run shards conns ops read_pct nodes skew kill dir seed out =
+    let module Bc = Bench_cluster in
+    let module Cl = Ivm_cluster in
+    let module M = Ivm_engine.Maintainable in
+    let dir =
+      if dir <> "" then dir
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ivm_bench_cluster_%d" (Unix.getpid ()))
+    in
+    Cluster_cli.rm_rf dir;
+    let router =
+      match
+        Cl.Router.start ~standby:true ~checkpoint_every:8192 ~handlers:4 ~timeout:10.
+          ~seed ~base_dir:dir
+          ~topology:(Cluster_cli.topology ~shards)
+          ~declare:(Cluster_cli.declare ~flaky:false) ()
+      with
+      | Ok r -> r
+      | Error m ->
+          Printf.eprintf "ivm_cli: cluster start failed: %s\n" m;
+          exit 1
+    in
+    Printf.printf "bench-cluster: %d shard(s), %d worker(s) x %d ops, %d%% reads\n%!"
+      (Cl.Router.shard_count router) conns ops read_pct;
+    let progress = Atomic.make 0 and completed = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init conns (fun i ->
+          Domain.spawn
+            (Bc.worker ~router ~ops ~read_pct ~nodes ~skew ~seed:(seed + (101 * i))
+               ~progress ~completed))
+    in
+    let total = conns * ops in
+    let recovery_ms = ref 0. and pause_ms = ref 0. in
+    if kill >= 0 then begin
+      while Atomic.get progress < total / 2 && Atomic.get completed < conns do
+        Unix.sleepf 0.001
+      done;
+      let tp = Unix.gettimeofday () in
+      match
+        Cl.Router.quiesced router (fun () ->
+            Cl.Router.kill_primary router ~shard:kill;
+            Cl.Router.fail_over router ~shard:kill)
+      with
+      | Ok (Ok (dt, recovered)) ->
+          pause_ms := (Unix.gettimeofday () -. tp) *. 1e3;
+          recovery_ms := dt *. 1e3;
+          Printf.printf
+            "killed shard %d at op %d: promoted in %.1f ms (%d records recovered, \
+             ingest paused %.1f ms)\n%!"
+            kill (Atomic.get progress) !recovery_ms recovered !pause_ms
+      | Ok (Error m) | Error m ->
+          Printf.eprintf "ivm_cli: mid-run failover failed: %s\n" m;
+          Cl.Router.stop router;
+          exit 1
+    end;
+    let results = List.map Domain.join domains in
+    let duration = Unix.gettimeofday () -. t0 in
+    (match List.find_map (function Error e -> Some e | Ok _ -> None) results with
+    | Some e ->
+        Printf.eprintf "ivm_cli: worker failed: %s\n" e;
+        Cl.Router.stop router;
+        exit 1
+    | None -> ());
+    let all = List.filter_map Result.to_option results in
+    let reads = Bc.op_stats (Array.concat (List.map (fun (r, _, _) -> r) all)) in
+    let upd = Bc.op_stats (Array.concat (List.map (fun (_, u, _) -> u) all)) in
+    let sent = List.concat_map (fun (_, _, s) -> s) all in
+    let failovers =
+      List.fold_left
+        (fun acc (s : Cl.Router.shard_status) -> acc + s.Cl.Router.failovers)
+        0 (Cl.Router.status router)
+    in
+    (* Post-failover consistency: every view must equal the fault-free
+       single-node reference over exactly the updates the workers sent
+       (ring updates commute, so worker interleaving is irrelevant). *)
+    let reference = Cluster_cli.reference_fingerprints sent in
+    let mismatched =
+      List.filter
+        (fun (name, ref_fp) ->
+          match Cl.Router.fingerprint router ~view:name with
+          | Ok fp -> fp <> ref_fp
+          | Error m ->
+              Printf.eprintf "ivm_cli: fingerprint %s: %s\n" name m;
+              true)
+        reference
+    in
+    let ops_done = reads.Bc.count + upd.Bc.count in
+    let throughput = if duration > 0. then float_of_int ops_done /. duration else 0. in
+    Printf.printf
+      "%d ops in %.2fs (%.0f ops/s) | read p50 %.3fms p99 %.3fms p999 %.3fms | \
+       update p50 %.3fms p99 %.3fms p999 %.3fms | %d failover(s)\n"
+      ops_done duration throughput reads.Bc.p50_ms reads.Bc.p99_ms reads.Bc.p999_ms
+      upd.Bc.p50_ms upd.Bc.p99_ms upd.Bc.p999_ms failovers;
+    Bc.json_out ~out ~shards:(Cl.Router.shard_count router) ~conns ~read_pct
+      ~total_ops:ops_done ~duration ~throughput ~kill_shard:kill
+      ~recovery_ms:!recovery_ms ~pause_ms:!pause_ms ~failovers
+      ~fingerprint_match:(mismatched = []) ~reads ~updates:upd;
+    Printf.printf "wrote %s\n" out;
+    Cl.Router.stop router;
+    if mismatched <> [] then begin
+      List.iter
+        (fun (name, _) ->
+          Printf.printf "view %s diverged from the single-node reference\n" name)
+        mismatched;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-cluster"
+       ~doc:"Closed-loop mixed load against an in-process sharded cluster; \
+             kills a primary mid-run under a quiesced fence and emits \
+             BENCH_cluster.json with recovery time and p99/p999 tails")
+    Term.(const run $ shards_arg $ conns_arg $ ops_arg $ read_pct_arg $ nodes_arg
+          $ skew_arg $ kill_arg $ dir_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz: the differential oracle harness of lib/check.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1488,5 +2433,5 @@ let () =
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
           [
             classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd;
-            fuzz_cmd; sql_cmd;
+            cluster_cmd; bench_cluster_cmd; fuzz_cmd; sql_cmd;
           ]))

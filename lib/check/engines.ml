@@ -315,6 +315,99 @@ let net_driver ~factory (case : Case.t) =
         N.Server.stop srv);
   }
 
+(* --- the cluster path: a 2-shard router over real loopback nodes,
+   with a barrier-quiesced kill and promotion halfway through the
+   stream, so every case exercises failover recovery. Partition
+   soundness: views are multilinear in their atoms, so exactly one
+   relation that occurs in exactly one atom may be split by tuple hash
+   (the rest broadcast) and the per-node partial views ring-sum to the
+   global answer; with no such relation everything is broadcast and
+   the view is read from a single replica. ---------------------------- *)
+
+module Cl = Ivm_cluster
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let cluster_policies (case : Case.t) =
+  let rels = List.map fst case.Case.schemas in
+  let atom_rels =
+    match (case.Case.family, case.Case.query) with
+    | Case.Triangle, _ -> [ "R"; "S"; "T" ]
+    | _, Some q -> List.map (fun (a : Cq.atom) -> a.Cq.rel) q.Cq.atoms
+    | _, None -> []
+  in
+  let occurrences r = List.length (List.filter (String.equal r) atom_rels) in
+  match List.find_opt (fun r -> occurrences r = 1) rels with
+  | Some pivot ->
+      ( List.map
+          (fun r ->
+            (r, if String.equal r pivot then Cl.Topology.Hash_tuple else Cl.Topology.Broadcast))
+          rels,
+        Cl.Topology.Scattered )
+  | None -> (List.map (fun r -> (r, Cl.Topology.Broadcast)) rels, Cl.Topology.Replicated)
+
+let cluster_driver ~dir ~factory (case : Case.t) =
+  let base_dir = Filename.concat dir "cluster" in
+  rm_rf base_dir;
+  let policies, route = cluster_policies case in
+  let topology = Cl.Topology.create ~shards:2 ~policies ~routes:[ ("v", route) ] in
+  let declare reg =
+    List.iter
+      (fun (name, cols) ->
+        ignore (St.Registry.declare_table reg name (D.Schema.of_list cols)))
+      case.Case.schemas;
+    St.Registry.register reg ~name:"v" factory
+  in
+  let router =
+    match
+      Cl.Router.start ~handlers:1 ~standby:false ~probe_interval:0. ~base_dir ~topology
+        ~declare ()
+    with
+    | Ok r -> r
+    | Error m -> failwith ("cluster driver start: " ^ m)
+  in
+  let send what batch =
+    match Cl.Router.ingest router batch with
+    | Ok (_, 0) -> ()
+    | Ok (_, d) -> failwith (Printf.sprintf "cluster driver %s: %d dead-lettered" what d)
+    | Error m -> failwith ("cluster driver " ^ what ^ ": " ^ m)
+  in
+  send "init" (List.map Case.update_of_row case.Case.init);
+  let mid = max 1 (List.length case.Case.stream / 2) in
+  let epoch = ref 0 in
+  let apply batch =
+    incr epoch;
+    send "ingest" batch;
+    if !epoch = mid then begin
+      (match Cl.Router.barrier router with
+      | Ok _ -> ()
+      | Error m -> failwith ("cluster driver barrier: " ^ m));
+      Cl.Router.kill_primary router ~shard:0;
+      match Cl.Router.fail_over router ~shard:0 with
+      | Error m -> failwith ("cluster driver failover: " ^ m)
+      | Ok _ ->
+          if Cl.Router.take_lost router ~shard:0 <> [] then
+            failwith "cluster driver: quiesced kill lost acked records"
+    end
+  in
+  {
+    name = "cluster";
+    apply;
+    enumerate =
+      (fun () ->
+        match Cl.Router.snapshot router ~view:"v" with
+        | Ok entries -> norm entries
+        | Error m -> failwith ("cluster driver snapshot: " ^ m));
+    self_check = no_check;
+    finish = (fun () -> Cl.Router.stop router);
+  }
+
 (* --- the SQL front end path: the case rendered as SQL text and pushed
    through lib/sql end to end — lexer, parser, lowering, cost-based
    planner and engine compilation all sit inside the checked loop, and
@@ -387,6 +480,7 @@ let join_builders : (string * (dir:string -> Case.t -> driver)) list =
     ("lazy-list-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_list);
     ("stream", fun ~dir c -> stream_driver ~dir ~factory:(join_factory c) c);
     ("net", fun ~dir:_ c -> net_driver ~factory:(join_factory c) c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(join_factory c) c);
     ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 
@@ -412,6 +506,7 @@ let triangle_builders : (string * (dir:string -> Case.t -> driver)) list =
           () );
     ("stream", fun ~dir c -> stream_driver ~dir ~factory:(tri_factory c) c);
     ("net", fun ~dir:_ c -> net_driver ~factory:(tri_factory c) c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(tri_factory c) c);
     ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 

@@ -42,6 +42,12 @@ let relation_fingerprint (r : Rel.t) : int =
     r 0
   land max_int
 
+let entries_fingerprint (entries : (Tuple.t * int) list) : int =
+  List.fold_left
+    (fun acc (tp, p) -> acc + (Tuple.hash tp lxor (p * 0x9E3779B9)) land max_int)
+    0 entries
+  land max_int
+
 let relation_entries (r : Rel.t) = Rel.fold (fun tp p acc -> (tp, p) :: acc) r []
 
 let of_view_tree ~name (q : Cq.t) (tree : View_tree.t) : t =

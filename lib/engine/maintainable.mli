@@ -28,6 +28,11 @@ type t = {
 val relation_fingerprint : Rel.t -> int
 (** Order-independent digest of a relation's entries. *)
 
+val entries_fingerprint : (Ivm_data.Tuple.t * int) list -> int
+(** The same digest over an explicit entry list — what the cluster
+    router computes over a cross-shard merge so it can compare against
+    a single node's {!relation_fingerprint}-based view digest. *)
+
 val of_view_tree : name:string -> Cq.t -> View_tree.t -> t
 (** Wrap a factorized view tree; the query supplies the consumed
     relation names. *)

@@ -9,23 +9,59 @@ module Update = Ivm_data.Update
 
 let ( let* ) = Result.bind
 
+(* A peer that dies mid-request (crash, kill, failover) must surface as
+   [Error (Io "EPIPE")] on the next write, not as a process-killing
+   SIGPIPE. Module init is good enough: anything that can write to a
+   socket links this module. *)
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
 type t = {
   fd : Unix.file_descr;
   mutable closed : bool;
   mutable peer_version : int option;  (** cached [Version] probe result *)
 }
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* [SO_RCVTIMEO]/[SO_SNDTIMEO] bound every blocking socket call,
+   including [connect] itself on Linux — the expired deadline surfaces
+   from {!Wire} as [Error Timeout] instead of hanging on a dead peer.
+   [None]/[0.] means block forever (the pre-deadline behaviour). *)
+let apply_timeout fd = function
+  | None -> ()
+  | Some d ->
+      let d = if d <= 0. then 0. else d in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO d;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO d
+
+let connect ?(host = "127.0.0.1") ?timeout ~port () =
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) -> Error (Wire.Io (Unix.error_message e))
   | fd -> (
       try
         Unix.setsockopt fd Unix.TCP_NODELAY true;
+        apply_timeout fd timeout;
         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
         Ok { fd; closed = false; peer_version = None }
       with Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        Error (Wire.Io (Unix.error_message e)))
+        (match e with
+        | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINPROGRESS | Unix.ETIMEDOUT ->
+            Error Wire.Timeout
+        | _ -> Error (Wire.Io (Unix.error_message e))))
+
+let set_timeout t d =
+  if not t.closed then
+    try apply_timeout t.fd (Some (Option.value d ~default:0.))
+    with Unix.Unix_error _ -> ()
+
+(* Which failures are safe to retry on a fresh connection? [Timeout]
+   and [Closed]/[Eof]/[Io] mean the op may never have reached the
+   server; [Remote] means it did and was rejected — retrying would just
+   repeat the rejection (or worse, re-run a non-idempotent op). *)
+let retryable = function
+  | Wire.Timeout | Wire.Closed | Wire.Eof | Wire.Truncated | Wire.Io _ -> true
+  | Wire.Too_large _ | Wire.Crc_mismatch _ | Wire.Bad_op _ | Wire.Decode _
+  | Wire.Remote _ ->
+      false
 
 let close t =
   if not t.closed then begin
@@ -140,6 +176,13 @@ let shutdown t =
   let* resp = rpc t Wire.Shutdown in
   match resp with
   | Wire.Bye -> Ok ()
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let barrier t =
+  let* resp = rpc t Wire.Barrier in
+  match resp with
+  | Wire.Barrier_done { epoch } -> Ok epoch
   | Wire.Err msg -> Error (Wire.Remote msg)
   | resp -> unexpected resp
 

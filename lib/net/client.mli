@@ -5,8 +5,23 @@
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> (t, Wire.error) result
-(** Default host is loopback. *)
+val connect : ?host:string -> ?timeout:float -> port:int -> unit -> (t, Wire.error) result
+(** Default host is loopback. [timeout] (seconds) sets [SO_RCVTIMEO]
+    and [SO_SNDTIMEO] before connecting, so the connect itself and
+    every subsequent call is bounded — an expired deadline surfaces as
+    [Error Timeout] instead of hanging on a dead peer. Omit it to block
+    forever (the historical behaviour). *)
+
+val set_timeout : t -> float option -> unit
+(** Adjust the per-op deadline on a live connection; [None] (or [0.])
+    removes it. Best-effort: a failure to set the socket option is
+    swallowed. *)
+
+val retryable : Wire.error -> bool
+(** Whether a failed op is safe to retry on a fresh connection:
+    [Timeout]/[Closed]/[Eof]/[Truncated]/[Io] mean the request may
+    never have reached the server; [Remote] (and decode-level errors)
+    mean it did and was answered — retrying repeats the answer. *)
 
 val close : t -> unit
 (** Idempotent; further calls on the value return [Error Closed]. *)
@@ -48,6 +63,12 @@ val checkpoint : t -> (int, Wire.error) result
 val shutdown : t -> (unit, Wire.error) result
 (** Ask the server to shut down; [Ok ()] once the server acked with
     [Bye]. *)
+
+val barrier : t -> (int, Wire.error) result
+(** Epoch fence: returns only once every update admitted before this
+    call has been applied (and, on a durable server, WAL-synced). The
+    result is the scheduler epoch at which the fence held — the cluster
+    router compares these across nodes for consistent snapshots. *)
 
 val version : t -> (int, Wire.error) result
 (** The peer's protocol version, probed once per connection and cached.

@@ -30,6 +30,10 @@ module Value = Ivm_data.Value
 module Update = Ivm_data.Update
 module Domain_pool = Ivm_par.Domain_pool
 
+(* Same rationale as {!Client}: a subscriber or requester that vanishes
+   mid-write must cost us an [EPIPE], not the process. *)
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
 type conn = { fd : Unix.file_descr; write_mutex : Mutex.t }
 
 (* One materialized view enumeration: the full entry list for snapshot
@@ -101,6 +105,7 @@ type t = {
   checkpoint : (unit -> (int, string) result) option;
   create_view : (string -> (string, string) result) option;
   explain : (string -> (string, string) result) option;
+  barrier : (unit -> (int, string) result) option;
   on_shutdown : (unit -> unit) option;
   pool : Domain_pool.t;
   (* Snapshot cache: view name -> materialized enumeration stamped with
@@ -114,11 +119,24 @@ type t = {
   cache_mutex : Mutex.t;
   cache : (string, snapshot) Hashtbl.t;
   refreshing : (string, unit) Hashtbl.t;
-  mutex : Mutex.t; (* guards conns, subscribers, stopping *)
+  mutex : Mutex.t; (* guards conns, subscribers, stopping, active *)
   mutable conns : conn list;
   mutable subscribers : conn list;
   mutable stopping : bool;
+  mutable active : int;
+      (* requests currently inside [handle] — the drain count [stop]
+         waits on before slamming connections shut *)
   mutable accept_domain : unit Domain.t option;
+  (* Idle parking: a connection waiting for its next request sits here,
+     watched by the poller domain, and costs no handler. Without this a
+     handful of idle pooled connections (plus a delta subscriber, which
+     never speaks again) would pin every handler domain and starve new
+     requests — the fixed-size pool would be trivially DoS-able. *)
+  park_mutex : Mutex.t;
+  mutable parked : conn list;
+  wake_r : Unix.file_descr; (* self-pipe: park/stop wake the poller's select *)
+  wake_w : Unix.file_descr;
+  mutable poller_domain : unit Domain.t option;
 }
 
 let port t = t.port
@@ -218,6 +236,25 @@ let lookup_frames t view key =
 
 type outcome = Continue | Close | Shutdown_server
 
+(* --- idle parking ------------------------------------------------------ *)
+
+let wake_poller t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+let park t conn =
+  Mutex.protect t.park_mutex (fun () -> t.parked <- conn :: t.parked);
+  wake_poller t
+
+(* Zero-timeout readability probe: deciding whether to keep serving a
+   connection inline (burst in progress) or hand it back to the poller.
+   On any select error, claim readable — the next read surfaces the
+   real failure and drops the connection. *)
+let readable_now fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error _ -> true
+
 (* Handle one decoded request. Answers that need registry state are
    materialized under the shared lock and sent after it is released
    ([send_chunks] runs outside [Registry.read]). *)
@@ -297,6 +334,13 @@ let handle t conn (req : Wire.request) : outcome =
           | Ok wal_offset -> respond (Wire.Checkpointed { wal_offset })
           | Error msg -> respond (Wire.Err msg)))
   | Wire.Version -> respond (Wire.Version_info { version = Wire.protocol_version })
+  | Wire.Barrier -> (
+      match t.barrier with
+      | None -> respond (Wire.Err "server has no scheduler to fence")
+      | Some fence -> (
+          match fence () with
+          | Ok epoch -> respond (Wire.Barrier_done { epoch })
+          | Error msg -> respond (Wire.Err msg)))
   | Wire.Create_view sql -> (
       if stopping t then respond (Wire.Err "server is shutting down")
       else
@@ -343,9 +387,16 @@ let initiate_shutdown t =
 
 (* --- connection handler ----------------------------------------------- *)
 
+(* Serve requests off one connection while bytes are already waiting,
+   then hand it back to the poller. A handler domain is occupied only
+   for requests in flight, never for a connection that is merely open —
+   [continue] is the seam that makes the fixed-size pool immune to idle
+   connections. *)
 let rec serve_conn t conn =
+  let continue () = if readable_now conn.fd then serve_conn t conn else park t conn in
   match Wire.read_frame conn.fd with
-  | Error (Wire.Eof | Wire.Truncated | Wire.Io _ | Wire.Closed) -> drop_conn t conn
+  | Error (Wire.Eof | Wire.Truncated | Wire.Io _ | Wire.Timeout | Wire.Closed) ->
+      drop_conn t conn
   | Error (Wire.Too_large _ as e) ->
       (* The oversized body was never read, so the stream has lost its
          frame alignment — tell the client why and hang up. *)
@@ -355,25 +406,71 @@ let rec serve_conn t conn =
       (* Checksum or opcode/body trouble inside one complete frame: the
          boundary is intact, answer with the error and keep serving. *)
       (match send conn (Wire.Err (Wire.error_to_string e)) with
-      | Ok () -> serve_conn t conn
+      | Ok () -> continue ()
       | Error _ -> drop_conn t conn)
   | Ok body -> (
       match Wire.decode_request body with
       | Error e -> (
           match send conn (Wire.Err (Wire.error_to_string e)) with
-          | Ok () -> serve_conn t conn
+          | Ok () -> continue ()
           | Error _ -> drop_conn t conn)
       | Ok req -> (
           let t0 = Unix.gettimeofday () in
-          let outcome = handle t conn req in
+          Mutex.protect t.mutex (fun () -> t.active <- t.active + 1);
+          let outcome =
+            Fun.protect
+              ~finally:(fun () ->
+                Mutex.protect t.mutex (fun () -> t.active <- t.active - 1))
+              (fun () -> handle t conn req)
+          in
           Metrics.record_op t.metrics (Wire.request_name req)
             (Unix.gettimeofday () -. t0);
           match outcome with
-          | Continue -> serve_conn t conn
+          | Continue -> continue ()
           | Close -> drop_conn t conn
           | Shutdown_server ->
               drop_conn t conn;
               initiate_shutdown t))
+
+(* The poller: select over every parked connection plus the self-pipe,
+   dispatch the readable ones to the handler pool. The 250 ms select
+   timeout bounds shutdown latency even if a wake byte is lost. *)
+let rec poll_loop t =
+  if stopping t then ()
+  else begin
+    let parked = Mutex.protect t.park_mutex (fun () -> t.parked) in
+    let fds = t.wake_r :: List.map (fun c -> c.fd) parked in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll_loop t
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* A parked fd was closed under us (shutdown race): drop the
+           dead ones and carry on watching the rest. *)
+        Mutex.protect t.park_mutex (fun () ->
+            t.parked <-
+              List.filter
+                (fun c ->
+                  match Unix.fstat c.fd with
+                  | (_ : Unix.stats) -> true
+                  | exception Unix.Unix_error _ -> false)
+                t.parked);
+        poll_loop t
+    | readable, _, _ ->
+        (if List.memq t.wake_r readable then
+           let buf = Bytes.create 64 in
+           try ignore (Unix.read t.wake_r buf 0 64) with Unix.Unix_error _ -> ());
+        let ready =
+          Mutex.protect t.park_mutex (fun () ->
+              let ready, rest =
+                List.partition (fun c -> List.memq c.fd readable) t.parked
+              in
+              t.parked <- rest;
+              ready)
+        in
+        List.iter
+          (fun conn -> Domain_pool.submit t.pool (fun () -> serve_conn t conn))
+          ready;
+        poll_loop t
+  end
 
 (* --- delta fan-out ---------------------------------------------------- *)
 
@@ -400,10 +497,33 @@ let publish_delta t ~epoch updates =
 
 (* --- lifecycle -------------------------------------------------------- *)
 
+(* The accept loop must outlive transient accept failures: a client
+   that resets mid-handshake raises [ECONNABORTED] (its connection, not
+   our listener), and fd exhaustion ([EMFILE]/[ENFILE]) is the load
+   spike's fault, not the socket's — existing handlers will release fds
+   as they finish. Both continue; fd pressure backs off first so the
+   loop does not spin at 100% CPU re-raising the same error. Only a
+   dead listener (shutdown in progress, or [EBADF]/[EINVAL] from a
+   closed fd) exits the loop. *)
 let rec accept_loop t =
   match Unix.accept t.listen_fd with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
-  | exception Unix.Unix_error (_, _, _) -> () (* listener closed: stop *)
+  | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> accept_loop t
+  | exception
+      Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
+    ->
+      if stopping t then ()
+      else begin
+        Unix.sleepf 0.05;
+        accept_loop t
+      end
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) ->
+      if stopping t then ()
+      else begin
+        Unix.sleepf 0.01;
+        accept_loop t
+      end
   | fd, _ ->
       if stopping t then (try Unix.close fd with Unix.Unix_error _ -> ())
       else begin
@@ -416,12 +536,14 @@ let rec accept_loop t =
            with Unix.Unix_error _ -> ());
         let conn = { fd; write_mutex = Mutex.create () } in
         Mutex.protect t.mutex (fun () -> t.conns <- conn :: t.conns);
-        Domain_pool.submit t.pool (fun () -> serve_conn t conn);
+        (* Straight to the poller: a freshly accepted connection has no
+           request yet, so it must not occupy a handler. *)
+        park t conn;
         accept_loop t
       end
 
 let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
-    ?(handlers = 4) ?ingest ?checkpoint ?create_view ?explain ?on_shutdown
+    ?(handlers = 4) ?ingest ?checkpoint ?create_view ?explain ?barrier ?on_shutdown
     ~registry ~metrics () =
   if chunk_size < 1 then invalid_arg "Server.start: chunk_size < 1";
   if handlers < 1 then invalid_arg "Server.start: handlers < 1";
@@ -437,6 +559,7 @@ let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
           | Unix.ADDR_INET (_, p) -> p
           | Unix.ADDR_UNIX _ -> port
         in
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
         let t =
           {
             listen_fd;
@@ -449,6 +572,7 @@ let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
             checkpoint;
             create_view;
             explain;
+            barrier;
             on_shutdown;
             (* handlers worker domains: the accept loop lives on its own
                domain and only ever submits, never executes. *)
@@ -460,16 +584,23 @@ let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
             conns = [];
             subscribers = [];
             stopping = false;
+            active = 0;
             accept_domain = None;
+            park_mutex = Mutex.create ();
+            parked = [];
+            wake_r;
+            wake_w;
+            poller_domain = None;
           }
         in
         t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+        t.poller_domain <- Some (Domain.spawn (fun () -> poll_loop t));
         Ok t
       with Unix.Unix_error (e, _, _) ->
         (try Unix.close listen_fd with Unix.Unix_error _ -> ());
         Error (Wire.Io (Unix.error_message e)))
 
-let stop t =
+let stop ?(grace = 1.0) t =
   Mutex.protect t.mutex (fun () -> t.stopping <- true);
   wake_accept t;
   (match t.accept_domain with
@@ -478,12 +609,37 @@ let stop t =
       t.accept_domain <- None
   | None -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* Drain: requests already inside [handle] get up to [grace] seconds
+     to finish and write their responses before connections are slammed
+     shut — a Shutdown must not cut off the answers in flight. New
+     requests are already refused ([stopping] is set). *)
+  let deadline = Unix.gettimeofday () +. grace in
+  let rec drain () =
+    if
+      Mutex.protect t.mutex (fun () -> t.active > 0)
+      && Unix.gettimeofday () < deadline
+    then begin
+      Unix.sleepf 0.002;
+      drain ()
+    end
+  in
+  if grace > 0. then drain ();
   (* Wake every handler blocked in a read; they drain to EOF and drop
      their connections before the pool joins its workers. *)
   let conns = Mutex.protect t.mutex (fun () -> t.conns) in
   List.iter
     (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
+  (* The poller exits on [stopping] (bounded by its select timeout);
+     join it before closing fds out from under its select set. *)
+  wake_poller t;
+  (match t.poller_domain with
+  | Some d ->
+      Domain.join d;
+      t.poller_domain <- None
+  | None -> ());
   Domain_pool.destroy t.pool;
   let leftovers = Mutex.protect t.mutex (fun () -> t.conns) in
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) leftovers
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) leftovers;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

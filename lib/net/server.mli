@@ -31,6 +31,7 @@ val start :
   ?checkpoint:(unit -> (int, string) result) ->
   ?create_view:(string -> (string, string) result) ->
   ?explain:(string -> (string, string) result) ->
+  ?barrier:(unit -> (int, string) result) ->
   ?on_shutdown:(unit -> unit) ->
   registry:Ivm_stream.Registry.t ->
   metrics:Ivm_stream.Metrics.t ->
@@ -49,8 +50,16 @@ val start :
     script against the server's SQL session and returns the
     acknowledgement text; [explain] answers [Explain] with the planner
     report — without them the corresponding ops answer [Err].
-    [on_shutdown] runs once when a [Shutdown] request is accepted — typically closing the update queue so the
-    scheduler drains and the driver can call {!stop}. *)
+    [barrier] answers the [Barrier] op: it must return only once every
+    update admitted before the call has been applied, yielding the
+    epoch at which the fence held — wire it to
+    {!Ivm_stream.Scheduler.barrier}. [on_shutdown] runs once when a
+    [Shutdown] request is accepted — typically closing the update queue
+    so the scheduler drains and the driver can call {!stop}.
+
+    The accept loop survives transient failures: [ECONNABORTED]
+    continues immediately, fd exhaustion ([EMFILE]/[ENFILE]) backs off
+    and continues; only a closed listener exits it. *)
 
 val port : t -> int
 (** The actually-bound port. *)
@@ -75,7 +84,10 @@ val publish_delta : t -> epoch:int -> int Ivm_data.Update.t list -> unit
     {!Ivm_stream.Scheduler}'s [on_apply]. Runs on the caller's domain;
     cost is one bounded socket write per subscriber. *)
 
-val stop : t -> unit
-(** Stop accepting, wake and drain every handler, join the pool. Must
-    not be called from a handler (a [Shutdown] request instead flags
-    the server and runs [on_shutdown]; the driver then calls [stop]). *)
+val stop : ?grace:float -> t -> unit
+(** Stop accepting, drain, and join the pool. Requests already being
+    handled get up to [grace] seconds (default 1 s; [0.] for an abrupt
+    stop) to write their responses before connections are shut — a
+    shutdown must not cut off answers in flight. Must not be called
+    from a handler (a [Shutdown] request instead flags the server and
+    runs [on_shutdown]; the driver then calls [stop]). *)

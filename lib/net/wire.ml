@@ -25,12 +25,13 @@ let header_len = 8
 let max_body = 16 * 1024 * 1024
 
 (* Version 1 was the initial opcode set (0x01-0x0B); version 2 added
-   [Version], [Create_view] and [Explain]. A v1 server answers any of
+   [Version], [Create_view] and [Explain]; version 3 adds [Barrier]
+   (the cluster router's epoch fence). A v1 server answers any of
    the new opcodes with [Err "unknown opcode ..."] at the message layer
    (its framing already recovers from unknown opcodes), which clients
    surface as a clean [Remote] error — so the probe itself degrades
    gracefully against old servers. *)
-let protocol_version = 2
+let protocol_version = 3
 
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
@@ -39,7 +40,8 @@ type error =
   | Crc_mismatch of { expected : int; actual : int }
   | Bad_op of int  (** unknown opcode byte *)
   | Decode of string  (** malformed message body *)
-  | Io of string  (** socket-level failure (includes send/recv timeouts) *)
+  | Io of string  (** socket-level failure *)
+  | Timeout  (** the [SO_RCVTIMEO]/[SO_SNDTIMEO] deadline expired *)
   | Closed  (** this endpoint was already closed locally *)
   | Remote of string  (** the server answered with an error message *)
 
@@ -52,6 +54,7 @@ let error_to_string = function
   | Bad_op op -> Printf.sprintf "unknown opcode 0x%02x" op
   | Decode msg -> "malformed message: " ^ msg
   | Io msg -> "io error: " ^ msg
+  | Timeout -> "operation timed out"
   | Closed -> "endpoint closed"
   | Remote msg -> "server error: " ^ msg
 
@@ -102,7 +105,7 @@ let rec really_write fd s pos len =
     | n -> really_write fd s (pos + n) (len - n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_write fd s pos len
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Error (Io "send timed out")
+        Error Timeout
     | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
 
 let write_frame fd body =
@@ -121,7 +124,7 @@ let write_prebuilt fd b =
       | n -> go (pos + n) (len - n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Error (Io "send timed out")
+          Error Timeout
       | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
   in
   go 0 len
@@ -138,7 +141,7 @@ let read_exact fd n ~clean_eof =
       | k -> loop (pos + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop pos
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Error (Io "receive timed out")
+          Error Timeout
       | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
   in
   loop 0
@@ -171,6 +174,7 @@ type request =
   | Version
   | Create_view of string
   | Explain of string
+  | Barrier
 
 type response =
   | Pong
@@ -186,6 +190,7 @@ type response =
   | Bye
   | Subscribed
   | Version_info of { version : int }
+  | Barrier_done of { epoch : int }
 
 let request_name = function
   | Ping -> "ping"
@@ -202,6 +207,7 @@ let request_name = function
   | Version -> "version"
   | Create_view _ -> "create_view"
   | Explain _ -> "explain"
+  | Barrier -> "barrier"
 
 let response_name = function
   | Pong -> "pong"
@@ -217,6 +223,7 @@ let response_name = function
   | Bye -> "bye"
   | Subscribed -> "subscribed"
   | Version_info _ -> "version_info"
+  | Barrier_done _ -> "barrier_done"
 
 let int_payload = (module Codec.Int_payload : Codec.PAYLOAD with type t = int)
 
@@ -268,7 +275,8 @@ let encode_request (r : request) : string =
       Codec.add_str buf sql
   | Explain sql ->
       Codec.add_u8 buf 0x0E;
-      Codec.add_str buf sql);
+      Codec.add_str buf sql
+  | Barrier -> Codec.add_u8 buf 0x0F);
   Buffer.contents buf
 
 let encode_response (r : response) : string =
@@ -322,7 +330,10 @@ let encode_response (r : response) : string =
   | Subscribed -> Codec.add_u8 buf 0x8C
   | Version_info { version } ->
       Codec.add_u8 buf 0x8D;
-      Codec.add_u32 buf version);
+      Codec.add_u32 buf version
+  | Barrier_done { epoch } ->
+      Codec.add_u8 buf 0x8E;
+      Codec.add_i64 buf epoch);
   Buffer.contents buf
 
 (* Run a codec reader over a whole body: every [Codec.Corrupt] becomes a
@@ -358,6 +369,7 @@ let decode_request body : (request, error) result =
       | 0x0C -> Version
       | 0x0D -> Create_view (Codec.str body cur)
       | 0x0E -> Explain (Codec.str body cur)
+      | 0x0F -> Barrier
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r
@@ -408,6 +420,7 @@ let decode_response body : (response, error) result =
       | 0x8B -> Bye
       | 0x8C -> Subscribed
       | 0x8D -> Version_info { version = Codec.u32 body cur }
+      | 0x8E -> Barrier_done { epoch = Codec.i64 body cur }
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r

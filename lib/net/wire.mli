@@ -17,10 +17,11 @@ val max_body : int
     for its allocation size. *)
 
 val protocol_version : int
-(** Version 2: adds [Version], [Create_view] and [Explain] to the v1
-    opcode set. A v1 server answers the new opcodes with a clean
-    [Err] frame (unknown opcode at the message layer), so clients probe
-    with [Version] and degrade gracefully. *)
+(** Version 3: v2 added [Version], [Create_view] and [Explain] to the
+    v1 opcode set; v3 adds [Barrier], the cluster router's epoch fence.
+    An old server answers the new opcodes with a clean [Err] frame
+    (unknown opcode at the message layer), so clients probe with
+    [Version] and degrade gracefully. *)
 
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
@@ -29,7 +30,10 @@ type error =
   | Crc_mismatch of { expected : int; actual : int }
   | Bad_op of int  (** unknown opcode byte *)
   | Decode of string  (** malformed message body *)
-  | Io of string  (** socket-level failure (includes send/recv timeouts) *)
+  | Io of string  (** socket-level failure *)
+  | Timeout
+      (** the [SO_RCVTIMEO]/[SO_SNDTIMEO] deadline expired — the peer
+          may be dead or just slow; retryable for idempotent ops *)
   | Closed  (** this endpoint was already closed locally *)
   | Remote of string  (** the server answered with an error message *)
 
@@ -58,7 +62,7 @@ val decode_frame : string -> pos:int -> (string * int, error) result
 
 val write_frame : Unix.file_descr -> string -> (unit, error) result
 (** Frame a body and write it fully, looping over partial writes. A
-    socket send timeout ([SO_SNDTIMEO]) surfaces as [Error (Io _)]. *)
+    socket send timeout ([SO_SNDTIMEO]) surfaces as [Error Timeout]. *)
 
 val write_prebuilt : Unix.file_descr -> Bytes.t -> (unit, error) result
 (** Write a {!frame_bytes}-prebuilt frame fully, looping over partial
@@ -92,6 +96,9 @@ type request =
   | Explain of string
       (** SQL [EXPLAIN ...] text; answers [Text] with the engine choice
           and the classification facts *)
+  | Barrier
+      (** fence: answer {!Barrier_done} only once every update admitted
+          before this request has been applied and made durable *)
 
 type response =
   | Pong
@@ -109,6 +116,8 @@ type response =
   | Bye
   | Subscribed
   | Version_info of { version : int }
+  | Barrier_done of { epoch : int }
+      (** the scheduler epoch at which the fence held *)
 
 val request_name : request -> string
 (** Stable lowercase tag, the per-op latency label in {!Ivm_stream.Metrics}. *)

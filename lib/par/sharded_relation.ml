@@ -14,6 +14,12 @@ module Tuple = Ivm_data.Tuple
 module Schema = Ivm_data.Schema
 module Flat_tbl = Ivm_data.Flat_tbl
 
+(* The one shard function of the whole system: in-process sharded
+   tables and the cluster router must agree on it, or a tuple's owner
+   node and its owner table disagree. Upper hash bits, because the
+   tables (and Flat_tbl buckets) consume the lower ones. *)
+let shard_index ~mask tuple = (Tuple.hash tuple lsr 16) land mask
+
 module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   module Rel = Ivm_data.Relation.Make (R)
 
@@ -43,7 +49,7 @@ module Make (R : Ivm_ring.Sigs.SEMIRING) = struct
   (* The table hashes a key by [Tuple.hash] too, so shard selection uses
      the *upper* bits: taking the same low bits twice would leave every
      shard's table clustered in a fraction of its buckets. *)
-  let shard_of t tuple = (Tuple.hash tuple lsr 16) land t.mask
+  let shard_of t tuple = shard_index ~mask:t.mask tuple
   let shard t i = t.shards.(i)
 
   let size t = Array.fold_left (fun acc s -> acc + Flat_tbl.length s) 0 t.shards

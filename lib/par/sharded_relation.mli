@@ -10,6 +10,13 @@ module Tuple = Ivm_data.Tuple
 module Schema = Ivm_data.Schema
 module Flat_tbl = Ivm_data.Flat_tbl
 
+val shard_index : mask:int -> Tuple.t -> int
+(** The system-wide shard function: upper bits of {!Tuple.hash} masked
+    to [mask] ([shard count - 1], a power of two minus one). Both the
+    in-process sharded tables below and the cluster router partition
+    with exactly this, so ownership agrees across layers. Computing it
+    memoizes the tuple's hash. *)
+
 module Make (R : Ivm_ring.Sigs.SEMIRING) : sig
   module Rel : module type of Ivm_data.Relation.Make (R)
 

@@ -45,6 +45,10 @@ type t = {
          buffers for coalescing *)
   mutable limit : int; (* the adaptive batch cap *)
   mutable applied : int; (* updates applied so far (pre-coalescing) *)
+  barrier_mutex : Mutex.t;
+  barrier_cond : Condition.t;
+      (* broadcast after every epoch: the rendezvous {!barrier} waits on *)
+  mutable finished : bool; (* the loop exited (drained or durability error) *)
 }
 
 let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536)
@@ -70,6 +74,9 @@ let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536
     coalescer = Hashtbl.create 4;
     limit;
     applied = 0;
+    barrier_mutex = Mutex.create ();
+    barrier_cond = Condition.create ();
+    finished = false;
   }
 
 let batch_limit t = t.limit
@@ -120,12 +127,24 @@ let rec sync_retrying w retries =
   | Ok () -> Ok ()
   | Error e -> if retries <= 0 then Error e else sync_retrying w (retries - 1)
 
+(* Epoch rendezvous plumbing: [signal_epoch] wakes barrier waiters
+   after every applied epoch; [signal_finished] wakes them for good when
+   the loop exits (drained or durability error), so no fence ever hangs
+   on a scheduler that will not run again. *)
+let signal_epoch t =
+  Mutex.protect t.barrier_mutex (fun () -> Condition.broadcast t.barrier_cond)
+
+let signal_finished t =
+  Mutex.protect t.barrier_mutex (fun () ->
+      t.finished <- true;
+      Condition.broadcast t.barrier_cond)
+
 (** Run one epoch. [Ok false] means the stream ended: the queue is
     closed and fully drained. [Error _] is a durability failure — the
     popped updates were {e not} applied (crash-and-recover semantics:
     they are replayed from the last durable state). View failures never
     surface here; they are handled by the registry's supervision. *)
-let step t : (bool, Errors.t) result =
+let step_inner t : (bool, Errors.t) result =
   match Queue.pop_batch t.queue ~max:t.limit with
   | [] -> Ok false
   | items ->
@@ -169,6 +188,40 @@ let step t : (bool, Errors.t) result =
           ignore (Registry.self_check t.registry)
       | _ -> ());
       Ok true
+
+let step t : (bool, Errors.t) result =
+  match step_inner t with
+  | Ok true as r ->
+      signal_epoch t;
+      r
+  | (Ok false | Error _) as r ->
+      signal_finished t;
+      r
+
+(* The two-phase cluster fence, phase 2: admit nothing new (the caller
+   — the router — pauses ingest first), then wait until everything the
+   queue has ever admitted is applied. The target is read before the
+   wait, so the fence covers exactly the updates admitted before the
+   call; with ingest paused, that is all of them. Waiters ride the
+   per-epoch broadcast; a scheduler that exits before reaching the
+   target fails the fence instead of hanging it. *)
+let barrier t : (int, string) result =
+  let target = Queue.pushed t.queue in
+  Mutex.protect t.barrier_mutex (fun () ->
+      let rec wait () =
+        if t.applied >= target then Ok t.metrics.Metrics.epochs
+        else if t.finished then Error "scheduler stopped before the fence"
+        else begin
+          Condition.wait t.barrier_cond t.barrier_mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+(* An exception escaping the driving loop (an [on_epoch] hook, say)
+   bypasses [step]'s finished signal; whoever catches it aborts the
+   scheduler so barrier waiters fail instead of hanging. *)
+let abort t = signal_finished t
 
 (** Drain the stream to its end, calling [on_epoch] after every epoch
     (live stats, periodic checkpoints). Stops at the first durability

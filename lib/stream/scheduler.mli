@@ -61,3 +61,17 @@ val run : ?on_epoch:(t -> unit) -> t -> (unit, Errors.t) result
 (** Drain the stream to its end, calling [on_epoch] after every epoch
     (live stats, periodic checkpoints); stops at the first durability
     error. *)
+
+val barrier : t -> (int, string) result
+(** Epoch fence: block until every update the queue had admitted at the
+    moment of this call has been applied (and, with a WAL, synced —
+    durability precedes apply), then return the epoch counter. Callers
+    wanting a cluster-consistent cut pause ingest first, fence every
+    node, and only then read. Safe from any domain; fails instead of
+    hanging if the scheduler loop exits (stream end or durability
+    error) before the fence is reached. *)
+
+val abort : t -> unit
+(** Mark the scheduler finished and wake every {!barrier} waiter (they
+    fail cleanly). For supervisors whose driving loop died via an
+    exception that bypassed {!step}'s own finished signal. *)

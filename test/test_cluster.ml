@@ -1,0 +1,455 @@
+(* The sharded cluster layer: topology placement soundness, routed
+   ingest + merged reads against a single-node reference, abrupt
+   kill-mid-ingest failover with exactly-once re-send accounting,
+   auto_failover:false surfacing clean errors, injected connection
+   faults (the [cluster.conn] failpoint) resolved without duplicates,
+   the quiesced-kill guarantee (a barriered kill loses nothing), and
+   client-side deadlines against a mute peer. *)
+
+module D = Ivm_data
+module S = D.Schema
+module U = D.Update
+module St = Ivm_stream
+module M = Ivm_engine.Maintainable
+module Cl = Ivm_cluster
+module Fp = Ivm_fault.Failpoint
+module Wire = Ivm_net.Wire
+module Client = Ivm_net.Client
+
+let tup = D.Tuple.of_ints
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir label =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) ("ivm_test_cluster_" ^ label) in
+  rm_rf d;
+  d
+
+(* --- the workload: a co-partitioned 2-way join ------------------------ *)
+
+let q_rs =
+  Ivm_query.Cq.make ~name:"Q" ~free:[ "B"; "A"; "C" ]
+    [ Ivm_query.Cq.atom "R" [ "A"; "B" ]; Ivm_query.Cq.atom "S" [ "B"; "C" ] ]
+
+let paths_factory name (db : D.Database.Z.t) : M.t =
+  let forest = Option.get (Ivm_query.Variable_order.canonical q_rs) in
+  M.of_view_tree ~name q_rs (Ivm_engine.View_tree.build q_rs forest db)
+
+let declare reg =
+  ignore (St.Registry.declare_table reg "R" (S.of_list [ "A"; "B" ]));
+  ignore (St.Registry.declare_table reg "S" (S.of_list [ "B"; "C" ]));
+  St.Registry.register reg ~name:"paths" (paths_factory "paths");
+  St.Registry.register reg ~name:"paths-sum" (paths_factory "paths-sum")
+
+(* R hashed on B (col 1), S hashed on B (col 0): the join is
+   shard-local, so the keyed route and the scattered ring-sum must
+   agree with each other and with the single-node reference. *)
+let topology ~shards =
+  Cl.Topology.create ~shards
+    ~policies:[ ("R", Cl.Topology.Hash_col 1); ("S", Cl.Topology.Hash_col 0) ]
+    ~routes:[ ("paths", Cl.Topology.Keyed); ("paths-sum", Cl.Topology.Scattered) ]
+
+let make_stream n =
+  let st = Random.State.make [| 0xC1; n |] in
+  Array.init n (fun _ ->
+      let rel = if Random.State.bool st then "R" else "S" in
+      let a = Random.State.int st 7 and b = Random.State.int st 7 in
+      let payload = 1 + Random.State.int st 3 in
+      U.make ~rel ~tuple:(tup [ a; b ]) ~payload)
+
+let reference_fp updates =
+  let db = D.Database.Z.create () in
+  let reg = St.Registry.create db in
+  declare reg;
+  St.Registry.apply_batch reg (Array.to_list updates);
+  let entries =
+    List.filter (fun (_, p) -> p <> 0) ((St.Registry.find reg "paths").M.enumerate ())
+  in
+  M.entries_fingerprint entries
+
+let ok_router = function
+  | Ok r -> r
+  | Error m -> Alcotest.failf "router start failed: %s" m
+
+let start_router ?(auto_failover = true) ?(probe_interval = 0.) ~label () =
+  ok_router
+    (Cl.Router.start ~standby:false ~probe_interval ~auto_failover ~timeout:5.
+       ~base_dir:(fresh_dir label) ~topology:(topology ~shards:2) ~declare ())
+
+(* --- topology units ---------------------------------------------------- *)
+
+let test_topology_owners () =
+  let topo = topology ~shards:2 in
+  (* key_owner and owners agree on every tuple carrying the key in the
+     relation's hash column. *)
+  for a = 0 to 6 do
+    for b = 0 to 6 do
+      let r_owner =
+        match Cl.Topology.owners topo ~rel:"R" (tup [ a; b ]) with
+        | Some [ i ] -> i
+        | _ -> Alcotest.fail "R update must have exactly one owner"
+      in
+      let s_owner =
+        match Cl.Topology.owners topo ~rel:"S" (tup [ b; a ]) with
+        | Some [ i ] -> i
+        | _ -> Alcotest.fail "S update must have exactly one owner"
+      in
+      Alcotest.(check int) "R owner = key_owner B" (Cl.Topology.key_owner topo (D.Value.of_int b)) r_owner;
+      Alcotest.(check int) "co-partition: R and S agree on B" r_owner s_owner
+    done
+  done;
+  Alcotest.(check bool) "unknown relation has no owner" true
+    (Cl.Topology.owners topo ~rel:"nope" (tup [ 1; 2 ]) = None);
+  Alcotest.(check bool) "out-of-range hash column has no owner" true
+    (Cl.Topology.owners topo ~rel:"R" (tup [ 1 ]) = None)
+
+let test_topology_shapes () =
+  let topo3 =
+    Cl.Topology.create ~shards:3
+      ~policies:[ ("T", Cl.Topology.Broadcast) ]
+      ~routes:[ ("rep", Cl.Topology.Replicated) ]
+  in
+  Alcotest.(check int) "shard count rounds up to a power of two" 4
+    (Cl.Topology.shard_count topo3);
+  (match Cl.Topology.owners topo3 ~rel:"T" (tup [ 1; 2 ]) with
+  | Some os -> Alcotest.(check int) "broadcast reaches every shard" 4 (List.length os)
+  | None -> Alcotest.fail "broadcast update must have owners");
+  Alcotest.(check string) "unlisted views read scattered" "scattered"
+    (Cl.Topology.route_name (Cl.Topology.route topo3 "unlisted"));
+  Alcotest.(check string) "listed route survives" "replicated"
+    (Cl.Topology.route_name (Cl.Topology.route topo3 "rep"))
+
+(* --- routed convergence ------------------------------------------------ *)
+
+let feed_router router stream =
+  let n = Array.length stream in
+  let rec go i =
+    if i < n then begin
+      let len = min 64 (n - i) in
+      let batch = Array.to_list (Array.sub stream i len) in
+      (match Cl.Router.ingest router batch with
+      | Ok (_, 0) -> ()
+      | Ok (_, d) -> Alcotest.failf "%d updates dead-lettered" d
+      | Error m -> Alcotest.failf "routed ingest failed: %s" m);
+      go (i + len)
+    end
+  in
+  go 0
+
+let test_cluster_converges () =
+  let stream = make_stream 400 in
+  let router = start_router ~label:"converge" () in
+  Fun.protect
+    ~finally:(fun () -> Cl.Router.stop router)
+    (fun () ->
+      feed_router router stream;
+      (match Cl.Router.barrier router with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "barrier failed: %s" m);
+      let expect = reference_fp stream in
+      (match Cl.Router.fingerprint router ~view:"paths" with
+      | Ok fp -> Alcotest.(check int) "keyed view matches reference" expect fp
+      | Error m -> Alcotest.failf "fingerprint paths: %s" m);
+      (match Cl.Router.fingerprint router ~view:"paths-sum" with
+      | Ok fp -> Alcotest.(check int) "scattered ring-sum matches reference" expect fp
+      | Error m -> Alcotest.failf "fingerprint paths-sum: %s" m);
+      (* A keyed lookup with a bound first column answers only from the
+         key's owner shard — and must agree with a filter over the
+         merged snapshot. *)
+      let full =
+        match Cl.Router.snapshot router ~view:"paths" with
+        | Ok es -> es
+        | Error m -> Alcotest.failf "snapshot: %s" m
+      in
+      for b = 0 to 6 do
+        let prefix = tup [ b ] in
+        match Cl.Router.lookup router ~view:"paths" ~prefix with
+        | Error m -> Alcotest.failf "lookup B=%d: %s" b m
+        | Ok got ->
+            let want =
+              List.filter (fun (t, _) -> D.Value.to_int (D.Tuple.get t 0) = b) full
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "keyed lookup B=%d matches merged filter" b)
+              (M.entries_fingerprint want) (M.entries_fingerprint got)
+      done)
+
+(* --- logged sends: the exactly-once driver protocol -------------------- *)
+
+(* A miniature of the chaos harness's send log: per-shard, append on
+   ack, and on any transport error resolve through the fence
+   ({!Router.reconcile_sent}) instead of blind retry — learn the
+   authoritative absorbed count, credit the prefix of the failed batch
+   that actually landed, cut-and-resend any published lost ranges. *)
+let logged_sender router =
+  let logs = Array.init (Cl.Router.shard_count router) (fun _ -> ref []) in
+  let append i batch = List.iter (fun u -> logs.(i) := u :: !(logs.(i))) batch in
+  let rec take k = function
+    | u :: rest when k > 0 -> u :: take (k - 1) rest
+    | _ -> []
+  in
+  let rec drop k = function
+    | xs when k <= 0 -> xs
+    | [] -> []
+    | _ :: rest -> drop (k - 1) rest
+  in
+  let cut_ranges i ranges =
+    if ranges = [] then []
+    else begin
+      let arr = Array.of_list (List.rev !(logs.(i))) in
+      let in_ranges j = List.exists (fun (f, u) -> j >= f && j < u) ranges in
+      let keep = ref [] and lost = ref [] in
+      Array.iteri
+        (fun j u -> if in_ranges j then lost := u :: !lost else keep := u :: !keep)
+        arr;
+      logs.(i) := !keep;
+      List.rev !lost
+    end
+  in
+  let rec send ~tries i batch =
+    if batch = [] then ()
+    else if tries = 0 then Alcotest.fail "shard never recovered"
+    else
+      match Cl.Router.ingest_shard router ~shard:i batch with
+      | Ok admitted ->
+          (* With auto_failover the send itself may have promoted a
+             confirmed-dead primary and still returned Ok — the lost
+             range is published without any error surfacing, so drain
+             it here too. Cut BEFORE appending: range indices refer to
+             the log as of the promotion, before this batch's acks. *)
+          let resend =
+            if Cl.Router.has_lost router ~shard:i then
+              cut_ranges i (Cl.Router.take_lost router ~shard:i)
+            else []
+          in
+          append i (take admitted batch);
+          send ~tries:(tries - 1) i (resend @ drop admitted batch)
+      | Error _ ->
+          (* Never re-ingest before the fence succeeds: the error may
+             hide an admission, and only the absorbed count says how
+             much of the batch landed. *)
+          let rec resolve k =
+            if k = 0 then Alcotest.fail "reconcile_sent never succeeded"
+            else
+              match Cl.Router.reconcile_sent router ~shard:i with
+              | Ok absorbed -> absorbed
+              | Error _ ->
+                  Unix.sleepf 0.02;
+                  resolve (k - 1)
+          in
+          let absorbed = resolve 5 in
+          let resend = cut_ranges i (Cl.Router.take_lost router ~shard:i) in
+          let len = List.length !(logs.(i)) in
+          if absorbed < len then
+            Alcotest.failf "shard %d absorbed %d < %d logged" i absorbed len;
+          let landed = min (absorbed - len) (List.length batch) in
+          append i (take landed batch);
+          send ~tries:(tries - 1) i (resend @ drop landed batch)
+  in
+  send
+
+(* --- abrupt kill mid-ingest: exactly-once re-send ---------------------- *)
+
+let test_kill_mid_ingest () =
+  let stream = make_stream 480 in
+  let router = start_router ~label:"killmid" () in
+  Fun.protect
+    ~finally:(fun () -> Cl.Router.stop router)
+    (fun () ->
+      let topo = Cl.Router.topology router in
+      let send = logged_sender router in
+      Array.iteri
+        (fun j u ->
+          (match Cl.Topology.owners topo ~rel:u.U.rel u.U.tuple with
+          | Some [ i ] -> send ~tries:6 i [ u ]
+          | _ -> Alcotest.fail "hash-partitioned update must have one owner");
+          (* Abrupt kill mid-stream, deliberately NOT behind a barrier:
+             queued-but-unapplied acks become a lost range the send log
+             must re-send. *)
+          if j = 200 then Cl.Router.kill_primary router ~shard:0)
+        stream;
+      (match Cl.Router.barrier router with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "final barrier: %s" m);
+      (* Nothing may remain published after the log reconciled. *)
+      Alcotest.(check bool) "no lost ranges remain" false
+        (Cl.Router.has_lost router ~shard:0 || Cl.Router.has_lost router ~shard:1);
+      let expect = reference_fp stream in
+      (match Cl.Router.fingerprint router ~view:"paths" with
+      | Ok fp ->
+          Alcotest.(check int) "post-failover state matches reference exactly-once" expect fp
+      | Error m -> Alcotest.failf "fingerprint: %s" m);
+      let failovers =
+        List.fold_left
+          (fun acc (s : Cl.Router.shard_status) -> acc + s.Cl.Router.failovers)
+          0 (Cl.Router.status router)
+      in
+      Alcotest.(check bool) "the kill really caused a promotion" true (failovers >= 1))
+
+(* --- auto_failover:false surfaces clean errors ------------------------- *)
+
+let test_no_auto_failover () =
+  let router = start_router ~auto_failover:false ~label:"noauto" () in
+  Fun.protect
+    ~finally:(fun () -> Cl.Router.stop router)
+    (fun () ->
+      let u = U.make ~rel:"R" ~tuple:(tup [ 1; 2 ]) ~payload:1 in
+      let shard =
+        match Cl.Topology.owners (Cl.Router.topology router) ~rel:"R" u.U.tuple with
+        | Some [ i ] -> i
+        | _ -> Alcotest.fail "no owner"
+      in
+      (match Cl.Router.ingest_shard router ~shard [ u ] with
+      | Ok 1 -> ()
+      | Ok n -> Alcotest.failf "expected 1 admitted, got %d" n
+      | Error m -> Alcotest.failf "healthy ingest failed: %s" m);
+      Cl.Router.kill_primary router ~shard;
+      (* Every retry must surface a result-typed error — no exception,
+         no hang, and no silent promotion. *)
+      (match Cl.Router.ingest_shard router ~shard [ u ] with
+      | Ok _ -> Alcotest.fail "ingest against a dead primary must not succeed"
+      | Error m -> Alcotest.(check bool) "error names the shard" true (String.length m > 0));
+      (match Cl.Router.reconcile_sent router ~shard with
+      | Ok _ -> Alcotest.fail "reconcile_sent must refuse without auto_failover"
+      | Error _ -> ());
+      (* Manual promotion restores service. *)
+      (match Cl.Router.fail_over router ~shard with
+      | Error m -> Alcotest.failf "manual fail_over: %s" m
+      | Ok (_dt, recovered) ->
+          Alcotest.(check bool) "promotion reports durable count" true (recovered >= 0));
+      match Cl.Router.ingest_shard router ~shard [ u ] with
+      | Ok 1 -> ()
+      | Ok n -> Alcotest.failf "expected 1 admitted after promotion, got %d" n
+      | Error m -> Alcotest.failf "post-promotion ingest failed: %s" m)
+
+(* --- injected connection faults resolve without duplicates ------------- *)
+
+(* Seeded kill schedules via the pool's [cluster.conn] failpoint: a
+   checkout that fails mid-stream surfaces a transport error whose
+   ambiguity must be resolved by fencing, not blind retry — the final
+   state must match the reference exactly (no duplicate, no loss). *)
+let test_conn_fault_schedules () =
+  List.iter
+    (fun (seed, after) ->
+      let stream = make_stream 240 in
+      let router = start_router ~label:(Printf.sprintf "connfp%d" seed) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Fp.reset ();
+          Cl.Router.stop router)
+        (fun () ->
+          let topo = Cl.Router.topology router in
+          let send = logged_sender router in
+          Fp.enable ~seed ();
+          Fp.arm "cluster.conn" ~after ~times:2 Fp.Fail;
+          Array.iter
+            (fun u ->
+              match Cl.Topology.owners topo ~rel:u.U.rel u.U.tuple with
+              | Some [ i ] -> send ~tries:8 i [ u ]
+              | _ -> Alcotest.fail "hash-partitioned update must have one owner")
+            stream;
+          Alcotest.(check bool) "the armed fault fired" true (Fp.fired "cluster.conn" > 0);
+          (match Cl.Router.barrier router with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "barrier: %s" m);
+          let expect = reference_fp stream in
+          match Cl.Router.fingerprint router ~view:"paths" with
+          | Ok fp ->
+              Alcotest.(check int)
+                (Printf.sprintf "seed %d: no duplicates or loss under injected faults" seed)
+                expect fp
+          | Error m -> Alcotest.failf "fingerprint: %s" m))
+    [ (11, 3); (12, 7); (13, 11) ]
+
+(* --- quiesced kill loses nothing --------------------------------------- *)
+
+let test_quiesced_kill_lossless () =
+  let stream = make_stream 300 in
+  let router = start_router ~label:"quiesced" () in
+  Fun.protect
+    ~finally:(fun () -> Cl.Router.stop router)
+    (fun () ->
+      feed_router router stream;
+      (* The two-phase fence: every admitted record is applied and
+         durable when it returns, so a kill immediately after cannot
+         publish a lost range. *)
+      (match
+         Cl.Router.quiesced router (fun () ->
+             Cl.Router.kill_primary router ~shard:1;
+             Cl.Router.fail_over router ~shard:1)
+       with
+      | Ok (Ok (_dt, _recovered)) -> ()
+      | Ok (Error m) -> Alcotest.failf "failover inside fence: %s" m
+      | Error m -> Alcotest.failf "quiesced: %s" m);
+      Alcotest.(check bool) "a barriered kill loses no acked records" false
+        (Cl.Router.has_lost router ~shard:1);
+      let expect = reference_fp stream in
+      match Cl.Router.fingerprint router ~view:"paths" with
+      | Ok fp -> Alcotest.(check int) "state intact across quiesced failover" expect fp
+      | Error m -> Alcotest.failf "fingerprint: %s" m)
+
+(* --- client deadlines against a mute peer ------------------------------ *)
+
+let test_client_timeout () =
+  (* A listener that never answers: connect lands in the backlog, the
+     request is swallowed, and only the client's deadline gets it out. *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen fd 8;
+      let port =
+        match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+      in
+      match Client.connect ~timeout:0.2 ~port () with
+      | Error e -> Alcotest.failf "connect into backlog failed: %s" (Wire.error_to_string e)
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              (match Client.ping c with
+              | Ok () -> Alcotest.fail "a mute peer must not answer"
+              | Error Wire.Timeout -> ()
+              | Error e ->
+                  Alcotest.failf "expected Timeout, got %s" (Wire.error_to_string e));
+              let dt = Unix.gettimeofday () -. t0 in
+              Alcotest.(check bool) "deadline bounds the wait" true (dt < 2.);
+              Alcotest.(check bool) "timeouts are retryable" true
+                (Client.retryable Wire.Timeout);
+              Alcotest.(check bool) "remote rejections are not retryable" false
+                (Client.retryable (Wire.Remote "nope"))))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "owners agree with key_owner" `Quick test_topology_owners;
+          Alcotest.test_case "shapes and defaults" `Quick test_topology_shapes;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "2-shard convergence vs reference" `Quick test_cluster_converges;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "abrupt kill mid-ingest, exactly-once" `Quick test_kill_mid_ingest;
+          Alcotest.test_case "auto_failover:false surfaces errors" `Quick test_no_auto_failover;
+          Alcotest.test_case "quiesced kill is lossless" `Quick test_quiesced_kill_lossless;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "conn-fault schedules, no duplicates" `Quick
+            test_conn_fault_schedules;
+        ] );
+      ( "client",
+        [ Alcotest.test_case "deadline against a mute peer" `Quick test_client_timeout ] );
+    ]
