@@ -1393,6 +1393,227 @@ let micro () =
     results;
   U.table ~header:[ "operation"; "ns/op" ] (List.sort compare !rows)
 
+(* ----------------------------------------------------------------- *)
+(* dataflow: operator-graph maintenance — graph vs view tree on the   *)
+(* same join stream, incremental extremum vs per-epoch recompute, and *)
+(* the memory won by sharing a join subgraph between views.           *)
+(* ----------------------------------------------------------------- *)
+
+module Df = Ivm_dataflow.Graph
+
+(* A mixed-polarity stream: every 4th update retracts its predecessor,
+   so base multiplicities never go negative. *)
+let polarized_stream n gen =
+  let prev = ref None in
+  List.init n (fun i ->
+      match !prev with
+      | Some (u : int D.Update.t) when i land 3 = 3 ->
+          prev := None;
+          D.Update.make ~rel:u.D.Update.rel ~tuple:u.D.Update.tuple
+            ~payload:(-u.D.Update.payload)
+      | _ ->
+          let u = gen () in
+          prev := Some u;
+          u)
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+      let rec take k = function
+        | x :: tl when k > 0 ->
+            let xs, rest = take (k - 1) tl in
+            (x :: xs, rest)
+        | rest -> ([], rest)
+      in
+      let c, rest = take k l in
+      c :: chunks k rest
+
+let dataflow () =
+  U.section "dataflow: operator graphs (DBSP-style DAG) vs dedicated engines";
+  let n = if !fast then 20_000 else 200_000 in
+  let rng = Random.State.make [| 2024 |] in
+  (* -- join throughput: Q(a,c) = R(a,b) |><| S(b,c), the same stream
+     through the factorized view tree and the operator graph -- *)
+  let q =
+    Q.Cq.make ~name:"Q" ~free:[ "a"; "c" ]
+      [ Q.Cq.atom "R" [ "a"; "b" ]; Q.Cq.atom "S" [ "b"; "c" ] ]
+  in
+  let stream =
+    polarized_stream n (fun () ->
+        D.Update.make
+          ~rel:(if Random.State.bool rng then "R" else "S")
+          ~tuple:(tup [ Random.State.int rng 200; Random.State.int rng 200 ])
+          ~payload:1)
+  in
+  let vt_db = D.Database.Z.create () in
+  let _ = D.Database.Z.declare vt_db "R" (D.Schema.of_list [ "a"; "b" ]) in
+  let _ = D.Database.Z.declare vt_db "S" (D.Schema.of_list [ "b"; "c" ]) in
+  let vt = E.View_tree.build q (Option.get (Q.Variable_order.canonical q)) vt_db in
+  let vt_s = U.seconds (fun () -> List.iter (E.View_tree.apply_update vt) stream) in
+  let g = Df.create () in
+  let r = Df.source g ~rel:"R" ~schema:[ "a"; "b" ] in
+  let s = Df.source g ~rel:"S" ~schema:[ "b"; "c" ] in
+  Df.output g ~name:"q" (Df.project g ~cols:[ "a"; "c" ] (Df.join g r s));
+  let epochs = chunks 64 stream in
+  let df_s = U.seconds (fun () -> List.iter (Df.apply g) epochs) in
+  U.table
+    ~header:[ "engine"; "updates"; "s"; "updates/s" ]
+    [
+      [ "view tree (single-tuple)"; string_of_int n; Printf.sprintf "%.3f" vt_s; U.rate n vt_s ];
+      [ "operator graph (64/epoch)"; string_of_int n; Printf.sprintf "%.3f" df_s; U.rate n df_s ];
+    ];
+  (* -- extremum: grouped MIN under extremum-targeting deletes,
+     incremental (ordered index + re-scan fallback) vs a from-scratch
+     recompute of every group per 64-update epoch -- *)
+  let ne = if !fast then 10_000 else 50_000 in
+  let groups = 64 in
+  (* Deletes aim at the currently live minimum of a random group (a
+     predecessor-retracting stream would coalesce to nothing inside an
+     epoch and never touch a served value). *)
+  let ext_stream =
+    let live = Array.make groups [] in
+    List.init ne (fun _ ->
+        let gk = Random.State.int rng groups in
+        match live.(gk) with
+        | v :: rest when Random.State.int rng 100 < 30 ->
+            let mn = List.fold_left min v rest in
+            live.(gk) <- (let rec drop = function
+                            | [] -> []
+                            | x :: tl -> if x = mn then tl else x :: drop tl
+                          in
+                          drop live.(gk));
+            D.Update.make ~rel:"R" ~tuple:(tup [ gk; mn ]) ~payload:(-1)
+        | _ ->
+            let v = Random.State.int rng 30 * (1 + Random.State.int rng 30) in
+            live.(gk) <- v :: live.(gk);
+            D.Update.make ~rel:"R" ~tuple:(tup [ gk; v ]) ~payload:1)
+  in
+  let ext_epochs = chunks 64 ext_stream in
+  let eg = Df.create () in
+  Df.output eg ~name:"mn"
+    (Df.minimum eg ~col:"v" ~group:[ "g" ] (Df.source eg ~rel:"R" ~schema:[ "g"; "v" ]));
+  let inc_s = U.seconds (fun () -> List.iter (Df.apply eg) ext_epochs) in
+  let re_db = D.Database.Z.create () in
+  let _ = D.Database.Z.declare re_db "R" (D.Schema.of_list [ "g"; "v" ]) in
+  let sink = ref 0 in
+  let recompute () =
+    let mins = Hashtbl.create groups in
+    Rel.iter
+      (fun tp _ ->
+        let gk = D.Value.to_int (D.Tuple.get tp 0) and v = D.Value.to_int (D.Tuple.get tp 1) in
+        match Hashtbl.find_opt mins gk with
+        | Some m when m <= v -> ()
+        | _ -> Hashtbl.replace mins gk v)
+      (D.Database.Z.find re_db "R");
+    sink := !sink + Hashtbl.length mins
+  in
+  let re_s =
+    U.seconds (fun () ->
+        List.iter
+          (fun epoch ->
+            List.iter (D.Database.Z.apply re_db) epoch;
+            recompute ())
+          ext_epochs)
+  in
+  U.table
+    ~header:[ "MIN maintenance"; "updates"; "s"; "updates/s"; "re-scans" ]
+    [
+      [ "incremental (operator graph)"; string_of_int ne; Printf.sprintf "%.3f" inc_s;
+        U.rate ne inc_s; string_of_int (Df.rescans eg) ];
+      [ "per-epoch recompute"; string_of_int ne; Printf.sprintf "%.3f" re_s;
+        U.rate ne re_s; "-" ];
+    ];
+  (* -- sharing: K projection views over one join, on a single graph
+     with a hash-consed shared subgraph vs K duplicated graphs. The
+     join's two input integrals are the dominant state; sharing pays
+     them once. -- *)
+  let nrows = if !fast then 20_000 else 100_000 in
+  let load = polarized_stream nrows (fun () ->
+      D.Update.make
+        ~rel:(if Random.State.bool rng then "R" else "S")
+        ~tuple:(tup [ Random.State.int rng 500; Random.State.int rng 500 ])
+        ~payload:1)
+  in
+  let view_cols = [ [ "a" ]; [ "b" ]; [ "c" ]; [ "a"; "c" ] ] in
+  let live_words () =
+    Gc.compact ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let build_shared () =
+    let g = Df.create () in
+    let j =
+      Df.join g
+        (Df.source g ~rel:"R" ~schema:[ "a"; "b" ])
+        (Df.source g ~rel:"S" ~schema:[ "b"; "c" ])
+    in
+    List.iteri
+      (fun i cols -> Df.output g ~name:(Printf.sprintf "v%d" i) (Df.project g ~cols j))
+      view_cols;
+    Df.apply g load;
+    g
+  in
+  let build_duplicated () =
+    List.map
+      (fun cols ->
+        let g = Df.create () in
+        let j =
+          Df.join g
+            (Df.source g ~rel:"R" ~schema:[ "a"; "b" ])
+            (Df.source g ~rel:"S" ~schema:[ "b"; "c" ])
+        in
+        Df.output g ~name:"v" (Df.project g ~cols j);
+        Df.apply g load;
+        g)
+      view_cols
+  in
+  let base = live_words () in
+  let shared = build_shared () in
+  let shared_words = live_words () - base in
+  let base = live_words () in
+  let dup = build_duplicated () in
+  let dup_words = live_words () - base in
+  let shared_nodes = Df.node_count shared in
+  let dup_nodes = List.fold_left (fun acc g -> acc + Df.node_count g) 0 dup in
+  U.table
+    ~header:[ "layout"; "views"; "nodes"; "live words" ]
+    [
+      [ "shared subgraph"; string_of_int (List.length view_cols);
+        string_of_int shared_nodes; string_of_int shared_words ];
+      [ "duplicated graphs"; string_of_int (List.length view_cols);
+        string_of_int dup_nodes; string_of_int dup_words ];
+    ];
+  ignore (Sys.opaque_identity (shared, dup, !sink));
+  U.emit_json ~name:"dataflow"
+    (U.Obj
+       [
+         ("experiment", U.Str "dataflow");
+         ( "join",
+           U.Obj
+             [
+               ("updates", U.Int n);
+               ("view_tree_updates_s", U.Float (float_of_int n /. max 1e-9 vt_s));
+               ("graph_updates_s", U.Float (float_of_int n /. max 1e-9 df_s));
+             ] );
+         ( "extremum",
+           U.Obj
+             [
+               ("updates", U.Int ne);
+               ("incremental_updates_s", U.Float (float_of_int ne /. max 1e-9 inc_s));
+               ("recompute_updates_s", U.Float (float_of_int ne /. max 1e-9 re_s));
+               ("rescans", U.Int (Df.rescans eg));
+             ] );
+         ( "sharing",
+           U.Obj
+             [
+               ("views", U.Int (List.length view_cols));
+               ("rows", U.Int nrows);
+               ("shared_live_words", U.Int shared_words);
+               ("duplicated_live_words", U.Int dup_words);
+               ("shared_nodes", U.Int shared_nodes);
+               ("duplicated_nodes", U.Int dup_nodes);
+             ] );
+       ])
+
 (* ------------------------------------------------- *)
 
 let experiments =
@@ -1413,6 +1634,7 @@ let experiments =
     ("stream", stream_bench);
     ("recovery", recovery);
     ("storage", storage);
+    ("dataflow", dataflow);
     ("micro", micro);
   ]
 

@@ -355,9 +355,9 @@ let serve_cmd =
            the server does not exist yet when the scheduler is built,
            hence the forward reference. *)
         let server = ref None in
-        let on_apply ~epoch batch =
+        let on_apply ~epoch front =
           match !server with
-          | Some srv -> Ivm_net.Server.publish_delta srv ~epoch batch
+          | Some srv -> Ivm_net.Server.publish_delta srv ~epoch front
           | None -> ()
         in
         (* Admin-checkpoint rendezvous: a handler wanting a checkpoint

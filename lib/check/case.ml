@@ -6,19 +6,21 @@ module Update = Ivm_data.Update
 module Db = Ivm_data.Database.Z
 module Schema = Ivm_data.Schema
 
-type family = Join | Triangle | Kclique | Static_dynamic
+type family = Join | Triangle | Kclique | Static_dynamic | Minmax
 
 let family_name = function
   | Join -> "join"
   | Triangle -> "triangle"
   | Kclique -> "kclique"
   | Static_dynamic -> "static-dynamic"
+  | Minmax -> "minmax"
 
 let family_of_name = function
   | "join" -> Some Join
   | "triangle" -> Some Triangle
   | "kclique" -> Some Kclique
   | "static-dynamic" -> Some Static_dynamic
+  | "minmax" -> Some Minmax
   | _ -> None
 
 type row = { rel : string; values : Value.t list; payload : int }
@@ -73,7 +75,7 @@ let sanitize t =
             else if r.payload = -1 && get k = 1 then (merge k (-1); Some { r with values })
             else None
         | _ -> None)
-    | Join | Triangle | Static_dynamic ->
+    | Join | Triangle | Static_dynamic | Minmax ->
         let static = t.family = Static_dynamic && r.rel = "T" in
         let k = (r.rel, r.values) in
         if r.payload = 0 || static then None

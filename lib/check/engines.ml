@@ -148,6 +148,124 @@ let sd_view_tree_driver (case : Case.t) =
     (fun batch -> List.iter (View_tree.apply_update vt) batch)
     (fun () -> norm (entries (View_tree.output_relation vt)))
 
+(* --- dataflow operator graphs ---------------------------------------- *)
+
+module Df = Ivm_dataflow.Graph
+
+(* Mirror of the left-deep greedy graph build: every atom binds distinct
+   columns and the join graph is connected — the only query shapes
+   [Df.join] accepts (no cartesian products). *)
+let connectable (q : Cq.t) =
+  let distinct_vars (a : Cq.atom) =
+    List.length (List.sort_uniq compare a.Cq.vars) = List.length a.Cq.vars
+  in
+  List.for_all distinct_vars q.Cq.atoms
+  &&
+  match q.Cq.atoms with
+  | [] -> false
+  | a :: rest ->
+      let rec grow cols pending =
+        pending = []
+        ||
+        let touches (a : Cq.atom) = List.exists (fun v -> List.mem v cols) a.Cq.vars in
+        match List.partition touches pending with
+        | [], _ -> false
+        | next, rest ->
+            grow
+              (List.sort_uniq compare
+                 (cols @ List.concat_map (fun (a : Cq.atom) -> a.Cq.vars) next))
+              rest
+      in
+      grow a.Cq.vars rest
+
+let seed_graph g db schemas =
+  let updates =
+    List.concat_map
+      (fun (rel, _) ->
+        Rel.fold (fun tp p acc -> U.make ~rel ~tuple:tp ~payload:p :: acc) (Db.find db rel) [])
+      schemas
+  in
+  Df.apply g updates
+
+(* The conjunctive query as an operator DAG: one source per atom,
+   left-deep connected natural joins, then the multiplicity-summing
+   projection onto the free variables — Eval.aggregate's ring
+   semantics. *)
+let query_graph (q : Cq.t) db schemas =
+  let g = Df.create () in
+  let joined =
+    match List.map (fun (a : Cq.atom) -> Df.source g ~rel:a.Cq.rel ~schema:a.Cq.vars) q.Cq.atoms with
+    | [] -> failwith "dataflow driver: no atoms"
+    | n :: rest ->
+        let rec grow acc pending =
+          if pending = [] then acc
+          else
+            let cols = Df.node_schema acc in
+            let touches n = List.exists (fun c -> List.mem c cols) (Df.node_schema n) in
+            match List.partition touches pending with
+            | [], _ -> failwith "dataflow driver: disconnected join graph"
+            | next :: more, rest -> grow (Df.join g acc next) (more @ rest)
+        in
+        grow n rest
+  in
+  Df.output g ~name:"v" (Df.project g ~cols:q.Cq.free joined);
+  seed_graph g db schemas;
+  g
+
+let dataflow_query_driver (case : Case.t) =
+  let q = Option.get case.Case.query in
+  let g = query_graph q (Case.db_of case) case.Case.schemas in
+  plain "dataflow"
+    (fun batch -> Df.apply g batch)
+    (fun () -> norm (Df.entries g "v"))
+
+(* The minmax view, shaped exactly like the SQL compiler's lowering of
+   SELECT g, MIN(v), MAX(v) ... GROUP BY g: one shared source feeding a
+   minimum and a maximum node, each renamed to its output column so the
+   natural join keys on the group alone. *)
+let minmax_graph (case : Case.t) db =
+  let rel, cols = List.hd case.Case.schemas in
+  let gcol, vcol =
+    match cols with [ a; b ] -> (a, b) | _ -> failwith "minmax driver: schema is not (G, V)"
+  in
+  let g = Df.create () in
+  let src = Df.source g ~rel ~schema:cols in
+  let rename agg node =
+    let col = agg ^ "(" ^ vcol ^ ")" in
+    Df.map g ~label:("as " ^ col) ~schema:[ gcol; col ] Fun.id node
+  in
+  let mn = rename "MIN" (Df.minimum g ~col:vcol ~group:[ gcol ] src) in
+  let mx = rename "MAX" (Df.maximum g ~col:vcol ~group:[ gcol ] src) in
+  Df.output g ~name:"v" (Df.join g mn mx);
+  seed_graph g db case.Case.schemas;
+  g
+
+(* The direct graph driver also mirrors the stream into a plain database
+   so its self_check can rebuild the whole graph from scratch and demand
+   operator-state fingerprint equality — deleting a served extremum must
+   leave the live indexes exactly where a cold build lands. *)
+let dataflow_minmax_driver (case : Case.t) =
+  let db = Case.db_of case in
+  let g = minmax_graph case db in
+  {
+    name = "dataflow";
+    apply =
+      (fun batch ->
+        Df.apply g batch;
+        Db.apply_batch db batch);
+    enumerate = (fun () -> norm (Df.entries g "v"));
+    self_check =
+      (fun () ->
+        let fresh = minmax_graph case db in
+        if Df.state_fingerprint fresh <> Df.state_fingerprint g then
+          Some "state fingerprint diverges from a from-scratch rebuild"
+        else None);
+    finish = ignore;
+  }
+
+let minmax_factory (case : Case.t) : Db.t -> M.t =
+ fun db -> M.of_dataflow ~name:"v" (minmax_graph case db)
+
 (* --- maintainable factories for the streaming and net paths ---------- *)
 
 let join_factory (case : Case.t) : Db.t -> M.t =
@@ -336,6 +454,13 @@ let rec rm_rf path =
 
 let cluster_policies (case : Case.t) =
   let rels = List.map fst case.Case.schemas in
+  match case.Case.family with
+  | Case.Minmax ->
+      (* Partition by the group column: a group's whole value multiset
+         lives on one shard, so per-shard (g, min, max) rows are disjoint
+         and ring-sum to the global answer. *)
+      (List.map (fun r -> (r, Cl.Topology.Hash_col 0)) rels, Cl.Topology.Scattered)
+  | _ ->
   let atom_rels =
     match (case.Case.family, case.Case.query) with
     | Case.Triangle, _ -> [ "R"; "S"; "T" ]
@@ -432,6 +557,12 @@ let sql_of_update (u : int U.t) =
 let sql_view_text (case : Case.t) =
   match case.Case.family with
   | Case.Triangle -> "CREATE MATERIALIZED VIEW v AS SELECT COUNT(*) FROM R, S, T;"
+  | Case.Minmax ->
+      let rel, cols = List.hd case.Case.schemas in
+      let g = List.nth cols 0 and v = List.nth cols 1 in
+      Printf.sprintf
+        "CREATE MATERIALIZED VIEW v AS SELECT %s, MIN(%s), MAX(%s) FROM %s GROUP BY %s;" g v
+        v rel g
   | _ ->
       let q = Option.get case.Case.query in
       let items =
@@ -523,19 +654,45 @@ let sd_builders : (string * (dir:string -> Case.t -> driver)) list =
     ("sd-view-tree", fun ~dir:_ c -> sd_view_tree_driver c);
   ]
 
+let minmax_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("dataflow", fun ~dir:_ c -> dataflow_minmax_driver c);
+    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(minmax_factory c) c);
+    ("net", fun ~dir:_ c -> net_driver ~factory:(minmax_factory c) c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(minmax_factory c) c);
+    ("sql", fun ~dir:_ c -> sql_driver c);
+  ]
+
+let dataflow_entry : string * (dir:string -> Case.t -> driver) =
+  ("dataflow", fun ~dir:_ c -> dataflow_query_driver c)
+
 let builders (case : Case.t) =
   match case.Case.family with
-  | Case.Join -> join_builders
+  | Case.Join ->
+      (* The operator graph cannot express cartesian products or atoms
+         with repeated variables; it joins the matrix only on queries it
+         can run, so a build failure stays a real divergence. *)
+      join_builders
+      @ (match case.Case.query with
+        | Some q when connectable q -> [ dataflow_entry ]
+        | _ -> [])
   | Case.Triangle -> triangle_builders
   | Case.Kclique -> kclique_builders
-  | Case.Static_dynamic -> sd_builders
+  | Case.Static_dynamic -> sd_builders @ [ dataflow_entry ]
+  | Case.Minmax -> minmax_builders
 
 let names case = List.map fst (builders case)
 
 let all_names =
   List.sort_uniq compare
     (List.concat_map (List.map fst)
-       [ join_builders; triangle_builders; kclique_builders; sd_builders ])
+       [
+         join_builders @ [ dataflow_entry ];
+         triangle_builders;
+         kclique_builders;
+         sd_builders;
+         minmax_builders;
+       ])
 
 let build ~dir ?(select = []) (case : Case.t) =
   builders case

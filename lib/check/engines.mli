@@ -10,8 +10,19 @@
     - [Triangle]: first-order delta and single-view kernels, IVM^ε, the
       polarized batch fronts (sequential and pooled), streaming and net.
     - [Kclique]: the maintained count and its from-scratch recompute.
-    - [Static_dynamic]: the Sec. 4.5 engine, its all-dynamic twin, and a
-      plain view tree over the same order.
+    - [Static_dynamic]: the Sec. 4.5 engine, its all-dynamic twin, a
+      plain view tree over the same order, and the dataflow operator
+      graph over the fixed (connected) query.
+    - [Minmax]: the dataflow operator graph (shared source feeding MIN
+      and MAX extremum nodes, renamed and natural-joined on the group —
+      with a from-scratch state-fingerprint rebuild as its
+      {!driver.self_check}), the same graph behind the streaming,
+      net and cluster paths (group-hash partitioned, scattered reads),
+      and the SQL front end lowering [SELECT g, MIN(v), MAX(v)].
+
+    The [Join] matrix also gains the [dataflow] driver whenever the
+    generated query is connected with distinct per-atom columns — the
+    shapes the operator graph's natural join can express.
 
     The deliberately injectable bug: while the {!bug_failpoint} is armed
     (via [Ivm_fault.Failpoint]), the [view-tree] and [tri-delta] drivers

@@ -247,11 +247,86 @@ let static_dynamic ~rng ~seed : Case.t =
       stream = epochs rng ~width:6 stream;
     }
 
+(* --- minmax ----------------------------------------------------------- *)
+
+(* Grouped MIN/MAX over a single R(G, V). Tight domains so groups hold
+   few distinct values with repeats, and a biased delete mix that aims
+   at the currently served extremum — the dataflow engine's re-scan
+   fallback is the point of the family. *)
+let minmax ~rng ~seed : Case.t =
+  let groups = 1 + R.int rng 3 in
+  let vdom = if R.int rng 100 < 20 then Strs (2 + R.int rng 4) else Ints (2 + R.int rng 5) in
+  let fresh_row payload =
+    { Case.rel = "R";
+      values = [ Value.Int (1 + R.int rng groups); sample_domain rng vdom ];
+      payload }
+  in
+  let init = List.init (R.int rng 6) (fun _ -> fresh_row (1 + R.int rng 2)) in
+  let live = Live.create () in
+  List.iter (fun (r : Case.row) -> Live.add live (r.Case.rel, r.Case.values) r.Case.payload) init;
+  (* The live extremum of a random group, by the same [Value.compare]
+     order the engines use. *)
+  let pick_extremum maximize =
+    let pairs =
+      Hashtbl.fold
+        (fun (_, values) _ acc ->
+          match values with [ g; v ] -> (g, v) :: acc | _ -> acc)
+        live.Live.tbl []
+    in
+    match pairs with
+    | [] -> None
+    | (g0, _) :: _ ->
+        let gs = List.sort_uniq Value.compare (List.map fst pairs) in
+        let g = try List.nth gs (R.int rng (List.length gs)) with _ -> g0 in
+        List.filter (fun (g', _) -> Value.compare g g' = 0) pairs
+        |> List.map snd
+        |> List.fold_left
+             (fun acc v ->
+               match acc with
+               | None -> Some v
+               | Some best ->
+                   let c = Value.compare v best in
+                   if (maximize && c > 0) || ((not maximize) && c < 0) then Some v
+                   else acc)
+             None
+        |> Option.map (fun v -> ("R", [ g; v ]))
+  in
+  let dp = delete_share rng in
+  let n = R.int rng 51 in
+  let stream =
+    List.init n (fun _ ->
+        let delete = R.float rng 1.0 < dp in
+        let target =
+          if not delete then None
+          else if R.int rng 100 < 60 then pick_extremum (R.bool rng)
+          else Live.pick live rng
+        in
+        let row =
+          match target with
+          | Some (rel, values) -> { Case.rel; values; payload = -1 }
+          | None -> fresh_row 1
+        in
+        Live.add live (row.Case.rel, row.Case.values) row.Case.payload;
+        row)
+  in
+  Case.sanitize
+    {
+      family = Case.Minmax;
+      seed;
+      query = None;
+      order = None;
+      k = 0;
+      schemas = [ ("R", [ "G"; "V" ]) ];
+      init;
+      stream = epochs rng ~width:6 stream;
+    }
+
 let case ~rng ~seed : Case.t =
   match R.int rng 100 with
-  | x when x < 45 -> join ~rng ~seed
-  | x when x < 70 -> triangle ~rng ~seed
-  | x when x < 85 -> kclique ~rng ~seed
+  | x when x < 40 -> join ~rng ~seed
+  | x when x < 60 -> triangle ~rng ~seed
+  | x when x < 72 -> kclique ~rng ~seed
+  | x when x < 85 -> minmax ~rng ~seed
   | _ -> static_dynamic ~rng ~seed
 
 (* --- adversarial primitives for the codec properties ----------------- *)

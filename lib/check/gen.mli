@@ -27,8 +27,15 @@ val static_dynamic : rng:Random.State.t -> seed:Seed.t -> Case.t
 (** The Sec. 4.5 mixed workload: random initial contents for R, S and
     the static T, then a stream touching only the dynamic R and S. *)
 
+val minmax : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** Grouped MIN/MAX over a single R(G, V): 1–3 groups, 2–6 distinct
+    values (occasionally string-typed), up to 50 ±1 updates. 60% of
+    deletes aim at the currently served extremum of a random group, so
+    delete-heavy streams keep forcing the dataflow engine's re-scan
+    fallback rather than the cheap not-the-extremum path. *)
+
 val case : rng:Random.State.t -> seed:Seed.t -> Case.t
-(** Draw a family (join 45%, triangle 25%, kclique 15%,
+(** Draw a family (join 40%, triangle 20%, kclique 12%, minmax 13%,
     static-dynamic 15%) and generate a case of it. *)
 
 (** {1 Adversarial primitive distributions}

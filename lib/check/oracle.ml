@@ -72,9 +72,31 @@ let kclique_count t k =
   in
   choose [] vs 0
 
+(* Per-group (g, min v, max v) rows, payload 1, straight off the
+   integral of the single base relation — the shape the dataflow
+   extremum join emits. *)
+let minmax_rows t =
+  let rel_name = match t.case.Case.schemas with (r, _) :: _ -> r | [] -> "R" in
+  let rel = Db.find t.db rel_name in
+  let tbl = Hashtbl.create 16 in
+  Rel.iter
+    (fun tp _ ->
+      let g = Tuple.get tp 0 and v = Tuple.get tp 1 in
+      let mn, mx =
+        match Hashtbl.find_opt tbl g with
+        | None -> (v, v)
+        | Some (mn, mx) ->
+            ( (if Value.compare v mn < 0 then v else mn),
+              if Value.compare v mx > 0 then v else mx )
+      in
+      Hashtbl.replace tbl g (mn, mx))
+    rel;
+  Hashtbl.fold (fun g (mn, mx) acc -> (Tuple.of_list [ g; mn; mx ], 1) :: acc) tbl []
+
 let enumerate t =
   normalize
     (match t.case.Case.family with
     | Case.Join | Case.Static_dynamic -> recompute_query t (Option.get t.case.Case.query)
     | Case.Triangle -> scalar (triangle_count t)
-    | Case.Kclique -> scalar (kclique_count t t.case.Case.k))
+    | Case.Kclique -> scalar (kclique_count t t.case.Case.k)
+    | Case.Minmax -> minmax_rows t)

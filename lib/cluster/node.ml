@@ -130,9 +130,13 @@ let start (spec : spec) : (t, string) result =
   let* wal = to_msg (St.Wal.Z.open_log (wal_file spec.dir)) in
   let queue = St.Queue.create ~capacity:spec.queue_capacity St.Queue.Block in
   let server_ref = ref None in
-  let on_apply ~epoch batch =
+  (* The scheduler hands the per-relation delta front; the server
+     flattens it into the wire frame. This is the path the router's
+     barrier fences: once [Scheduler.barrier] returns, every front up
+     to the fence has been published. *)
+  let on_apply ~epoch front =
     match !server_ref with
-    | Some srv -> Server.publish_delta srv ~epoch batch
+    | Some srv -> Server.publish_delta srv ~epoch front
     | None -> ()
   in
   let sched =

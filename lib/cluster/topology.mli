@@ -32,6 +32,16 @@ type route =
           routes to its one owner shard *)
   | Scattered  (** per-shard partial answers; reads ring-sum them *)
   | Replicated  (** full copy everywhere; reads pick one healthy node *)
+  | Extremal of { desc : bool; k : int }
+      (** extremum/top-k view over a partitioned input: per-shard rows
+          are [(group..., value)] with payload = slots held among the
+          shard's local first [k] ([desc] false = MIN/smallest-k, true
+          = MAX/largest-k); reads recompute the first [k] slots of the
+          merged per-group value multiset instead of ring-summing.
+          Sound because a shard only under-reports a value when better
+          local values fill its [k] slots — values that also precede it
+          globally — so summed reports cover every globally winning
+          slot. *)
 
 val policy_name : policy -> string
 val route_name : route -> string

@@ -1,0 +1,622 @@
+(** Composable delta-propagating operator DAGs — the DBSP-style runtime
+    the per-query engines cannot express.
+
+    Every operator consumes and emits {e Z-set deltas}: coalesced
+    [(tuple, multiplicity)] lists over the integer ring, positive for
+    inserts and negative for deletes, exactly the update language of the
+    rest of the repo (Sec. 2 batch commutativity). Linear operators
+    (filter, map, project, aggregate-with-lift) are stateless — their
+    delta rule is the operator itself. Bilinear join keeps both input
+    integrals indexed on the shared columns and applies
+    ΔQ = ΔR⋈S + R⋈ΔS + ΔR⋈ΔS. The non-linear operators carry exactly
+    the state their delta rule needs: [distinct] the input multiset
+    (its output lives in the Boolean semiring image — presence, not
+    count), [extremum] a per-group ordered multiset index with a
+    re-scan fallback when the current extremum is deleted, [window]
+    per-pane accumulators plus a watermark that retracts expired panes.
+
+    A {!t} is a DAG of such operators. Nodes are created referencing
+    existing nodes, sources are hash-consed per (relation, schema), and
+    any node can feed several consumers — that is how common
+    sub-operators are shared between views hanging off one graph.
+    {!apply} pushes one epoch's coalesced delta front through the DAG
+    in topological order and folds each registered view's output delta
+    into its materialized output Z-set.
+
+    Zero elision invariant: materialized state (join indexes, distinct
+    multiset, extremum indexes, pane accumulators, view outputs) never
+    stores a zero payload, so absence and zero coincide everywhere. *)
+
+module Value = Ivm_data.Value
+module Tuple = Ivm_data.Tuple
+module Schema = Ivm_data.Schema
+module Update = Ivm_data.Update
+module Vmap = Map.Make (Value)
+
+type delta = (Tuple.t * int) list
+
+type dir = Asc | Desc
+
+(* --- operator state ----------------------------------------------------- *)
+
+(* One side of a join: the integral of everything this input has ever
+   delivered, grouped by the join key (the shared columns). Nested
+   tuple tables because groups are probed per delta entry. *)
+type join_side = {
+  key : int array; (* positions of the shared columns in this side's schema *)
+  index : int Tuple.Tbl.t Tuple.Tbl.t; (* key -> (full tuple -> multiplicity) *)
+}
+
+type join_state = {
+  left : join_side;
+  right : join_side;
+  right_rest : int array; (* right's non-shared columns, appended to the left tuple *)
+}
+
+(* Per-group state of an extremum operator: the ordered multiset of
+   values (the index the re-scan walks) and the [(value, slots)] rows
+   currently emitted, newest extremum first. *)
+type ext_group = { mutable mults : int Vmap.t; mutable emitted : (Value.t * int) list }
+
+type ext_state = {
+  dir : dir;
+  k : int;
+  vcol : int; (* position of the value column in the input schema *)
+  egroup : int array; (* positions of the grouping columns *)
+  groups : ext_group Tuple.Tbl.t;
+  mutable rescans : int; (* deletions of a current extremum that forced a re-scan *)
+}
+
+type win_state = {
+  tcol : int; (* position of the event-time column *)
+  size : int;
+  slide : int; (* = size for tumbling windows *)
+  lateness : int; (* grace beyond pane end before the watermark expires it *)
+  wgroup : int array;
+  wlift : Tuple.t -> int;
+  panes : (int, int Tuple.Tbl.t) Hashtbl.t; (* pane start -> (group -> acc) *)
+  mutable watermark : int option; (* max event time seen on inserts *)
+  mutable late_drops : int;
+  mutable retracted_panes : int;
+}
+
+type op =
+  | Source of { rel : string }
+  | Filter of { pred : Tuple.t -> bool; flabel : string }
+  | Map of { f : Tuple.t -> Tuple.t; mlabel : string }
+  | Aggregate of { agroup : int array; lift : Tuple.t -> int; alabel : string }
+  | Join of join_state
+  | Distinct of { mult : int Tuple.Tbl.t }
+  | Extremum of ext_state
+  | Window of win_state
+
+type node = {
+  id : int;
+  schema : Schema.t;
+  op : op;
+  inputs : node list;
+  mutable delta : delta; (* output delta of the epoch being propagated *)
+}
+
+type view = { vname : string; vnode : node; out : int Tuple.Tbl.t }
+
+type t = {
+  mutable nodes : node list; (* reverse creation order *)
+  mutable views : view list; (* reverse registration order *)
+  mutable next_id : int;
+  sources : (string, node) Hashtbl.t;
+      (* hash-consing, keyed on relation + schema: one source node per
+         distinct subscription, so repeated atoms over one relation
+         (self-joins under different column names) still get their own
+         view of the stream while identical subscriptions are shared *)
+  mutable order : node list option; (* memoized topological order *)
+}
+
+let create () =
+  { nodes = []; views = []; next_id = 0; sources = Hashtbl.create 4; order = None }
+
+let add g schema op inputs =
+  let n = { id = g.next_id; schema; op; inputs; delta = [] } in
+  g.next_id <- g.next_id + 1;
+  g.nodes <- n :: g.nodes;
+  g.order <- None;
+  n
+
+(* --- construction ------------------------------------------------------- *)
+
+let source g ~rel ~schema =
+  let key = rel ^ "|" ^ String.concat "," schema in
+  match Hashtbl.find_opt g.sources key with
+  | Some n -> n
+  | None ->
+      let n = add g (Schema.of_list schema) (Source { rel }) [] in
+      Hashtbl.add g.sources key n;
+      n
+
+let filter g ?(label = "pred") pred input =
+  add g input.schema (Filter { pred; flabel = label }) [ input ]
+
+let map g ?(label = "fn") ~schema f input =
+  add g (Schema.of_list schema) (Map { f; mlabel = label }) [ input ]
+
+let positions schema cols =
+  Array.of_list (List.map (fun c -> Schema.position schema c) cols)
+
+let aggregate g ?(lift = fun (_ : Tuple.t) -> 1) ?(label = "count") ~group input =
+  let agroup = positions input.schema group in
+  add g (Schema.of_list group) (Aggregate { agroup; lift; alabel = label }) [ input ]
+
+(* A multiplicity-summing projection is exactly aggregation with the
+   unit lift: free columns keep their values, bound ones marginalize
+   into the payload. *)
+let project g ~cols input = aggregate g ~label:"project" ~group:cols input
+
+let join g l r =
+  let shared = Schema.inter l.schema r.schema in
+  if Schema.arity shared = 0 then
+    invalid_arg "Graph.join: no shared columns (cartesian products are not supported)";
+  let rest = Schema.diff r.schema shared in
+  let side s = { key = Schema.projection s shared; index = Tuple.Tbl.create 64 } in
+  let st =
+    {
+      left = side l.schema;
+      right = side r.schema;
+      right_rest = Schema.projection r.schema rest;
+    }
+  in
+  add g (Schema.union l.schema rest) (Join st) [ l; r ]
+
+let distinct g input =
+  add g input.schema (Distinct { mult = Tuple.Tbl.create 64 }) [ input ]
+
+let extremum g ?(k = 1) ~dir ~col ~group input =
+  if k < 1 then invalid_arg "Graph.extremum: k must be >= 1";
+  let st =
+    {
+      dir;
+      k;
+      vcol = Schema.position input.schema col;
+      egroup = positions input.schema group;
+      groups = Tuple.Tbl.create 64;
+      rescans = 0;
+    }
+  in
+  add g (Schema.of_list (group @ [ col ])) (Extremum st) [ input ]
+
+let minimum g ~col ~group input = extremum g ~dir:Asc ~col ~group input
+let maximum g ~col ~group input = extremum g ~dir:Desc ~col ~group input
+
+let window g ?slide ?(lateness = 0) ?(lift = fun (_ : Tuple.t) -> 1) ~time ~size ~group
+    input =
+  if size < 1 then invalid_arg "Graph.window: size must be >= 1";
+  let slide = Option.value slide ~default:size in
+  if slide < 1 || slide > size then
+    invalid_arg "Graph.window: need 1 <= slide <= size";
+  let st =
+    {
+      tcol = Schema.position input.schema time;
+      size;
+      slide;
+      lateness;
+      wgroup = positions input.schema group;
+      wlift = lift;
+      panes = Hashtbl.create 16;
+      watermark = None;
+      late_drops = 0;
+      retracted_panes = 0;
+    }
+  in
+  add g (Schema.of_list (("w_" ^ time) :: group)) (Window st) [ input ]
+
+let output g ~name n =
+  if List.exists (fun v -> v.vname = name) g.views then
+    invalid_arg ("Graph.output: duplicate view " ^ name);
+  g.views <- { vname = name; vnode = n; out = Tuple.Tbl.create 128 } :: g.views
+
+let node_schema n = Schema.to_list n.schema
+
+(* --- scheduling --------------------------------------------------------- *)
+
+(* Kahn's algorithm over the node list. Creation order is already a
+   topological order (inputs must exist before their consumers), but the
+   sort keeps the invariant explicit and independent of how the graph
+   was assembled. Memoized until the next node is added. *)
+let schedule g =
+  match g.order with
+  | Some o -> o
+  | None ->
+      let nodes = List.rev g.nodes in
+      let n = List.length nodes in
+      let indegree = Hashtbl.create n in
+      let consumers = Hashtbl.create n in
+      List.iter
+        (fun nd ->
+          Hashtbl.replace indegree nd.id (List.length nd.inputs);
+          List.iter
+            (fun i ->
+              let cs = Option.value (Hashtbl.find_opt consumers i.id) ~default:[] in
+              Hashtbl.replace consumers i.id (nd :: cs))
+            nd.inputs)
+        nodes;
+      let ready = Stdlib.Queue.create () in
+      List.iter (fun nd -> if nd.inputs = [] then Stdlib.Queue.add nd ready) nodes;
+      let order = ref [] in
+      while not (Stdlib.Queue.is_empty ready) do
+        let nd = Stdlib.Queue.pop ready in
+        order := nd :: !order;
+        List.iter
+          (fun c ->
+            let d = Hashtbl.find indegree c.id - 1 in
+            Hashtbl.replace indegree c.id d;
+            if d = 0 then Stdlib.Queue.add c ready)
+          (Option.value (Hashtbl.find_opt consumers nd.id) ~default:[])
+      done;
+      if List.length !order <> n then invalid_arg "Graph.schedule: cycle";
+      let o = List.rev !order in
+      g.order <- Some o;
+      o
+
+(* --- delta evaluation --------------------------------------------------- *)
+
+let coalesce_delta (d : delta) : delta =
+  match d with
+  | [] | [ _ ] -> d
+  | _ ->
+      let tbl = Tuple.Tbl.create 16 in
+      List.iter
+        (fun (tp, m) ->
+          let s = (match Tuple.Tbl.find_opt tbl tp with Some q -> q | None -> 0) + m in
+          if s = 0 then Tuple.Tbl.remove tbl tp else Tuple.Tbl.replace tbl tp s)
+        d;
+      Tuple.Tbl.fold (fun tp m acc -> (tp, m) :: acc) tbl []
+
+(* Fold one delta entry into a side's nested index, zero-eliding both
+   the tuple multiplicity and emptied key groups. *)
+let side_add side (tp, m) =
+  let key = Tuple.project tp side.key in
+  let group =
+    match Tuple.Tbl.find_opt side.index key with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Tuple.Tbl.create 4 in
+        Tuple.Tbl.add side.index key tbl;
+        tbl
+  in
+  let s = (match Tuple.Tbl.find_opt group tp with Some q -> q | None -> 0) + m in
+  if s = 0 then begin
+    Tuple.Tbl.remove group tp;
+    if Tuple.Tbl.length group = 0 then Tuple.Tbl.remove side.index key
+  end
+  else Tuple.Tbl.replace group tp s
+
+let side_probe side key f =
+  match Tuple.Tbl.find_opt side.index key with
+  | Some group -> Tuple.Tbl.iter f group
+  | None -> ()
+
+(* ΔQ = ΔR⋈S + R⋈ΔS + ΔR⋈ΔS, realized as ΔR⋈S_old followed by
+   (R+ΔR)⋈ΔS: the left index is advanced between the two probes, so the
+   cross term ΔR⋈ΔS falls out of the second. *)
+let eval_join st dl dr =
+  let out = ref [] in
+  let combine lt rt = Tuple.append lt (Tuple.project rt st.right_rest) in
+  List.iter
+    (fun (lt, m) ->
+      let key = Tuple.project lt st.left.key in
+      side_probe st.right key (fun rt mr -> out := (combine lt rt, m * mr) :: !out))
+    dl;
+  List.iter (side_add st.left) dl;
+  List.iter
+    (fun (rt, m) ->
+      let key = Tuple.project rt st.right.key in
+      side_probe st.left key (fun lt ml -> out := (combine lt rt, ml * m) :: !out))
+    dr;
+  List.iter (side_add st.right) dr;
+  !out
+
+(* Presence is the Boolean-semiring image of the multiplicity: the
+   output flips by ±1 exactly when [mult > 0] flips, so DISTINCT's
+   delta depends only on the zero-crossings of the integrated input. *)
+let eval_distinct mult d =
+  let out = ref [] in
+  List.iter
+    (fun (tp, m) ->
+      let old = match Tuple.Tbl.find_opt mult tp with Some q -> q | None -> 0 in
+      let nw = old + m in
+      if nw = 0 then Tuple.Tbl.remove mult tp else Tuple.Tbl.replace mult tp nw;
+      match (old > 0, nw > 0) with
+      | false, true -> out := (tp, 1) :: !out
+      | true, false -> out := (tp, -1) :: !out
+      | _ -> ())
+    d;
+  !out
+
+(* The first [k] slots of the ordered multiset: a value with
+   multiplicity [m] occupies [min m remaining] of them. k = 1 is MIN
+   (Asc) or MAX (Desc); general k is per-group top-k. *)
+let take_slots dir k mults =
+  let seq = match dir with Asc -> Vmap.to_seq mults | Desc -> Vmap.to_rev_seq mults in
+  let rec go rem s acc =
+    if rem <= 0 then List.rev acc
+    else
+      match s () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons ((v, m), tl) ->
+          let slots = min m rem in
+          go (rem - slots) tl ((v, slots) :: acc)
+  in
+  go k seq []
+
+let eval_extremum st d =
+  let dirty = Tuple.Tbl.create 8 in
+  List.iter
+    (fun (tp, m) ->
+      let gt = Tuple.project tp st.egroup in
+      let gs =
+        match Tuple.Tbl.find_opt st.groups gt with
+        | Some gs -> gs
+        | None ->
+            let gs = { mults = Vmap.empty; emitted = [] } in
+            Tuple.Tbl.add st.groups gt gs;
+            gs
+      in
+      let v = Tuple.get tp st.vcol in
+      let old = match Vmap.find_opt v gs.mults with Some q -> q | None -> 0 in
+      let nw = old + m in
+      gs.mults <- (if nw <= 0 then Vmap.remove v gs.mults else Vmap.add v nw gs.mults);
+      Tuple.Tbl.replace dirty gt ())
+    d;
+  let out = ref [] in
+  Tuple.Tbl.iter
+    (fun gt () ->
+      let gs = Tuple.Tbl.find st.groups gt in
+      (* Re-scan fallback (cynos): only when a delete removed a value
+         the operator currently serves does the ordered index get
+         walked again; inserts and deletes below the frontier diff
+         against the cached [emitted] rows without a scan. *)
+      let served_removed =
+        List.exists (fun (v, _) -> not (Vmap.mem v gs.mults)) gs.emitted
+      in
+      if served_removed then st.rescans <- st.rescans + 1;
+      let fresh = take_slots st.dir st.k gs.mults in
+      let row v = Tuple.append gt (Tuple.of_list [ v ]) in
+      List.iter
+        (fun (v, slots) ->
+          let now = match List.assoc_opt v fresh with Some s -> s | None -> 0 in
+          if now <> slots then out := (row v, now - slots) :: !out)
+        gs.emitted;
+      List.iter
+        (fun (v, slots) ->
+          if not (List.mem_assoc v gs.emitted) then out := (row v, slots) :: !out)
+        fresh;
+      gs.emitted <- fresh;
+      if Vmap.is_empty gs.mults then Tuple.Tbl.remove st.groups gt)
+    dirty;
+  !out
+
+let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+
+(* Pane starts covering event time [v]: multiples of [slide] in
+   (v - size, v]. Tumbling windows (slide = size) yield exactly one. *)
+let pane_starts st v =
+  let rec go p acc = if p > v - st.size then go (p - st.slide) (p :: acc) else acc in
+  go (fdiv v st.slide * st.slide) []
+
+let expired st p = match st.watermark with
+  | Some w -> p + st.size + st.lateness <= w
+  | None -> false
+
+let eval_window st d =
+  let out = ref [] in
+  List.iter
+    (fun (tp, m) ->
+      let v = Value.to_int (Tuple.get tp st.tcol) in
+      let w = m * st.wlift tp in
+      List.iter
+        (fun p ->
+          if expired st p then st.late_drops <- st.late_drops + 1
+          else begin
+            let tbl =
+              match Hashtbl.find_opt st.panes p with
+              | Some tbl -> tbl
+              | None ->
+                  let tbl = Tuple.Tbl.create 8 in
+                  Hashtbl.add st.panes p tbl;
+                  tbl
+            in
+            let gt = Tuple.project tp st.wgroup in
+            let s = (match Tuple.Tbl.find_opt tbl gt with Some q -> q | None -> 0) + w in
+            if s = 0 then Tuple.Tbl.remove tbl gt else Tuple.Tbl.replace tbl gt s;
+            out := (Tuple.append (Tuple.of_list [ Value.Int p ]) gt, w) :: !out
+          end)
+        (pane_starts st v);
+      if m > 0 then
+        st.watermark <-
+          Some (match st.watermark with Some w0 -> max w0 v | None -> v))
+    d;
+  (* Watermark-driven retraction: the epoch's final watermark expires
+     whole panes at once — their rows leave the output and their state
+     is dropped, so late arrivals for them are dropped above. *)
+  let dead =
+    Hashtbl.fold (fun p _ acc -> if expired st p then p :: acc else acc) st.panes []
+  in
+  List.iter
+    (fun p ->
+      let tbl = Hashtbl.find st.panes p in
+      Tuple.Tbl.iter
+        (fun gt acc ->
+          out := (Tuple.append (Tuple.of_list [ Value.Int p ]) gt, -acc) :: !out)
+        tbl;
+      Hashtbl.remove st.panes p;
+      st.retracted_panes <- st.retracted_panes + 1)
+    dead;
+  !out
+
+let eval_node front n =
+  let input i = (List.nth n.inputs i).delta in
+  match n.op with
+  | Source { rel } ->
+      (match List.assoc_opt rel front with
+      | Some ups ->
+          coalesce_delta
+            (List.map (fun (u : int Update.t) -> (u.Update.tuple, u.Update.payload)) ups)
+      | None -> [])
+  | Filter { pred; _ } -> List.filter (fun (tp, _) -> pred tp) (input 0)
+  | Map { f; _ } -> coalesce_delta (List.map (fun (tp, m) -> (f tp, m)) (input 0))
+  | Aggregate { agroup; lift; _ } ->
+      coalesce_delta
+        (List.filter_map
+           (fun (tp, m) ->
+             let w = m * lift tp in
+             if w = 0 then None else Some (Tuple.project tp agroup, w))
+           (input 0))
+  | Join st -> coalesce_delta (eval_join st (input 0) (input 1))
+  | Distinct { mult } -> eval_distinct mult (input 0)
+  | Extremum st -> eval_extremum st (input 0)
+  | Window st -> coalesce_delta (eval_window st (input 0))
+
+(* --- epoch propagation -------------------------------------------------- *)
+
+let apply_front g (front : (string * int Update.t list) list) =
+  let order = schedule g in
+  List.iter (fun n -> n.delta <- eval_node front n) order;
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (tp, m) ->
+          let s = (match Tuple.Tbl.find_opt v.out tp with Some q -> q | None -> 0) + m in
+          if s = 0 then Tuple.Tbl.remove v.out tp else Tuple.Tbl.replace v.out tp s)
+        v.vnode.delta)
+    g.views;
+  List.iter (fun n -> n.delta <- []) order
+
+let apply g (ups : int Update.t list) =
+  if ups <> [] then begin
+    (* Group the flat batch per relation, preserving order within one. *)
+    let rels = ref [] in
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (u : int Update.t) ->
+        match Hashtbl.find_opt tbl u.Update.rel with
+        | Some l -> l := u :: !l
+        | None ->
+            Hashtbl.add tbl u.Update.rel (ref [ u ]);
+            rels := u.Update.rel :: !rels)
+      ups;
+    apply_front g
+      (List.rev_map (fun rel -> (rel, List.rev !(Hashtbl.find tbl rel))) !rels)
+  end
+
+(* --- reads -------------------------------------------------------------- *)
+
+let find_view g name =
+  match List.find_opt (fun v -> v.vname = name) g.views with
+  | Some v -> v
+  | None -> invalid_arg ("Graph: no view " ^ name)
+
+let entries g name =
+  let v = find_view g name in
+  Tuple.Tbl.fold (fun tp m acc -> (tp, m) :: acc) v.out []
+  |> List.sort (fun (t1, p1) (t2, p2) ->
+         match Tuple.compare t1 t2 with 0 -> compare p1 p2 | c -> c)
+
+let output_count g name = Tuple.Tbl.length (find_view g name).out
+
+let view_names g = List.rev_map (fun v -> v.vname) g.views
+
+let relations g =
+  Hashtbl.fold
+    (fun _ n acc ->
+      match n.op with
+      | Source { rel } -> if List.mem rel acc then acc else rel :: acc
+      | _ -> acc)
+    g.sources []
+  |> List.sort compare
+
+let view_schema g name = (find_view g name).vnode.schema
+
+(* --- introspection ------------------------------------------------------ *)
+
+let node_count g = List.length g.nodes
+
+let rescans g =
+  List.fold_left
+    (fun acc n -> match n.op with Extremum st -> acc + st.rescans | _ -> acc)
+    0 g.nodes
+
+let late_drops g =
+  List.fold_left
+    (fun acc n -> match n.op with Window st -> acc + st.late_drops | _ -> acc)
+    0 g.nodes
+
+let retracted_panes g =
+  List.fold_left
+    (fun acc n -> match n.op with Window st -> acc + st.retracted_panes | _ -> acc)
+    0 g.nodes
+
+let op_name = function
+  | Source { rel } -> Printf.sprintf "source(%s)" rel
+  | Filter { flabel; _ } -> Printf.sprintf "filter[%s]" flabel
+  | Map { mlabel; _ } -> Printf.sprintf "map[%s]" mlabel
+  | Aggregate { alabel; _ } -> Printf.sprintf "aggregate[%s]" alabel
+  | Join st ->
+      Printf.sprintf "join[key arity %d]" (Array.length st.left.key)
+  | Distinct _ -> "distinct"
+  | Extremum st ->
+      Printf.sprintf "%s[k=%d]" (match st.dir with Asc -> "min" | Desc -> "max") st.k
+  | Window st ->
+      Printf.sprintf "window[size=%d slide=%d%s]" st.size st.slide
+        (if st.lateness = 0 then "" else Printf.sprintf " late=%d" st.lateness)
+
+let describe g =
+  let line n =
+    let ins =
+      match n.inputs with
+      | [] -> ""
+      | l -> " <- " ^ String.concat "," (List.map (fun i -> Printf.sprintf "n%d" i.id) l)
+    in
+    let outs =
+      match List.filter_map (fun v -> if v.vnode == n then Some v.vname else None) g.views with
+      | [] -> ""
+      | names -> " => " ^ String.concat "," names
+    in
+    Printf.sprintf "n%d: %s%s -> (%s)%s" n.id (op_name n.op) ins
+      (Schema.to_string n.schema) outs
+  in
+  List.map line (schedule g)
+
+(* Order-independent digest of every operator's internal state plus the
+   materialized view outputs — what a checkpoint/restore equivalence
+   check compares. Same mixing constant as
+   [Maintainable.entries_fingerprint] so digests stay in one family. *)
+let state_fingerprint g =
+  let mix acc h p = (acc + (h lxor (p * 0x9E3779B9))) land max_int in
+  let tbl_fp seed tbl =
+    Tuple.Tbl.fold (fun tp p acc -> mix acc (Tuple.hash tp lxor seed) p) tbl 0
+  in
+  let node_fp n =
+    match n.op with
+    | Source _ | Filter _ | Map _ | Aggregate _ -> 0
+    | Join st ->
+        let side_fp seed s =
+          Tuple.Tbl.fold (fun _key group acc -> (acc + tbl_fp seed group) land max_int)
+            s.index 0
+        in
+        (side_fp 0x5bd1 st.left + side_fp 0x7f4a st.right) land max_int
+    | Distinct { mult } -> tbl_fp 0x632b mult
+    | Extremum st ->
+        Tuple.Tbl.fold
+          (fun gt gs acc ->
+            let vfp =
+              Vmap.fold (fun v m a -> mix a (Value.hash v) m) gs.mults (Tuple.hash gt)
+            in
+            (acc + vfp) land max_int)
+          st.groups 0
+    | Window st ->
+        let wm = match st.watermark with Some w -> w + 1 | None -> 0 in
+        Hashtbl.fold
+          (fun p tbl acc -> (acc + tbl_fp (p * 0x9E37) tbl) land max_int)
+          st.panes wm
+  in
+  let ops = List.fold_left (fun acc n -> (acc + node_fp n) land max_int) 0 g.nodes in
+  List.fold_left (fun acc v -> (acc + tbl_fp 0x11d3 v.out) land max_int) ops g.views

@@ -1,0 +1,143 @@
+(** Composable delta-propagating operator DAGs (DBSP-style).
+
+    Operators consume and emit Z-set deltas — coalesced
+    [(tuple, multiplicity)] lists over the integer ring — so a graph is
+    maintained by pushing each epoch's coalesced delta front through
+    its nodes in topological order. Linear operators (filter, map,
+    project, aggregate-with-lift) are stateless; [join] keeps both
+    input integrals indexed on the shared columns and applies
+    ΔQ = ΔR⋈S + R⋈ΔS + ΔR⋈ΔS; [distinct] integrates its input and
+    emits the ±1 zero-crossings of the Boolean-semiring image;
+    [extremum] (MIN/MAX, and top-k for k > 1) keeps a per-group ordered
+    multiset index with a re-scan fallback when a currently served
+    extremum is deleted; [window] buckets rows into tumbling/sliding
+    panes by an integer event-time column and retracts whole panes once
+    the watermark (max event time seen on inserts) passes their end
+    plus the allowed lateness — late arrivals for retracted panes are
+    dropped.
+
+    Zero-elision invariant: no materialized state (join indexes, the
+    distinct multiset, extremum indexes, pane accumulators, view
+    outputs) ever stores a zero payload.
+
+    Nodes may feed any number of consumers and sources are hash-consed
+    per (relation, schema) — common sub-operators are physically shared
+    between the views registered on one graph. *)
+
+type t
+type node
+type delta = (Ivm_data.Tuple.t * int) list
+
+type dir = Asc | Desc
+
+val create : unit -> t
+
+(** {1 Operator algebra} *)
+
+val source : t -> rel:string -> schema:string list -> node
+(** Subscribe to base relation [rel] under the given column names.
+    Hash-consed: an identical subscription returns the existing node. *)
+
+val filter : t -> ?label:string -> (Ivm_data.Tuple.t -> bool) -> node -> node
+(** Stateless predicate; [label] only decorates {!describe}. *)
+
+val map :
+  t -> ?label:string -> schema:string list -> (Ivm_data.Tuple.t -> Ivm_data.Tuple.t) -> node -> node
+(** Stateless tuple-to-tuple map onto the given output schema. *)
+
+val project : t -> cols:string list -> node -> node
+(** Multiplicity-summing projection onto [cols] — aggregation with the
+    unit lift. *)
+
+val aggregate :
+  t -> ?lift:(Ivm_data.Tuple.t -> int) -> ?label:string -> group:string list -> node -> node
+(** Linear ring aggregate: each input delta [(t, m)] contributes
+    [m * lift t] to its group's payload. The default lift is [1]
+    (COUNT); lifting a column's value gives SUM. *)
+
+val join : t -> node -> node -> node
+(** Natural join on the shared column names; output schema is the left
+    schema followed by the right side's own columns. Rejects inputs
+    with no shared column. *)
+
+val distinct : t -> node -> node
+(** Boolean-semiring image: a tuple is present with payload 1 iff its
+    integrated input multiplicity is positive. *)
+
+val extremum : t -> ?k:int -> dir:dir -> col:string -> group:string list -> node -> node
+(** Per-group extremum of [col]: the first [k] (default 1) slots of the
+    group's ordered value multiset, emitted as [(group..., value)] rows
+    whose payload is the number of slots the value occupies. [Asc] is
+    MIN / smallest-k, [Desc] is MAX / largest-k. *)
+
+val minimum : t -> col:string -> group:string list -> node -> node
+val maximum : t -> col:string -> group:string list -> node -> node
+
+val window :
+  t ->
+  ?slide:int ->
+  ?lateness:int ->
+  ?lift:(Ivm_data.Tuple.t -> int) ->
+  time:string ->
+  size:int ->
+  group:string list ->
+  node ->
+  node
+(** Windowed ring aggregate over integer event-time column [time]:
+    output rows are [(pane_start, group..., )] with the aggregated
+    payload, one pane per [slide] (default [size], i.e. tumbling)
+    covering [[pane_start, pane_start + size)]. Once the watermark
+    passes a pane's end plus [lateness], the pane's rows are retracted
+    from the output, its state dropped, and later arrivals for it are
+    counted in {!late_drops} instead of applied. *)
+
+val output : t -> name:string -> node -> unit
+(** Register [node] as named view: its deltas are folded into a
+    materialized output Z-set served by {!entries}. *)
+
+val node_schema : node -> string list
+(** The column names a node emits — what a downstream operator joins or
+    groups on. *)
+
+(** {1 Epoch propagation} *)
+
+val apply_front : t -> (string * int Ivm_data.Update.t list) list -> unit
+(** Push one epoch's per-relation coalesced delta front (the shape
+    {!Ivm_stream.Scheduler.delta_front} exposes) through the DAG. *)
+
+val apply : t -> int Ivm_data.Update.t list -> unit
+(** {!apply_front} of a flat batch, grouped per relation. *)
+
+(** {1 Reads} *)
+
+val entries : t -> string -> (Ivm_data.Tuple.t * int) list
+(** The named view's materialized output in canonical order (sorted by
+    tuple; zero payloads never stored). *)
+
+val output_count : t -> string -> int
+val view_names : t -> string list
+val view_schema : t -> string -> Ivm_data.Schema.t
+
+val relations : t -> string list
+(** Base relations the graph subscribes to, sorted, deduplicated. *)
+
+(** {1 Introspection} *)
+
+val node_count : t -> int
+
+val rescans : t -> int
+(** Extremum re-scans forced by deleting a currently served value. *)
+
+val late_drops : t -> int
+(** Window rows dropped because their pane was already retracted. *)
+
+val retracted_panes : t -> int
+
+val describe : t -> string list
+(** One line per node in topological order — the operator DAG that
+    EXPLAIN emits. *)
+
+val state_fingerprint : t -> int
+(** Order-independent digest over every operator's internal state and
+    the materialized outputs — compare a restored graph against the
+    original. *)

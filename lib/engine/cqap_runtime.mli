@@ -1,0 +1,48 @@
+(** Runtimes for the paper's three CQAP examples (Ex. 4.6): given a
+    tuple over the input variables, enumerate the matching tuples over
+    the output variables, under O(1) single-edge maintenance.
+
+    All three keep their edge multiplicities zero-elided: an update that
+    drives a multiplicity to 0 removes the entry, so [Edges.get = 0]
+    means absent and answers never report zero-payload matches. *)
+
+(** Triangle detection with all-input access pattern
+    Q(·|A,B,C) = E(A,B)·E(B,C)·E(C,A): O(1) updates, O(1) answers. One
+    stored copy of E serves all three atoms of the self-join. *)
+module Triangle_detect : sig
+  type t
+
+  val create : unit -> t
+  val update : t -> x:int -> y:int -> int -> unit
+
+  val answer : t -> a:int -> b:int -> c:int -> bool
+  (** Do the three given nodes form a triangle? Three hash lookups. *)
+end
+
+(** Edge triangle listing Q(C|A,B) = E(A,B)·E(B,C)·E(C,A) — still
+    maintained optimally, but the answer intersects two adjacency lists
+    (Thm. 4.8's dichotomy: update time and delay cannot both be
+    O(N^{1/2-γ})). *)
+module Edge_triangles : sig
+  type t
+
+  val create : unit -> t
+  val update : t -> x:int -> y:int -> int -> unit
+
+  val answer : t -> a:int -> b:int -> (int * int) list
+  (** All C such that (a,b,C) is a triangle, with multiplicities;
+      iterates the smaller of E(b,·) and E(·,a). *)
+end
+
+(** Lookup join Q(A|B) = S(A,B)·T(B): given b, the A-values stream with
+    constant delay from S's index on B, guarded by one T lookup. *)
+module Lookup_join : sig
+  type t
+
+  val create : unit -> t
+  val update_s : t -> a:int -> b:int -> int -> unit
+  val update_t : t -> b:int -> int -> unit
+
+  val answer : t -> b:int -> (int * int) Seq.t
+  (** The (A, payload) answers for input [b]. *)
+end

@@ -1,0 +1,26 @@
+(** Maintenance under functional dependencies (Sec. 4.4, Ex. 4.12,
+    Fig. 6): when the Σ-reduct of a query is q-hierarchical, the
+    original query is maintained with O(1) single-tuple updates and O(1)
+    enumeration delay over any FD-satisfying database (Thm. 4.11). The
+    engine is the generic {!View_tree} built over the original
+    relations but shaped by the reduct's canonical variable order; the
+    constant bound is a property of the data, which the benchmarks
+    measure. The underlying tree keeps the library-wide zero-elision
+    invariant: no materialized view node stores a zero payload. *)
+
+module Cq = Ivm_query.Cq
+module Fd = Ivm_query.Fd
+
+type t
+
+val build : Fd.t list -> Cq.t -> Ivm_data.Database.Z.t -> (t, string) result
+(** [build fds q db] constructs the engine, or [Error] if the Σ-reduct
+    is not q-hierarchical or its canonical order does not validate for
+    [q]. *)
+
+val apply_update : t -> int Ivm_data.Update.t -> unit
+val enumerate : t -> (Ivm_data.Tuple.t * int) Seq.t
+val output : t -> Ivm_data.Relation.Z.t
+
+val tree : t -> View_tree.t
+(** The underlying view tree (inspection and benchmarks). *)

@@ -77,6 +77,24 @@ let of_strategy ~name (s : Strategy.t) : t =
     enumerate = (fun () -> locked (fun () -> relation_entries (Strategy.output s)));
   }
 
+(* A dataflow graph already speaks batch updates and materialized
+   Z-set outputs, so the wrapper is direct. The fingerprint is the
+   entries-based digest — the convention every other engine shares, so
+   a served dataflow view compares fingerprint-equal against a
+   from-scratch recompute by a different engine. The graph's deeper
+   [state_fingerprint] (operator-internal state) is exposed separately
+   for checkpoint/restore equivalence checks. *)
+let of_dataflow ~name (g : Ivm_dataflow.Graph.t) : t =
+  let module G = Ivm_dataflow.Graph in
+  {
+    name;
+    relations = G.relations g;
+    apply_batch = (fun batch -> G.apply g batch);
+    output_count = (fun () -> G.output_count g name);
+    fingerprint = (fun () -> entries_fingerprint (G.entries g name));
+    enumerate = (fun () -> G.entries g name);
+  }
+
 (* Triangle kernels speak (relation, a, b, multiplicity) edges over the
    fixed schema R(A,B), S(B,C), T(C,A); updates are translated on the
    way in. The count is the whole output, so it is also the digest. *)

@@ -40,6 +40,12 @@ val of_view_tree : name:string -> Cq.t -> View_tree.t -> t
 val of_strategy : name:string -> Strategy.t -> t
 (** Wrap one of the four Fig. 4 maintenance strategies. *)
 
+val of_dataflow : name:string -> Ivm_dataflow.Graph.t -> t
+(** Wrap a compiled operator graph, reading the view registered on it
+    under the same [name]. The fingerprint is {!entries_fingerprint} of
+    the view's output — the cross-engine convention — not the graph's
+    operator-state digest. *)
+
 val of_triangle_batch :
   name:string -> (module Triangle_batch.BATCH_ENGINE with type t = 'e) -> 'e -> t
 (** Wrap a triangle batch kernel. Updates must be on relations "R", "S",

@@ -1,0 +1,35 @@
+(** Maintenance over mixed static/dynamic relations (Sec. 4.5,
+    Ex. 4.14): the non-q-hierarchical Q(A,B,C) = Σ_D R(A,D)·S(A,B)·T(B,C)
+    maintained with O(1) updates to the dynamic R and S and O(1)
+    enumeration delay via the view tree over A(D, B(C)). Updates to the
+    static T are rejected — one could take linear time, which is the
+    paper's point. View-tree state is zero-elided: cancelled payloads
+    leave the materialized nodes entirely. *)
+
+module Cq = Ivm_query.Cq
+module Vo = Ivm_query.Variable_order
+module Sd = Ivm_query.Static_dynamic
+
+val query : Cq.t
+val order : Vo.forest
+val adornment : Sd.adornment
+
+type t
+
+val create : Ivm_data.Database.Z.t -> t
+
+val apply_update : t -> int Ivm_data.Update.t -> unit
+(** Raises [Invalid_argument] on an update to the static relation T. *)
+
+val enumerate : t -> (Ivm_data.Tuple.t * int) Seq.t
+val output : t -> Ivm_data.Relation.Z.t
+
+(** The all-dynamic comparison engine: same query and order, but T may
+    change — a single T update can touch linearly many A-values. *)
+module All_dynamic : sig
+  type t
+
+  val create : Ivm_data.Database.Z.t -> t
+  val apply_update : t -> int Ivm_data.Update.t -> unit
+  val output : t -> Ivm_data.Relation.Z.t
+end

@@ -474,9 +474,13 @@ let rec poll_loop t =
 
 (* --- delta fan-out ---------------------------------------------------- *)
 
-let publish_delta t ~epoch updates =
+let publish_delta t ~epoch front =
   let subs = Mutex.protect t.mutex (fun () -> t.subscribers) in
   if subs <> [] then begin
+    (* The wire frame stays a flat update list; the front is flattened
+       only here, once per epoch, instead of each producer re-deriving
+       shapes from a flat batch. *)
+    let updates = List.concat_map snd front in
     let body = Wire.encode_response (Wire.Delta { epoch; updates }) in
     List.iter
       (fun conn ->

@@ -79,10 +79,12 @@ val lookup_frames : t -> string -> Ivm_data.Value.t -> (Bytes.t list, string) re
 (** Same, for a [Lookup] with bound first field [key]; a key with no
     group returns the server-lifetime shared empty terminator frame. *)
 
-val publish_delta : t -> epoch:int -> int Ivm_data.Update.t list -> unit
-(** Push one [Delta] frame to every subscriber — wire this to
-    {!Ivm_stream.Scheduler}'s [on_apply]. Runs on the caller's domain;
-    cost is one bounded socket write per subscriber. *)
+val publish_delta : t -> epoch:int -> (string * int Ivm_data.Update.t list) list -> unit
+(** Push one [Delta] frame (the front flattened into the wire's flat
+    update list) to every subscriber — wire this to
+    {!Ivm_stream.Scheduler}'s [on_apply], which hands exactly this
+    per-relation delta front. Runs on the caller's domain; cost is one
+    bounded socket write per subscriber. *)
 
 val stop : ?grace:float -> t -> unit
 (** Stop accepting, drain, and join the pool. Requests already being

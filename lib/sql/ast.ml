@@ -4,13 +4,17 @@ type rhs = Const of Value.t | Param of int | Col of string
 
 type pred = { col : string; rhs : rhs }
 
-type item = Star | Column of string | Count | Sum of string
+type item = Star | Column of string | Count | Sum of string | Min of string | Max of string
+
+type window = { wcol : string; wsize : int }
 
 type select = {
+  distinct : bool;
   items : item list;
   from : string list;
   where : pred list;
   group_by : string list;
+  window : window option;
 }
 
 type view_opt = Insert_only | Static of string
@@ -53,6 +57,8 @@ let print_item = function
   | Column c -> c
   | Count -> "COUNT(*)"
   | Sum c -> Printf.sprintf "SUM(%s)" c
+  | Min c -> Printf.sprintf "MIN(%s)" c
+  | Max c -> Printf.sprintf "MAX(%s)" c
 
 let print_rhs = function
   | Const v -> print_value v
@@ -64,6 +70,7 @@ let print_pred (p : pred) = Printf.sprintf "%s = %s" p.col (print_rhs p.rhs)
 let print_select (s : select) =
   let b = Buffer.create 64 in
   Buffer.add_string b "SELECT ";
+  if s.distinct then Buffer.add_string b "DISTINCT ";
   Buffer.add_string b (String.concat ", " (List.map print_item s.items));
   Buffer.add_string b " FROM ";
   Buffer.add_string b (String.concat ", " s.from);
@@ -75,6 +82,11 @@ let print_select (s : select) =
     Buffer.add_string b " GROUP BY ";
     Buffer.add_string b (String.concat ", " s.group_by)
   end;
+  (match s.window with
+  | Some w ->
+      Buffer.add_string b
+        (Printf.sprintf " WINDOW (TUMBLE %s SIZE %d)" w.wcol w.wsize)
+  | None -> ());
   Buffer.contents b
 
 let print_view_opt = function
@@ -122,10 +134,12 @@ let equal_pred (a : pred) (b : pred) = a.col = b.col && equal_rhs a.rhs b.rhs
 let equal_list eq a b = List.length a = List.length b && List.for_all2 eq a b
 
 let equal_select (a : select) (b : select) =
-  equal_list ( = ) a.items b.items
+  a.distinct = b.distinct
+  && equal_list ( = ) a.items b.items
   && a.from = b.from
   && equal_list equal_pred a.where b.where
   && a.group_by = b.group_by
+  && a.window = b.window
 
 let equal_rows = equal_list (equal_list Value.equal)
 

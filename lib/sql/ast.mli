@@ -18,12 +18,21 @@ type item =
   | Column of string
   | Count  (** ["COUNT(*)"] *)
   | Sum of string  (** [SUM(col)] *)
+  | Min of string  (** [MIN(col)] *)
+  | Max of string  (** [MAX(col)] *)
+
+type window = { wcol : string; wsize : int }
+(** [WINDOW (TUMBLE wcol SIZE wsize)]: bucket rows into tumbling panes
+    of [wsize] event-time units of the integer column [wcol] and
+    aggregate per pane; expired panes are retracted from the view. *)
 
 type select = {
+  distinct : bool;  (** [SELECT DISTINCT]: set semantics on the output *)
   items : item list;
   from : string list;
   where : pred list;  (** conjunction *)
   group_by : string list;
+  window : window option;
 }
 
 type view_opt =
@@ -43,6 +52,7 @@ type stmt =
   | Select of select
   | Explain of stmt
 
+val print_item : item -> string
 val print_select : select -> string
 val print : stmt -> string
 (** Canonical concrete syntax: uppercase keywords, single spaces, no

@@ -9,6 +9,7 @@ module View_tree = Ivm_engine.View_tree
 module Strategy = Ivm_engine.Strategy
 module Triangle_batch = Ivm_engine.Triangle_batch
 module Insert_only = Ivm_engine.Insert_only
+module G = Ivm_dataflow.Graph
 
 type source = (string * Rel.t) list
 
@@ -134,6 +135,111 @@ let load outer l source =
   | () -> Ok outer
   | exception Invalid_argument m -> fail "initial load: %s" m
 
+(* --- dataflow lowering ------------------------------------------------- *)
+
+(* Left-deep natural joins over the FROM atoms, greedily appending an
+   atom that shares a column with what is joined so far; constant WHERE
+   filters become filter nodes directly above their source. *)
+let joined_atoms (l : Lower.t) g =
+  let node_of_atom (atom : Cq.atom) =
+    let n = G.source g ~rel:atom.Cq.rel ~schema:atom.Cq.vars in
+    match filters_for l atom.Cq.rel with
+    | [] -> n
+    | fs ->
+        let label =
+          String.concat " & "
+            (List.map
+               (fun (f : Lower.filter) ->
+                 Printf.sprintf "%s=%s"
+                   (List.nth atom.Cq.vars f.Lower.index)
+                   (Value.to_string f.Lower.value))
+               fs)
+        in
+        G.filter g ~label (passes fs) n
+  in
+  match l.Lower.cq.Cq.atoms with
+  | [] -> fail "dataflow: empty FROM"
+  | a0 :: rest ->
+      let rec go node pending =
+        match pending with
+        | [] -> Ok node
+        | _ -> (
+            let schema = G.node_schema node in
+            match
+              List.partition
+                (fun (a : Cq.atom) ->
+                  List.exists (fun v -> List.mem v schema) a.Cq.vars)
+                pending
+            with
+            | next :: later, disconnected ->
+                go (G.join g node (node_of_atom next)) (later @ disconnected)
+            | [], _ ->
+                fail
+                  "the dataflow engine needs a connected join graph (no \
+                   cartesian products)")
+      in
+      go (node_of_atom a0) rest
+
+(* The operator tail above the join: distinct, extremum(s) or a windowed
+   aggregate, grouped on the plain select columns. *)
+let build_graph ~name (l : Lower.t) =
+  let g = G.create () in
+  let* base = joined_atoms l g in
+  let group = l.Lower.out_vars in
+  let col_index node c =
+    match List.find_index (( = ) c) (G.node_schema node) with
+    | Some i -> i
+    | None -> invalid_arg ("dataflow: no column " ^ c)
+  in
+  let* tail =
+    match (l.Lower.window, l.Lower.extrema) with
+    | Some w, _ ->
+        let lift =
+          Option.map
+            (fun c ->
+              let i = col_index base c in
+              fun tp -> Value.to_int (Tuple.get tp i))
+            l.Lower.sum_var
+        in
+        Ok
+          (G.window g ?lift ~time:w.Lower.time ~size:w.Lower.size ~group base)
+    | None, (_ :: _ as extrema) -> (
+        let enode (e : Lower.extremum) =
+          G.extremum g
+            ~dir:(if e.Lower.minimize then G.Asc else G.Desc)
+            ~col:e.Lower.ecol ~group base
+        in
+        match extrema with
+        | [ e ] -> Ok (enode e)
+        | es ->
+            (* Several extrema: rename each aggregate column to its
+               user-facing name so the natural join below keys on the
+               group columns alone, then join them left-deep — they all
+               share the same (non-empty) group. *)
+            let rename node new_col =
+              G.map g ~label:("as " ^ new_col)
+                ~schema:(group @ [ new_col ])
+                (fun tp -> tp)
+                node
+            in
+            let name_of (e : Lower.extremum) =
+              Printf.sprintf "%s(%s)"
+                (if e.Lower.minimize then "MIN" else "MAX")
+                e.Lower.ecol
+            in
+            let nodes = List.map (fun e -> rename (enode e) (name_of e)) es in
+            Ok (List.fold_left (G.join g) (List.hd nodes) (List.tl nodes)))
+    | None, [] ->
+        if l.Lower.distinct then Ok (G.distinct g (G.project g ~cols:group base))
+        else fail "internal: %s is not a dataflow select" name
+  in
+  G.output g ~name tail;
+  Ok g
+
+let dag ~name (l : Lower.t) =
+  let* g = build_graph ~name l in
+  Ok (G.describe g)
+
 let build ~name (l : Lower.t) (plan : Planner.plan) source =
   let missing =
     List.filter
@@ -147,6 +253,19 @@ let build ~name (l : Lower.t) (plan : Planner.plan) source =
   let relations = dynamic_relations l static in
   let identity u = u in
   match plan.Planner.choice with
+  | Planner.Dataflow ->
+      let* g = build_graph ~name l in
+      (* Seed the graph directly — static relations must reach the
+         operators even though [wrap_writes] drops them from the update
+         stream; filter nodes take care of the constant predicates. *)
+      let* () =
+        match G.apply g (initial_updates l source) with
+        | () -> Ok ()
+        | exception Invalid_argument m -> fail "initial load: %s" m
+      in
+      Ok
+        (M.of_dataflow ~name g
+        |> wrap_writes l ~static ~relations ~translate:identity)
   | Planner.Tree forest ->
       let* db = initial_database l source in
       let* tree =

@@ -14,7 +14,13 @@
     - a [SUM(c)] view folds [Σ c·multiplicity] out of the trailing free
       column at read time, so [enumerate]/[output_count]/[fingerprint]
       describe the user-visible grouped sums. SUM columns must hold
-      integers. *)
+      integers;
+    - a {!Planner.Dataflow} plan compiles onto an
+      {!Ivm_dataflow.Graph}: sources (with filter nodes for constant
+      predicates), left-deep natural joins, then the distinct /
+      extremum / window tail, grouped on the plain select columns.
+      Initial data is pushed through the graph directly so [STATIC]
+      tables reach the operators. *)
 
 type source = (string * Ivm_data.Relation.Z.t) list
 (** Current table contents, keyed by table name; tuple fields are in
@@ -26,3 +32,9 @@ val build :
   Planner.plan ->
   source ->
   (Ivm_engine.Maintainable.t, string) result
+
+val dag : name:string -> Lower.t -> (string list, string) result
+(** The operator DAG a {!Planner.Dataflow} plan would run on — built
+    empty, one {!Ivm_dataflow.Graph.describe} line per node — for
+    EXPLAIN. [Error] when the select cannot lower onto a graph (e.g. a
+    disconnected join). *)

@@ -58,8 +58,12 @@ let compare_row (a, pa) (b, pb) =
 let sort_rows rows = List.sort compare_row rows
 
 (* SQL's COUNT over an empty group set is 0, not "no row": a scalar
-   aggregate always reports one row. *)
+   aggregate always reports one row. Dataflow views (MIN/MAX, DISTINCT,
+   WINDOW) report exactly what the graph materializes — an empty
+   extremum or window is genuinely no row. *)
 let normalize_scalar (l : Lower.t) rows =
+  if Lower.needs_dataflow l then rows
+  else
   let out_arity =
     List.length l.Lower.cq.Cq.free
     - List.length l.Lower.input
@@ -195,7 +199,12 @@ let lookup_in_view t name (v : view) params =
   let pos var =
     match List.find_index (( = ) var) free with Some i -> i | None -> 0
   in
-  let out_arity = List.length free - List.length l.Lower.input in
+  (* Dataflow views carry no '?' parameters and their tuples are already
+     exactly the user-visible columns — serve them untruncated. *)
+  let out_arity =
+    if Lower.needs_dataflow l then max_int
+    else List.length free - List.length l.Lower.input
+  in
   let keep tp =
     List.for_all
       (fun (var, value) -> Value.equal (Tuple.get tp (pos var)) value)
@@ -230,15 +239,28 @@ let run_select t params select =
   | Some (name, v) -> lookup_in_view t name v params
   | None -> one_shot t params select
 
+(* A dataflow plan's EXPLAIN also shows the operator DAG the view would
+   run on — one line per node in topological order. *)
+let dag_report name (lower : Lower.t) (plan : Planner.plan) =
+  match plan.Planner.choice with
+  | Planner.Dataflow ->
+      let* lines = Compile.dag ~name lower in
+      Ok ("\noperator DAG:\n  " ^ String.concat "\n  " lines)
+  | _ -> Ok ""
+
 let rec explain t stmt =
   match stmt with
   | Ast.Explain inner -> explain t inner
   | Ast.Create_view { view; opts; select } ->
-      let* _lower, plan = plan_select t ~name:view ~opts select in
-      Ok (Explained (Printf.sprintf "view %s\n%s" view (Planner.explain plan)))
+      let* lower, plan = plan_select t ~name:view ~opts select in
+      let* dag = dag_report view lower plan in
+      Ok
+        (Explained
+           (Printf.sprintf "view %s\n%s%s" view (Planner.explain plan) dag))
   | Ast.Select select ->
-      let* _lower, plan = plan_select t ~name:"adhoc" ~opts:[] select in
-      Ok (Explained (Planner.explain plan))
+      let* lower, plan = plan_select t ~name:"adhoc" ~opts:[] select in
+      let* dag = dag_report "adhoc" lower plan in
+      Ok (Explained (Planner.explain plan ^ dag))
   | Ast.Create_table _ | Ast.Insert _ | Ast.Delete _ ->
       fail "EXPLAIN supports SELECT and CREATE MATERIALIZED VIEW"
 

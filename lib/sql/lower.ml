@@ -6,6 +6,10 @@ type catalog = (string * string list) list
 
 type filter = { rel : string; index : int; value : Value.t }
 
+type extremum = { ecol : string; minimize : bool }
+
+type window = { time : string; size : int }
+
 type t = {
   cq : Cq.t;
   input : string list;
@@ -13,7 +17,20 @@ type t = {
   output_cols : string list;
   param_vars : (int * string) list;
   sum : bool;
+  sum_var : string option;  (* the summed column, when [sum] *)
+  out_vars : string list;
+      (* plain (non-aggregated) select columns under the unification
+         renaming, in item order — the grouping columns of the dataflow
+         tail operators *)
+  distinct : bool;
+  extrema : extremum list; (* in item order *)
+  window : window option;
 }
+
+(* A select that uses MIN/MAX, DISTINCT or WINDOW can only be maintained
+   by the dataflow operator-graph engine — the per-query engines have no
+   delta rule for non-ring aggregates. *)
+let needs_dataflow t = t.distinct || t.extrema <> [] || t.window <> None
 
 let ( let* ) = Result.bind
 let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
@@ -130,13 +147,31 @@ let select catalog ?(fds = []) ~name (sel : Ast.select) =
       (fun acc it ->
         let* () = acc in
         match it with
-        | Ast.Column c | Ast.Sum c ->
+        | Ast.Column c | Ast.Sum c | Ast.Min c | Ast.Max c ->
             if known c then Ok () else fail "unknown column %s in SELECT" c
         | Ast.Count | Ast.Star -> Ok ())
       (Ok ()) items
   in
-  let aggs = List.filter (function Ast.Count | Ast.Sum _ -> true | _ -> false) items in
-  let* () = if List.length aggs > 1 then fail "at most one aggregate per SELECT" else Ok () in
+  let ring_aggs = List.filter (function Ast.Count | Ast.Sum _ -> true | _ -> false) items in
+  let extrema_items = List.filter (function Ast.Min _ | Ast.Max _ -> true | _ -> false) items in
+  let aggs = ring_aggs @ extrema_items in
+  let* () =
+    if List.length ring_aggs > 1 then fail "at most one aggregate per SELECT" else Ok ()
+  in
+  let* () =
+    if ring_aggs <> [] && extrema_items <> [] then
+      fail "MIN/MAX cannot be combined with COUNT or SUM in one SELECT"
+    else Ok ()
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun it -> List.length (List.filter (( = ) it) extrema_items) > 1)
+        extrema_items
+    with
+    | Some it -> fail "duplicate %s in SELECT" (Ast.print_item it)
+    | None -> Ok ()
+  in
   let plain_cols =
     List.filter_map (function Ast.Column c -> Some c | _ -> None) items
   in
@@ -177,8 +212,63 @@ let select catalog ?(fds = []) ~name (sel : Ast.select) =
     | Some _ when input <> [] -> fail "SUM combined with '?' parameters is not supported"
     | _ -> Ok ()
   in
+  (* Dataflow-only features: MIN/MAX aggregates, DISTINCT, WINDOW. *)
+  let extrema =
+    List.filter_map
+      (function
+        | Ast.Min c -> Some { ecol = repr c; minimize = true }
+        | Ast.Max c -> Some { ecol = repr c; minimize = false }
+        | Ast.Star | Ast.Column _ | Ast.Count | Ast.Sum _ -> None)
+      items
+  in
+  let* () =
+    match List.find_opt (fun e -> List.mem e.ecol out_vars) extrema with
+    | Some e -> fail "MIN/MAX column %s cannot also be grouped" e.ecol
+    | None -> Ok ()
+  in
+  let* () =
+    if List.length extrema > 1 && out_vars = [] then
+      fail "multiple MIN/MAX aggregates require a GROUP BY"
+    else Ok ()
+  in
+  let* () =
+    if sel.Ast.distinct && aggs <> [] then
+      fail "DISTINCT cannot be combined with aggregates"
+    else if sel.Ast.distinct && sel.Ast.group_by <> [] then
+      fail "DISTINCT with GROUP BY is not supported"
+    else Ok ()
+  in
+  let* window =
+    match sel.Ast.window with
+    | None -> Ok None
+    | Some w ->
+        if not (known w.Ast.wcol) then fail "unknown column %s in WINDOW" w.Ast.wcol
+        else if sel.Ast.distinct then fail "WINDOW cannot be combined with DISTINCT"
+        else if extrema <> [] then
+          fail "WINDOW supports COUNT and SUM aggregates, not MIN/MAX"
+        else if ring_aggs = [] then
+          fail "WINDOW requires a COUNT(*) or SUM aggregate"
+        else Ok (Some { time = repr w.Ast.wcol; size = w.Ast.wsize })
+  in
+  let dataflow = sel.Ast.distinct || extrema <> [] || window <> None in
+  let* () =
+    if dataflow && input <> [] then
+      fail "MIN/MAX, DISTINCT and WINDOW are not supported with '?' parameters"
+    else Ok ()
+  in
   let input = List.filter (fun v -> not (List.mem v out_vars)) input in
-  let free = out_vars @ (match sum_col with Some s -> [ s ] | None -> input) in
+  let free =
+    if dataflow then
+      (* The dataflow compiler reads columns positionally off the joined
+         node's full schema; the head only needs to name every column the
+         tail operators consume. *)
+      dedup
+        (out_vars
+        @ List.map (fun e -> e.ecol) extrema
+        @ (match sum_col with Some s -> [ s ] | None -> [])
+        @ match window with Some w -> [ w.time ] | None -> [])
+    else out_vars @ (match sum_col with Some s -> [ s ] | None -> input)
+  in
   let* cq =
     match Cq.make ~name ~free atoms with
     | q -> Ok q
@@ -188,11 +278,14 @@ let select catalog ?(fds = []) ~name (sel : Ast.select) =
      (if any) rendered last — matching the engine's tuple layout of
      output variables then payload. *)
   let output_cols =
-    dedup plain_cols
+    (match window with Some w -> [ "w_" ^ w.time ] | None -> [])
+    @ dedup plain_cols
     @ List.filter_map
         (function
           | Ast.Count -> Some "COUNT(*)"
           | Ast.Sum c -> Some (Printf.sprintf "SUM(%s)" c)
+          | Ast.Min c -> Some (Printf.sprintf "MIN(%s)" c)
+          | Ast.Max c -> Some (Printf.sprintf "MAX(%s)" c)
           | Ast.Star | Ast.Column _ -> None)
         items
   in
@@ -214,7 +307,19 @@ let select catalog ?(fds = []) ~name (sel : Ast.select) =
       fds
   in
   Ok
-    ( { cq; input; filters; output_cols; param_vars; sum = sum_col <> None },
+    ( {
+        cq;
+        input;
+        filters;
+        output_cols;
+        param_vars;
+        sum = sum_col <> None;
+        sum_var = sum_col;
+        out_vars;
+        distinct = sel.Ast.distinct;
+        extrema;
+        window;
+      },
       renamed_fds )
 
 let subst_params params (sel : Ast.select) =

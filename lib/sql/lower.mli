@@ -26,17 +26,35 @@ type catalog = (string * string list) list
 
 type filter = { rel : string; index : int; value : Value.t }
 
+type extremum = { ecol : string; minimize : bool }
+(** One [MIN(ecol)] ([minimize]) or [MAX(ecol)] select item. *)
+
+type window = { time : string; size : int }
+(** A [WINDOW (TUMBLE time SIZE size)] clause, variable-renamed. *)
+
 type t = {
   cq : Cq.t;
   input : string list;  (** CQAP input variables (free = output @ input) *)
   filters : filter list;
   output_cols : string list;
-      (** header the user sees: plain columns in item order, then the
-          aggregate (if any) — matching the tuple-then-payload layout *)
+      (** header the user sees: the window pane column (if any), plain
+          columns in item order, then the aggregates — matching the
+          tuple-then-payload layout *)
   param_vars : (int * string) list;
       (** each ['?'] parameter with the query variable it binds *)
   sum : bool;  (** the last CQ free variable is a summed column *)
+  sum_var : string option;  (** the summed column, when [sum] *)
+  out_vars : string list;
+      (** plain select columns under the renaming, in item order — the
+          grouping columns of the dataflow tail operators *)
+  distinct : bool;
+  extrema : extremum list;  (** in item order *)
+  window : window option;
 }
+
+val needs_dataflow : t -> bool
+(** The select uses MIN/MAX, DISTINCT or WINDOW — features only the
+    dataflow operator-graph engine can maintain incrementally. *)
 
 val select :
   catalog -> ?fds:(string * Ivm_query.Fd.t list) list -> name:string ->

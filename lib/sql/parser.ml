@@ -28,7 +28,8 @@ let expect_punct t c =
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "CREATE"; "TABLE";
     "MATERIALIZED"; "VIEW"; "AS"; "WITH"; "INSERT"; "INTO"; "VALUES"; "DELETE";
-    "ONLY"; "STATIC"; "COUNT"; "SUM"; "EXPLAIN"; "FD" ]
+    "ONLY"; "STATIC"; "COUNT"; "SUM"; "MIN"; "MAX"; "EXPLAIN"; "FD";
+    "DISTINCT"; "WINDOW"; "TUMBLE"; "SIZE" ]
 
 (* An identifier that is not a reserved keyword. *)
 let ident t =
@@ -91,6 +92,18 @@ let item t : Ast.item =
       let c = ident t in
       expect_punct t ')';
       Ast.Sum c
+  | L.Ident _ when is_kw t "MIN" ->
+      ignore (L.next t.lex);
+      expect_punct t '(';
+      let c = ident t in
+      expect_punct t ')';
+      Ast.Min c
+  | L.Ident _ when is_kw t "MAX" ->
+      ignore (L.next t.lex);
+      expect_punct t '(';
+      let c = ident t in
+      expect_punct t ')';
+      Ast.Max c
   | _ -> Ast.Column (ident t)
 
 let pred t : Ast.pred =
@@ -112,6 +125,13 @@ let pred t : Ast.pred =
 
 let select t : Ast.select =
   expect_kw t "SELECT";
+  let distinct =
+    if is_kw t "DISTINCT" then begin
+      ignore (L.next t.lex);
+      true
+    end
+    else false
+  in
   let items = comma_list t item in
   if List.mem Ast.Star items && items <> [ Ast.Star ] then
     fail (L.pos t.lex) "'*' cannot be combined with other select items";
@@ -140,7 +160,28 @@ let select t : Ast.select =
     end
     else []
   in
-  { Ast.items; from; where; group_by }
+  let window =
+    if is_kw t "WINDOW" then begin
+      ignore (L.next t.lex);
+      expect_punct t '(';
+      expect_kw t "TUMBLE";
+      let wcol = ident t in
+      expect_kw t "SIZE";
+      let wsize =
+        match L.peek t.lex with
+        | L.Int n when n > 0 ->
+            ignore (L.next t.lex);
+            n
+        | tok ->
+            fail (L.pos t.lex) "expected a positive window size, got %s"
+              (L.token_name tok)
+      in
+      expect_punct t ')';
+      Some { Ast.wcol; wsize }
+    end
+    else None
+  in
+  { Ast.distinct; items; from; where; group_by; window }
 
 (* --- statements ------------------------------------------------------- *)
 

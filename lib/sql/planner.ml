@@ -13,6 +13,7 @@ type choice =
   | Tree of Vo.forest
   | Triangle of { r : role; s : role; t : role }
   | Monotone_path of { r : role; s : role; t : role }
+  | Dataflow
 
 type stats = { reads : int; writes : int }
 
@@ -25,6 +26,7 @@ let engine_name p =
   | Tree _ -> "factorized view tree"
   | Triangle _ -> "IVMeps triangle batch kernel"
   | Monotone_path _ -> "insert-only monotone path join"
+  | Dataflow -> "dataflow operator graph"
 
 (* A free-first chain is a valid variable order for any query, and its
    free prefix is a connex top fragment — the universal fallback. *)
@@ -146,7 +148,55 @@ let plan ?stats ?(sizes = []) ?(fds = []) ~opts (l : Lower.t) =
                (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) sizes));
         ]
   in
-  if statics <> [] then begin
+  if Lower.needs_dataflow l then begin
+    let features =
+      (if l.Lower.distinct then [ "DISTINCT" ] else [])
+      @ List.map
+          (fun (e : Lower.extremum) ->
+            Printf.sprintf "%s(%s)"
+              (if e.Lower.minimize then "MIN" else "MAX")
+              e.Lower.ecol)
+          l.Lower.extrema
+      @
+      match l.Lower.window with
+      | Some w -> [ Printf.sprintf "TUMBLE %s SIZE %d" w.Lower.time w.Lower.size ]
+      | None -> []
+    in
+    Ok
+      {
+        choice = Dataflow;
+        static = statics;
+        facts =
+          base
+          @ [
+              fact
+                "%s: only the operator-graph runtime has incremental rules \
+                 for these (the per-query engines maintain ring aggregates \
+                 only)"
+                (String.concat ", " features);
+              fact
+                "joins propagate the bilinear delta ΔQ = ΔR⋈S + R⋈ΔS + \
+                 ΔR⋈ΔS; extrema keep a per-group ordered multiset with a \
+                 re-scan fallback when a served value is deleted; windows \
+                 retract panes once the watermark passes them";
+            ]
+          @ (if statics = [] then []
+             else
+               [
+                 fact "static relations: %s (loaded once, no update stream)"
+                   (String.concat ", " statics);
+               ])
+          @
+          if insert_only then
+            [
+              fact
+                "INSERT ONLY declared: the operator graph handles deletes \
+                 anyway, the hint changes nothing";
+            ]
+          else [];
+      }
+  end
+  else if statics <> [] then begin
     (* Static/dynamic: search for a witness order (Sec. 4.5). *)
     let adornment = List.map (fun t -> (t, Sd.Static)) statics in
     let vars = Cq.vars cq in

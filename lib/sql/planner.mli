@@ -6,6 +6,10 @@
 
     Decision table (first match wins):
 
+    + The select uses [MIN]/[MAX], [DISTINCT] or [WINDOW] → the dataflow
+      operator graph ({!Ivm_dataflow.Graph}), the only engine with
+      incremental rules for non-ring aggregates; the DAG is part of the
+      EXPLAIN report.
     + [WITH (STATIC t)] and an exhaustive search (≤
       {!Ivm_query.Static_dynamic.max_search_vars} variables) finds a
       variable order under which every dynamic update propagates in
@@ -45,6 +49,9 @@ type choice =
       (** IVMε batch kernel: roles R(A,B), S(B,C), T(C,A). *)
   | Monotone_path of { r : role; s : role; t : role }
       (** Insert-only path join: roles R(A,B), S(B,C), T(C,D). *)
+  | Dataflow
+      (** Operator-graph runtime ({!Ivm_dataflow.Graph}): mandatory for
+          MIN/MAX, DISTINCT and WINDOW — {!Lower.needs_dataflow}. *)
 
 type stats = { reads : int; writes : int }
 (** Observed workload mix, e.g. from {!Ivm_stream.Metrics} op counters. *)

@@ -287,15 +287,23 @@ let last_error t name =
 
 let dead_letters t = List.rev_map (fun (name, e) -> (name, List.rev e.dead)) t.entries
 
-(* Route a batch: per view, the sub-batch on its consumed relations (in
-   batch order). Views over the same relations share the input list
-   physically where possible. *)
-let sub_batch (m : M.t) batch =
+(* Route the epoch's per-relation front: per view, the concatenation of
+   the relation groups it consumes. Group-level routing (the scheduler
+   already holds the front grouped) replaces the old per-update filter
+   of the whole flat batch for every view; a single-group front for a
+   single-relation view is shared physically. Within one epoch the ring
+   payloads make updates commute, so regrouping by relation is sound. *)
+let sub_front (m : M.t) (front : (string * int Update.t list) list) =
   match m.M.relations with
   | [] -> []
-  | rels -> List.filter (fun (u : int Update.t) -> List.mem u.Update.rel rels) batch
+  | rels -> (
+      match List.filter (fun (rel, _) -> List.mem rel rels) front with
+      | [] -> []
+      | [ (_, ups) ] -> ups
+      | groups -> List.concat_map snd groups)
 
-let apply_batch_locked t (batch : int Update.t list) =
+let apply_front_locked t (front : (string * int Update.t list) list) =
+  let batch = match front with [ (_, ups) ] -> ups | _ -> List.concat_map snd front in
       t.generation <- t.generation + 1;
       maybe_recover t;
       let entries = List.rev t.entries in
@@ -308,7 +316,7 @@ let apply_batch_locked t (batch : int Update.t list) =
       let sized =
         List.mapi
           (fun i (name, e) ->
-            let sub = if e.health = Healthy then sub_batch e.view batch else [] in
+            let sub = if e.health = Healthy then sub_front e.view front else [] in
             (* Dead-lettered tuples stay quarantined out of the view —
                also on WAL replay after a restore. *)
             let sub =
@@ -362,7 +370,7 @@ let apply_batch_locked t (batch : int Update.t list) =
                   (metrics_view t name)
               end
               else if e.health <> Healthy then begin
-                let missed = List.length (sub_batch e.view batch) in
+                let missed = List.length (sub_front e.view front) in
                 let missed = if missed = 0 then List.length batch else missed in
                 Option.iter
                   (fun v -> v.Metrics.skipped <- v.Metrics.skipped + missed)
@@ -370,10 +378,29 @@ let apply_batch_locked t (batch : int Update.t list) =
               end)
         sized
 
+let apply_front t (front : (string * int Update.t list) list) =
+  match List.filter (fun (_, ups) -> ups <> []) front with
+  | [] -> ()
+  | front -> Rwlock.write t.lock (fun () -> apply_front_locked t front)
+
+(* Flat-batch entry point (recovery replay, tests): group per relation,
+   preserving order within each, then route the front. *)
 let apply_batch t (batch : int Update.t list) =
   match batch with
   | [] -> ()
-  | batch -> Rwlock.write t.lock (fun () -> apply_batch_locked t batch)
+  | batch ->
+      let rels = ref [] in
+      let tbl = Hashtbl.create 4 in
+      List.iter
+        (fun (u : int Update.t) ->
+          match Hashtbl.find_opt tbl u.Update.rel with
+          | Some l -> l := u :: !l
+          | None ->
+              Hashtbl.add tbl u.Update.rel (ref [ u ]);
+              rels := u.Update.rel :: !rels)
+        batch;
+      apply_front t
+        (List.rev_map (fun rel -> (rel, List.rev !(Hashtbl.find tbl rel))) !rels)
 
 (** Force a recovery attempt on every view that is not healthy,
     ignoring backoff timers and quarantine — the convergence point a

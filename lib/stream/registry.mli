@@ -82,12 +82,21 @@ val dead_letters : t -> (string * (string * Ivm_data.Tuple.t) list) list
 (** Per view, the (relation, tuple) pairs dead-lettered out of it, in
     dead-letter order. *)
 
+val apply_front : t -> (string * int Ivm_data.Update.t list) list -> unit
+(** Apply one epoch's per-relation delta front (the shape
+    {!Scheduler.delta_front} serves) to the base database and to every
+    healthy registered view — each view gets the concatenation of the
+    relation groups it consumes, routed at group granularity rather
+    than by filtering the flat batch per view — concurrently across the
+    pool when one was given. A view whose engine raises is degraded and
+    scheduled for recovery; this call itself never raises on view
+    failure. *)
+
 val apply_batch : t -> int Ivm_data.Update.t list -> unit
-(** Apply a batch to the base database and to every healthy registered
-    view (each view sees only the updates on its relations),
-    concurrently across the pool when one was given. A view whose
-    engine raises is degraded and scheduled for recovery; this call
-    itself never raises on view failure. *)
+(** {!apply_front} of a flat batch, grouped per relation (order
+    preserved within each relation — sound because ring payloads make
+    the updates of one batch commute). The recovery-replay and test
+    entry point; the scheduler itself routes its front directly. *)
 
 val heal : t -> string list
 (** Force a recovery attempt on every non-healthy view, ignoring

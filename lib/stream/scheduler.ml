@@ -36,8 +36,8 @@ type t = {
   max_batch : int;
   sync_retries : int; (* extra fsync attempts before giving up an epoch *)
   self_check_every : int option; (* epochs between fingerprint self-checks *)
-  on_apply : (epoch:int -> int Update.t list -> unit) option;
-      (* delta-subscription fan-out: the coalesced batch just applied *)
+  on_apply : (epoch:int -> (string * int Update.t list) list -> unit) option;
+      (* delta-subscription fan-out: the coalesced front just applied *)
   coalescer : (string, int Flat_tbl.t) Hashtbl.t;
       (* per-relation coalescing accumulators, reused across epochs: a
          capacity-preserving [Flat_tbl.clear] after each emit keeps the
@@ -45,6 +45,9 @@ type t = {
          buffers for coalescing *)
   mutable limit : int; (* the adaptive batch cap *)
   mutable applied : int; (* updates applied so far (pre-coalescing) *)
+  mutable front : (string * int Update.t list) list;
+      (* the per-relation coalesced delta front of the most recently
+         applied epoch — what {!delta_front} serves *)
   barrier_mutex : Mutex.t;
   barrier_cond : Condition.t;
       (* broadcast after every epoch: the rendezvous {!barrier} waits on *)
@@ -74,6 +77,7 @@ let create ?wal ?(target_latency = 0.002) ?(min_batch = 16) ?(max_batch = 65_536
     coalescer = Hashtbl.create 4;
     limit;
     applied = 0;
+    front = [];
     barrier_mutex = Mutex.create ();
     barrier_cond = Condition.create ();
     finished = false;
@@ -83,6 +87,7 @@ let batch_limit t = t.limit
 let applied t = t.applied
 let metrics t = t.metrics
 let registry t = t.registry
+let delta_front t = t.front
 
 (* Coalesce an epoch per (relation, tuple): nested tables because the
    outer generic Hashtbl must never key on Tuple.t directly (its
@@ -92,7 +97,7 @@ let registry t = t.registry
    is unambiguous. The accumulators live in [t] and are cleared
    (capacity preserved) after the emit, so an epoch at steady state
    reuses last epoch's buffers instead of reallocating them. *)
-let coalesce t (items : item list) : int Update.t list =
+let coalesce_front t (items : item list) : (string * int Update.t list) list =
   let per_rel = t.coalescer in
   List.iter
     (fun { update = u; _ } ->
@@ -110,14 +115,16 @@ let coalesce t (items : item list) : int Update.t list =
     items;
   Hashtbl.fold
     (fun rel table acc ->
-      let acc =
+      let ups =
         Flat_tbl.fold
           (fun tuple p acc -> Update.make ~rel ~tuple ~payload:p :: acc)
-          table acc
+          table []
       in
       Flat_tbl.clear table;
-      acc)
+      if ups = [] then acc else (rel, ups) :: acc)
     per_rel []
+
+let coalesce t items = List.concat_map snd (coalesce_front t items)
 
 (* A failed fsync does not mean lost data — the bytes are still in the
    log — so a transient failure (injected or a blip) is worth retrying
@@ -161,9 +168,11 @@ let step_inner t : (bool, Errors.t) result =
             sync_retrying w t.sync_retries
         | None -> Ok ()
       in
-      let batch = coalesce t items in
+      let front = coalesce_front t items in
+      t.front <- front;
+      let coalesced = List.fold_left (fun n (_, ups) -> n + List.length ups) 0 front in
       let t0 = Unix.gettimeofday () in
-      Registry.apply_batch t.registry batch;
+      Registry.apply_front t.registry front;
       let applied_at = Unix.gettimeofday () in
       let dt = applied_at -. t0 in
       List.iter
@@ -172,13 +181,13 @@ let step_inner t : (bool, Errors.t) result =
         items;
       t.metrics.Metrics.epochs <- t.metrics.Metrics.epochs + 1;
       t.metrics.Metrics.ingested <- t.metrics.Metrics.ingested + n;
-      t.metrics.Metrics.coalesced <- t.metrics.Metrics.coalesced + List.length batch;
+      t.metrics.Metrics.coalesced <- t.metrics.Metrics.coalesced + coalesced;
       t.applied <- t.applied + n;
-      (* Fan the applied epoch out to delta subscribers after the views
-         have absorbed it, so a subscriber that re-reads the server
-         never observes a delta before the state reflecting it. *)
+      (* Fan the applied epoch's front out to delta subscribers after
+         the views have absorbed it, so a subscriber that re-reads the
+         server never observes a delta before the state reflecting it. *)
       (match t.on_apply with
-      | Some f when batch <> [] -> f ~epoch:t.metrics.Metrics.epochs batch
+      | Some f when front <> [] -> f ~epoch:t.metrics.Metrics.epochs front
       | Some _ | None -> ());
       if dt > 1.5 *. t.target then t.limit <- max t.min_batch (t.limit / 2)
       else if dt < 0.5 *. t.target && n >= t.limit then

@@ -20,7 +20,7 @@ val create :
   ?initial_batch:int ->
   ?sync_retries:int ->
   ?self_check_every:int ->
-  ?on_apply:(epoch:int -> int Ivm_data.Update.t list -> unit) ->
+  ?on_apply:(epoch:int -> (string * int Ivm_data.Update.t list) list -> unit) ->
   queue:item Queue.t ->
   registry:Registry.t ->
   metrics:Metrics.t ->
@@ -32,7 +32,8 @@ val create :
     (default 3) times before the epoch errors out. With
     [self_check_every], the registry fingerprint self-check runs every
     that many epochs. [on_apply] is called after every non-empty epoch
-    with the coalesced batch the views just absorbed — the delta
+    with the per-relation coalesced delta front the views just absorbed
+    (the same value {!delta_front} then serves) — the delta
     subscription fan-out of the network server; it runs on the
     scheduler domain, so it must be fast and must not raise. *)
 
@@ -45,10 +46,24 @@ val applied : t -> int
 val metrics : t -> Metrics.t
 val registry : t -> Registry.t
 
+val delta_front : t -> (string * int Ivm_data.Update.t list) list
+(** The per-relation coalesced delta front of the most recently applied
+    epoch: relation → the coalesced updates the views absorbed for it.
+    This is the single authoritative grouping of an epoch's delta —
+    consumers (delta fan-out, dataflow graphs, the cluster barrier
+    path) read it here instead of re-deriving it from a flat batch.
+    Valid from within [on_apply] and until the next epoch applies; the
+    scheduler domain owns it, so cross-domain readers must fence (e.g.
+    {!barrier}) first. *)
+
+val coalesce_front : t -> item list -> (string * int Ivm_data.Update.t list) list
+(** Per-(relation, tuple) ring-add coalescing with zero elision,
+    grouped per relation. The accumulators are owned by the scheduler
+    and reused across epochs (capacity-preserving clear after each
+    emit); exposed for tests. *)
+
 val coalesce : t -> item list -> int Ivm_data.Update.t list
-(** Per-(relation, tuple) ring-add coalescing with zero elision. The
-    accumulators are owned by the scheduler and reused across epochs
-    (capacity-preserving clear after each emit); exposed for tests. *)
+(** {!coalesce_front} flattened — relations concatenated. *)
 
 val step : t -> (bool, Errors.t) result
 (** Run one epoch; [Ok false] means the stream ended (queue closed and

@@ -80,6 +80,11 @@ let generator_validity () =
           (List.for_all
              (fun (r : Case.row) -> r.Case.rel <> "T")
              (List.concat c.Case.stream))
+    | Case.Minmax ->
+        checkb "minmax rows are (G, V) on R" true
+          (List.for_all
+             (fun (r : Case.row) -> r.Case.rel = "R" && List.length r.Case.values = 2)
+             (c.Case.init @ List.concat c.Case.stream))
     | Case.Triangle -> ()
   done
 

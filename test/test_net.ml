@@ -391,8 +391,8 @@ let with_server ?wal ?checkpoint ~total f =
   register_views reg;
   let queue = Squeue.create ~capacity:1024 Squeue.Block in
   let server = ref None in
-  let on_apply ~epoch batch =
-    match !server with Some s -> Server.publish_delta s ~epoch batch | None -> ()
+  let on_apply ~epoch front =
+    match !server with Some s -> Server.publish_delta s ~epoch front | None -> ()
   in
   let sched = Scheduler.create ?wal ~initial_batch:64 ~on_apply ~queue ~registry:reg ~metrics () in
   let runner = Domain.spawn (fun () -> Scheduler.run sched) in
@@ -842,6 +842,91 @@ let e2e_sql_over_tcp () =
           Alcotest.(check bool) "explain carries >= 2 facts" true
             (List.length facts >= 2)))
 
+(* The dataflow acceptance path: a MIN/MAX view created by SQL over the
+   wire, fed a stream whose deletes remove the currently served extrema
+   (forcing the operator graph's re-scan fallback), must serve a
+   snapshot and fingerprint equal to a from-scratch operator graph
+   rebuilt over the final base contents. *)
+let e2e_minmax_over_tcp () =
+  let module Dfg = Ivm_dataflow.Graph in
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics (D.Database.Z.create ()) in
+  let sess = Ivm_sql.Exec.create ~registry:reg () in
+  let mu = Mutex.create () in
+  let run_sql sql =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        match Ivm_sql.Exec.exec_text sess sql with
+        | Ok outs -> Ok (String.concat "\n" (List.map Ivm_sql.Exec.render outs))
+        | Error e -> Error e)
+  in
+  let srv =
+    ok_wire
+      (Server.start ~port:0 ~handlers:2 ~create_view:run_sql ~explain:run_sql
+         ~registry:reg ~metrics ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = ok_wire (Client.connect ~port:(Server.port srv) ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let ack =
+            ok_wire
+              (Client.create_view c
+                 "CREATE TABLE R (G, V); CREATE MATERIALIZED VIEW extremes AS \
+                  SELECT G, MIN(V), MAX(V) FROM R GROUP BY G;")
+          in
+          Alcotest.(check bool) "MIN/MAX lands on the operator graph" true
+            (contains ack "dataflow operator graph");
+          (* Group 1: min 3 and max 9 both die. Group 2: one copy of the
+             duplicated max 7 dies (served value survives), then min 2
+             dies. Every delete of a served extremum re-scans. *)
+          ignore
+            (ok_wire
+               (Client.create_view c
+                  "INSERT INTO R VALUES (1, 5), (1, 3), (1, 9), (2, 7), (2, 7), \
+                   (2, 2); DELETE FROM R VALUES (1, 3); DELETE FROM R VALUES \
+                   (1, 9); DELETE FROM R VALUES (2, 7); DELETE FROM R VALUES \
+                   (2, 2);"));
+          (* From scratch: the same view as a fresh operator graph over
+             the final base contents. *)
+          let g = Dfg.create () in
+          let src = Dfg.source g ~rel:"R" ~schema:[ "G"; "V" ] in
+          let rename col node =
+            Dfg.map g ~label:("as " ^ col) ~schema:[ "G"; col ] Fun.id node
+          in
+          let mn = rename "MIN(V)" (Dfg.minimum g ~col:"V" ~group:[ "G" ] src) in
+          let mx = rename "MAX(V)" (Dfg.maximum g ~col:"V" ~group:[ "G" ] src) in
+          Dfg.output g ~name:"extremes" (Dfg.join g mn mx);
+          Dfg.apply g
+            (List.map
+               (fun (gk, v) -> U.make ~rel:"R" ~tuple:(tup [ gk; v ]) ~payload:1)
+               [ (1, 5); (2, 7) ]);
+          let canon entries =
+            List.sort compare
+              (List.map (fun (tp, p) -> (D.Tuple.to_list tp, p)) entries)
+          in
+          let expected = canon (Dfg.entries g "extremes") in
+          let got = canon (ok_wire (Client.snapshot c ~view:"extremes")) in
+          Alcotest.(check bool) "snapshot = from-scratch operator graph" true
+            (got = expected);
+          (* And the served fingerprint is the from-scratch fingerprint. *)
+          let fresh_fp =
+            M.entries_fingerprint
+              (List.filter (fun (_, p) -> p <> 0) (Dfg.entries g "extremes"))
+          in
+          let fps = ok_wire (Client.fingerprints c) in
+          match List.assoc_opt "extremes" fps with
+          | None -> Alcotest.fail "no served fingerprint for extremes"
+          | Some fp ->
+              Alcotest.(check int)
+                "served fingerprint = from-scratch recompute after extremum deletes"
+                fresh_fp fp))
+
 (* A v1 peer: answers every request with the message-layer Err an old
    server produces for an unknown opcode. The client must degrade
    cleanly — report version 1 and fail the SQL ops with an explanatory
@@ -926,6 +1011,8 @@ let () =
           Alcotest.test_case "kill and restart" `Quick e2e_kill_restart;
           Alcotest.test_case "zero-copy snapshot serving" `Quick e2e_zero_copy_snapshot;
           Alcotest.test_case "SQL view over TCP = direct build" `Quick e2e_sql_over_tcp;
+          Alcotest.test_case "MIN/MAX over TCP = from-scratch rebuild" `Quick
+            e2e_minmax_over_tcp;
           Alcotest.test_case "v1 server -> clean Remote error" `Quick
             v1_server_clean_error;
           Alcotest.test_case "corrupt frame keeps serving" `Quick

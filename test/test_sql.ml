@@ -69,6 +69,7 @@ let renumber_params (s : Ast.select) =
 let gen_select =
   QCheck.Gen.(
     let* from = list_size (int_range 1 3) gen_ident in
+    let* distinct = bool in
     let* items =
       oneof
         [
@@ -76,14 +77,31 @@ let gen_select =
           return [ Ast.Count ];
           (let* cols = list_size (int_range 1 3) (map (fun c -> Ast.Column c) gen_ident) in
            let* agg =
-             oneof [ return []; return [ Ast.Count ]; map (fun c -> [ Ast.Sum c ]) gen_ident ]
+             oneof
+               [
+                 return [];
+                 return [ Ast.Count ];
+                 map (fun c -> [ Ast.Sum c ]) gen_ident;
+                 map (fun c -> [ Ast.Min c ]) gen_ident;
+                 map (fun c -> [ Ast.Max c ]) gen_ident;
+                 map2 (fun c d -> [ Ast.Min c; Ast.Max d ]) gen_ident gen_ident;
+               ]
            in
            return (cols @ agg));
         ]
     in
     let* where = list_size (int_range 0 3) gen_pred in
     let* group_by = oneof [ return []; list_size (int_range 1 2) gen_ident ] in
-    return (renumber_params { Ast.items; from; where; group_by }))
+    let* window =
+      oneof
+        [
+          return None;
+          (let* wcol = gen_ident in
+           let* wsize = int_range 1 50 in
+           return (Some { Ast.wcol; wsize }));
+        ]
+    in
+    return (renumber_params { Ast.distinct; items; from; where; group_by; window }))
 
 let gen_stmt =
   QCheck.Gen.(
