@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Plot the bench-mixed macro-benchmark results.
+
+Reads one or more BENCH_mixed.json files (as emitted by
+`ivm_cli bench-mixed`) and renders:
+
+  1. throughput vs view count (the "curve" array, one line per input
+     file — e.g. single server vs 2-shard cluster),
+  2. per-tenant read/write p99 latency grouped by tenant kind.
+
+Matplotlib is optional: without it the script prints the same data as
+aligned text tables, so CI can archive the summary without a display
+stack.
+
+Usage:
+  python3 bench/plots/plot_mixed.py BENCH_mixed.json [more.json ...]
+  python3 bench/plots/plot_mixed.py --out mixed.png BENCH_mixed.json
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    if d.get("bench") != "mixed":
+        raise SystemExit(f"{path}: not a bench-mixed result")
+    return d
+
+
+def label(d):
+    shards = d.get("shards", 0)
+    return f"{shards}-shard cluster" if shards >= 2 else "single server"
+
+
+def kind_latency(d):
+    """kind -> (median of per-tenant write p99, median of read p99)."""
+    per = defaultdict(lambda: ([], []))
+    for t in d["tenants"]:
+        w, r = per[t["kind"]]
+        if t["writes"]["count"]:
+            w.append(t["writes"]["p99_ms"])
+        if t["reads"]["count"]:
+            r.append(t["reads"]["p99_ms"])
+    med = lambda xs: sorted(xs)[len(xs) // 2] if xs else 0.0
+    return {k: (med(w), med(r)) for k, (w, r) in sorted(per.items())}
+
+
+def text_report(runs):
+    for path, d in runs:
+        print(f"== {path} ({label(d)}) ==")
+        print(f"  views {d['views']}  workers {d['workers']}  "
+              f"throughput {d['throughput_ops_s']:.0f} ops/s  "
+              f"conservation samples {d['conservation_samples']}  "
+              f"oracle views {d['oracle_views']}")
+        print("  throughput vs view count:")
+        for pt in d["curve"]:
+            print(f"    {pt['views']:5d} views  {pt['throughput_ops_s']:10.0f} ops/s")
+        print("  per-kind p99 latency (median over tenants, ms):")
+        print(f"    {'kind':<10} {'write p99':>10} {'read p99':>10}")
+        for kind, (w, r) in kind_latency(d).items():
+            print(f"    {kind:<10} {w:>10.3f} {r:>10.3f}")
+        print()
+
+
+def plot(runs, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(11, 4.2))
+
+    for path, d in runs:
+        pts = sorted((p["views"], p["throughput_ops_s"]) for p in d["curve"])
+        ax1.plot([v for v, _ in pts], [t for _, t in pts], marker="o",
+                 label=f"{label(d)} ({os.path.basename(path)})")
+    ax1.set_xlabel("registered views")
+    ax1.set_ylabel("throughput (ops/s)")
+    ax1.set_title("throughput vs view count")
+    ax1.grid(True, alpha=0.3)
+    ax1.legend(fontsize=8)
+
+    # Per-kind p99 bars for the first run only (the others would overlap).
+    _, d = runs[0]
+    kinds = kind_latency(d)
+    xs = range(len(kinds))
+    width = 0.38
+    ax2.bar([x - width / 2 for x in xs], [w for w, _ in kinds.values()],
+            width, label="write p99")
+    ax2.bar([x + width / 2 for x in xs], [r for _, r in kinds.values()],
+            width, label="read p99")
+    ax2.set_xticks(list(xs))
+    ax2.set_xticklabels(list(kinds.keys()), rotation=20)
+    ax2.set_ylabel("latency (ms)")
+    ax2.set_title(f"per-kind p99 ({label(d)}, {d['views']} views)")
+    ax2.grid(True, axis="y", alpha=0.3)
+    ax2.legend(fontsize=8)
+
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BENCH_mixed.json result files")
+    ap.add_argument("--out", default="BENCH_mixed.png", help="output image path")
+    args = ap.parse_args()
+
+    runs = [(p, load(p)) for p in args.files]
+    text_report(runs)
+    try:
+        plot(runs, args.out)
+    except ImportError:
+        print("matplotlib unavailable; text report only", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -425,9 +425,14 @@ let serve_cmd =
                 else (a, d + 1))
               (0, 0) ups
           in
+          let ingest_rw ups =
+            let admitted, dropped = ingest ups in
+            (admitted, dropped, St.Queue.pushed queue)
+          in
           let srv =
             match
-              Ivm_net.Server.start ~port:listen ~handlers ~ingest
+              Ivm_net.Server.start ~port:listen ~handlers ~ingest ~ingest_rw
+                ~served:(fun () -> St.Scheduler.applied sched)
                 ~checkpoint:request_checkpoint ~create_view:sql_create
                 ~explain:sql_explain
                 ~on_shutdown:(fun () -> St.Queue.close queue)
@@ -2179,6 +2184,678 @@ let bench_cluster_cmd =
           $ skew_arg $ kill_arg $ dir_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bench-mixed: the multi-tenant adversarial macro-benchmark. Tens to
+   hundreds of heterogeneous tenant views (lib/workload/mixed) behind
+   one read-your-writes server or a sharded cluster, driven closed-loop
+   by drifting-Zipf workers. The closed-economy conservation invariant
+   is sampled online under a quiesced fence, and the whole final state
+   is replayed offline through the lib/check oracle over exactly the
+   updates the workers sent (ring updates commute, so the worker
+   interleaving is irrelevant).                                        *)
+
+module Bench_mixed = struct
+  module D = Ivm_data
+  module U = D.Update
+  module Db = D.Database.Z
+  module Mx = Ivm_workload.Mixed
+  module St = Ivm_stream
+  module N = Ivm_net
+  module Cl = Ivm_cluster
+  module Ck = Ivm_check
+  module Bc = Bench_cluster
+
+  let wire = Ivm_net.Wire.error_to_string
+
+  (* One worker's endpoint: an epoch-token session in single-server
+     mode, the shared fault-tolerant router in cluster mode. *)
+  type conn = {
+    c_write : int U.t list -> (unit, string) result;
+    c_read : view:string -> ((D.Tuple.t * int) list, string) result;
+    c_close : unit -> unit;
+  }
+
+  type backend = {
+    b_conn : int -> conn;  (** worker index -> endpoint *)
+    b_snapshot : view:string -> ((D.Tuple.t * int) list, string) result;
+        (** epoch-fenced consistent read; callers park the workers
+            between ops first, so transfer pairs are never split *)
+    b_stop : unit -> unit;
+  }
+
+  let declare_tenants reg tenants =
+    List.iter
+      (fun (tn : Mx.tenant) ->
+        List.iter
+          (fun (name, cols) ->
+            ignore (St.Registry.declare_table reg name (D.Schema.of_list cols)))
+          tn.Mx.tables;
+        St.Registry.register reg ~name:tn.Mx.name (Mx.factory tn))
+      tenants
+
+  let init_updates tenants ~accounts =
+    List.concat_map (fun tn -> Mx.init_updates tn ~accounts) tenants
+
+  (* In-process single server: the same scheduler/registry/TCP wiring
+     as [serve --listen], minus the WAL — sessions get their epoch
+     tokens from the queue watermark and reads gate on the served
+     watermark, so every worker observes its own writes. *)
+  let single_server ~tenants ~accounts ~workers () =
+    let db = Db.create () in
+    List.iter
+      (fun (tn : Mx.tenant) ->
+        List.iter
+          (fun (name, cols) -> ignore (Db.declare db name (D.Schema.of_list cols)))
+          tn.Mx.tables)
+      tenants;
+    let metrics = St.Metrics.create () in
+    let reg = St.Registry.create ~metrics db in
+    List.iter
+      (fun (tn : Mx.tenant) -> St.Registry.register reg ~name:tn.Mx.name (Mx.factory tn))
+      tenants;
+    let queue = St.Queue.create ~capacity:65536 St.Queue.Block in
+    let sched = St.Scheduler.create ~queue ~registry:reg ~metrics () in
+    let runner = Domain.spawn (fun () -> St.Scheduler.run sched) in
+    let ingest ups =
+      List.fold_left
+        (fun (a, d) u ->
+          if St.Queue.push queue (St.Scheduler.item u) then (a + 1, d) else (a, d + 1))
+        (0, 0) ups
+    in
+    let ingest_rw ups =
+      let admitted, dropped = ingest ups in
+      (admitted, dropped, St.Queue.pushed queue)
+    in
+    let srv =
+      match
+        N.Server.start ~port:0 ~handlers:(workers + 2) ~ingest ~ingest_rw
+          ~served:(fun () -> St.Scheduler.applied sched)
+          ~barrier:(fun () -> St.Scheduler.barrier sched)
+          ~on_shutdown:(fun () -> St.Queue.close queue)
+          ~registry:reg ~metrics ()
+      with
+      | Ok srv -> srv
+      | Error e -> failwith ("server start: " ^ wire e)
+    in
+    let port = N.Server.port srv in
+    (* Opening balances stream in like any other write; drain them
+       before unleashing the workers. *)
+    let init = init_updates tenants ~accounts in
+    let admitted, dropped = ingest init in
+    if dropped > 0 || admitted <> List.length init then
+      failwith "init updates dropped";
+    let deadline = Unix.gettimeofday () +. 30. in
+    while St.Scheduler.applied sched < admitted && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.001
+    done;
+    if St.Scheduler.applied sched < admitted then failwith "init apply timed out";
+    let admin =
+      match N.Client.connect ~port () with
+      | Ok c -> c
+      | Error e -> failwith ("admin connect: " ^ wire e)
+    in
+    let conn _i =
+      match N.Client.connect ~port () with
+      | Error e -> failwith ("worker connect: " ^ wire e)
+      | Ok c ->
+          let session = N.Client.Session.create c in
+          {
+            c_write =
+              (fun ups ->
+                match N.Client.Session.write session ups with
+                | Ok (_, 0) -> Ok ()
+                | Ok (_, d) -> Error (Printf.sprintf "%d updates dropped" d)
+                | Error e -> Error (wire e));
+            c_read =
+              (fun ~view ->
+                (* [Session.read] re-checks the served watermark against
+                   the session token client-side: a stale answer
+                   surfaces as a read-your-writes violation here. *)
+                match
+                  N.Client.Session.read session ~view ~prefix:(D.Tuple.of_ints [])
+                with
+                | Ok entries -> Ok entries
+                | Error e -> Error (wire e));
+            c_close = (fun () -> N.Client.close c);
+          }
+    in
+    {
+      b_conn = conn;
+      b_snapshot =
+        (fun ~view ->
+          match N.Client.barrier admin with
+          | Error e -> Error (wire e)
+          | Ok _ -> (
+              match N.Client.snapshot admin ~view with
+              | Ok entries -> Ok entries
+              | Error e -> Error (wire e)));
+      b_stop =
+        (fun () ->
+          N.Client.close admin;
+          St.Queue.close queue;
+          ignore (Domain.join runner);
+          N.Server.stop srv);
+    }
+
+  (* Sharded cluster: per-tenant partition soundness exactly as in the
+     lib/check cluster driver — every tenant view is linear in one of
+     its private tables, so hash-partition that one (by group column
+     for minmax so a group's multiset stays on one shard, by tuple for
+     the economy's accounts and the joins' pivot), broadcast the rest,
+     and ring-sum the scattered per-view partials. Window views
+     replicate: per-shard watermarks retract panes at different
+     times, so scattered partials would mix pane states. *)
+  let cluster ~tenants ~accounts ~shards ~dir ~seed () =
+    let policies =
+      List.concat_map
+        (fun (tn : Mx.tenant) ->
+          List.map
+            (fun (tbl, _) ->
+              let policy =
+                match tn.Mx.kind with
+                | Mx.Minmax -> Cl.Topology.Hash_col 0
+                | Mx.Economy -> Cl.Topology.Hash_tuple
+                | Mx.Join | Mx.Triangle | Mx.Cascade ->
+                    if String.equal tbl (Mx.table tn "R") then Cl.Topology.Hash_tuple
+                    else Cl.Topology.Broadcast
+                | Mx.Window -> Cl.Topology.Broadcast
+              in
+              (tbl, policy))
+            tn.Mx.tables)
+        tenants
+    in
+    let routes =
+      List.map
+        (fun (tn : Mx.tenant) ->
+          ( tn.Mx.name,
+            match tn.Mx.kind with
+            | Mx.Window -> Cl.Topology.Replicated
+            | _ -> Cl.Topology.Scattered ))
+        tenants
+    in
+    let topology = Cl.Topology.create ~shards ~policies ~routes in
+    Cluster_cli.rm_rf dir;
+    let router =
+      match
+        Cl.Router.start ~handlers:4 ~standby:false ~probe_interval:0. ~seed
+          ~base_dir:dir ~topology
+          ~declare:(fun reg -> declare_tenants reg tenants)
+          ()
+      with
+      | Ok r -> r
+      | Error m -> failwith ("cluster start: " ^ m)
+    in
+    (match Cl.Router.ingest router (init_updates tenants ~accounts) with
+    | Ok (_, 0) -> ()
+    | Ok (_, d) -> failwith (Printf.sprintf "%d init updates dead-lettered" d)
+    | Error m -> failwith ("init ingest: " ^ m));
+    (match Cl.Router.barrier router with
+    | Ok _ -> ()
+    | Error m -> failwith ("init barrier: " ^ m));
+    let conn _i =
+      {
+        c_write =
+          (fun ups ->
+            match Cl.Router.ingest router ups with
+            | Ok (_, 0) -> Ok ()
+            | Ok (_, d) -> Error (Printf.sprintf "%d updates dead-lettered" d)
+            | Error m -> Error m);
+        c_read =
+          (fun ~view -> Cl.Router.lookup router ~view ~prefix:(D.Tuple.of_ints []));
+        c_close = ignore;
+      }
+    in
+    {
+      b_conn = conn;
+      b_snapshot = (fun ~view -> Cl.Router.snapshot router ~view);
+      b_stop = (fun () -> Cl.Router.stop router);
+    }
+
+  type worker_out = {
+    w_writes : float list array;  (** latency samples, per tenant index *)
+    w_reads : float list array;
+    w_sent : int U.t list;  (** every update sent, newest first *)
+  }
+
+  (* One closed-loop worker: a Zipf-with-drift step against a uniformly
+     random tenant per iteration. Economy steps are zero-sum
+     debit/credit pairs within the worker's disjoint account slice, so
+     they never overdraw under any interleaving. Workers park between
+     ops while the sampler holds the pause flag — the quiesce point the
+     conservation fence relies on. *)
+  let worker ~backend ~tenants ~keys ~accounts ~drift_period ~ops ~read_pct ~seed
+      ~workers ~index ~pause ~parked ~running ~completed () =
+    let body () =
+      let rng = Random.State.make [| seed; 7919 * (index + 1) |] in
+      let drift = Mx.Drift.create ~seed ~keys ~period:drift_period in
+      let tarr = Array.of_list tenants in
+      let n = Array.length tarr in
+      let gens =
+        Array.map
+          (fun tn -> Mx.Tgen.create ~worker:index ~workers ~accounts tn ~drift ~seed ())
+          tarr
+      in
+      let writes = Array.make n [] and reads = Array.make n [] in
+      let sent = ref [] in
+      let conn = backend.b_conn index in
+      Fun.protect ~finally:conn.c_close (fun () ->
+          let rec loop op =
+            if op > ops then Ok { w_writes = writes; w_reads = reads; w_sent = !sent }
+            else begin
+              if Atomic.get pause then begin
+                Atomic.incr parked;
+                while Atomic.get pause do
+                  Unix.sleepf 0.0002
+                done;
+                Atomic.decr parked
+              end;
+              let t = Random.State.int rng n in
+              let tn = tarr.(t) in
+              let r =
+                if Random.State.int rng 100 < read_pct then begin
+                  let t0 = Unix.gettimeofday () in
+                  match conn.c_read ~view:tn.Mx.name with
+                  | Ok _ ->
+                      reads.(t) <- (Unix.gettimeofday () -. t0) :: reads.(t);
+                      Ok ()
+                  | Error m -> Error (Printf.sprintf "read %s: %s" tn.Mx.name m)
+                end
+                else
+                  match Mx.Tgen.next gens.(t) ~op with
+                  | [] -> Ok ()
+                  | ups -> (
+                      let t0 = Unix.gettimeofday () in
+                      match conn.c_write ups with
+                      | Ok () ->
+                          writes.(t) <- (Unix.gettimeofday () -. t0) :: writes.(t);
+                          sent := List.rev_append ups !sent;
+                          Ok ()
+                      | Error m -> Error (Printf.sprintf "write %s: %s" tn.Mx.name m))
+              in
+              match r with Ok () -> loop (op + 1) | Error m -> Error m
+            end
+          in
+          loop 1)
+    in
+    let result = try body () with e -> Error (Printexc.to_string e) in
+    Atomic.decr running;
+    Atomic.incr completed;
+    result
+
+  (* Park every live worker at its between-ops quiesce point, run [f],
+     release. A worker mid-op finishes the op first, so no transfer
+     pair is half-admitted when [f] fences and reads. *)
+  let quiesced ~pause ~parked ~running f =
+    Atomic.set pause true;
+    while Atomic.get parked < Atomic.get running do
+      Unix.sleepf 0.0002
+    done;
+    Fun.protect ~finally:(fun () -> Atomic.set pause false) f
+
+  let conservation_errors ~backend ~tenants ~accounts =
+    List.filter_map
+      (fun (tn : Mx.tenant) ->
+        if tn.Mx.kind <> Mx.Economy then None
+        else
+          match backend.b_snapshot ~view:tn.Mx.name with
+          | Error m -> Some (Printf.sprintf "%s: snapshot: %s" tn.Mx.name m)
+          | Ok entries -> (
+              match Mx.check_conservation tn ~accounts entries with
+              | Ok () -> None
+              | Error m -> Some m))
+      tenants
+
+  (* The offline invariant oracle: rebuild the final state from scratch
+     (lib/check's from-scratch recompute) over exactly the init plus
+     the updates the workers sent, and compare against the served
+     snapshots. Cascade and window views have no oracle recompute and
+     are excluded; everything else — including every economy view — is
+     covered. *)
+  let oracle_check ~backend ~tenants ~accounts ~seed ~sent =
+    let oracle_kinds = [ Mx.Join; Mx.Triangle; Mx.Minmax; Mx.Economy ] in
+    let oracle_tenants =
+      List.filter (fun (tn : Mx.tenant) -> List.mem tn.Mx.kind oracle_kinds) tenants
+    in
+    let tables = List.concat_map (fun (tn : Mx.tenant) -> tn.Mx.tables) oracle_tenants in
+    let table_names = List.map fst tables in
+    let case =
+      {
+        Ck.Case.family = Ck.Case.Mixed;
+        seed;
+        query = None;
+        order = None;
+        k = 0;
+        schemas = tables;
+        init = [];
+        stream = [];
+      }
+    in
+    let ora = Ck.Oracle.create case in
+    Ck.Oracle.apply ora
+      (init_updates oracle_tenants ~accounts
+      @ List.filter (fun (u : int U.t) -> List.mem u.U.rel table_names) sent);
+    let expected = Ck.Oracle.enumerate ora in
+    let tag name entries =
+      List.map
+        (fun (tp, p) -> (D.Tuple.of_list (D.Value.Str name :: D.Tuple.to_list tp), p))
+        entries
+    in
+    let got =
+      Ck.Oracle.normalize
+        (List.concat_map
+           (fun (tn : Mx.tenant) ->
+             match backend.b_snapshot ~view:tn.Mx.name with
+             | Ok entries -> tag tn.Mx.name entries
+             | Error m -> failwith ("oracle snapshot " ^ tn.Mx.name ^ ": " ^ m))
+           oracle_tenants)
+    in
+    if Ck.Oracle.equal_entries expected got then Ok (List.length oracle_tenants)
+    else Error "final state diverges from the lib/check oracle replay"
+
+  type tenant_stat = {
+    t_view : string;
+    t_kind : string;
+    t_writes : Bc.op_stats;
+    t_reads : Bc.op_stats;
+  }
+
+  type summary = {
+    s_views : int;
+    s_duration : float;
+    s_ops : int;
+    s_throughput : float;
+    s_tenants : tenant_stat list;
+    s_samples : int;  (** conservation fence points, all passing *)
+    s_economy_views : int;
+    s_oracle_views : int;  (** views the offline oracle covered; 0 = skipped *)
+  }
+
+  let run_once ~views ~keys ~accounts ~ops ~workers ~read_pct ~drift_period ~shards
+      ~dir ~seed ~sample_ms ~oracle () =
+    let tenants = Mx.tenants ~views ~keys in
+    let backend =
+      if shards >= 2 then cluster ~tenants ~accounts ~shards ~dir ~seed ()
+      else single_server ~tenants ~accounts ~workers ()
+    in
+    Fun.protect ~finally:backend.b_stop (fun () ->
+        let pause = Atomic.make false and parked = Atomic.make 0 in
+        let running = Atomic.make workers and completed = Atomic.make 0 in
+        let t0 = Unix.gettimeofday () in
+        let domains =
+          List.init workers (fun i ->
+              Domain.spawn
+                (worker ~backend ~tenants ~keys ~accounts ~drift_period ~ops ~read_pct
+                   ~seed ~workers ~index:i ~pause ~parked ~running ~completed))
+        in
+        let samples = ref 0 and conservation_failures = ref [] in
+        while Atomic.get completed < workers do
+          Unix.sleepf (float_of_int sample_ms /. 1000.);
+          if Atomic.get completed < workers then
+            quiesced ~pause ~parked ~running (fun () ->
+                match conservation_errors ~backend ~tenants ~accounts with
+                | [] -> incr samples
+                | errs -> conservation_failures := errs @ !conservation_failures)
+        done;
+        let results = List.map Domain.join domains in
+        let duration = Unix.gettimeofday () -. t0 in
+        (* Final sample on the settled stream. *)
+        (match conservation_errors ~backend ~tenants ~accounts with
+        | [] -> incr samples
+        | errs -> conservation_failures := errs @ !conservation_failures);
+        (match List.filter_map (function Error e -> Some e | Ok _ -> None) results with
+        | [] -> ()
+        | errs -> failwith ("worker failed: " ^ String.concat "; " errs));
+        if !conservation_failures <> [] then
+          failwith
+            ("conservation violated: " ^ String.concat "; " !conservation_failures);
+        let outs = List.filter_map Result.to_option results in
+        let tarr = Array.of_list tenants in
+        let s_tenants =
+          Array.to_list
+            (Array.mapi
+               (fun i (tn : Mx.tenant) ->
+                 let gather sel =
+                   Array.of_list (List.concat_map (fun o -> sel o i) outs)
+                 in
+                 {
+                   t_view = tn.Mx.name;
+                   t_kind = Mx.kind_name tn.Mx.kind;
+                   t_writes = Bc.op_stats (gather (fun o i -> o.w_writes.(i)));
+                   t_reads = Bc.op_stats (gather (fun o i -> o.w_reads.(i)));
+                 })
+               tarr)
+        in
+        let s_ops =
+          List.fold_left
+            (fun acc t -> acc + t.t_writes.Bc.count + t.t_reads.Bc.count)
+            0 s_tenants
+        in
+        let s_oracle_views =
+          if not oracle then 0
+          else
+            let sent = List.concat_map (fun o -> o.w_sent) outs in
+            match oracle_check ~backend ~tenants ~accounts ~seed ~sent with
+            | Ok n -> n
+            | Error m -> failwith m
+        in
+        {
+          s_views = views;
+          s_duration = duration;
+          s_ops;
+          s_throughput =
+            (if duration > 0. then float_of_int s_ops /. duration else 0.);
+          s_tenants;
+          s_samples = !samples;
+          s_economy_views =
+            List.length
+              (List.filter (fun (tn : Mx.tenant) -> tn.Mx.kind = Mx.Economy) tenants);
+          s_oracle_views;
+        })
+
+  let json_out ~out ~shards ~workers ~ops ~read_pct ~keys ~accounts ~drift_period
+      ~seed ~curve (s : summary) =
+    let b = Buffer.create 4096 in
+    Printf.bprintf b
+      "{\n\
+      \  \"bench\": \"mixed\",\n\
+      \  \"views\": %d,\n\
+      \  \"shards\": %d,\n\
+      \  \"workers\": %d,\n\
+      \  \"ops_per_worker\": %d,\n\
+      \  \"read_pct\": %d,\n\
+      \  \"keys\": %d,\n\
+      \  \"accounts\": %d,\n\
+      \  \"drift_period\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"duration_s\": %.3f,\n\
+      \  \"ops\": %d,\n\
+      \  \"throughput_ops_s\": %.1f,\n\
+      \  \"conservation_samples\": %d,\n\
+      \  \"conservation_ok\": true,\n\
+      \  \"economy_views\": %d,\n\
+      \  \"oracle_views\": %d,\n\
+      \  \"oracle_ok\": %b,\n"
+      s.s_views shards workers ops read_pct keys accounts drift_period seed
+      s.s_duration s.s_ops s.s_throughput s.s_samples s.s_economy_views
+      s.s_oracle_views
+      (s.s_oracle_views > 0);
+    Buffer.add_string b "  \"curve\": [";
+    List.iteri
+      (fun i (v, tp) ->
+        Printf.bprintf b "%s{\"views\": %d, \"throughput_ops_s\": %.1f}"
+          (if i > 0 then ", " else "")
+          v tp)
+      curve;
+    Buffer.add_string b "],\n  \"tenants\": [\n";
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_string b ",\n";
+        let op (o : Bc.op_stats) =
+          Printf.sprintf
+            "{\"count\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f}"
+            o.Bc.count o.Bc.p50_ms o.Bc.p99_ms o.Bc.p999_ms
+        in
+        Printf.bprintf b "    {\"view\": %S, \"kind\": %S, \"writes\": %s, \"reads\": %s}"
+          t.t_view t.t_kind (op t.t_writes) (op t.t_reads))
+      s.s_tenants;
+    Buffer.add_string b "\n  ]\n}\n";
+    let oc = open_out out in
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
+
+let bench_mixed_cmd =
+  let views_arg =
+    Arg.(value & opt int 20 & info [ "views" ] ~docv:"N"
+           ~doc:"Tenant view count (>= 2; kinds cycle join, economy, \
+                 triangle, cascade, minmax, window).")
+  in
+  let keys_arg =
+    Arg.(value & opt int 64 & info [ "keys" ] ~docv:"K"
+           ~doc:"Key-domain size the Zipf generators draw from.")
+  in
+  let accounts_arg =
+    Arg.(value & opt int 64 & info [ "accounts" ] ~docv:"A"
+           ~doc:"Accounts per economy tenant (sliced disjointly across workers).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N"
+           ~doc:"Workload steps per worker.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  let read_pct_arg =
+    Arg.(value & opt int 30 & info [ "read-pct" ] ~docv:"P"
+           ~doc:"Share of steps that read the tenant view through the session.")
+  in
+  let drift_arg =
+    Arg.(value & flag & info [ "drift" ]
+           ~doc:"Enable the seeded hot-set drift schedule.")
+  in
+  let drift_period_arg =
+    Arg.(value & opt int 500 & info [ "drift-period" ] ~docv:"N"
+           ~doc:"Workload steps between hot-set rotations (with --drift).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+           ~doc:"0 runs the in-process single server; >= 2 runs the sharded \
+                 cluster behind the fault-tolerant router.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.") in
+  let sample_ms_arg =
+    Arg.(value & opt int 250 & info [ "sample-ms" ] ~docv:"MS"
+           ~doc:"Interval between online conservation fence points.")
+  in
+  let curve_arg =
+    Arg.(value & flag & info [ "curve" ]
+           ~doc:"Also measure throughput at 1/4 and 1/2 of the view count, \
+                 for the throughput-vs-view-count curve.")
+  in
+  let no_oracle_arg =
+    Arg.(value & flag & info [ "no-oracle" ]
+           ~doc:"Skip the offline lib/check oracle replay of the final state.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Cluster state directory (default: fresh under the temp dir).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_mixed.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"JSON output path.")
+  in
+  let run views keys accounts ops workers read_pct drift drift_period shards seed
+      sample_ms curve no_oracle dir out =
+    let module Bm = Bench_mixed in
+    let module Bc = Bench_cluster in
+    if views < 2 then begin
+      prerr_endline "--views must be >= 2 (the economy tenant is second)";
+      exit 2
+    end;
+    if workers < 1 || ops < 1 || keys < 1 then begin
+      prerr_endline "--workers, --ops and --keys must be >= 1";
+      exit 2
+    end;
+    if accounts < 2 then begin prerr_endline "--accounts must be >= 2"; exit 2 end;
+    if shards = 1 || shards < 0 then begin
+      prerr_endline "--shards must be 0 (single server) or >= 2";
+      exit 2
+    end;
+    if read_pct < 0 || read_pct > 100 then begin
+      prerr_endline "--read-pct must be in [0, 100]";
+      exit 2
+    end;
+    if sample_ms < 1 then begin prerr_endline "--sample-ms must be >= 1"; exit 2 end;
+    let drift_period = if drift then drift_period else 0 in
+    let dir =
+      if dir <> "" then dir
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ivm_bench_mixed_%d" (Unix.getpid ()))
+    in
+    Printf.printf
+      "bench-mixed: %d views (%s), %d worker(s) x %d steps, %d%% reads, drift %s\n%!"
+      views
+      (if shards >= 2 then Printf.sprintf "%d-shard cluster" shards
+       else "single server")
+      workers ops read_pct
+      (if drift_period > 0 then Printf.sprintf "every %d steps" drift_period else "off");
+    let go ~views ~oracle =
+      Bm.run_once ~views ~keys ~accounts ~ops ~workers ~read_pct ~drift_period ~shards
+        ~dir ~seed ~sample_ms ~oracle ()
+    in
+    try
+      let curve_results =
+        if not curve then []
+        else
+          List.map
+            (fun v ->
+              let s = go ~views:v ~oracle:false in
+              Printf.printf "curve: %4d views: %8.0f ops/s (%d conservation samples)\n%!"
+                v s.Bm.s_throughput s.Bm.s_samples;
+              (v, s.Bm.s_throughput))
+            (List.sort_uniq compare
+               (List.filter (fun v -> v >= 2 && v < views) [ views / 4; views / 2 ]))
+      in
+      let s = go ~views ~oracle:(not no_oracle) in
+      Printf.printf "%-8s %-9s %8s %9s %9s %9s %8s %9s %9s %9s\n" "view" "kind"
+        "writes" "w p50" "w p99" "w p999" "reads" "r p50" "r p99" "r p999";
+      List.iter
+        (fun (t : Bm.tenant_stat) ->
+          Printf.printf
+            "%-8s %-9s %8d %7.3fms %7.3fms %7.3fms %8d %7.3fms %7.3fms %7.3fms\n"
+            t.Bm.t_view t.Bm.t_kind t.Bm.t_writes.Bc.count t.Bm.t_writes.Bc.p50_ms
+            t.Bm.t_writes.Bc.p99_ms t.Bm.t_writes.Bc.p999_ms t.Bm.t_reads.Bc.count
+            t.Bm.t_reads.Bc.p50_ms t.Bm.t_reads.Bc.p99_ms t.Bm.t_reads.Bc.p999_ms)
+        s.Bm.s_tenants;
+      Printf.printf
+        "%d ops in %.2fs (%.0f ops/s) | conservation held at %d fence point(s) across \
+         %d economy view(s)\n"
+        s.Bm.s_ops s.Bm.s_duration s.Bm.s_throughput s.Bm.s_samples
+        s.Bm.s_economy_views;
+      if s.Bm.s_oracle_views > 0 then
+        Printf.printf "offline oracle replay: %d view(s) match the from-scratch recompute\n"
+          s.Bm.s_oracle_views;
+      let curve_all = curve_results @ [ (views, s.Bm.s_throughput) ] in
+      Bm.json_out ~out ~shards ~workers ~ops ~read_pct ~keys ~accounts ~drift_period
+        ~seed ~curve:curve_all s;
+      Printf.printf "wrote %s\n" out
+    with Failure m ->
+      Printf.eprintf "ivm_cli: bench-mixed: %s\n" m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-mixed"
+       ~doc:"Multi-tenant macro-benchmark: tens-to-hundreds of heterogeneous \
+             tenant views behind one read-your-writes server or a sharded \
+             cluster, drifting-Zipf closed-loop workers, the closed-economy \
+             conservation invariant fenced and asserted online, an offline \
+             lib/check oracle replay, and BENCH_mixed.json with per-tenant \
+             p50/p99/p999 plus a throughput-vs-view-count curve")
+    Term.(const run $ views_arg $ keys_arg $ accounts_arg $ ops_arg $ workers_arg
+          $ read_pct_arg $ drift_arg $ drift_period_arg $ shards_arg $ seed_arg
+          $ sample_ms_arg $ curve_arg $ no_oracle_arg $ dir_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz: the differential oracle harness of lib/check.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -2433,5 +3110,5 @@ let () =
        (Cmd.group (Cmd.info "ivm_cli" ~version:Core.Ivm.version ~doc)
           [
             classify_cmd; tpch_cmd; triangles_cmd; serve_cmd; bench_net_cmd; chaos_cmd;
-            cluster_cmd; bench_cluster_cmd; fuzz_cmd; sql_cmd;
+            cluster_cmd; bench_cluster_cmd; bench_mixed_cmd; fuzz_cmd; sql_cmd;
           ]))

@@ -6,7 +6,7 @@ module Update = Ivm_data.Update
 module Db = Ivm_data.Database.Z
 module Schema = Ivm_data.Schema
 
-type family = Join | Triangle | Kclique | Static_dynamic | Minmax
+type family = Join | Triangle | Kclique | Static_dynamic | Minmax | Mixed
 
 let family_name = function
   | Join -> "join"
@@ -14,6 +14,7 @@ let family_name = function
   | Kclique -> "kclique"
   | Static_dynamic -> "static-dynamic"
   | Minmax -> "minmax"
+  | Mixed -> "mixed"
 
 let family_of_name = function
   | "join" -> Some Join
@@ -21,6 +22,7 @@ let family_of_name = function
   | "kclique" -> Some Kclique
   | "static-dynamic" -> Some Static_dynamic
   | "minmax" -> Some Minmax
+  | "mixed" -> Some Mixed
   | _ -> None
 
 type row = { rel : string; values : Value.t list; payload : int }
@@ -75,7 +77,7 @@ let sanitize t =
             else if r.payload = -1 && get k = 1 then (merge k (-1); Some { r with values })
             else None
         | _ -> None)
-    | Join | Triangle | Static_dynamic | Minmax ->
+    | Join | Triangle | Static_dynamic | Minmax | Mixed ->
         let static = t.family = Static_dynamic && r.rel = "T" in
         let k = (r.rel, r.values) in
         if r.payload = 0 || static then None

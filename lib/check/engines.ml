@@ -287,18 +287,55 @@ let tri_factory (_ : Case.t) : Db.t -> M.t =
     [ "R"; "S"; "T" ];
   M.of_triangle_batch ~name:"v" (module Tb.Delta) eng
 
+(* --- multi-view plumbing --------------------------------------------- *)
+
+(* The streaming/net/cluster drivers are parameterized over a list of
+   registered views. Historical families register exactly one view "v"
+   and enumerate it raw; the [Mixed] family registers one view per
+   tenant and enumerates the union with a leading view-name column on
+   every entry — the same shape the mixed oracle recomputes. Tagging
+   keys off the family (not the list length) so a case shrunk down to
+   one live tenant still compares in tagged form. *)
+let tag_view name entries =
+  List.map
+    (fun (tp, p) -> (D.Tuple.of_list (D.Value.Str name :: D.Tuple.to_list tp), p))
+    entries
+
+let multi_enum (case : Case.t) views find =
+  match case.Case.family with
+  | Case.Mixed ->
+      norm (List.concat_map (fun (name, _) -> tag_view name (find name)) views)
+  | _ -> norm (find (fst (List.hd views)))
+
+let mixed_views (case : Case.t) =
+  List.map
+    (fun tn -> (tn.Ivm_workload.Mixed.name, Ivm_workload.Mixed.factory tn))
+    (Ivm_workload.Mixed.of_tables case.Case.schemas)
+
+(* The direct mixed driver: the same supervised registry the streaming
+   path uses, minus WAL and scheduler — every tenant view maintained in
+   process. This is the bug-susceptible driver of the family. *)
+let mixed_direct_driver (case : Case.t) =
+  let views = mixed_views case in
+  let reg = St.Registry.create (Case.db_of case) in
+  List.iter (fun (name, f) -> St.Registry.register reg ~name f) views;
+  plain "mixed"
+    (fun batch -> St.Registry.apply_batch reg (maybe_drop_deletes batch))
+    (fun () ->
+      multi_enum case views (fun name -> (St.Registry.find reg name).M.enumerate ()))
+
 (* --- the streaming path: WAL + epoch scheduler + supervised registry,
    driven synchronously one epoch at a time. self_check replays the
    durable state two ways — full WAL from the initial database, and
    checkpoint + WAL suffix — and demands both equal the live run. ------ *)
 
-let stream_driver ~dir ~factory (case : Case.t) =
+let stream_driver ~dir ~views (case : Case.t) =
   let wal_path = Filename.concat dir "stream.wal" in
   let ckpt_path = Filename.concat dir "stream.ckpt" in
   List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ wal_path; ckpt_path ];
   let metrics = St.Metrics.create () in
   let reg = St.Registry.create ~metrics (Case.db_of case) in
-  St.Registry.register reg ~name:"v" factory;
+  List.iter (fun (name, f) -> St.Registry.register reg ~name f) views;
   let wal = ok "wal open" (St.Wal.Z.open_log wal_path) in
   let queue = St.Queue.create ~capacity:8192 St.Queue.Block in
   let sched = St.Scheduler.create ~wal ~queue ~registry:reg ~metrics () in
@@ -313,7 +350,7 @@ let stream_driver ~dir ~factory (case : Case.t) =
   let mid = max 1 (List.length case.Case.stream / 2) in
   let epoch = ref 0 in
   let target = ref 0 in
-  let enum_of r = norm ((St.Registry.find r "v").M.enumerate ()) in
+  let enum_of r = multi_enum case views (fun name -> (St.Registry.find r name).M.enumerate ()) in
   let apply batch =
     incr epoch;
     if batch <> [] then begin
@@ -335,7 +372,7 @@ let stream_driver ~dir ~factory (case : Case.t) =
         let live = enum_of reg in
         (* Kill-and-replay 1: the whole WAL over the initial database. *)
         let scratch = St.Registry.create (Case.db_of case) in
-        St.Registry.register scratch ~name:"v" factory;
+        List.iter (fun (name, f) -> St.Registry.register scratch ~name f) views;
         let pending = ref [] in
         match
           St.Wal.Z.replay wal_path ~from:St.Wal.header_len (fun u ->
@@ -374,10 +411,10 @@ let stream_driver ~dir ~factory (case : Case.t) =
 (* --- the net loopback path: a real TCP server over a live scheduler,
    epochs ingested and outputs snapshotted through a Net.Client. ------- *)
 
-let net_driver ~factory (case : Case.t) =
+let net_driver ~views (case : Case.t) =
   let metrics = St.Metrics.create () in
   let reg = St.Registry.create ~metrics (Case.db_of case) in
-  St.Registry.register reg ~name:"v" factory;
+  List.iter (fun (name, f) -> St.Registry.register reg ~name f) views;
   let queue = St.Queue.create ~capacity:8192 St.Queue.Block in
   let sched = St.Scheduler.create ~initial_batch:64 ~queue ~registry:reg ~metrics () in
   let runner = Domain.spawn (fun () -> St.Scheduler.run sched) in
@@ -424,7 +461,10 @@ let net_driver ~factory (case : Case.t) =
   {
     name = "net";
     apply;
-    enumerate = (fun () -> norm (ok_wire "snapshot" (N.Client.snapshot client ~view:"v")));
+    enumerate =
+      (fun () ->
+        multi_enum case views (fun name ->
+            ok_wire "snapshot" (N.Client.snapshot client ~view:name)));
     self_check = no_check;
     finish =
       (fun () ->
@@ -455,39 +495,83 @@ let rec rm_rf path =
 let cluster_policies (case : Case.t) =
   let rels = List.map fst case.Case.schemas in
   match case.Case.family with
+  | Case.Mixed ->
+      (* Per-tenant partition soundness: every tenant's view is linear
+         in exactly one of its private tables — hash-partition that one
+         (by the group column for minmax, so a group's whole multiset
+         stays on one shard; by tuple for the economy's account ids and
+         the joins' pivot), broadcast the rest, and ring-sum the
+         scattered per-shard partials per view. *)
+      let module Mx = Ivm_workload.Mixed in
+      let tenants = Mx.of_tables case.Case.schemas in
+      let policies =
+        List.concat_map
+          (fun (tn : Mx.tenant) ->
+            List.map
+              (fun (tbl, _) ->
+                let policy =
+                  match tn.Mx.kind with
+                  | Mx.Minmax -> Cl.Topology.Hash_col 0
+                  | Mx.Economy -> Cl.Topology.Hash_tuple
+                  | Mx.Join | Mx.Triangle | Mx.Cascade ->
+                      if String.equal tbl (Mx.table tn "R") then Cl.Topology.Hash_tuple
+                      else Cl.Topology.Broadcast
+                  | Mx.Window -> Cl.Topology.Broadcast
+                in
+                (tbl, policy))
+              tn.Mx.tables)
+          tenants
+      in
+      let routes =
+        List.map
+          (fun (tn : Mx.tenant) ->
+            ( tn.Mx.name,
+              (* Per-shard window watermarks retract panes at different
+                 times, so window views replicate instead of scatter. *)
+              match tn.Mx.kind with
+              | Mx.Window -> Cl.Topology.Replicated
+              | _ -> Cl.Topology.Scattered ))
+          tenants
+      in
+      (policies, routes)
   | Case.Minmax ->
       (* Partition by the group column: a group's whole value multiset
          lives on one shard, so per-shard (g, min, max) rows are disjoint
          and ring-sum to the global answer. *)
-      (List.map (fun r -> (r, Cl.Topology.Hash_col 0)) rels, Cl.Topology.Scattered)
-  | _ ->
-  let atom_rels =
-    match (case.Case.family, case.Case.query) with
-    | Case.Triangle, _ -> [ "R"; "S"; "T" ]
-    | _, Some q -> List.map (fun (a : Cq.atom) -> a.Cq.rel) q.Cq.atoms
-    | _, None -> []
-  in
-  let occurrences r = List.length (List.filter (String.equal r) atom_rels) in
-  match List.find_opt (fun r -> occurrences r = 1) rels with
-  | Some pivot ->
-      ( List.map
-          (fun r ->
-            (r, if String.equal r pivot then Cl.Topology.Hash_tuple else Cl.Topology.Broadcast))
-          rels,
-        Cl.Topology.Scattered )
-  | None -> (List.map (fun r -> (r, Cl.Topology.Broadcast)) rels, Cl.Topology.Replicated)
+      ( List.map (fun r -> (r, Cl.Topology.Hash_col 0)) rels,
+        [ ("v", Cl.Topology.Scattered) ] )
+  | _ -> (
+      let atom_rels =
+        match (case.Case.family, case.Case.query) with
+        | Case.Triangle, _ -> [ "R"; "S"; "T" ]
+        | _, Some q -> List.map (fun (a : Cq.atom) -> a.Cq.rel) q.Cq.atoms
+        | _, None -> []
+      in
+      let occurrences r = List.length (List.filter (String.equal r) atom_rels) in
+      match List.find_opt (fun r -> occurrences r = 1) rels with
+      | Some pivot ->
+          ( List.map
+              (fun r ->
+                ( r,
+                  if String.equal r pivot then Cl.Topology.Hash_tuple
+                  else Cl.Topology.Broadcast ))
+              rels,
+            [ ("v", Cl.Topology.Scattered) ] )
+      | None ->
+          ( List.map (fun r -> (r, Cl.Topology.Broadcast)) rels,
+            [ ("v", Cl.Topology.Replicated) ] ))
 
-let cluster_driver ~dir ~factory (case : Case.t) =
+let cluster_driver ~dir ~views (case : Case.t) =
   let base_dir = Filename.concat dir "cluster" in
   rm_rf base_dir;
-  let policies, route = cluster_policies case in
-  let topology = Cl.Topology.create ~shards:2 ~policies ~routes:[ ("v", route) ] in
+  let policies, routes = cluster_policies case in
+  let topology = Cl.Topology.create ~shards:2 ~policies ~routes in
   let declare reg =
     List.iter
       (fun (name, cols) ->
         ignore (St.Registry.declare_table reg name (D.Schema.of_list cols)))
       case.Case.schemas;
-    St.Registry.register reg ~name:"v" factory
+    List.iter (fun (name, f) -> St.Registry.register reg ~name f) views
   in
   let router =
     match
@@ -526,9 +610,10 @@ let cluster_driver ~dir ~factory (case : Case.t) =
     apply;
     enumerate =
       (fun () ->
-        match Cl.Router.snapshot router ~view:"v" with
-        | Ok entries -> norm entries
-        | Error m -> failwith ("cluster driver snapshot: " ^ m));
+        multi_enum case views (fun name ->
+            match Cl.Router.snapshot router ~view:name with
+            | Ok entries -> entries
+            | Error m -> failwith ("cluster driver snapshot: " ^ m)));
     self_check = no_check;
     finish = (fun () -> Cl.Router.stop router);
   }
@@ -609,9 +694,9 @@ let join_builders : (string * (dir:string -> Case.t -> driver)) list =
     ("lazy-list", fun ~dir:_ c -> strategy_driver c Strategy.Lazy_list);
     ("lazy-fact-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_fact);
     ("lazy-list-pool", fun ~dir:_ c -> strategy_pool_driver c Strategy.Lazy_list);
-    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(join_factory c) c);
-    ("net", fun ~dir:_ c -> net_driver ~factory:(join_factory c) c);
-    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(join_factory c) c);
+    ("stream", fun ~dir c -> stream_driver ~dir ~views:[ ("v", join_factory c) ] c);
+    ("net", fun ~dir:_ c -> net_driver ~views:[ ("v", join_factory c) ] c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~views:[ ("v", join_factory c) ] c);
     ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 
@@ -635,9 +720,9 @@ let triangle_builders : (string * (dir:string -> Case.t -> driver)) list =
           (module Tb.Delta)
           ~finish:(fun () -> Ivm_par.Domain_pool.destroy pool)
           () );
-    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(tri_factory c) c);
-    ("net", fun ~dir:_ c -> net_driver ~factory:(tri_factory c) c);
-    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(tri_factory c) c);
+    ("stream", fun ~dir c -> stream_driver ~dir ~views:[ ("v", tri_factory c) ] c);
+    ("net", fun ~dir:_ c -> net_driver ~views:[ ("v", tri_factory c) ] c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~views:[ ("v", tri_factory c) ] c);
     ("sql", fun ~dir:_ c -> sql_driver c);
   ]
 
@@ -657,10 +742,18 @@ let sd_builders : (string * (dir:string -> Case.t -> driver)) list =
 let minmax_builders : (string * (dir:string -> Case.t -> driver)) list =
   [
     ("dataflow", fun ~dir:_ c -> dataflow_minmax_driver c);
-    ("stream", fun ~dir c -> stream_driver ~dir ~factory:(minmax_factory c) c);
-    ("net", fun ~dir:_ c -> net_driver ~factory:(minmax_factory c) c);
-    ("cluster", fun ~dir c -> cluster_driver ~dir ~factory:(minmax_factory c) c);
+    ("stream", fun ~dir c -> stream_driver ~dir ~views:[ ("v", minmax_factory c) ] c);
+    ("net", fun ~dir:_ c -> net_driver ~views:[ ("v", minmax_factory c) ] c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~views:[ ("v", minmax_factory c) ] c);
     ("sql", fun ~dir:_ c -> sql_driver c);
+  ]
+
+let mixed_builders : (string * (dir:string -> Case.t -> driver)) list =
+  [
+    ("mixed", fun ~dir:_ c -> mixed_direct_driver c);
+    ("stream", fun ~dir c -> stream_driver ~dir ~views:(mixed_views c) c);
+    ("net", fun ~dir:_ c -> net_driver ~views:(mixed_views c) c);
+    ("cluster", fun ~dir c -> cluster_driver ~dir ~views:(mixed_views c) c);
   ]
 
 let dataflow_entry : string * (dir:string -> Case.t -> driver) =
@@ -680,6 +773,7 @@ let builders (case : Case.t) =
   | Case.Kclique -> kclique_builders
   | Case.Static_dynamic -> sd_builders @ [ dataflow_entry ]
   | Case.Minmax -> minmax_builders
+  | Case.Mixed -> mixed_builders
 
 let names case = List.map fst (builders case)
 
@@ -692,6 +786,7 @@ let all_names =
          kclique_builders;
          sd_builders;
          minmax_builders;
+         mixed_builders;
        ])
 
 let build ~dir ?(select = []) (case : Case.t) =

@@ -19,15 +19,22 @@
       {!driver.self_check}), the same graph behind the streaming,
       net and cluster paths (group-hash partitioned, scattered reads),
       and the SQL front end lowering [SELECT g, MIN(v), MAX(v)].
+    - [Mixed]: several {!Ivm_workload.Mixed} tenants at once — the
+      [mixed] direct driver (one supervised registry holding every
+      tenant view) plus the streaming, net and cluster paths with one
+      registered view per tenant. Enumerations are the union of
+      per-view entries, each tagged with a leading view-name column;
+      the cluster path hash-partitions each tenant's pivot table and
+      ring-sums the scattered per-view partials.
 
     The [Join] matrix also gains the [dataflow] driver whenever the
     generated query is connected with distinct per-atom columns — the
     shapes the operator graph's natural join can express.
 
     The deliberately injectable bug: while the {!bug_failpoint} is armed
-    (via [Ivm_fault.Failpoint]), the [view-tree] and [tri-delta] drivers
-    silently drop delete-polarity updates — the regression the fuzz
-    smoke proves it can catch and shrink. *)
+    (via [Ivm_fault.Failpoint]), the [view-tree], [tri-delta] and
+    [mixed] drivers silently drop delete-polarity updates — the
+    regression the fuzz smoke proves it can catch and shrink. *)
 
 type driver = {
   name : string;

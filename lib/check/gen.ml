@@ -321,13 +321,65 @@ let minmax ~rng ~seed : Case.t =
       stream = epochs rng ~width:6 stream;
     }
 
+(* --- mixed multi-tenant ----------------------------------------------- *)
+
+module Mx = Ivm_workload.Mixed
+
+(* The fuzz-scale slice of the bench-mixed macro-benchmark: 2–4
+   namespaced tenants drawn from the oracle-backed kinds (join,
+   triangle, minmax, economy — one economy tenant always present, so
+   every case carries paired conservation updates), driven by the
+   seeded Zipf generators of [lib/workload] whose hot set drifts every
+   few ops. Epoch splitting may cut a debit/credit pair in half; both
+   the drivers and the per-epoch oracle see the same prefix, so
+   agreement is unaffected — only the final total is conserved. *)
+let mixed ~rng ~seed : Case.t =
+  let kinds = [| Mx.Join; Mx.Economy; Mx.Triangle; Mx.Minmax |] in
+  let views = 2 + R.int rng 3 in
+  let keys = 2 + R.int rng 5 in
+  let tenants =
+    List.init views (fun i ->
+        let kind = if i = 1 then Mx.Economy else kinds.(R.int rng (Array.length kinds)) in
+        Mx.tenant ~index:i kind ~keys)
+  in
+  let accounts = 3 + R.int rng 4 in
+  let wseed = R.bits rng in
+  let drift = Mx.Drift.create ~seed:wseed ~keys ~period:(2 + R.int rng 6) in
+  let gens =
+    Array.of_list (List.map (fun tn -> Mx.Tgen.create ~accounts tn ~drift ~seed:wseed ()) tenants)
+  in
+  let n = R.int rng 41 in
+  let rows =
+    List.concat
+      (List.init n (fun op ->
+           let g = gens.(R.int rng (Array.length gens)) in
+           List.map Case.row_of_update (Mx.Tgen.next g ~op)))
+  in
+  let init =
+    List.concat_map
+      (fun tn -> List.map Case.row_of_update (Mx.init_updates tn ~accounts))
+      tenants
+  in
+  Case.sanitize
+    {
+      family = Case.Mixed;
+      seed;
+      query = None;
+      order = None;
+      k = 0;
+      schemas = List.concat_map (fun tn -> tn.Mx.tables) tenants;
+      init;
+      stream = epochs rng ~width:6 rows;
+    }
+
 let case ~rng ~seed : Case.t =
   match R.int rng 100 with
-  | x when x < 40 -> join ~rng ~seed
-  | x when x < 60 -> triangle ~rng ~seed
-  | x when x < 72 -> kclique ~rng ~seed
-  | x when x < 85 -> minmax ~rng ~seed
-  | _ -> static_dynamic ~rng ~seed
+  | x when x < 35 -> join ~rng ~seed
+  | x when x < 53 -> triangle ~rng ~seed
+  | x when x < 64 -> kclique ~rng ~seed
+  | x when x < 76 -> minmax ~rng ~seed
+  | x when x < 88 -> static_dynamic ~rng ~seed
+  | _ -> mixed ~rng ~seed
 
 (* --- adversarial primitives for the codec properties ----------------- *)
 

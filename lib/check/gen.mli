@@ -34,9 +34,17 @@ val minmax : rng:Random.State.t -> seed:Seed.t -> Case.t
     delete-heavy streams keep forcing the dataflow engine's re-scan
     fallback rather than the cheap not-the-extremum path. *)
 
+val mixed : rng:Random.State.t -> seed:Seed.t -> Case.t
+(** The multi-tenant mix: 2–4 namespaced {!Ivm_workload.Mixed} tenants
+    of the oracle-backed kinds (join / triangle / minmax / economy,
+    with one economy tenant always present), driven by the seeded
+    drifting-Zipf generators of [lib/workload] for up to 40 workload
+    steps. Economy steps emit debit/credit pairs that sum to zero by
+    construction, so the final ring-sum view total is conserved. *)
+
 val case : rng:Random.State.t -> seed:Seed.t -> Case.t
-(** Draw a family (join 40%, triangle 20%, kclique 12%, minmax 13%,
-    static-dynamic 15%) and generate a case of it. *)
+(** Draw a family (join 35%, triangle 18%, kclique 11%, minmax 12%,
+    static-dynamic 12%, mixed 12%) and generate a case of it. *)
 
 (** {1 Adversarial primitive distributions}
 

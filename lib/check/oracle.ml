@@ -30,9 +30,10 @@ let recompute_query t q =
 
 let scalar v = if v = 0 then [] else [ (Tuple.unit, v) ]
 
-(* Triangle count by explicit join over the base relations. *)
-let triangle_count t =
-  let r = Db.find t.db "R" and s = Db.find t.db "S" and tt = Db.find t.db "T" in
+(* Triangle count by explicit join over the (possibly namespaced) base
+   relations R(A,B), S(B,C), T(C,A). *)
+let triangle_count_in t ~r ~s ~tt =
+  let r = Db.find t.db r and s = Db.find t.db s and tt = Db.find t.db tt in
   Rel.fold
     (fun rt rm acc ->
       let a = Tuple.get rt 0 and b = Tuple.get rt 1 in
@@ -44,6 +45,8 @@ let triangle_count t =
           else acc)
         s acc)
     r 0
+
+let triangle_count t = triangle_count_in t ~r:"R" ~s:"S" ~tt:"T"
 
 (* k-clique count by exhaustive subset enumeration — fine for the tiny
    graphs the generator produces. *)
@@ -75,8 +78,7 @@ let kclique_count t k =
 (* Per-group (g, min v, max v) rows, payload 1, straight off the
    integral of the single base relation — the shape the dataflow
    extremum join emits. *)
-let minmax_rows t =
-  let rel_name = match t.case.Case.schemas with (r, _) :: _ -> r | [] -> "R" in
+let minmax_rows_in t rel_name =
   let rel = Db.find t.db rel_name in
   let tbl = Hashtbl.create 16 in
   Rel.iter
@@ -93,10 +95,43 @@ let minmax_rows t =
     rel;
   Hashtbl.fold (fun g (mn, mx) acc -> (Tuple.of_list [ g; mn; mx ], 1) :: acc) tbl []
 
+let minmax_rows t =
+  minmax_rows_in t (match t.case.Case.schemas with (r, _) :: _ -> r | [] -> "R")
+
+(* The mixed multi-tenant family: each tenant's view recomputed over its
+   namespaced tables, every entry tagged with a leading view-name column
+   — the same union shape the multi-view drivers enumerate. *)
+let mixed_rows t =
+  let module Mx = Ivm_workload.Mixed in
+  let tag name entries =
+    List.map (fun (tp, p) -> (Tuple.of_list (Value.Str name :: Tuple.to_list tp), p)) entries
+  in
+  List.concat_map
+    (fun (tn : Mx.tenant) ->
+      let tbl suffix = Mx.table tn suffix in
+      let entries =
+        match tn.Mx.kind with
+        | Mx.Join ->
+            recompute_query t
+              (Cq.make ~name:tn.Mx.name ~free:[ "B" ]
+                 [ Cq.atom (tbl "R") [ "A"; "B" ]; Cq.atom (tbl "S") [ "B"; "C" ] ])
+        | Mx.Triangle -> scalar (triangle_count_in t ~r:(tbl "R") ~s:(tbl "S") ~tt:(tbl "T"))
+        | Mx.Minmax -> minmax_rows_in t (tbl "R")
+        | Mx.Economy ->
+            (* Account balances are multiplicities of A(id); the view is
+               the group-by-nothing ring sum — the conserved total. *)
+            scalar (Rel.fold (fun _ p acc -> acc + p) (Db.find t.db (tbl "A")) 0)
+        | Mx.Cascade | Mx.Window ->
+            failwith ("mixed oracle: unsupported tenant kind " ^ Mx.kind_name tn.Mx.kind)
+      in
+      tag tn.Mx.name entries)
+    (Mx.of_tables t.case.Case.schemas)
+
 let enumerate t =
   normalize
     (match t.case.Case.family with
     | Case.Join | Case.Static_dynamic -> recompute_query t (Option.get t.case.Case.query)
     | Case.Triangle -> scalar (triangle_count t)
     | Case.Kclique -> scalar (kclique_count t t.case.Case.k)
-    | Case.Minmax -> minmax_rows t)
+    | Case.Minmax -> minmax_rows t
+    | Case.Mixed -> mixed_rows t)

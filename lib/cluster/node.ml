@@ -148,8 +148,16 @@ let start (spec : spec) : (t, string) result =
         if St.Queue.push queue (St.Scheduler.item u) then (a + 1, d) else (a, d + 1))
       (0, 0) ups
   in
+  (* Epoch-token sessions: the token is the queue watermark right after
+     the batch's pushes (a concurrent producer can only inflate it —
+     waiting on a higher token is conservative, never stale). *)
+  let ingest_rw ups =
+    let admitted, dropped = ingest ups in
+    (admitted, dropped, St.Queue.pushed queue)
+  in
   match
-    Server.start ~port:spec.port ~handlers:spec.handlers ~ingest
+    Server.start ~port:spec.port ~handlers:spec.handlers ~ingest ~ingest_rw
+      ~served:(fun () -> St.Scheduler.applied sched)
       ~barrier:(fun () -> St.Scheduler.barrier sched)
       ~on_shutdown:(fun () -> St.Queue.close queue)
       ~registry:reg ~metrics ()

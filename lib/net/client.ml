@@ -221,3 +221,63 @@ let sql_text_op t ~opname req =
 
 let create_view t sql = sql_text_op t ~opname:"create_view" (Wire.Create_view sql)
 let explain t sql = sql_text_op t ~opname:"explain" (Wire.Explain sql)
+
+(* The v4 epoch-token ops, with the same clean degradation against old
+   servers as the SQL text ops. *)
+let v4_op t ~opname =
+  let* v = version t in
+  if v < 4 then
+    Error
+      (Wire.Remote
+         (Printf.sprintf "server speaks protocol v%d, %s needs v4" v opname))
+  else Ok ()
+
+let ingest_rw t updates =
+  let* () = v4_op t ~opname:"ingest_rw" in
+  let* resp = rpc t (Wire.Ingest_rw updates) in
+  match resp with
+  | Wire.Ack_token { admitted; dropped; token } -> Ok (admitted, dropped, token)
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+let lookup_at ?(timeout_ms = 5_000) t ~view ~prefix ~token =
+  let* () = v4_op t ~opname:"lookup_at" in
+  let* () = send t (Wire.Lookup_at { view; prefix; token; timeout_ms }) in
+  let* resp = recv t in
+  match resp with
+  | Wire.Token { watermark } ->
+      let* entries = read_entries t in
+      Ok (watermark, entries)
+  | Wire.Err msg -> Error (Wire.Remote msg)
+  | resp -> unexpected resp
+
+(* Read-your-writes sessions: the token of the last acknowledged write
+   rides every read, and the server's reported watermark is re-checked
+   client-side — a server that served a stale snapshot (failpoint, bug,
+   failover to a lagging replica) is caught here, not trusted. *)
+module Session = struct
+  type client = t
+  type t = { client : client; mutable token : int }
+
+  let create client = { client; token = 0 }
+  let client s = s.client
+  let token s = s.token
+  let reattach s client = { client; token = s.token }
+
+  let write s updates =
+    let* admitted, dropped, token = ingest_rw s.client updates in
+    if token > s.token then s.token <- token;
+    Ok (admitted, dropped)
+
+  let read ?timeout_ms s ~view ~prefix =
+    let* watermark, entries =
+      lookup_at ?timeout_ms s.client ~view ~prefix ~token:s.token
+    in
+    if watermark < s.token then
+      Error
+        (Wire.Remote
+           (Printf.sprintf
+              "read-your-writes violated: served watermark %d behind session token %d"
+              watermark s.token))
+    else Ok entries
+end

@@ -85,3 +85,59 @@ val explain : t -> string -> (string, Wire.error) result
 (** Run SQL [EXPLAIN] on the server: the chosen engine plus the
     classification facts. Same version-probe behaviour as
     {!create_view}. *)
+
+val ingest_rw : t -> int Ivm_data.Update.t list -> (int * int * int, Wire.error) result
+(** Like {!ingest}, but returns [(admitted, dropped, token)] where
+    [token] is the server's ingest-queue watermark after this batch:
+    once the served watermark reaches it, every update of the batch is
+    visible to reads. Needs a v4 server (clean [Remote] error
+    otherwise). *)
+
+val lookup_at :
+  ?timeout_ms:int ->
+  t ->
+  view:string ->
+  prefix:Ivm_data.Tuple.t ->
+  token:int ->
+  ((int * (Ivm_data.Tuple.t * int) list), Wire.error) result
+(** A read gated on the server's served watermark reaching [token]
+    (waiting server-side up to [timeout_ms], default 5000): returns the
+    watermark the answer was materialized at plus the entries. Needs a
+    v4 server. *)
+
+(** Read-your-writes sessions over one connection: the epoch token of
+    the session's last acknowledged write rides every read, and the
+    watermark the server reports is re-checked client-side — a server
+    that served stale state (failpoint, bug, failover to a lagging
+    replica) is caught, not trusted. *)
+module Session : sig
+  type client := t
+  type t
+
+  val create : client -> t
+  (** A fresh session with token 0 (reads are ungated until the first
+      write). *)
+
+  val client : t -> client
+  val token : t -> int
+  (** The queue watermark of the last acknowledged {!write}. *)
+
+  val reattach : t -> client -> t
+  (** The same session (same token) on a new connection — how a session
+      survives a reconnect or server restart: the restarted server must
+      expose a served watermark on the same scale (e.g. restored base +
+      newly applied) for the token to stay meaningful. *)
+
+  val write : t -> int Ivm_data.Update.t list -> (int * int, Wire.error) result
+  (** {!ingest_rw} + advance the session token; [(admitted, dropped)]. *)
+
+  val read :
+    ?timeout_ms:int ->
+    t ->
+    view:string ->
+    prefix:Ivm_data.Tuple.t ->
+    ((Ivm_data.Tuple.t * int) list, Wire.error) result
+  (** {!lookup_at} with the session token; fails with [Remote] if the
+      served answer's watermark is behind the token — the
+      read-your-writes guarantee, enforced on both ends. *)
+end

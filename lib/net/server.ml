@@ -29,6 +29,7 @@ module Tuple = Ivm_data.Tuple
 module Value = Ivm_data.Value
 module Update = Ivm_data.Update
 module Domain_pool = Ivm_par.Domain_pool
+module Failpoint = Ivm_fault.Failpoint
 
 (* Same rationale as {!Client}: a subscriber or requester that vanishes
    mid-write must cost us an [EPIPE], not the process. *)
@@ -50,6 +51,9 @@ type conn = { fd : Unix.file_descr; write_mutex : Mutex.t }
    encode per request. *)
 type snapshot = {
   gen : int;
+  watermark : int;
+      (* the served watermark (queue items applied) this snapshot was
+         materialized at — what a [Lookup_at] compares its token to *)
   entries : (Tuple.t * int) list;
   by_key : (Value.t, (Tuple.t * int) list) Hashtbl.t;
   frames : Bytes.t list;
@@ -78,7 +82,7 @@ let build_frames ~chunk_size entries =
 let empty_answer : Bytes.t list =
   [ Wire.frame_bytes (Wire.encode_response (Wire.Chunk { last = true; entries = [] })) ]
 
-let make_snapshot ~gen ~chunk_size entries =
+let make_snapshot ~gen ~watermark ~chunk_size entries =
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun ((tp, _) as e) ->
@@ -92,7 +96,7 @@ let make_snapshot ~gen ~chunk_size entries =
   Hashtbl.iter
     (fun k group -> Hashtbl.replace key_frames k (build_frames ~chunk_size group))
     by_key;
-  { gen; entries; by_key; frames = build_frames ~chunk_size entries; key_frames }
+  { gen; watermark; entries; by_key; frames = build_frames ~chunk_size entries; key_frames }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -102,6 +106,12 @@ type t = {
   chunk_size : int;
   snd_timeout : float;
   ingest : (int Update.t list -> int * int) option;
+  ingest_rw : (int Update.t list -> int * int * int) option;
+      (* like [ingest], plus the queue watermark after admission — the
+         epoch token handed back to read-your-writes sessions *)
+  served : (unit -> int) option;
+      (* the scheduler's served watermark (items applied); [Lookup_at]
+         gates on it and snapshots are stamped with it *)
   checkpoint : (unit -> (int, string) result) option;
   create_view : (string -> (string, string) result) option;
   explain : (string -> (string, string) result) option;
@@ -218,7 +228,18 @@ let snapshot t view =
               | exception Invalid_argument msg -> Error msg
               | m ->
                   let gen = Registry.generation t.registry in
-                  let snap = make_snapshot ~gen ~chunk_size:t.chunk_size (m.M.enumerate ()) in
+                  (* Read the watermark before enumerating, inside the
+                     shared lock: [apply_front] needs the exclusive
+                     side, so no batch lands mid-enumeration and the
+                     stamp is conservative (never claims visibility the
+                     entries do not have). *)
+                  let watermark =
+                    match t.served with Some f -> f () | None -> 0
+                  in
+                  let snap =
+                    make_snapshot ~gen ~watermark ~chunk_size:t.chunk_size
+                      (m.M.enumerate ())
+                  in
                   Mutex.protect t.cache_mutex (fun () ->
                       Hashtbl.replace t.cache view snap);
                   Ok snap))
@@ -258,6 +279,33 @@ let readable_now fd =
 (* Handle one decoded request. Answers that need registry state are
    materialized under the shared lock and sent after it is released
    ([send_chunks] runs outside [Registry.read]). *)
+(* One snapshot answer for a given prefix: the shared tail of [Lookup]
+   and [Lookup_at]. *)
+let answer_prefix t conn snap prefix =
+  if Tuple.arity prefix = 0 then send_frames conn snap.frames
+  else if Tuple.arity prefix = 1 then
+    (* Bound first variable: the whole answer is already framed per
+       key — serve the prebuilt bytes (or the shared empty
+       terminator). *)
+    send_frames conn
+      (Option.value
+         (Hashtbl.find_opt snap.key_frames (Tuple.get prefix 0))
+         ~default:empty_answer)
+  else
+    (* Longer prefixes need filtering — the one per-request encoding
+       path left. *)
+    let group =
+      Option.value (Hashtbl.find_opt snap.by_key (Tuple.get prefix 0)) ~default:[]
+    in
+    send_chunks t conn (List.filter (fun (tp, _) -> matches_prefix prefix tp) group)
+
+(* The failpoint of the read-your-writes e2e test: an armed
+   ["net.stale_read"] makes [Lookup_at] skip its watermark gate and
+   serve whatever snapshot is current — the watermark it reports stays
+   honest, which is exactly how the client-side session catches the
+   violation. *)
+let stale_read_fp = "net.stale_read"
+
 let handle t conn (req : Wire.request) : outcome =
   let respond resp = match send conn resp with Ok () -> Continue | Error _ -> Close in
   match req with
@@ -266,27 +314,9 @@ let handle t conn (req : Wire.request) : outcome =
       match snapshot t view with
       | Error msg -> respond (Wire.Err msg)
       | Ok snap ->
-          let sent =
-            if Tuple.arity prefix = 0 then send_frames conn snap.frames
-            else if Tuple.arity prefix = 1 then
-              (* Bound first variable: the whole answer is already
-                 framed per key — serve the prebuilt bytes (or the
-                 shared empty terminator). *)
-              send_frames conn
-                (Option.value
-                   (Hashtbl.find_opt snap.key_frames (Tuple.get prefix 0))
-                   ~default:empty_answer)
-            else
-              (* Longer prefixes need filtering — the one per-request
-                 encoding path left. *)
-              let group =
-                Option.value
-                  (Hashtbl.find_opt snap.by_key (Tuple.get prefix 0))
-                  ~default:[]
-              in
-              send_chunks t conn (List.filter (fun (tp, _) -> matches_prefix prefix tp) group)
-          in
-          (match sent with Ok () -> Continue | Error _ -> Close))
+          (match answer_prefix t conn snap prefix with
+          | Ok () -> Continue
+          | Error _ -> Close))
   | Wire.Snapshot { view } -> (
       match snapshot t view with
       | Error msg -> respond (Wire.Err msg)
@@ -302,6 +332,63 @@ let handle t conn (req : Wire.request) : outcome =
         | Some ingest ->
             let admitted, dropped = ingest updates in
             respond (Wire.Ack { admitted; dropped }))
+  | Wire.Ingest_rw updates -> (
+      if stopping t then respond (Wire.Err "server is shutting down")
+      else
+        match t.ingest_rw with
+        | None -> respond (Wire.Err "server has no epoch-token ingest")
+        | Some ingest ->
+            let admitted, dropped, token = ingest updates in
+            respond (Wire.Ack_token { admitted; dropped; token }))
+  | Wire.Lookup_at { view; prefix; token; timeout_ms } -> (
+      let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+      let serve snap =
+        match send conn (Wire.Token { watermark = snap.watermark }) with
+        | Error _ -> Close
+        | Ok () -> (
+            match answer_prefix t conn snap prefix with
+            | Ok () -> Continue
+            | Error _ -> Close)
+      in
+      let ungated () =
+        match snapshot t view with
+        | Error msg -> respond (Wire.Err msg)
+        | Ok snap -> serve snap
+      in
+      if token <= 0 || Failpoint.hit stale_read_fp <> None then ungated ()
+      else
+        match t.served with
+        | None -> respond (Wire.Err "server has no served-epoch source")
+        | Some served ->
+            (* Two-stage gate. First wait for the scheduler to apply
+               past the token; then re-materialize until the snapshot
+               itself carries that watermark — a stale-while-revalidate
+               cache may briefly keep serving the previous epoch. *)
+            let rec wait () =
+              if served () >= token then Ok ()
+              else if Unix.gettimeofday () >= deadline then Error ()
+              else begin
+                Unix.sleepf 0.001;
+                wait ()
+              end
+            in
+            let rec fetch () =
+              match snapshot t view with
+              | Error msg -> respond (Wire.Err msg)
+              | Ok snap when snap.watermark >= token -> serve snap
+              | Ok _ ->
+                  if Unix.gettimeofday () >= deadline then
+                    respond (Wire.Err "read-your-writes deadline: snapshot behind token")
+                  else begin
+                    Unix.sleepf 0.001;
+                    fetch ()
+                  end
+            in
+            (match wait () with
+            | Error () ->
+                respond
+                  (Wire.Err "read-your-writes deadline: served watermark behind token")
+            | Ok () -> fetch ()))
   | Wire.Subscribe -> (
       match send conn Wire.Subscribed with
       | Error _ -> Close
@@ -423,8 +510,16 @@ let rec serve_conn t conn =
                 Mutex.protect t.mutex (fun () -> t.active <- t.active - 1))
               (fun () -> handle t conn req)
           in
-          Metrics.record_op t.metrics (Wire.request_name req)
-            (Unix.gettimeofday () -. t0);
+          let dt = Unix.gettimeofday () -. t0 in
+          Metrics.record_op t.metrics (Wire.request_name req) dt;
+          (* View-addressed ops also feed the per-tenant (view, op)
+             series, so one tenant's tail is visible on its own. *)
+          (match req with
+          | Wire.Lookup { view; _ }
+          | Wire.Snapshot { view }
+          | Wire.Lookup_at { view; _ } ->
+              Metrics.record_view_op t.metrics ~view ~op:(Wire.request_name req) dt
+          | _ -> ());
           match outcome with
           | Continue -> continue ()
           | Close -> drop_conn t conn
@@ -547,8 +642,8 @@ let rec accept_loop t =
       end
 
 let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
-    ?(handlers = 4) ?ingest ?checkpoint ?create_view ?explain ?barrier ?on_shutdown
-    ~registry ~metrics () =
+    ?(handlers = 4) ?ingest ?ingest_rw ?served ?checkpoint ?create_view ?explain
+    ?barrier ?on_shutdown ~registry ~metrics () =
   if chunk_size < 1 then invalid_arg "Server.start: chunk_size < 1";
   if handlers < 1 then invalid_arg "Server.start: handlers < 1";
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -573,6 +668,8 @@ let start ?(host = "127.0.0.1") ~port ?(chunk_size = 512) ?(snd_timeout = 5.0)
             chunk_size;
             snd_timeout;
             ingest;
+            ingest_rw;
+            served;
             checkpoint;
             create_view;
             explain;

@@ -28,6 +28,8 @@ val start :
   ?snd_timeout:float ->
   ?handlers:int ->
   ?ingest:(int Ivm_data.Update.t list -> int * int) ->
+  ?ingest_rw:(int Ivm_data.Update.t list -> int * int * int) ->
+  ?served:(unit -> int) ->
   ?checkpoint:(unit -> (int, string) result) ->
   ?create_view:(string -> (string, string) result) ->
   ?explain:(string -> (string, string) result) ->
@@ -45,6 +47,17 @@ val start :
     [snd_timeout] (default 5 s, [0.] disables) is the slow-subscriber
     bound. [ingest] admits a batch into the update queue and reports
     [(admitted, dropped)] — without it the server is read-only.
+    [ingest_rw] additionally returns the queue watermark after the
+    batch was admitted — the epoch token answered to [Ingest_rw] that a
+    read-your-writes session threads into [Lookup_at]; [served] reports
+    the scheduler's served watermark (items applied), which gates
+    [Lookup_at] and stamps every snapshot. Wire them to
+    {!Ivm_stream.Queue.pushed} after the push and
+    {!Ivm_stream.Scheduler.applied} respectively; without them the
+    token ops answer [Err]. An armed ["net.stale_read"] failpoint makes
+    [Lookup_at] skip its gate while still reporting the honest
+    watermark — the injection seam for read-your-writes violation
+    tests.
     [checkpoint] runs the admin checkpoint and returns the WAL offset
     it is current through. [create_view] executes a [Create_view] SQL
     script against the server's SQL session and returns the

@@ -25,13 +25,14 @@ let header_len = 8
 let max_body = 16 * 1024 * 1024
 
 (* Version 1 was the initial opcode set (0x01-0x0B); version 2 added
-   [Version], [Create_view] and [Explain]; version 3 adds [Barrier]
-   (the cluster router's epoch fence). A v1 server answers any of
-   the new opcodes with [Err "unknown opcode ..."] at the message layer
-   (its framing already recovers from unknown opcodes), which clients
-   surface as a clean [Remote] error — so the probe itself degrades
-   gracefully against old servers. *)
-let protocol_version = 3
+   [Version], [Create_view] and [Explain]; version 3 added [Barrier]
+   (the cluster router's epoch fence); version 4 adds the epoch-token
+   session pair [Ingest_rw]/[Lookup_at] (read-your-writes). A v1 server
+   answers any of the new opcodes with [Err "unknown opcode ..."] at
+   the message layer (its framing already recovers from unknown
+   opcodes), which clients surface as a clean [Remote] error — so the
+   probe itself degrades gracefully against old servers. *)
+let protocol_version = 4
 
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
@@ -175,6 +176,12 @@ type request =
   | Create_view of string
   | Explain of string
   | Barrier
+  | Ingest_rw of int Update.t list
+      (** Like [Ingest], but acknowledged with an {!Ack_token} carrying
+          the epoch token a session threads into {!Lookup_at}. *)
+  | Lookup_at of { view : string; prefix : Tuple.t; token : int; timeout_ms : int }
+      (** A read gated on the server's served watermark reaching
+          [token]; answered with a {!Token} frame then entry chunks. *)
 
 type response =
   | Pong
@@ -191,6 +198,12 @@ type response =
   | Subscribed
   | Version_info of { version : int }
   | Barrier_done of { epoch : int }
+  | Ack_token of { admitted : int; dropped : int; token : int }
+      (** [token] is the queue watermark after this batch was admitted:
+          once the served watermark reaches it, the batch is visible. *)
+  | Token of { watermark : int }
+      (** Prefix of a gated read's chunk stream: the served watermark
+          the following entries were materialized at. *)
 
 let request_name = function
   | Ping -> "ping"
@@ -208,6 +221,8 @@ let request_name = function
   | Create_view _ -> "create_view"
   | Explain _ -> "explain"
   | Barrier -> "barrier"
+  | Ingest_rw _ -> "ingest_rw"
+  | Lookup_at _ -> "lookup_at"
 
 let response_name = function
   | Pong -> "pong"
@@ -224,6 +239,8 @@ let response_name = function
   | Subscribed -> "subscribed"
   | Version_info _ -> "version_info"
   | Barrier_done _ -> "barrier_done"
+  | Ack_token _ -> "ack_token"
+  | Token _ -> "token"
 
 let int_payload = (module Codec.Int_payload : Codec.PAYLOAD with type t = int)
 
@@ -276,7 +293,16 @@ let encode_request (r : request) : string =
   | Explain sql ->
       Codec.add_u8 buf 0x0E;
       Codec.add_str buf sql
-  | Barrier -> Codec.add_u8 buf 0x0F);
+  | Barrier -> Codec.add_u8 buf 0x0F
+  | Ingest_rw updates ->
+      Codec.add_u8 buf 0x10;
+      add_list add_update buf updates
+  | Lookup_at { view; prefix; token; timeout_ms } ->
+      Codec.add_u8 buf 0x11;
+      Codec.add_str buf view;
+      Codec.add_tuple buf prefix;
+      Codec.add_i64 buf token;
+      Codec.add_u32 buf timeout_ms);
   Buffer.contents buf
 
 let encode_response (r : response) : string =
@@ -333,7 +359,15 @@ let encode_response (r : response) : string =
       Codec.add_u32 buf version
   | Barrier_done { epoch } ->
       Codec.add_u8 buf 0x8E;
-      Codec.add_i64 buf epoch);
+      Codec.add_i64 buf epoch
+  | Ack_token { admitted; dropped; token } ->
+      Codec.add_u8 buf 0x8F;
+      Codec.add_u32 buf admitted;
+      Codec.add_u32 buf dropped;
+      Codec.add_i64 buf token
+  | Token { watermark } ->
+      Codec.add_u8 buf 0x90;
+      Codec.add_i64 buf watermark);
   Buffer.contents buf
 
 (* Run a codec reader over a whole body: every [Codec.Corrupt] becomes a
@@ -370,6 +404,13 @@ let decode_request body : (request, error) result =
       | 0x0D -> Create_view (Codec.str body cur)
       | 0x0E -> Explain (Codec.str body cur)
       | 0x0F -> Barrier
+      | 0x10 -> Ingest_rw (read_list update body cur)
+      | 0x11 ->
+          let view = Codec.str body cur in
+          let prefix = Codec.tuple body cur in
+          let token = Codec.i64 body cur in
+          let timeout_ms = Codec.u32 body cur in
+          Lookup_at { view; prefix; token; timeout_ms }
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r
@@ -421,6 +462,12 @@ let decode_response body : (response, error) result =
       | 0x8C -> Subscribed
       | 0x8D -> Version_info { version = Codec.u32 body cur }
       | 0x8E -> Barrier_done { epoch = Codec.i64 body cur }
+      | 0x8F ->
+          let admitted = Codec.u32 body cur in
+          let dropped = Codec.u32 body cur in
+          let token = Codec.i64 body cur in
+          Ack_token { admitted; dropped; token }
+      | 0x90 -> Token { watermark = Codec.i64 body cur }
       | _ -> raise Exit
     in
     match decoding body read with exception Exit -> Error (Bad_op op) | r -> r

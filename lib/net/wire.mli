@@ -17,11 +17,12 @@ val max_body : int
     for its allocation size. *)
 
 val protocol_version : int
-(** Version 3: v2 added [Version], [Create_view] and [Explain] to the
-    v1 opcode set; v3 adds [Barrier], the cluster router's epoch fence.
-    An old server answers the new opcodes with a clean [Err] frame
-    (unknown opcode at the message layer), so clients probe with
-    [Version] and degrade gracefully. *)
+(** Version 4: v2 added [Version], [Create_view] and [Explain] to the
+    v1 opcode set; v3 added [Barrier], the cluster router's epoch
+    fence; v4 adds the epoch-token session pair [Ingest_rw]/[Lookup_at]
+    for read-your-writes. An old server answers the new opcodes with a
+    clean [Err] frame (unknown opcode at the message layer), so clients
+    probe with [Version] and degrade gracefully. *)
 
 type error =
   | Eof  (** peer closed cleanly at a frame boundary *)
@@ -99,6 +100,14 @@ type request =
   | Barrier
       (** fence: answer {!Barrier_done} only once every update admitted
           before this request has been applied and made durable *)
+  | Ingest_rw of int Update.t list
+      (** like [Ingest], but acknowledged with an {!Ack_token} carrying
+          the epoch token a session threads into {!Lookup_at} *)
+  | Lookup_at of { view : string; prefix : Tuple.t; token : int; timeout_ms : int }
+      (** a read gated on the server's served watermark reaching
+          [token] (waiting up to [timeout_ms]); answered with a
+          {!Token} frame then entry chunks — the read-your-writes
+          primitive *)
 
 type response =
   | Pong
@@ -118,6 +127,13 @@ type response =
   | Version_info of { version : int }
   | Barrier_done of { epoch : int }
       (** the scheduler epoch at which the fence held *)
+  | Ack_token of { admitted : int; dropped : int; token : int }
+      (** [token] is the ingest-queue watermark after this batch was
+          admitted: once the served watermark reaches it, every update
+          of the batch is visible to reads *)
+  | Token of { watermark : int }
+      (** prefix of a gated read's chunk stream: the served watermark
+          the entries that follow were materialized at *)
 
 val request_name : request -> string
 (** Stable lowercase tag, the per-op latency label in {!Ivm_stream.Metrics}. *)

@@ -99,6 +99,10 @@ type t = {
   mutable coalesced : int; (* updates after per-epoch coalescing *)
   views : (string, view) Hashtbl.t;
   ops : (string, Hist.t) Hashtbl.t; (* per-op-class service latency *)
+  view_ops : (string * string, Hist.t) Hashtbl.t;
+      (* (view, op) service latency: the per-tenant series a multi-view
+         server exposes so one tenant's tail is not averaged away in
+         the per-process histogram *)
   ops_mutex : Mutex.t; (* ops are recorded from concurrent handler domains *)
 }
 
@@ -110,6 +114,7 @@ let create () =
     coalesced = 0;
     views = Hashtbl.create 8;
     ops = Hashtbl.create 8;
+    view_ops = Hashtbl.create 16;
     ops_mutex = Mutex.create ();
   }
 
@@ -159,6 +164,37 @@ let record_op t name dt =
       Hist.add h dt;
       Hashtbl.add t.ops name h);
   Mutex.unlock t.ops_mutex
+
+(* Same discipline as {!record_op}: concurrent handler domains, so the
+   table and histograms live behind the ops mutex. *)
+let record_view_op t ~view ~op dt =
+  Mutex.lock t.ops_mutex;
+  (match Hashtbl.find_opt t.view_ops (view, op) with
+  | Some h -> Hist.add h dt
+  | None ->
+      let h = Hist.create () in
+      Hist.add h dt;
+      Hashtbl.add t.view_ops (view, op) h);
+  Mutex.unlock t.ops_mutex
+
+let view_op_series t =
+  Mutex.lock t.ops_mutex;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.view_ops [] in
+  Mutex.unlock t.ops_mutex;
+  List.sort compare keys
+
+let view_op t ~view ~op =
+  Mutex.lock t.ops_mutex;
+  let h =
+    match Hashtbl.find_opt t.view_ops (view, op) with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.add t.view_ops (view, op) h;
+        h
+  in
+  Mutex.unlock t.ops_mutex;
+  h
 
 let op_names t =
   Mutex.lock t.ops_mutex;
@@ -237,6 +273,12 @@ let render t =
   List.iter
     (fun name -> add_histogram seen buf "ivm_op_seconds" [ ("op", name) ] (op t name))
     (op_names t);
+  List.iter
+    (fun (view, opn) ->
+      add_histogram seen buf "ivm_view_op_seconds"
+        [ ("view", view); ("op", opn) ]
+        (view_op t ~view ~op:opn))
+    (view_op_series t);
   Buffer.contents buf
 
 let us v = v *. 1e6

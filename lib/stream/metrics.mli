@@ -43,6 +43,10 @@ type t = {
   views : (string, view) Hashtbl.t;
   ops : (string, Hist.t) Hashtbl.t;
       (** per-op-class service latency (network lookups, ingest, ...) *)
+  view_ops : (string * string, Hist.t) Hashtbl.t;
+      (** [(view, op)]-labelled service latency — the per-tenant series
+          of a multi-view server, so one tenant's tail latency is not
+          averaged away in the per-process histogram *)
   ops_mutex : Mutex.t;
 }
 
@@ -62,6 +66,17 @@ val record_op : t -> string -> float -> unit
     view and latency histograms stay single-writer. *)
 
 val op_names : t -> string list
+
+val record_view_op : t -> view:string -> op:string -> float -> unit
+(** Record one service-latency sample for an op on a specific view —
+    the per-tenant label pair of the [ivm_view_op_seconds] exposition.
+    Same concurrency contract as {!record_op}. *)
+
+val view_op : t -> view:string -> op:string -> Hist.t
+(** The [(view, op)] histogram, created on first use. *)
+
+val view_op_series : t -> (string * string) list
+(** Every [(view, op)] pair recorded so far, sorted. *)
 
 val render : t -> string
 (** Prometheus-style text exposition: every counter as a plain sample,

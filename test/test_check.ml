@@ -85,6 +85,29 @@ let generator_validity () =
           (List.for_all
              (fun (r : Case.row) -> r.Case.rel = "R" && List.length r.Case.values = 2)
              (c.Case.init @ List.concat c.Case.stream))
+    | Case.Mixed ->
+        let module Mx = Ivm_workload.Mixed in
+        let tenants = Mx.of_tables c.Case.schemas in
+        checkb "at least two tenants" true (List.length tenants >= 2);
+        checkb "one economy tenant present" true
+          (List.exists (fun (tn : Mx.tenant) -> tn.Mx.kind = Mx.Economy) tenants);
+        (* Conservation: economy debits and credits cancel, so applying
+           the whole stream leaves each economy view total at its
+           opening accounts × initial_balance... unless sanitize dropped
+           one leg. Either way totals must never go negative (checked by
+           never_negative above); here we pin the zero-sum pairing. *)
+        let econ_total rows tn =
+          List.fold_left
+            (fun acc (r : Case.row) ->
+              if List.mem_assoc r.Case.rel tn.Mx.tables then acc + r.Case.payload else acc)
+            0 rows
+        in
+        List.iter
+          (fun (tn : Mx.tenant) ->
+            if tn.Mx.kind = Mx.Economy then
+              checkb "economy stream sums to zero" true
+                (econ_total (List.concat c.Case.stream) tn = 0))
+          tenants
     | Case.Triangle -> ()
   done
 

@@ -977,6 +977,243 @@ let v1_server_clean_error () =
               Alcotest.failf "want a clean Remote error, got %s"
                 (Wire.error_to_string e)))
 
+(* --- read-your-writes sessions (epoch tokens) ------------------------- *)
+
+let rw_registry () =
+  let metrics = Metrics.create () in
+  let reg = Registry.create ~metrics (make_triangle_db ()) in
+  register_views reg;
+  (reg, metrics)
+
+(* A server wired for epoch-token sessions: [ingest_rw] answers the
+   queue watermark, [served] the scheduler's applied count — both
+   shifted by [base] so a restarted server keeps reporting on the same
+   scale as its previous life. *)
+let with_rw_server ?wal ?(base = 0) (reg, metrics) f =
+  let queue = Squeue.create ~capacity:1024 Squeue.Block in
+  let sched = Scheduler.create ?wal ~queue ~registry:reg ~metrics () in
+  let runner = Domain.spawn (fun () -> Scheduler.run sched) in
+  let push updates =
+    List.fold_left
+      (fun (a, d) u ->
+        if Squeue.push queue (Scheduler.item u) then (a + 1, d) else (a, d + 1))
+      (0, 0) updates
+  in
+  let srv =
+    ok_wire
+      (Server.start ~port:0 ~handlers:4 ~ingest:push
+         ~ingest_rw:(fun updates ->
+           let a, d = push updates in
+           (a, d, base + Squeue.pushed queue))
+         ~served:(fun () -> base + Scheduler.applied sched)
+         ~barrier:(fun () -> Scheduler.barrier sched)
+         ~on_shutdown:(fun () -> Squeue.close queue)
+         ~registry:reg ~metrics ())
+  in
+  let await_applied n =
+    let deadline = Unix.gettimeofday () +. 30. in
+    while Scheduler.applied sched < n && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.002
+    done;
+    Alcotest.(check int) "stream drained" n (Scheduler.applied sched)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Squeue.close queue;
+      ignore (Domain.join runner);
+      Server.stop srv)
+    (fun () -> f srv await_applied)
+
+(* Session fixture on paths-rs (output order B, A, C over
+   R(A,B) ⋈ S(B,C)): write k adds R(k, hub) and S(hub, k + 9000), so a
+   read at prefix (hub, k) must contain (hub, k, k + 9000) and, once n
+   writes are visible, exactly n entries — one per S(hub, _) row. The
+   hub sits far outside the churn generator's 12-node keyspace, so
+   background traffic can never fabricate these rows. *)
+let hub = 1000
+
+let session_pair k =
+  [
+    U.make ~rel:"R" ~tuple:(tup [ k; hub ]) ~payload:1;
+    U.make ~rel:"S" ~tuple:(tup [ hub; k + 9000 ]) ~payload:1;
+  ]
+
+let check_own_write s k ~expect =
+  let entries =
+    ok_wire (Client.Session.read s ~view:"paths-rs" ~prefix:(tup [ hub; k ]))
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "session sees every visible write at key %d" k)
+    expect (List.length entries);
+  Alcotest.(check bool)
+    (Printf.sprintf "write %d itself is visible" k)
+    true
+    (List.exists
+       (fun (tp, p) -> D.Tuple.equal tp (tup [ hub; k; k + 9000 ]) && p = 1)
+       entries)
+
+(* The guarantee under load: a session interleaving writes and reads
+   over loopback TCP never observes state older than its own last
+   write, while a background client churns unrelated epochs under its
+   feet. *)
+let e2e_session_never_stale () =
+  with_rw_server (rw_registry ()) (fun srv _await ->
+      let port = Server.port srv in
+      let stop = Atomic.make false in
+      (* Each churn loop applies one full copy of the same valid
+         stream, so base multiplicities stay non-negative forever. *)
+      let churn =
+        Domain.spawn (fun () ->
+            let c = ok_wire (Client.connect ~port ()) in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let batch = edge_stream ~seed:17 50 in
+                while not (Atomic.get stop) do
+                  ignore (ok_wire (Client.ingest c batch));
+                  Unix.sleepf 0.001
+                done))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          ignore (Domain.join churn))
+        (fun () ->
+          let c = ok_wire (Client.connect ~port ()) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let s = Client.Session.create c in
+              let last = ref 0 in
+              for k = 1 to 50 do
+                let admitted, dropped =
+                  ok_wire (Client.Session.write s (session_pair k))
+                in
+                Alcotest.(check int) "pair admitted" 2 admitted;
+                Alcotest.(check int) "none dropped" 0 dropped;
+                Alcotest.(check bool) "token strictly advances" true
+                  (Client.Session.token s > !last);
+                last := Client.Session.token s;
+                check_own_write s k ~expect:k
+              done)))
+
+(* The session survives a kill-and-restart: checkpoint, restore, WAL
+   replay, then a second server whose watermarks are shifted by the
+   restored base — the reattached session's old token still gates
+   correctly and its first-life writes are all visible. *)
+let e2e_session_across_restart () =
+  with_tmp ".wal" (fun wal_path ->
+      with_tmp ".ckpt" (fun ckpt_path ->
+          let writes = 20 in
+          let wal = ok_stream (Wal.Z.open_log wal_path) in
+          let ((reg, _) as rm) = rw_registry () in
+          let session1 =
+            with_rw_server ~wal rm (fun srv await_applied ->
+                let c = ok_wire (Client.connect ~port:(Server.port srv) ()) in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    let s = Client.Session.create c in
+                    for k = 1 to writes do
+                      ignore (ok_wire (Client.Session.write s (session_pair k)));
+                      check_own_write s k ~expect:k
+                    done;
+                    await_applied (2 * writes);
+                    Registry.read reg (fun () ->
+                        ok_stream
+                          (Checkpoint.Z.save ckpt_path ~db:(Registry.db reg)
+                             ~wal_offset:(Wal.Z.offset wal)));
+                    s))
+          in
+          Wal.Z.close wal;
+          let token = Client.Session.token session1 in
+          Alcotest.(check int) "token covers every first-life update" (2 * writes)
+            token;
+          let restored_db, offset = ok_stream (Checkpoint.Z.load ckpt_path) in
+          let metrics2 = Metrics.create () in
+          let seed_reg = Registry.create ~metrics:metrics2 (make_triangle_db ()) in
+          register_views seed_reg;
+          let restored = Registry.restore seed_reg restored_db in
+          let pending = ref [] in
+          ignore
+            (ok_stream
+               (Wal.Z.replay wal_path ~from:offset (fun u -> pending := u :: !pending)));
+          Registry.apply_batch restored (List.rev !pending);
+          ignore (Registry.heal restored);
+          with_rw_server ~base:token (restored, metrics2) (fun srv _await ->
+              let c2 = ok_wire (Client.connect ~port:(Server.port srv) ()) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c2)
+                (fun () ->
+                  let s = Client.Session.reattach session1 c2 in
+                  Alcotest.(check int) "reattach keeps the token" token
+                    (Client.Session.token s);
+                  (* Every first-life write is visible through the old
+                     token on the restarted server... *)
+                  for k = 1 to writes do
+                    check_own_write s k ~expect:writes
+                  done;
+                  (* ...and the session keeps working: new writes gate
+                     on watermarks continued from the restored base. *)
+                  for k = writes + 1 to writes + 5 do
+                    ignore (ok_wire (Client.Session.write s (session_pair k)));
+                    Alcotest.(check bool) "token continues past the base" true
+                      (Client.Session.token s > token);
+                    check_own_write s k ~expect:k
+                  done))))
+
+(* The injected violation: a server whose scheduler never runs (served
+   watermark stuck at 0) with ["net.stale_read"] armed serves the gated
+   read anyway — reporting its honest watermark — and the session's
+   client-side re-check must refuse the answer. Without the failpoint
+   the same read fails closed on the server's deadline instead of ever
+   going stale. *)
+let session_stale_read_caught () =
+  with_failpoints (fun () ->
+      let reg, metrics = rw_registry () in
+      let pushed = ref 0 in
+      let ingest_rw updates =
+        (* Admitted but deliberately never applied. *)
+        pushed := !pushed + List.length updates;
+        (List.length updates, 0, !pushed)
+      in
+      let srv =
+        ok_wire
+          (Server.start ~port:0 ~handlers:2 ~ingest_rw
+             ~served:(fun () -> 0)
+             ~registry:reg ~metrics ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let c = ok_wire (Client.connect ~port:(Server.port srv) ()) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let s = Client.Session.create c in
+              ignore (ok_wire (Client.Session.write s (session_pair 1)));
+              Alcotest.(check int) "token = queue watermark" 2
+                (Client.Session.token s);
+              (match
+                 Client.Session.read ~timeout_ms:50 s ~view:"paths-rs"
+                   ~prefix:(tup [ hub; 1 ])
+               with
+              | Error (Wire.Remote msg) ->
+                  Alcotest.(check bool) "fails closed on the deadline" true
+                    (contains msg "deadline")
+              | Error e ->
+                  Alcotest.failf "expected Remote deadline, got %s"
+                    (Wire.error_to_string e)
+              | Ok _ -> Alcotest.fail "gated read served despite watermark 0");
+              Failpoint.arm "net.stale_read" ~times:max_int Failpoint.Fail;
+              match Client.Session.read s ~view:"paths-rs" ~prefix:(tup [ hub; 1 ]) with
+              | Error (Wire.Remote msg) ->
+                  Alcotest.(check bool) "violation caught client-side" true
+                    (contains msg "read-your-writes violated")
+              | Error e ->
+                  Alcotest.failf "expected Remote, got %s" (Wire.error_to_string e)
+              | Ok _ -> Alcotest.fail "stale read not caught")))
+
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
 let () =
@@ -1017,5 +1254,13 @@ let () =
             v1_server_clean_error;
           Alcotest.test_case "corrupt frame keeps serving" `Quick
             e2e_corrupt_frame_keeps_serving;
+        ] );
+      ( "sessions (read-your-writes)",
+        [
+          Alcotest.test_case "never stale under churn" `Quick e2e_session_never_stale;
+          Alcotest.test_case "token survives checkpoint/restart" `Quick
+            e2e_session_across_restart;
+          Alcotest.test_case "injected stale read caught" `Quick
+            session_stale_read_caught;
         ] );
     ]

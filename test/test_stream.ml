@@ -271,6 +271,36 @@ let metrics_percentiles () =
   Alcotest.(check bool) "p99 >= p50" true (p99 >= p50);
   Alcotest.(check int) "count" 100 (Metrics.Hist.count h)
 
+(* Per-tenant labels: two views recording the same op class must land
+   in disjoint (view, op) series — one tenant's latency must never leak
+   into another's exposition line. *)
+let metrics_view_labels () =
+  let m = Metrics.create () in
+  Metrics.record_view_op m ~view:"t0j" ~op:"lookup" 1e-3;
+  Metrics.record_view_op m ~view:"t0j" ~op:"lookup" 2e-3;
+  Metrics.record_view_op m ~view:"t1e" ~op:"lookup" 5e-3;
+  Metrics.record_view_op m ~view:"t1e" ~op:"snapshot" 7e-3;
+  Alcotest.(check (list (pair string string)))
+    "series enumerate sorted and disjoint"
+    [ ("t0j", "lookup"); ("t1e", "lookup"); ("t1e", "snapshot") ]
+    (Metrics.view_op_series m);
+  Alcotest.(check int) "t0j holds its own samples" 2
+    (Metrics.Hist.count (Metrics.view_op m ~view:"t0j" ~op:"lookup"));
+  Alcotest.(check int) "t1e lookup unaffected" 1
+    (Metrics.Hist.count (Metrics.view_op m ~view:"t1e" ~op:"lookup"));
+  let text = Metrics.render m in
+  let has s =
+    let n = String.length text and k = String.length s in
+    let rec go i = i + k <= n && (String.sub text i k = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "t0j series exposed" true
+    (has "ivm_view_op_seconds_count{view=\"t0j\",op=\"lookup\"} 2");
+  Alcotest.(check bool) "t1e series exposed" true
+    (has "ivm_view_op_seconds_count{view=\"t1e\",op=\"lookup\"} 1");
+  Alcotest.(check bool) "one TYPE header" true
+    (has "# TYPE ivm_view_op_seconds histogram")
+
 (* --- checkpoint + replay crash recovery ------------------------------ *)
 
 (* The property, for a ring with a payload codec: for any update stream
@@ -710,7 +740,11 @@ let () =
           Alcotest.test_case "capacity 1, drop oldest" `Quick
             (queue_capacity_one Squeue.Drop_oldest);
         ] );
-      ("metrics", [ Alcotest.test_case "percentiles" `Quick metrics_percentiles ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "percentiles" `Quick metrics_percentiles;
+          Alcotest.test_case "per-view op labels disjoint" `Quick metrics_view_labels;
+        ] );
       ("crash recovery", [ qt crash_recovery_z; qt crash_recovery_float ]);
       ( "registry",
         [ Alcotest.test_case "multi-view = direct" `Quick registry_matches_direct ] );

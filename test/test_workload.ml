@@ -134,6 +134,116 @@ let random_queries_fraction () =
   checkb "large fraction under FDs" true
     (f.W.Random_queries.q_hier_fd > 250 && f.W.Random_queries.q_hier_fd < 450)
 
+(* --- mixed multi-tenant workload (the macro-benchmark generators) ---- *)
+
+module Mx = W.Mixed
+module U = Ivm_data.Update
+module Tuple = Ivm_data.Tuple
+module Value = Ivm_data.Value
+
+let update_equal (a : int U.t) (b : int U.t) =
+  a.U.rel = b.U.rel && Tuple.equal a.U.tuple b.U.tuple && a.U.payload = b.U.payload
+
+let mixed_tenants_structure () =
+  let tenants = Mx.tenants ~views:13 ~keys:8 in
+  checki "requested view count" 13 (List.length tenants);
+  checkb "economy second, so two views already conserve" true
+    ((List.nth tenants 1).Mx.kind = Mx.Economy);
+  let back = Mx.of_tables (List.concat_map (fun tn -> tn.Mx.tables) tenants) in
+  checki "of_tables reconstructs every tenant" 13 (List.length back);
+  List.iter2
+    (fun (a : Mx.tenant) (b : Mx.tenant) ->
+      checkb "name, kind and index survive the table-name roundtrip" true
+        (a.Mx.name = b.Mx.name && a.Mx.kind = b.Mx.kind && a.Mx.index = b.Mx.index))
+    tenants back
+
+(* Determinism is what makes any bench run replayable: the whole
+   multi-tenant stream is a pure function of (seed, worker). *)
+let mixed_drift_deterministic () =
+  let gen ~seed =
+    let tenants = Mx.tenants ~views:6 ~keys:32 in
+    let drift = Mx.Drift.create ~seed ~keys:32 ~period:7 in
+    List.concat_map
+      (fun tn ->
+        let g = Mx.Tgen.create ~worker:1 ~workers:3 ~accounts:12 tn ~drift ~seed () in
+        List.concat (List.init 150 (fun op -> Mx.Tgen.next g ~op)))
+      tenants
+  in
+  let a = gen ~seed:99 and b = gen ~seed:99 in
+  checki "same seed, same length" (List.length a) (List.length b);
+  checkb "same seed, same stream" true (List.for_all2 update_equal a b);
+  let c = gen ~seed:100 in
+  checkb "different seed decorrelates" true
+    (List.length a <> List.length c || not (List.for_all2 update_equal a c))
+
+(* The hot set actually moves: the modal key of the rotated Zipf draw
+   changes across drift phases (statistically, over 4000 draws per
+   phase), and never moves when the period disables drift. *)
+let mixed_hot_set_moves () =
+  let keys = 64 in
+  let rng = Random.State.make [| 11 |] in
+  let zipf = W.Zipf.create ~n:keys ~s:1.3 in
+  let mode drift ~op =
+    let counts = Array.make (keys + 1) 0 in
+    for _ = 1 to 4000 do
+      let k = Mx.Drift.key drift ~zipf rng ~op in
+      checkb "key in range" true (k >= 1 && k <= keys);
+      counts.(k) <- counts.(k) + 1
+    done;
+    let best = ref 1 in
+    Array.iteri (fun i c -> if i > 0 && c > counts.(!best) then best := i) counts;
+    !best
+  in
+  let drift = Mx.Drift.create ~seed:5 ~keys ~period:1000 in
+  let m0 = mode drift ~op:0 in
+  checkb "the hot key moves within a few phases" true
+    (List.exists (fun ph -> mode drift ~op:(ph * 1000) <> m0) [ 1; 2; 3; 4; 5 ]);
+  let still = Mx.Drift.create ~seed:5 ~keys ~period:0 in
+  let s0 = mode still ~op:0 in
+  checkb "no drift without a period" true
+    (List.for_all (fun op -> mode still ~op = s0) [ 500; 5_000; 50_000 ])
+
+(* The closed economy: every emitted step is a debit/credit pair that
+   sums to zero by construction, no debit ever overdraws its account
+   even with several workers on disjoint slices, and the closing total
+   equals the opening total exactly. *)
+let mixed_conservation_zero_sum () =
+  let tn = Mx.tenant ~index:1 Mx.Economy ~keys:16 in
+  let accounts = 9 and workers = 3 in
+  let table = Mx.table tn "A" in
+  let balances = Hashtbl.create 16 in
+  let acct (u : int U.t) = Value.to_int (Tuple.get u.U.tuple 0) in
+  let apply (u : int U.t) =
+    checkb "economy updates hit the tenant's table" true (u.U.rel = table);
+    let b = Option.value (Hashtbl.find_opt balances (acct u)) ~default:0 in
+    Hashtbl.replace balances (acct u) (b + u.U.payload)
+  in
+  List.iter apply (Mx.init_updates tn ~accounts);
+  let drift = Mx.Drift.create ~seed:3 ~keys:16 ~period:11 in
+  let gens =
+    List.init workers (fun w ->
+        Mx.Tgen.create ~worker:w ~workers ~accounts tn ~drift ~seed:3 ())
+  in
+  let steps = ref 0 in
+  for op = 1 to 400 do
+    List.iter
+      (fun g ->
+        let ups = Mx.Tgen.next g ~op in
+        if ups <> [] then incr steps;
+        checki "debit/credit pair sums to zero" 0
+          (List.fold_left (fun acc (u : int U.t) -> acc + u.U.payload) 0 ups);
+        List.iter
+          (fun u ->
+            apply u;
+            checkb "never overdraws" true (Hashtbl.find balances (acct u) >= 0))
+          ups)
+      gens
+  done;
+  checkb "workers actually transferred" true (!steps > 100);
+  checki "closing total = opening total"
+    (Mx.expected_total ~accounts)
+    (Hashtbl.fold (fun _ b acc -> acc + b) balances 0)
+
 let () =
   Alcotest.run "workload"
     [
@@ -152,4 +262,12 @@ let () =
       ("job (Ex. 4.13)", [ Alcotest.test_case "valid batches" `Quick job_batches_valid ]);
       ( "random workload (Sec. 4.4)",
         [ Alcotest.test_case "FD fraction" `Quick random_queries_fraction ] );
+      ( "mixed multi-tenant (macro-benchmark)",
+        [
+          Alcotest.test_case "tenant roster structure" `Quick mixed_tenants_structure;
+          Alcotest.test_case "drift determinism" `Quick mixed_drift_deterministic;
+          Alcotest.test_case "hot set moves" `Quick mixed_hot_set_moves;
+          Alcotest.test_case "conservation by construction" `Quick
+            mixed_conservation_zero_sum;
+        ] );
     ]
